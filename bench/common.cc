@@ -1,0 +1,48 @@
+#include "common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace bench
+{
+
+void
+banner(const std::string &title, const std::string &paper_ref,
+       std::uint64_t insts)
+{
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces %s of \"Loop-Aware Memory Prefetching "
+                "Using Code Block Working\nSets\" (MICRO 2014). "
+                "%llu committed instructions per run "
+                "(CBWS_BENCH_INSTS overrides).\n",
+                paper_ref.c_str(),
+                static_cast<unsigned long long>(insts));
+    std::printf("==============================================="
+                "=============================\n\n");
+}
+
+ExperimentMatrix
+fullMatrix(std::uint64_t insts)
+{
+    SystemConfig config; // Table II defaults
+    return runMatrix(allWorkloads(), allPrefetcherKinds(), config,
+                     insts);
+}
+
+std::string
+pct(double fraction, int precision)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace bench
+} // namespace cbws

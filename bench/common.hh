@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the figure- and table-regenerating benches.
+ */
+
+#ifndef CBWS_BENCH_COMMON_HH
+#define CBWS_BENCH_COMMON_HH
+
+#include <cmath>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace cbws
+{
+namespace bench
+{
+
+/** Print the standard bench banner with the paper reference. */
+void banner(const std::string &title, const std::string &paper_ref,
+            std::uint64_t insts);
+
+/** Run the full 30-benchmark x 7-prefetcher matrix (Table II system). */
+ExperimentMatrix fullMatrix(std::uint64_t insts);
+
+/** Format a fraction as a percentage string. */
+std::string pct(double fraction, int precision = 1);
+
+/** Geometric mean over rows of @p metric (MI subset or all rows). */
+template <typename Fn>
+double
+geomean(const ExperimentMatrix &matrix, Fn metric, bool mi_only)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+        if (mi_only && !matrix.rows[r].memoryIntensive)
+            continue;
+        const double v = metric(r);
+        if (v > 0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace bench
+} // namespace cbws
+
+#endif // CBWS_BENCH_COMMON_HH

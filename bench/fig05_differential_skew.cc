@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Fig. 5: the correlation between the number of distinct
+ * CBWS differential vectors and the fraction of loop iterations they
+ * explain.
+ *
+ * For each benchmark shown in the paper's figure, the CBWS
+ * prefetcher's instrumentation probe records the identity of every
+ * 1-step differential; the coverage curve reports which fraction of
+ * iterations the most frequent X% of distinct vectors differentiate.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "common.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+int
+main()
+{
+    const std::uint64_t insts = benchInstructionBudget();
+    bench::banner("Figure 5 - skew of the CBWS differential-vector "
+                  "distribution",
+                  "Figure 5", insts);
+
+    // The subset of benchmarks shown in the paper's Fig. 5.
+    const char *names[] = {
+        "450.soplex-ref",       "433.milc-su3imp",
+        "stencil-default",      "radix-simlarge",
+        "sgemm-medium",         "streamcluster-simlarge",
+    };
+
+    TextTable table;
+    table.header({"benchmark", "distinct", "iters", "5%-cov",
+                  "10%-cov", "25%-cov", "vecs for 90%"});
+    for (const char *name : names) {
+        auto w = findWorkload(name);
+        if (!w)
+            continue;
+        SystemConfig config;
+        config.prefetcher = PrefetcherKind::Cbws;
+        WorkloadParams params;
+        params.maxInstructions = insts;
+        FrequencyCounter probe;
+        SimProbes probes;
+        probes.differentials = &probe;
+        simulateWorkload(*w, config, params, probes);
+
+        const auto curve = probe.coverageCurve();
+        auto coverage_at = [&curve](double frac_of_vectors) {
+            if (curve.empty())
+                return 0.0;
+            std::size_t idx = static_cast<std::size_t>(
+                frac_of_vectors * static_cast<double>(curve.size()));
+            if (idx >= curve.size())
+                idx = curve.size() - 1;
+            return curve[idx];
+        };
+        table.row({name, std::to_string(probe.distinct()),
+                   std::to_string(probe.total()),
+                   bench::pct(coverage_at(0.05)),
+                   bench::pct(coverage_at(0.10)),
+                   bench::pct(coverage_at(0.25)),
+                   bench::pct(
+                       probe.vectorsFractionForCoverage(0.90))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: the vast majority of loop iterations are "
+                "served by a tiny fraction of the\ndistinct "
+                "differential vectors (soplex: ~90%% of iterations "
+                "from ~5%% of vectors).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig. 12: last-level-cache misses per kilo-instruction
+ * for every benchmark under all seven prefetching configurations
+ * (lower is better).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace cbws;
+
+int
+main()
+{
+    const std::uint64_t insts = benchInstructionBudget();
+    bench::banner("Figure 12 - LLC misses per kilo-instruction "
+                  "(lower is better)",
+                  "Figure 12", insts);
+
+    auto matrix = bench::fullMatrix(insts);
+
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (auto kind : matrix.kinds)
+        header.push_back(toString(kind));
+    table.header(header);
+
+    auto emit_avg = [&](const char *label, bool mi_only) {
+        std::vector<std::string> row = {label};
+        for (std::size_t k = 0; k < matrix.kinds.size(); ++k) {
+            const double avg = matrix.average(
+                [&](const WorkloadRow &r) {
+                    return r.byPrefetcher[k].mpki();
+                },
+                mi_only);
+            row.push_back(TextTable::num(avg, 2));
+        }
+        table.row(row);
+    };
+
+    for (const auto &row : matrix.rows) {
+        if (!row.memoryIntensive)
+            continue;
+        std::vector<std::string> cells = {row.workload};
+        for (const auto &res : row.byPrefetcher)
+            cells.push_back(TextTable::num(res.mpki(), 2));
+        table.row(cells);
+    }
+    emit_avg("average-MI", true);
+    emit_avg("average-ALL", false);
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper: CBWS+SMS delivers the lowest MPKI on average and on "
+        "all benchmarks except\nlibquantum and fft (tying SMS on "
+        "bzip2); standalone CBWS eliminates misses on\n"
+        "block-structured benchmarks (sgemm, radix) but trails SMS "
+        "on fft/streamcluster.\n");
+    return 0;
+}

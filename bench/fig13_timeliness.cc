@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Fig. 13: timeliness and accuracy of the competing
+ * prefetchers, as percentages of demand L2 accesses, in the paper's
+ * five categories — timely, shorter-waiting-time, non-timely,
+ * missing, wrong (wrong can exceed 100%).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace cbws;
+
+int
+main()
+{
+    const std::uint64_t insts = benchInstructionBudget();
+    bench::banner("Figure 13 - prefetch timeliness and accuracy "
+                  "(% of demand L2 accesses)",
+                  "Figure 13", insts);
+
+    auto matrix = bench::fullMatrix(insts);
+
+    TextTable table;
+    table.header({"benchmark", "scheme", "timely", "shorter",
+                  "non-timely", "missing", "wrong"});
+
+    auto emit = [&table](const std::string &name,
+                         const SimResult &r) {
+        table.row({name, r.prefetcher,
+                   bench::pct(r.classFraction(DemandClass::Timely)),
+                   bench::pct(r.classFraction(DemandClass::Shorter)),
+                   bench::pct(
+                       r.classFraction(DemandClass::NonTimely)),
+                   bench::pct(r.classFraction(DemandClass::Missing)),
+                   bench::pct(r.wrongFraction())});
+    };
+
+    for (const auto &row : matrix.rows) {
+        if (!row.memoryIntensive)
+            continue;
+        for (const auto &res : row.byPrefetcher) {
+            if (res.prefetcher == "No-Prefetch")
+                continue;
+            emit(row.workload, res);
+        }
+    }
+
+    // Averages over the MI group and all benchmarks.
+    for (bool mi_only : {true, false}) {
+        for (std::size_t k = 1; k < matrix.kinds.size(); ++k) {
+            auto avg = [&](auto metric) {
+                return matrix.average(
+                    [&](const WorkloadRow &r) {
+                        return metric(r.byPrefetcher[k]);
+                    },
+                    mi_only);
+            };
+            table.row(
+                {mi_only ? "average-MI" : "average-ALL",
+                 toString(matrix.kinds[k]),
+                 bench::pct(avg([](const SimResult &r) {
+                     return r.classFraction(DemandClass::Timely);
+                 })),
+                 bench::pct(avg([](const SimResult &r) {
+                     return r.classFraction(DemandClass::Shorter);
+                 })),
+                 bench::pct(avg([](const SimResult &r) {
+                     return r.classFraction(DemandClass::NonTimely);
+                 })),
+                 bench::pct(avg([](const SimResult &r) {
+                     return r.classFraction(DemandClass::Missing);
+                 })),
+                 bench::pct(avg([](const SimResult &r) {
+                     return r.wrongFraction();
+                 }))});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper: CBWS achieves the best accuracy (wrong ~5%% MI / "
+        "~4%% all); integrating CBWS\ninto SMS raises timely "
+        "accesses (24%%->31%% MI) and roughly halves SMS's wrong\n"
+        "prefetches.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regenerates Fig. 14: performance of the prefetchers as IPC
+ * normalised to the SMS baseline (higher is better), for the
+ * memory-intensive group and the low-MPKI group.
+ *
+ * Headline result: CBWS+SMS outperforms SMS by ~1.31x on the MI
+ * group and ~1.16x over all 30 benchmarks.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace cbws;
+
+namespace
+{
+
+void
+emitGroup(const ExperimentMatrix &matrix, bool mi_group)
+{
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (auto kind : matrix.kinds)
+        header.push_back(toString(kind));
+    table.header(header);
+
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+        const auto &row = matrix.rows[r];
+        if (row.memoryIntensive != mi_group)
+            continue;
+        const double sms =
+            matrix.result(r, PrefetcherKind::Sms).ipc();
+        std::vector<std::string> cells = {row.workload};
+        for (const auto &res : row.byPrefetcher)
+            cells.push_back(TextTable::num(res.ipc() / sms, 2));
+        table.row(cells);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const std::uint64_t insts = benchInstructionBudget();
+    bench::banner("Figure 14 - IPC normalised to SMS (higher is "
+                  "better)",
+                  "Figure 14", insts);
+
+    auto matrix = bench::fullMatrix(insts);
+
+    std::printf("-- memory-intensive group --\n");
+    emitGroup(matrix, true);
+    std::printf("-- low-MPKI group --\n");
+    emitGroup(matrix, false);
+
+    TextTable summary;
+    std::vector<std::string> header = {"geomean"};
+    for (auto kind : matrix.kinds)
+        header.push_back(toString(kind));
+    summary.header(header);
+    for (bool mi_only : {true, false}) {
+        std::vector<std::string> cells = {
+            mi_only ? "MI group" : "all benchmarks"};
+        for (std::size_t k = 0; k < matrix.kinds.size(); ++k) {
+            const double g = bench::geomean(
+                matrix,
+                [&](std::size_t r) {
+                    return matrix.rows[r].byPrefetcher[k].ipc() /
+                           matrix.result(r, PrefetcherKind::Sms)
+                               .ipc();
+                },
+                mi_only);
+            cells.push_back(TextTable::num(g, 2));
+        }
+        summary.row(cells);
+    }
+    std::printf("%s\n", summary.render().c_str());
+
+    const double mi = bench::geomean(
+        matrix,
+        [&](std::size_t r) {
+            return matrix.result(r, PrefetcherKind::CbwsSms).ipc() /
+                   matrix.result(r, PrefetcherKind::Sms).ipc();
+        },
+        true);
+    const double all = bench::geomean(
+        matrix,
+        [&](std::size_t r) {
+            return matrix.result(r, PrefetcherKind::CbwsSms).ipc() /
+                   matrix.result(r, PrefetcherKind::Sms).ipc();
+        },
+        false);
+    std::printf("Headline: CBWS+SMS over SMS = %.2fx (MI; paper "
+                "1.31x), %.2fx (all; paper 1.16x).\n",
+                mi, all);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Prefetcher shootout: run any subset of benchmarks through all
+ * seven configurations and print a compact comparison — a command-
+ * line version of the paper's evaluation loop.
+ *
+ * Usage:
+ *   prefetcher_shootout                 # the 15 MI benchmarks
+ *   prefetcher_shootout nw sgemm-medium # specific benchmarks
+ *   CBWS_BENCH_INSTS=200000 prefetcher_shootout   # bigger runs
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<WorkloadPtr> workloads;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i) {
+            auto w = findWorkload(argv[i]);
+            if (!w) {
+                std::fprintf(stderr, "unknown benchmark '%s'\n",
+                             argv[i]);
+                return 1;
+            }
+            workloads.push_back(std::move(w));
+        }
+    } else {
+        workloads = memoryIntensiveWorkloads();
+    }
+
+    const std::uint64_t insts = benchInstructionBudget(100000);
+    std::printf("running %zu benchmark(s) x 7 prefetchers, "
+                "%llu instructions each...\n\n",
+                workloads.size(),
+                static_cast<unsigned long long>(insts));
+
+    SystemConfig config;
+    auto matrix = runMatrix(workloads, allPrefetcherKinds(), config,
+                            insts);
+
+    TextTable ipc_table;
+    std::vector<std::string> header = {"benchmark (IPC)"};
+    for (auto kind : matrix.kinds)
+        header.push_back(toString(kind));
+    ipc_table.header(header);
+    for (const auto &row : matrix.rows) {
+        std::vector<std::string> cells = {row.workload};
+        for (const auto &res : row.byPrefetcher)
+            cells.push_back(TextTable::num(res.ipc(), 3));
+        ipc_table.row(cells);
+    }
+    std::printf("%s\n", ipc_table.render().c_str());
+
+    TextTable mpki_table;
+    header[0] = "benchmark (MPKI)";
+    mpki_table.header(header);
+    for (const auto &row : matrix.rows) {
+        std::vector<std::string> cells = {row.workload};
+        for (const auto &res : row.byPrefetcher)
+            cells.push_back(TextTable::num(res.mpki(), 2));
+        mpki_table.row(cells);
+    }
+    std::printf("%s\n", mpki_table.render().c_str());
+
+    // Per-benchmark winner summary.
+    std::printf("winners by IPC:\n");
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+        const auto &row = matrix.rows[r];
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < row.byPrefetcher.size(); ++k)
+            if (row.byPrefetcher[k].ipc() >
+                row.byPrefetcher[best].ipc())
+                best = k;
+        std::printf("  %-26s %s\n", row.workload.c_str(),
+                    row.byPrefetcher[best].prefetcher.c_str());
+    }
+    return 0;
+}

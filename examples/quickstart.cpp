@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark under two prefetchers and print
+ * the headline metrics.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [benchmark-name]
+ *
+ * This touches the three core pieces of the public API:
+ *   1. workloads  - findWorkload() synthesises an annotated trace;
+ *   2. sim        - SystemConfig (Table II defaults) + simulate();
+ *   3. metrics    - SimResult (IPC, MPKI, timeliness breakdown).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name =
+        argc > 1 ? argv[1] : "stencil-default";
+    auto workload = findWorkload(name);
+    if (!workload) {
+        std::fprintf(stderr,
+                     "unknown benchmark '%s'; try one of:\n",
+                     name.c_str());
+        for (const auto &w : allWorkloads())
+            std::fprintf(stderr, "  %s\n", w->name().c_str());
+        return 1;
+    }
+
+    // 1. Synthesise the annotated instruction trace.
+    WorkloadParams params;
+    params.maxInstructions = 100000;
+    Trace trace;
+    workload->generate(trace, params);
+    std::printf("benchmark: %s (%s, %s)\n", workload->name().c_str(),
+                workload->suite().c_str(),
+                workload->memoryIntensive() ? "memory-intensive"
+                                            : "low-MPKI");
+    std::printf("trace: %zu records, %zu annotated iterations\n\n",
+                trace.size(),
+                trace.countClass(InstClass::BlockBegin));
+
+    // 2. Simulate under no-prefetch and under CBWS+SMS.
+    for (PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Sms,
+          PrefetcherKind::CbwsSms}) {
+        SystemConfig config; // Table II defaults
+        config.prefetcher = kind;
+        SimResult r = simulate(trace, config,
+                               params.maxInstructions);
+
+        // 3. Report.
+        std::printf("%-12s ipc=%.3f  llc-mpki=%.2f  timely=%s  "
+                    "wrong=%s  dram=%.2f MB\n",
+                    r.prefetcher.c_str(), r.ipc(), r.mpki(),
+                    std::to_string(
+                        int(100 * r.classFraction(
+                                      DemandClass::Timely)))
+                            .append("%")
+                            .c_str(),
+                    std::to_string(int(100 * r.wrongFraction()))
+                        .append("%")
+                        .c_str(),
+                    r.mem.dramBytesRead / 1e6);
+    }
+    std::printf("\nOn loop-dominated benchmarks the CBWS+SMS row "
+                "should show the lowest MPKI and\nhighest IPC — the "
+                "paper's headline claim.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Walkthrough of the paper's motivating example (Section II): the
+ * Parboil 3D stencil.
+ *
+ * Steps through the whole CBWS story on one workload:
+ *   1. show the working sets of consecutive loop iterations and
+ *      their constant differential (Figs. 3-4);
+ *   2. show the skew of the differential distribution (Fig. 5);
+ *   3. compare GHB PC/DC's conservative miss-triggered coverage with
+ *      CBWS's whole-iteration prefetching (the Fig. 3 highlight);
+ *   4. print the end-to-end speedups.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cbws_types.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+int
+main()
+{
+    auto workload = findWorkload("stencil-default");
+    WorkloadParams params;
+    params.maxInstructions = 80000;
+    Trace trace;
+    workload->generate(trace, params);
+
+    // ---- 1. Working sets of consecutive iterations ----
+    std::printf("== CBWS vectors of consecutive stencil iterations "
+                "==\n");
+    std::vector<CbwsVector> cbwss;
+    CbwsVector current;
+    bool in_block = false;
+    for (const auto &rec : trace) {
+        if (rec.cls == InstClass::BlockBegin) {
+            current.clear();
+            in_block = true;
+        } else if (rec.cls == InstClass::BlockEnd && in_block) {
+            cbwss.push_back(current);
+            in_block = false;
+            if (cbwss.size() > 16)
+                break;
+        } else if (in_block && isMemory(rec.cls)) {
+            current.push(static_cast<std::uint32_t>(rec.line()), 16);
+        }
+    }
+    for (std::size_t i = 10; i < 14 && i < cbwss.size(); ++i) {
+        std::printf("  iter %zu: ", i);
+        for (std::size_t j = 0; j < cbwss[i].size(); ++j)
+            std::printf("%7X", cbwss[i][j]);
+        std::printf("\n");
+    }
+    if (cbwss.size() > 13) {
+        const auto d =
+            CbwsDifferential::between(cbwss[13], cbwss[12]);
+        std::printf("  differential: ");
+        for (std::size_t j = 0; j < d.size(); ++j)
+            std::printf("%7d", d[j]);
+        std::printf("\n  -> after the two cached coefficient loads, "
+                    "every stream advances by the same\n     "
+                    "constant stride (the paper's Fig. 4).\n\n");
+    }
+
+    // ---- 2. Differential skew (Fig. 5) ----
+    SystemConfig cbws_cfg;
+    cbws_cfg.prefetcher = PrefetcherKind::Cbws;
+    FrequencyCounter probe;
+    SimProbes probes;
+    probes.differentials = &probe;
+    SimResult cbws_run = simulate(trace, cbws_cfg,
+                                  params.maxInstructions, probes);
+    std::printf("== differential distribution ==\n");
+    std::printf("  %zu iterations produced %zu distinct "
+                "differential vectors;\n",
+                static_cast<std::size_t>(probe.total()),
+                probe.distinct());
+    std::printf("  90%% of iterations are explained by %.1f%% of "
+                "the vectors (Fig. 5 skew).\n\n",
+                100.0 * probe.vectorsFractionForCoverage(0.90));
+
+    // ---- 3 & 4. Prefetcher comparison ----
+    std::printf("== end-to-end comparison ==\n");
+    SimResult base;
+    for (PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::GhbPcDc,
+          PrefetcherKind::Sms, PrefetcherKind::Cbws,
+          PrefetcherKind::CbwsSms}) {
+        SystemConfig config;
+        config.prefetcher = kind;
+        SimResult r = kind == PrefetcherKind::Cbws
+                          ? cbws_run
+                          : simulate(trace, config,
+                                     params.maxInstructions);
+        if (kind == PrefetcherKind::None)
+            base = r;
+        std::printf("  %-12s ipc=%.3f (%.2fx)  mpki=%6.2f  "
+                    "timely=%4.1f%%  wrong=%4.1f%%\n",
+                    r.prefetcher.c_str(), r.ipc(),
+                    r.ipc() / base.ipc(), r.mpki(),
+                    100 * r.classFraction(DemandClass::Timely),
+                    100 * r.wrongFraction());
+    }
+    std::printf("\nGHB PC/DC triggers only on misses with a short "
+                "depth, so it keeps missing inside\nthe loop; CBWS "
+                "prefetches the complete working set of pending "
+                "iterations in\nlock-step and approaches the "
+                "no-miss IPC.\n");
+    return 0;
+}

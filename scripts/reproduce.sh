@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, regenerate every table and
+# figure of the paper plus the extension experiments. Outputs land in
+# results/.
+#
+# Usage:
+#   scripts/reproduce.sh            # default budget (120k insts/run)
+#   CBWS_BENCH_INSTS=300000 scripts/reproduce.sh   # bigger runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/test_output.txt
+
+for bench in build/bench/*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    echo "== $name =="
+    "$bench" 2>&1 | tee "results/$name.txt"
+done
+
+echo
+echo "done — per-experiment outputs are in results/; compare against"
+echo "EXPERIMENTS.md (paper-vs-measured) and the paper's figures."

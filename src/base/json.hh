@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Minimal JSON writer for exporting simulation results: objects,
+ * arrays, strings, integers and doubles, with proper escaping. Write
+ * only — the project never parses JSON.
+ */
+
+#ifndef CBWS_BASE_JSON_HH
+#define CBWS_BASE_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cbws
+{
+
+/**
+ * Streaming JSON writer with explicit begin/end nesting.
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.field("ipc", 1.5);
+ *   w.key("runs");
+ *   w.beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ *   std::string out = w.str();
+ */
+class JsonWriter
+{
+  public:
+    void
+    beginObject()
+    {
+        separator();
+        out_ << '{';
+        stack_.push_back(true);
+        first_ = true;
+    }
+
+    void
+    endObject()
+    {
+        out_ << '}';
+        stack_.pop_back();
+        first_ = false;
+    }
+
+    void
+    beginArray()
+    {
+        separator();
+        out_ << '[';
+        stack_.push_back(false);
+        first_ = true;
+    }
+
+    void
+    endArray()
+    {
+        out_ << ']';
+        stack_.pop_back();
+        first_ = false;
+    }
+
+    /** Emit an object key (must be inside an object). */
+    void
+    key(const std::string &name)
+    {
+        separator();
+        writeString(name);
+        out_ << ':';
+        pendingValue_ = true;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        separator();
+        writeString(v);
+    }
+
+    void
+    value(const char *v)
+    {
+        value(std::string(v));
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        separator();
+        out_ << v;
+    }
+
+    void
+    value(double v)
+    {
+        separator();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out_ << buf;
+    }
+
+    void
+    value(bool v)
+    {
+        separator();
+        out_ << (v ? "true" : "false");
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(const std::string &name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    std::string str() const { return out_.str(); }
+
+    /** True when every begin has been matched by an end. */
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    void
+    separator()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false;
+            return;
+        }
+        if (!first_ && !stack_.empty())
+            out_ << ',';
+        first_ = false;
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        out_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ << "\\\"";
+                break;
+              case '\\':
+                out_ << "\\\\";
+                break;
+              case '\n':
+                out_ << "\\n";
+                break;
+              case '\t':
+                out_ << "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ << buf;
+                } else {
+                    out_ << c;
+                }
+            }
+        }
+        out_ << '"';
+    }
+
+    std::ostringstream out_;
+    std::vector<bool> stack_; ///< true = object, false = array
+    bool first_ = true;
+    bool pendingValue_ = false;
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_JSON_HH

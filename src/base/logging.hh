@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for
+ * diagnostics that do not stop the run.
+ */
+
+#ifndef CBWS_BASE_LOGGING_HH
+#define CBWS_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cbws
+{
+
+/**
+ * Format a printf-style message into a std::string.
+ */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/**
+ * panic(): a condition occurred that indicates a bug in the simulator
+ * itself, regardless of user input. Aborts (may dump core).
+ */
+#define panic(...) \
+    ::cbws::panicImpl(__FILE__, __LINE__, ::cbws::vformat(__VA_ARGS__))
+
+/**
+ * fatal(): the simulation cannot continue because of a user error (bad
+ * configuration, invalid arguments). Exits with status 1.
+ */
+#define fatal(...) \
+    ::cbws::fatalImpl(__FILE__, __LINE__, ::cbws::vformat(__VA_ARGS__))
+
+/** panic() when @p cond does not hold. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() when @p cond does not hold. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define warn(...) ::cbws::warnImpl(::cbws::vformat(__VA_ARGS__))
+
+/** Informational status message to stdout. */
+#define inform(...) ::cbws::informImpl(::cbws::vformat(__VA_ARGS__))
+
+} // namespace cbws
+
+#endif // CBWS_BASE_LOGGING_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lightweight statistics containers used across the simulator: running
+ * scalar summaries and bucketed histograms, plus a frequency counter
+ * used to reproduce the differential-vector skew analysis (Fig. 5).
+ */
+
+#ifndef CBWS_BASE_STATS_HH
+#define CBWS_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace cbws
+{
+
+/**
+ * Running mean / min / max / count summary of a stream of samples.
+ */
+class RunningStat
+{
+  public:
+    void
+    sample(double value)
+    {
+        ++count_;
+        sum_ += value;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        *this = RunningStat();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width bucketed histogram over [0, buckets*bucketWidth), with
+ * overflow samples accumulated in the last bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t buckets, double bucket_width)
+        : counts_(buckets, 0), bucketWidth_(bucket_width)
+    {
+    }
+
+    void
+    sample(double value, std::uint64_t weight = 1)
+    {
+        std::size_t idx = value <= 0.0
+            ? 0
+            : static_cast<std::size_t>(value / bucketWidth_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        counts_[idx] += weight;
+        total_ += weight;
+    }
+
+    std::uint64_t bucket(std::size_t idx) const { return counts_.at(idx); }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of all samples at or below bucket @p idx. */
+    double
+    cdfAt(std::size_t idx) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i <= idx && i < counts_.size(); ++i)
+            acc += counts_[i];
+        return static_cast<double>(acc) / static_cast<double>(total_);
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    double bucketWidth_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Frequency counter over an arbitrary integral key space.
+ *
+ * Reproduces the Fig. 5 analysis: given per-key occurrence counts, the
+ * coverage CDF reports which fraction of all samples is explained by
+ * the most frequent X% of distinct keys.
+ */
+class FrequencyCounter
+{
+  public:
+    void
+    sample(std::uint64_t key, std::uint64_t weight = 1)
+    {
+        counts_[key] += weight;
+        total_ += weight;
+    }
+
+    std::size_t distinct() const { return counts_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * Coverage curve: element i is the fraction of all samples covered
+     * by the (i+1) most frequent keys, sorted descending by frequency.
+     */
+    std::vector<double>
+    coverageCurve() const
+    {
+        std::vector<std::uint64_t> freqs;
+        freqs.reserve(counts_.size());
+        for (const auto &kv : counts_)
+            freqs.push_back(kv.second);
+        std::sort(freqs.begin(), freqs.end(),
+                  std::greater<std::uint64_t>());
+        std::vector<double> curve;
+        curve.reserve(freqs.size());
+        std::uint64_t acc = 0;
+        for (std::uint64_t f : freqs) {
+            acc += f;
+            curve.push_back(total_ == 0
+                            ? 0.0
+                            : static_cast<double>(acc) /
+                              static_cast<double>(total_));
+        }
+        return curve;
+    }
+
+    /**
+     * Fraction of distinct keys needed to cover at least @p fraction of
+     * all samples (the "5% of vectors explain 90% of iterations" stat).
+     */
+    double
+    vectorsFractionForCoverage(double fraction) const
+    {
+        const auto curve = coverageCurve();
+        if (curve.empty())
+            return 0.0;
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            if (curve[i] >= fraction) {
+                return static_cast<double>(i + 1) /
+                       static_cast<double>(curve.size());
+            }
+        }
+        return 1.0;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_STATS_HH

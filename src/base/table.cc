@@ -1,0 +1,67 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cbws
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over the header and every row.
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    absorb(header_);
+    for (const auto &r : rows_)
+        absorb(r);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size()) {
+                out << std::string(widths[i] - cells[i].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+} // namespace cbws

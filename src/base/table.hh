@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harnesses to print
+ * paper-style tables and figure data series.
+ */
+
+#ifndef CBWS_BASE_TABLE_HH
+#define CBWS_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cbws
+{
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the table; every column is padded to its widest cell. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_TABLE_HH

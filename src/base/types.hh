@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fundamental scalar types and address arithmetic helpers shared by every
+ * module in the CBWS simulator.
+ *
+ * Addresses are byte-granular 64-bit virtual addresses; the cache
+ * hierarchy operates on 64-byte line addresses (Addr >> LineShift),
+ * matching Table II of the paper.
+ */
+
+#ifndef CBWS_BASE_TYPES_HH
+#define CBWS_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace cbws
+{
+
+/** Byte-granular virtual address. */
+using Addr = std::uint64_t;
+
+/** Cache-line-granular address (Addr >> LineShift). */
+using LineAddr = std::uint64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Architectural register index (0..NumArchRegs-1). */
+using RegIndex = std::uint8_t;
+
+/** Static identifier of an annotated code block (loop body). */
+using BlockId = std::uint16_t;
+
+/** log2 of the cache line size: 64-byte lines throughout (Table II). */
+constexpr unsigned LineShift = 6;
+
+/** Cache line size in bytes. */
+constexpr unsigned LineBytes = 1u << LineShift;
+
+/** Number of architectural registers modelled by the OoO core. */
+constexpr unsigned NumArchRegs = 64;
+
+/** Register index used to mean "no register operand". */
+constexpr RegIndex InvalidReg = 0xff;
+
+/** Convert a byte address to its cache line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> LineShift;
+}
+
+/** Convert a cache line address back to the byte address of its base. */
+constexpr Addr
+lineBase(LineAddr line)
+{
+    return line << LineShift;
+}
+
+/** Offset of a byte address within its cache line. */
+constexpr unsigned
+lineOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (LineBytes - 1));
+}
+
+/** True when @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; undefined for zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace cbws
+
+#endif // CBWS_BASE_TYPES_HH

@@ -1,0 +1,89 @@
+#include "core/multi_context.hh"
+
+namespace cbws
+{
+
+CbwsMultiContextPrefetcher::CbwsMultiContextPrefetcher(
+    const CbwsMultiContextParams &params)
+    : params_(params)
+{
+}
+
+CbwsPrefetcher &
+CbwsMultiContextPrefetcher::contextFor(BlockId id)
+{
+    auto it = contexts_.find(id);
+    if (it != contexts_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return *it->second.unit;
+    }
+    if (contexts_.size() >= params_.numContexts) {
+        const BlockId victim = lru_.back();
+        if (active_ == contexts_.at(victim).unit.get())
+            active_ = nullptr;
+        contexts_.erase(victim);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.push_front(id);
+    Context ctx;
+    // Stagger the per-context random-eviction seeds.
+    CbwsParams unit_params = params_.context;
+    unit_params.tableSeed = params_.context.tableSeed + id;
+    ctx.unit = std::make_unique<CbwsPrefetcher>(unit_params);
+    ctx.lruIt = lru_.begin();
+    auto [pos, inserted] = contexts_.emplace(id, std::move(ctx));
+    (void)inserted;
+    return *pos->second.unit;
+}
+
+void
+CbwsMultiContextPrefetcher::observeCommit(const PrefetchContext &ctx,
+                                          PrefetchSink &sink)
+{
+    if (active_)
+        active_->observeCommit(ctx, sink);
+}
+
+void
+CbwsMultiContextPrefetcher::blockBegin(BlockId id, PrefetchSink &sink)
+{
+    active_ = &contextFor(id);
+    active_->blockBegin(id, sink);
+}
+
+void
+CbwsMultiContextPrefetcher::blockEnd(BlockId id, PrefetchSink &sink)
+{
+    auto it = contexts_.find(id);
+    if (it != contexts_.end())
+        it->second.unit->blockEnd(id, sink);
+    active_ = nullptr;
+}
+
+std::uint64_t
+CbwsMultiContextPrefetcher::storageBits() const
+{
+    const CbwsPrefetcher unit(params_.context);
+    // Per-context state plus a small block-id tag per context.
+    return params_.numContexts * (unit.storageBits() + 16);
+}
+
+CbwsSchemeStats
+CbwsMultiContextPrefetcher::aggregateStats() const
+{
+    CbwsSchemeStats total;
+    for (const auto &[id, ctx] : contexts_) {
+        const auto &s = ctx.unit->schemeStats();
+        total.blocksCompleted += s.blocksCompleted;
+        total.blocksTruncated += s.blocksTruncated;
+        total.tableHits += s.tableHits;
+        total.tableMisses += s.tableMisses;
+        total.linesPredicted += s.linesPredicted;
+        total.accessesTracked += s.accessesTracked;
+        total.accessesOutsideBlock += s.accessesOutsideBlock;
+    }
+    return total;
+}
+
+} // namespace cbws

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-context CBWS — an extension beyond the paper.
+ *
+ * The paper's hardware holds a *single* block context: on every
+ * BLOCK_BEGIN with a new static identifier, the last-CBWS buffers and
+ * history registers are cleared (Fig. 9), so two tight loops whose
+ * iterations interleave (ping-pong phases, fused kernels, inner loops
+ * alternating under a short outer loop) continually destroy each
+ * other's history.
+ *
+ * This extension replicates the per-block tracking state across a
+ * small number of contexts managed by block id with LRU replacement.
+ * Each context is a complete CBWS unit (the differential history
+ * table is also per-context, which is conservative: a shared table
+ * would be smaller but reintroduce cross-block tag interference).
+ * Storage scales linearly; with the paper's <1 KB unit, a 4-context
+ * version still costs less than the SMS baseline.
+ */
+
+#ifndef CBWS_CORE_MULTI_CONTEXT_HH
+#define CBWS_CORE_MULTI_CONTEXT_HH
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/cbws_prefetcher.hh"
+
+namespace cbws
+{
+
+/** Configuration: the per-context geometry plus the context count. */
+struct CbwsMultiContextParams
+{
+    CbwsParams context;
+    unsigned numContexts = 4;
+};
+
+/**
+ * CBWS with one tracking context per recently-seen static block.
+ */
+class CbwsMultiContextPrefetcher : public Prefetcher
+{
+  public:
+    explicit CbwsMultiContextPrefetcher(
+        const CbwsMultiContextParams &params =
+            CbwsMultiContextParams());
+
+    void observeCommit(const PrefetchContext &ctx,
+                       PrefetchSink &sink) override;
+    void blockBegin(BlockId id, PrefetchSink &sink) override;
+    void blockEnd(BlockId id, PrefetchSink &sink) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "CBWS-MC"; }
+
+    /** Number of live contexts (<= numContexts). */
+    std::size_t activeContexts() const { return contexts_.size(); }
+
+    /** Contexts evicted due to capacity. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Aggregated scheme statistics over all live contexts. */
+    CbwsSchemeStats aggregateStats() const;
+
+  private:
+    struct Context
+    {
+        std::unique_ptr<CbwsPrefetcher> unit;
+        std::list<BlockId>::iterator lruIt;
+    };
+
+    /** Find or create (evicting LRU) the context for @p id. */
+    CbwsPrefetcher &contextFor(BlockId id);
+
+    CbwsMultiContextParams params_;
+    std::unordered_map<BlockId, Context> contexts_;
+    std::list<BlockId> lru_; ///< front = most recent
+    CbwsPrefetcher *active_ = nullptr;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_CORE_MULTI_CONTEXT_HH

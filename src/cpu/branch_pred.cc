@@ -1,0 +1,97 @@
+#include "cpu/branch_pred.hh"
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+TournamentBP::TournamentBP(const BranchPredParams &params)
+    : params_(params)
+{
+    fatal_if(!isPowerOf2(params_.globalEntries) ||
+             !isPowerOf2(params_.localHistEntries) ||
+             !isPowerOf2(params_.localCtrEntries) ||
+             !isPowerOf2(params_.choiceEntries) ||
+             !isPowerOf2(params_.btbEntries),
+             "branch predictor table sizes must be powers of two");
+    historyMask_ = (1u << params_.historyBits) - 1;
+    localHist_.assign(params_.localHistEntries, 0);
+    // Counters start weakly taken: loop-closing branches converge fast.
+    localCtrs_.assign(params_.localCtrEntries, 2);
+    globalCtrs_.assign(params_.globalEntries, 2);
+    choiceCtrs_.assign(params_.choiceEntries, 1);
+    btb_.assign(params_.btbEntries, BtbEntry{});
+}
+
+void
+TournamentBP::updateCounter(std::uint8_t &ctr, bool taken)
+{
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+TournamentBP::Result
+TournamentBP::predictAndTrain(Addr pc, bool taken, Addr target)
+{
+    ++lookups_;
+
+    const std::uint32_t pc_idx = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t local_hist_idx =
+        pc_idx & (params_.localHistEntries - 1);
+    const std::uint32_t local_hist =
+        localHist_[local_hist_idx] & historyMask_;
+    const std::uint32_t local_idx =
+        local_hist & (params_.localCtrEntries - 1);
+    const std::uint32_t global_idx =
+        globalHistory_ & (params_.globalEntries - 1);
+    const std::uint32_t choice_idx =
+        globalHistory_ & (params_.choiceEntries - 1);
+
+    const bool local_pred = localCtrs_[local_idx] >= 2;
+    const bool global_pred = globalCtrs_[global_idx] >= 2;
+    const bool use_global = choiceCtrs_[choice_idx] >= 2;
+    const bool pred_taken = use_global ? global_pred : local_pred;
+
+    Result result;
+    result.predTaken = pred_taken;
+    result.dirMispredict = pred_taken != taken;
+
+    // BTB: a correctly-predicted-taken branch still redirects wrongly
+    // when the BTB has no (or a stale) target.
+    const std::uint32_t btb_idx = pc_idx & (params_.btbEntries - 1);
+    const std::uint16_t btb_tag = static_cast<std::uint16_t>(
+        (pc >> 2) >> floorLog2(params_.btbEntries));
+    BtbEntry &be = btb_[btb_idx];
+    if (taken) {
+        const bool btb_hit =
+            be.valid && be.tag == btb_tag && be.target == target;
+        if (pred_taken && !btb_hit)
+            result.targetMispredict = true;
+        be.valid = true;
+        be.tag = btb_tag;
+        be.target = target;
+    }
+
+    // Train: chooser learns which side was right; both components
+    // always train on the outcome.
+    if (local_pred != global_pred)
+        updateCounter(choiceCtrs_[choice_idx], global_pred == taken);
+    updateCounter(localCtrs_[local_idx], taken);
+    updateCounter(globalCtrs_[global_idx], taken);
+
+    localHist_[local_hist_idx] =
+        ((local_hist << 1) | (taken ? 1 : 0)) & historyMask_;
+    globalHistory_ =
+        ((globalHistory_ << 1) | (taken ? 1 : 0)) & historyMask_;
+
+    if (result.mispredict())
+        ++mispredicts_;
+    return result;
+}
+
+} // namespace cbws

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tournament branch predictor (local + global + chooser) with a BTB,
+ * configured per Table II: 4K predictor entries, 16-bit BTB tags,
+ * 11-bit histories.
+ */
+
+#ifndef CBWS_CPU_BRANCH_PRED_HH
+#define CBWS_CPU_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/** Configuration of the tournament predictor. */
+struct BranchPredParams
+{
+    unsigned historyBits = 11;   ///< global/local history length
+    unsigned globalEntries = 4096;
+    unsigned localHistEntries = 1024;
+    unsigned localCtrEntries = 2048;
+    unsigned choiceEntries = 4096;
+    unsigned btbEntries = 4096;
+    unsigned btbTagBits = 16;
+};
+
+/**
+ * Tournament predictor in the Alpha 21264 style: a per-branch local
+ * history predictor and a global-history predictor arbitrated by a
+ * chooser, plus a direct-mapped tagged BTB for targets.
+ */
+class TournamentBP
+{
+  public:
+    explicit TournamentBP(const BranchPredParams &params =
+                          BranchPredParams());
+
+    /** Outcome of one prediction against the trace's ground truth. */
+    struct Result
+    {
+        bool predTaken = false;
+        bool dirMispredict = false;   ///< direction was wrong
+        bool targetMispredict = false;///< taken, but BTB missed/stale
+        bool mispredict() const
+        {
+            return dirMispredict || targetMispredict;
+        }
+    };
+
+    /**
+     * Predict branch at @p pc, then train with the actual
+     * (@p taken, @p target) from the trace.
+     */
+    Result predictAndTrain(Addr pc, bool taken, Addr target);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    static void updateCounter(std::uint8_t &ctr, bool taken);
+
+    BranchPredParams params_;
+    std::uint32_t globalHistory_ = 0;
+    std::uint32_t historyMask_;
+    std::vector<std::uint32_t> localHist_;
+    std::vector<std::uint8_t> localCtrs_;
+    std::vector<std::uint8_t> globalCtrs_;
+    std::vector<std::uint8_t> choiceCtrs_;
+
+    struct BtbEntry
+    {
+        std::uint16_t tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_CPU_BRANCH_PRED_HH

@@ -1,0 +1,383 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+constexpr Cycle Never = ~Cycle(0);
+
+/** Execution latency of a non-memory instruction class. */
+Cycle
+execLatency(const CoreParams &p, InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntMul:
+        return p.intMulLatency;
+      case InstClass::FpAlu:
+        return p.fpLatency;
+      default:
+        return p.intAluLatency;
+    }
+}
+
+} // anonymous namespace
+
+OooCore::OooCore(const CoreParams &params, Hierarchy &mem)
+    : params_(params), mem_(mem), bp_(params.branchPred)
+{
+}
+
+CoreStats
+OooCore::run(const Trace &trace, std::uint64_t max_insts,
+             const CommitHook &on_commit, const AccessHook &on_access,
+             std::uint64_t warmup_insts,
+             const std::function<void()> &on_warmup)
+{
+    CoreStats stats;
+    CoreStats warm_snapshot;
+    bool warmed = warmup_insts == 0;
+
+    // ROB as a ring buffer so entry offsets stay stable across pops.
+    std::vector<RobEntry> rob(params_.robSize);
+    std::size_t rob_head = 0;
+    std::size_t rob_count = 0;
+    auto rob_at = [&](std::size_t offset) -> RobEntry & {
+        return rob[(rob_head + offset) % params_.robSize];
+    };
+
+    std::deque<RobEntry> fetch_queue;
+
+    // Register renaming: the sequence number of the latest dispatched
+    // producer of each architectural register. A consumer captures its
+    // producers at dispatch and waits only on them — register reuse
+    // (WAR/WAW) never stalls.
+    constexpr std::uint64_t NoProducer = ~std::uint64_t(0);
+    std::uint64_t reg_producer[NumArchRegs];
+    for (auto &p : reg_producer)
+        p = NoProducer;
+    std::uint64_t head_seq = 0; // sequence number of rob_at(0)
+
+    auto producer_ready = [&](std::uint64_t seq, Cycle now) {
+        if (seq == NoProducer || seq < head_seq)
+            return true; // architectural, or producer already committed
+        const RobEntry &p = rob[(rob_head + (seq - head_seq)) %
+                                params_.robSize];
+        return p.issued && p.readyAt <= now;
+    };
+
+    std::size_t trace_idx = 0;
+    Cycle now = 0;
+    Cycle fetch_allowed_at = 0;
+    LineAddr last_fetch_line = ~LineAddr(0);
+    unsigned ldq_count = 0;
+    unsigned stq_count = 0;
+    bool fetch_in_block = false;
+    bool last_committed_in_block = false;
+    // First offset in the ROB that may hold an unissued entry; issue
+    // never needs to look before it.
+    std::size_t first_unissued = 0;
+
+    const Cycle cycle_limit = max_insts * 300 + 100000;
+
+    while (true) {
+        mem_.tick(now);
+
+        // ---- Commit (in order, up to width) ----
+        unsigned committed = 0;
+        while (rob_count > 0 && committed < params_.width &&
+               stats.instructions < max_insts) {
+            RobEntry &head = rob_at(0);
+            if (!head.issued || head.readyAt > now)
+                break;
+            if (head.rec.cls == InstClass::Store) {
+                // Stores write the memory system at commit, in program
+                // order; they never stall the core.
+                head.mem = mem_.store(head.rec.effAddr, now);
+                if (on_access)
+                    on_access(head.rec, head.mem);
+                --stq_count;
+                ++stats.memInstructions;
+            } else if (head.rec.cls == InstClass::Load) {
+                --ldq_count;
+                ++stats.memInstructions;
+            } else if (head.rec.cls == InstClass::Branch) {
+                ++stats.branches;
+                if (head.mispredicted)
+                    ++stats.branchMispredicts;
+            }
+            if (on_commit)
+                on_commit(head.rec, head.mem);
+            last_committed_in_block = head.inBlock;
+            rob_head = (rob_head + 1) % params_.robSize;
+            --rob_count;
+            ++head_seq;
+            if (first_unissued > 0)
+                --first_unissued;
+            ++stats.instructions;
+            ++committed;
+            if (!warmed && stats.instructions >= warmup_insts) {
+                warmed = true;
+                warm_snapshot = stats;
+                warm_snapshot.cycles = now;
+                if (on_warmup)
+                    on_warmup();
+            }
+        }
+
+        if (stats.instructions >= max_insts)
+            break;
+        if (trace_idx >= trace.size() && rob_count == 0 &&
+            fetch_queue.empty()) {
+            break;
+        }
+
+        // ---- Issue / execute ----
+        unsigned fu_used = 0;
+        unsigned mem_ports_used = 0;
+        bool mem_retry_pending = false;
+        while (first_unissued < rob_count &&
+               rob_at(first_unissued).issued) {
+            ++first_unissued;
+        }
+        const std::size_t scan_end = std::min<std::size_t>(
+            rob_count, first_unissued + params_.issueWindow);
+        for (std::size_t i = first_unissued;
+             i < scan_end && fu_used < params_.numFUs; ++i) {
+            RobEntry &e = rob_at(i);
+            if (e.issued)
+                continue;
+            if (!producer_ready(e.src1Seq, now) ||
+                !producer_ready(e.src2Seq, now)) {
+                continue;
+            }
+
+            if (e.rec.cls == InstClass::Load) {
+                if (mem_ports_used >= params_.memPortsPerCycle)
+                    continue;
+                // Store-to-load forwarding: an older, uncommitted
+                // store to the same line supplies the data.
+                bool forwarded = false;
+                bool wait_for_store = false;
+                const LineAddr line = e.rec.line();
+                for (std::size_t j = i; j-- > 0;) {
+                    const RobEntry &older = rob_at(j);
+                    if (older.rec.cls != InstClass::Store ||
+                        older.rec.line() != line) {
+                        continue;
+                    }
+                    if (!older.issued) {
+                        wait_for_store = true;
+                    } else {
+                        forwarded = true;
+                        e.readyAt = std::max(now, older.readyAt) + 1;
+                    }
+                    break;
+                }
+                if (wait_for_store)
+                    continue;
+                if (forwarded) {
+                    e.mem.ok = true;
+                    e.mem.l1Hit = true;
+                    e.mem.readyAt = e.readyAt;
+                } else {
+                    AccessOutcome out = mem_.load(e.rec.effAddr, now);
+                    if (!out.ok) {
+                        mem_retry_pending = true;
+                        continue; // MSHR back-pressure: retry
+                    }
+                    e.mem = out;
+                    e.readyAt = out.readyAt;
+                    if (on_access)
+                        on_access(e.rec, out);
+                }
+                ++mem_ports_used;
+            } else if (e.rec.cls == InstClass::Store) {
+                // Address/data become ready; the write happens at
+                // commit.
+                e.readyAt = now + 1;
+            } else if (e.rec.cls == InstClass::Branch) {
+                e.readyAt = now + 1;
+                if (e.mispredicted) {
+                    fetch_allowed_at =
+                        e.readyAt + params_.mispredictPenalty;
+                }
+            } else {
+                e.readyAt = now + execLatency(params_, e.rec.cls);
+            }
+            e.issued = true;
+            ++fu_used;
+        }
+
+        // ---- Dispatch (fetch queue -> ROB) ----
+        unsigned dispatched = 0;
+        while (!fetch_queue.empty() && dispatched < params_.width) {
+            if (rob_count >= params_.robSize) {
+                ++stats.robFullStalls;
+                break;
+            }
+            RobEntry &fe = fetch_queue.front();
+            if (fe.rec.cls == InstClass::Load) {
+                if (ldq_count >= params_.ldqSize) {
+                    ++stats.lsqFullStalls;
+                    break;
+                }
+                ++ldq_count;
+            } else if (fe.rec.cls == InstClass::Store) {
+                if (stq_count >= params_.stqSize) {
+                    ++stats.lsqFullStalls;
+                    break;
+                }
+                ++stq_count;
+            }
+            RobEntry &slot = rob[(rob_head + rob_count) %
+                                 params_.robSize];
+            slot = fe;
+            // Rename: capture in-flight producers, then claim the
+            // destination register.
+            slot.src1Seq = slot.rec.src1 != InvalidReg
+                               ? reg_producer[slot.rec.src1]
+                               : NoProducer;
+            slot.src2Seq = slot.rec.src2 != InvalidReg
+                               ? reg_producer[slot.rec.src2]
+                               : NoProducer;
+            if (slot.rec.dest != InvalidReg)
+                reg_producer[slot.rec.dest] = head_seq + rob_count;
+            if (isBlockMarker(slot.rec.cls) ||
+                slot.rec.cls == InstClass::Nop) {
+                // Markers are architectural no-ops: complete
+                // immediately without consuming a functional unit.
+                slot.issued = true;
+                slot.readyAt = now;
+            }
+            ++rob_count;
+            fetch_queue.pop_front();
+            ++dispatched;
+        }
+
+        // ---- Fetch ----
+        unsigned fetched = 0;
+        while (fetched < params_.width &&
+               fetch_queue.size() < params_.fetchQueueSize &&
+               trace_idx < trace.size() && now >= fetch_allowed_at) {
+            const TraceRecord &rec = trace[trace_idx];
+            const LineAddr fetch_line = lineOf(rec.pc);
+            if (fetch_line != last_fetch_line) {
+                AccessOutcome out = mem_.fetch(rec.pc, now);
+                if (!out.ok)
+                    break;
+                last_fetch_line = fetch_line;
+                if (!out.l1Hit) {
+                    // I-cache miss: this group still enters the
+                    // pipeline, but fetch stalls until the fill.
+                    fetch_allowed_at = out.readyAt;
+                }
+            }
+
+            RobEntry e;
+            e.rec = rec;
+            if (rec.cls == InstClass::BlockBegin)
+                fetch_in_block = true;
+            e.inBlock = fetch_in_block ||
+                        rec.cls == InstClass::BlockEnd;
+            if (rec.cls == InstClass::BlockEnd)
+                fetch_in_block = false;
+
+            ++trace_idx;
+            ++fetched;
+            if (rec.cls == InstClass::Branch) {
+                auto result = bp_.predictAndTrain(rec.pc, rec.taken,
+                                                  rec.effAddr);
+                e.mispredicted = result.mispredict();
+                fetch_queue.push_back(e);
+                if (e.mispredicted) {
+                    // Fetch resumes once the branch executes (set at
+                    // issue time).
+                    fetch_allowed_at = Never;
+                    break;
+                }
+                if (rec.taken) {
+                    // Taken branch ends the fetch group and redirects
+                    // the fetch line.
+                    last_fetch_line = ~LineAddr(0);
+                    break;
+                }
+            } else {
+                fetch_queue.push_back(e);
+            }
+        }
+
+        // ---- Cycle accounting ----
+        bool cycle_in_block;
+        if (rob_count > 0)
+            cycle_in_block = rob_at(0).inBlock;
+        else if (!fetch_queue.empty())
+            cycle_in_block = fetch_queue.front().inBlock;
+        else
+            cycle_in_block = last_committed_in_block;
+        if (cycle_in_block)
+            ++stats.loopCycles;
+
+        // ---- Idle fast-forward ----
+        // When nothing moved this cycle, the earliest state change is
+        // either an execution completing, a memory fill draining, or
+        // the post-mispredict fetch restart. Jump there instead of
+        // spinning (pure simulation speed; architecturally invisible
+        // because no pipeline stage had work to do in between).
+        // (A failed memory retry does not inhibit the skip: the retry
+        // can only succeed once an MSHR drains, and nextEventCycle()
+        // includes exactly those fills.)
+        (void)mem_retry_pending;
+        if (committed == 0 && fu_used == 0 && dispatched == 0 &&
+            fetched == 0 && !mem_.prefetchWorkPending()) {
+            Cycle next_event = mem_.nextEventCycle();
+            for (std::size_t i = 0; i < rob_count; ++i) {
+                const RobEntry &e = rob_at(i);
+                if (e.issued && e.readyAt > now &&
+                    e.readyAt < next_event) {
+                    next_event = e.readyAt;
+                }
+            }
+            if (fetch_allowed_at != Never && fetch_allowed_at > now &&
+                fetch_allowed_at < next_event) {
+                next_event = fetch_allowed_at;
+            }
+            if (next_event != Never && next_event > now + 1) {
+                const Cycle skipped = next_event - now - 1;
+                if (cycle_in_block)
+                    stats.loopCycles += skipped;
+                now += skipped;
+            }
+        }
+
+        ++now;
+        if (now > cycle_limit) {
+            warn("core: cycle limit reached (%llu cycles, %llu insts); "
+                 "possible livelock",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(stats.instructions));
+            break;
+        }
+    }
+
+    stats.cycles = now;
+    if (warmup_insts > 0 && warmed) {
+        stats.cycles -= warm_snapshot.cycles;
+        stats.instructions -= warm_snapshot.instructions;
+        stats.memInstructions -= warm_snapshot.memInstructions;
+        stats.branches -= warm_snapshot.branches;
+        stats.branchMispredicts -= warm_snapshot.branchMispredicts;
+        stats.loopCycles -= warm_snapshot.loopCycles;
+        stats.robFullStalls -= warm_snapshot.robFullStalls;
+        stats.lsqFullStalls -= warm_snapshot.lsqFullStalls;
+    }
+    return stats;
+}
+
+} // namespace cbws

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model.
+ *
+ * The core consumes a TraceRecord stream and models a 4-wide OoO
+ * pipeline per Table II: 128-entry ROB, 32/32 LDQ/STQ, 6 functional
+ * units, a tournament branch predictor, and fetch through the L1I.
+ * Scheduling is dependency-driven: each architectural register carries
+ * the cycle its value becomes available (ready-cycle scoreboard, which
+ * is equivalent to perfect renaming — WAR/WAW hazards do not stall).
+ *
+ * Traces contain only correct-path instructions, so branch
+ * mispredictions are modelled as fetch stalls: fetch is suspended from
+ * the mispredicted branch until it executes, plus a fixed redirect
+ * penalty — the standard trace-driven approximation.
+ *
+ * Memory instructions observe the hierarchy at execute (issue) time;
+ * *committed* memory operations are handed to the prefetcher in
+ * program order, exactly as the paper requires ("the prefetcher
+ * obtains the address sequence from the in-order commit stage").
+ */
+
+#ifndef CBWS_CPU_CORE_HH
+#define CBWS_CPU_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/branch_pred.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace cbws
+{
+
+/** Core configuration (Table II defaults). */
+struct CoreParams
+{
+    unsigned width = 4;          ///< fetch/dispatch/issue/commit width
+    unsigned robSize = 128;
+    unsigned ldqSize = 32;
+    unsigned stqSize = 32;
+    unsigned numFUs = 6;
+    unsigned memPortsPerCycle = 2;
+    unsigned fetchQueueSize = 16;
+    unsigned issueWindow = 48;   ///< how deep issue scans into the ROB
+    Cycle mispredictPenalty = 10;///< redirect cycles after resolution
+    Cycle intAluLatency = 1;
+    Cycle intMulLatency = 4;
+    Cycle fpLatency = 3;
+    BranchPredParams branchPred;
+};
+
+/** Statistics reported by one core run. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0; ///< committed (markers included)
+    std::uint64_t memInstructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t loopCycles = 0;   ///< cycles attributed to annotated
+                                    ///< blocks (drives Fig. 1)
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t lsqFullStalls = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double loopFraction() const
+    {
+        return cycles ? static_cast<double>(loopCycles) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * The out-of-order core.
+ */
+class OooCore
+{
+  public:
+    /**
+     * Observer invoked for every committed instruction, in program
+     * order. Memory records carry the execute-time access outcome
+     * (for L1-hit/miss-filtered prefetcher training).
+     */
+    using CommitHook =
+        std::function<void(const TraceRecord &, const AccessOutcome &)>;
+
+    /**
+     * Observer invoked when a memory operation accesses the cache:
+     * loads at execute (possibly out of program order), stores at
+     * commit. Forwarded loads never reach the cache and are not
+     * reported. This is where cache-attached prefetchers train.
+     */
+    using AccessHook = CommitHook;
+
+    OooCore(const CoreParams &params, Hierarchy &mem);
+
+    /**
+     * Simulate @p trace until @p max_insts instructions commit or the
+     * trace is exhausted.
+     *
+     * @param warmup_insts statistics are discarded for the first this
+     *        many committed instructions (cache/predictor state is
+     *        kept warm); @p on_warmup fires once at the boundary so
+     *        the caller can reset external stats (e.g., the
+     *        hierarchy's).
+     */
+    CoreStats run(const Trace &trace, std::uint64_t max_insts,
+                  const CommitHook &on_commit = nullptr,
+                  const AccessHook &on_access = nullptr,
+                  std::uint64_t warmup_insts = 0,
+                  const std::function<void()> &on_warmup = nullptr);
+
+    const TournamentBP &branchPredictor() const { return bp_; }
+
+  private:
+    struct RobEntry
+    {
+        TraceRecord rec;
+        AccessOutcome mem;
+        Cycle readyAt = 0;
+        /** Sequence numbers of the in-flight producers of the two
+         *  source operands (NoProducer when the value is already
+         *  architectural). Captured at dispatch — this is register
+         *  renaming, so WAR/WAW reuse of an architectural register
+         *  never stalls. */
+        std::uint64_t src1Seq = ~std::uint64_t(0);
+        std::uint64_t src2Seq = ~std::uint64_t(0);
+        bool issued = false;
+        bool done = false;
+        bool mispredicted = false;
+        bool inBlock = false; ///< fetched inside an annotated block
+    };
+
+    CoreParams params_;
+    Hierarchy &mem_;
+    TournamentBP bp_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_CPU_CORE_HH

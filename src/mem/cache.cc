@@ -1,0 +1,156 @@
+#include "mem/cache.hh"
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+Cache::Cache(const CacheParams &params, std::uint64_t repl_seed)
+    : params_(params), replRng_(repl_seed)
+{
+    const std::uint64_t num_sets = params_.numSets();
+    fatal_if(num_sets == 0 || !isPowerOf2(num_sets),
+             "%s: number of sets (%llu) must be a non-zero power of 2",
+             params_.name.c_str(),
+             static_cast<unsigned long long>(num_sets));
+    sets_.assign(num_sets, Set(params_.assoc));
+    setMask_ = num_sets - 1;
+}
+
+Cache::Set &
+Cache::setFor(LineAddr line)
+{
+    return sets_[line & setMask_];
+}
+
+const Cache::Set &
+Cache::setFor(LineAddr line) const
+{
+    return sets_[line & setMask_];
+}
+
+Cache::Way *
+Cache::findWay(LineAddr line)
+{
+    for (auto &way : setFor(line))
+        if (way.valid && way.line == line)
+            return &way;
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(LineAddr line) const
+{
+    for (const auto &way : setFor(line))
+        if (way.valid && way.line == line)
+            return &way;
+    return nullptr;
+}
+
+bool
+Cache::access(LineAddr line, Cycle now, bool is_write)
+{
+    Way *way = findWay(line);
+    if (!way)
+        return false;
+    way->lastTouch = now;
+    way->usedAfterPrefetch = true;
+    if (is_write)
+        way->dirty = true;
+    return true;
+}
+
+bool
+Cache::contains(LineAddr line) const
+{
+    return findWay(line) != nullptr;
+}
+
+bool
+Cache::isUnusedPrefetch(LineAddr line) const
+{
+    const Way *way = findWay(line);
+    return way && way->prefetched && !way->usedAfterPrefetch;
+}
+
+Cache::Victim
+Cache::insert(LineAddr line, Cycle now, bool prefetched)
+{
+    Set &set = setFor(line);
+
+    // Refill of a line that is somehow already present: refresh it.
+    if (Way *way = findWay(line)) {
+        way->lastTouch = now;
+        return Victim{};
+    }
+
+    // Prefer an invalid way.
+    Way *victim_way = nullptr;
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim_way = &way;
+            break;
+        }
+    }
+
+    Victim victim;
+    if (!victim_way) {
+        if (params_.repl == ReplPolicy::RandomRepl) {
+            victim_way = &set[replRng_.below(set.size())];
+        } else {
+            victim_way = &set[0];
+            for (auto &way : set)
+                if (way.lastTouch < victim_way->lastTouch)
+                    victim_way = &way;
+        }
+        victim.valid = true;
+        victim.line = victim_way->line;
+        victim.dirty = victim_way->dirty;
+        victim.prefetched = victim_way->prefetched;
+        victim.usedAfterPrefetch = victim_way->usedAfterPrefetch;
+    }
+
+    victim_way->line = line;
+    victim_way->valid = true;
+    victim_way->dirty = false;
+    victim_way->prefetched = prefetched;
+    victim_way->usedAfterPrefetch = false;
+    victim_way->lastTouch = now;
+    return victim;
+}
+
+Cache::Victim
+Cache::invalidate(LineAddr line)
+{
+    Victim victim;
+    if (Way *way = findWay(line)) {
+        victim.valid = true;
+        victim.line = way->line;
+        victim.dirty = way->dirty;
+        victim.prefetched = way->prefetched;
+        victim.usedAfterPrefetch = way->usedAfterPrefetch;
+        way->valid = false;
+        way->dirty = false;
+    }
+    return victim;
+}
+
+void
+Cache::setDirty(LineAddr line)
+{
+    if (Way *way = findWay(line))
+        way->dirty = true;
+}
+
+std::uint64_t
+Cache::countUnusedPrefetched() const
+{
+    std::uint64_t count = 0;
+    for (const auto &set : sets_)
+        for (const auto &way : set)
+            if (way.valid && way.prefetched && !way.usedAfterPrefetch)
+                ++count;
+    return count;
+}
+
+} // namespace cbws

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Set-associative cache tag array with LRU or random replacement and
+ * per-line prefetch bookkeeping.
+ *
+ * The tag array is purely structural: timing lives in the hierarchy
+ * (mem/hierarchy.hh), which composes lookup results with the per-level
+ * latencies and MSHR state. Each line carries a `prefetched` bit and a
+ * `usedAfterPrefetch` bit, which drive the paper's Fig. 13 timeliness
+ * and accuracy classification: a demand hit on a prefetched-but-unused
+ * line is a *timely* prefetch; a prefetched line evicted unused is a
+ * *wrong* prefetch.
+ */
+
+#ifndef CBWS_MEM_CACHE_HH
+#define CBWS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "mem/params.hh"
+
+namespace cbws
+{
+
+/**
+ * A single cache level's tag array.
+ */
+class Cache
+{
+  public:
+    /** Outcome of inserting a line: the evicted victim, if any. */
+    struct Victim
+    {
+        bool valid = false;
+        LineAddr line = 0;
+        bool dirty = false;
+        bool prefetched = false;
+        bool usedAfterPrefetch = false;
+    };
+
+    explicit Cache(const CacheParams &params,
+                   std::uint64_t repl_seed = 1);
+
+    const CacheParams &params() const { return params_; }
+
+    /**
+     * Demand lookup. On a hit the replacement state is updated and the
+     * line's use bit is set.
+     * @return true on hit.
+     */
+    bool access(LineAddr line, Cycle now, bool is_write);
+
+    /** Tag probe without touching replacement or use state. */
+    bool contains(LineAddr line) const;
+
+    /**
+     * True when @p line is present, was filled by a prefetch, and has
+     * not been demanded since the fill. Callers use this *before*
+     * access() to classify a demand hit as a timely prefetch.
+     */
+    bool isUnusedPrefetch(LineAddr line) const;
+
+    /**
+     * Install @p line, evicting the replacement victim if the set is
+     * full.
+     * @param prefetched marks the fill as prefetcher-initiated.
+     * @return the victim (valid == false when an invalid way was used).
+     */
+    Victim insert(LineAddr line, Cycle now, bool prefetched);
+
+    /** Drop @p line if present; returns victim-style info about it. */
+    Victim invalidate(LineAddr line);
+
+    /** Mark @p line dirty (no-op when absent). */
+    void setDirty(LineAddr line);
+
+    /**
+     * Count lines currently resident that are prefetched and unused;
+     * used at end-of-simulation to finalise the wrong-prefetch count.
+     */
+    std::uint64_t countUnusedPrefetched() const;
+
+    std::uint64_t numSets() const { return sets_.size(); }
+
+  private:
+    struct Way
+    {
+        LineAddr line = 0;
+        Cycle lastTouch = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool usedAfterPrefetch = false;
+    };
+
+    using Set = std::vector<Way>;
+
+    Set &setFor(LineAddr line);
+    const Set &setFor(LineAddr line) const;
+    Way *findWay(LineAddr line);
+    const Way *findWay(LineAddr line) const;
+
+    CacheParams params_;
+    std::vector<Set> sets_;
+    std::uint64_t setMask_;
+    Random replRng_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_MEM_CACHE_HH

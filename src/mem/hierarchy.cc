@@ -1,0 +1,351 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : params_(params),
+      l1d_(params.l1d, 0x11d),
+      l1i_(params.l1i, 0x111),
+      l2_(params.l2, 0x122),
+      l1dMshr_(params.l1d.mshrs),
+      l1iMshr_(params.l1i.mshrs),
+      l2Mshr_(params.l2.mshrs)
+{
+}
+
+void
+Hierarchy::drainL2(Cycle now)
+{
+    l2Mshr_.drain(now, [this, now](const MshrFile::Entry &e) {
+        const bool prefetched = e.isPrefetch && !e.demanded;
+        Cache::Victim victim = l2_.insert(e.line, now, prefetched);
+        if (prefetched && params_.prefetchToL1) {
+            // Ablation: fill the L1D as well (evictions write back
+            // into the inclusive L2, which now holds the line).
+            Cache::Victim l1v = l1d_.insert(e.line, now, true);
+            if (l1v.valid && l1v.dirty)
+                l2_.setDirty(l1v.line);
+        }
+        if (e.isPrefetch && e.demanded) {
+            // The prefetch was useful while still in flight; mark the
+            // line as used so it is not later counted as wrong.
+            l2_.access(e.line, now, e.isWrite);
+        } else if (e.isWrite) {
+            l2_.setDirty(e.line);
+        }
+        if (victim.valid) {
+            if (victim.prefetched && !victim.usedAfterPrefetch)
+                ++stats_.wrongPrefetches;
+            if (victim.dirty)
+                stats_.dramBytesWritten += LineBytes;
+            // Inclusive L2: evictions invalidate the L1 copies.
+            Cache::Victim l1v = l1d_.invalidate(victim.line);
+            if (l1v.valid && l1v.dirty)
+                stats_.dramBytesWritten += LineBytes;
+            l1i_.invalidate(victim.line);
+        }
+    });
+}
+
+void
+Hierarchy::drainL1(Cycle now)
+{
+    l1dMshr_.drain(now, [this, now](const MshrFile::Entry &e) {
+        Cache::Victim victim = l1d_.insert(e.line, now, false);
+        if (e.isWrite)
+            l1d_.setDirty(e.line);
+        if (victim.valid && victim.dirty) {
+            // Writeback into the (inclusive) L2.
+            if (l2_.contains(victim.line))
+                l2_.setDirty(victim.line);
+            else
+                stats_.dramBytesWritten += LineBytes;
+        }
+    });
+    l1iMshr_.drain(now, [this, now](const MshrFile::Entry &e) {
+        l1i_.insert(e.line, now, false);
+    });
+}
+
+Cycle
+Hierarchy::dramFillReady(Cycle t)
+{
+    if (params_.dramMinInterval == 0)
+        return t + params_.dramLatency;
+    const Cycle start = std::max(t, nextDramFree_);
+    nextDramFree_ = start + params_.dramMinInterval;
+    return start + params_.dramLatency;
+}
+
+void
+Hierarchy::issuePrefetches(Cycle now)
+{
+    unsigned issued = 0;
+    while (!prefetchQueue_.empty() &&
+           issued < params_.prefetchIssuePerCycle) {
+        const LineAddr line = prefetchQueue_.front();
+        if (l2_.contains(line) || l2Mshr_.find(line)) {
+            prefetchQueue_.pop_front();
+            ++stats_.prefetchesFiltered;
+            continue;
+        }
+        if (l2Mshr_.inFlight() + params_.prefetchMshrReserve >=
+            params_.l2.mshrs) {
+            break; // leave room for demand misses; retry next cycle
+        }
+        prefetchQueue_.pop_front();
+        l2Mshr_.allocate(line,
+                         dramFillReady(now + params_.l2.latency),
+                         /*is_prefetch=*/true, /*is_write=*/false);
+        stats_.dramBytesRead += LineBytes;
+        ++stats_.prefetchesIssued;
+        ++issued;
+    }
+}
+
+void
+Hierarchy::tick(Cycle now)
+{
+    drainL2(now);
+    drainL1(now);
+    if (!prefetchQueue_.empty())
+        issuePrefetches(now);
+}
+
+bool
+Hierarchy::prefetchQueued(LineAddr line) const
+{
+    return std::find(prefetchQueue_.begin(), prefetchQueue_.end(),
+                     line) != prefetchQueue_.end();
+}
+
+void
+Hierarchy::removeQueuedPrefetch(LineAddr line)
+{
+    auto it = std::find(prefetchQueue_.begin(), prefetchQueue_.end(),
+                        line);
+    if (it != prefetchQueue_.end())
+        prefetchQueue_.erase(it);
+}
+
+Cycle
+Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
+                          bool is_data, DemandClass &cls, bool &stall)
+{
+    stall = false;
+    if (is_data)
+        ++stats_.demandL2Accesses;
+
+    // Hit in the L2 arrays?
+    const bool was_unused_prefetch = l2_.isUnusedPrefetch(line);
+    if (l2_.access(line, t_l2, is_write)) {
+        cls = was_unused_prefetch ? DemandClass::Timely
+                                  : DemandClass::CachedHit;
+        return t_l2 + params_.l2.latency;
+    }
+
+    // Merge into an in-flight fill?
+    if (MshrFile::Entry *e = l2Mshr_.find(line)) {
+        cls = e->isPrefetch && !e->demanded ? DemandClass::Shorter
+                                            : DemandClass::Missing;
+        e->demanded = true;
+        e->isWrite |= is_write;
+        return std::max(e->readyAt, t_l2 + params_.l2.latency);
+    }
+
+    // Identified by the prefetcher but the request is still queued:
+    // the demand takes over (non-timely prefetch).
+    if (prefetchQueued(line)) {
+        removeQueuedPrefetch(line);
+        cls = DemandClass::NonTimely;
+    } else {
+        cls = DemandClass::Missing;
+    }
+
+    if (l2Mshr_.full()) {
+        stall = true;
+        return 0;
+    }
+    const Cycle ready = dramFillReady(t_l2 + params_.l2.latency);
+    l2Mshr_.allocate(line, ready, /*is_prefetch=*/false, is_write);
+    if (is_data)
+        ++stats_.llcDemandMisses;
+    stats_.dramBytesRead += LineBytes;
+    return ready;
+}
+
+AccessOutcome
+Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
+                        bool is_data, bool can_stall)
+{
+    tick(now);
+
+    Cache &l1 = is_data ? l1d_ : l1i_;
+    MshrFile &l1m = is_data ? l1dMshr_ : l1iMshr_;
+    const CacheParams &l1p = is_data ? params_.l1d : params_.l1i;
+
+    if (is_data)
+        ++stats_.l1dAccesses;
+    else
+        ++stats_.l1iAccesses;
+
+    AccessOutcome out;
+    if (l1.access(line, now, is_write)) {
+        out.l1Hit = true;
+        out.readyAt = now + l1p.latency;
+        return out;
+    }
+    if (is_data)
+        ++stats_.l1dMisses;
+    else
+        ++stats_.l1iMisses;
+
+    // Merge into an in-flight L1 fill: the L2-level classification
+    // already happened when the primary miss went out.
+    if (MshrFile::Entry *e = l1m.find(line)) {
+        e->isWrite |= is_write;
+        out.readyAt = std::max(e->readyAt, now + l1p.latency);
+        return out;
+    }
+
+    if (l1m.full()) {
+        if (can_stall) {
+            ++stats_.mshrStalls;
+            out.ok = false;
+            // Undo the access counts so the retry is not
+            // double-counted.
+            if (is_data) {
+                --stats_.l1dMisses;
+                --stats_.l1dAccesses;
+            } else {
+                --stats_.l1iMisses;
+                --stats_.l1iAccesses;
+            }
+            return out;
+        }
+        // Non-stalling requester (stores): account the L2 access for
+        // MPKI purposes but skip the fill.
+        bool stall = false;
+        DemandClass cls = DemandClass::None;
+        Cycle ready = l2DemandAccess(line, now + l1p.latency, is_write,
+                                     is_data, cls, stall);
+        if (!stall && is_data && cls != DemandClass::None)
+            ++stats_.classCounts[static_cast<int>(cls)];
+        out.readyAt = stall ? now + l1p.latency : ready;
+        out.cls = cls;
+        return out;
+    }
+
+    bool stall = false;
+    DemandClass cls = DemandClass::None;
+    const Cycle l2_ready = l2DemandAccess(line, now + l1p.latency,
+                                          is_write, is_data, cls, stall);
+    if (stall) {
+        if (can_stall) {
+            ++stats_.mshrStalls;
+            out.ok = false;
+            // Undo the demand-access count so the retry is not
+            // double-counted.
+            if (is_data) {
+                --stats_.demandL2Accesses;
+                --stats_.l1dMisses;
+                --stats_.l1dAccesses;
+            } else {
+                --stats_.l1iMisses;
+                --stats_.l1iAccesses;
+            }
+            return out;
+        }
+        out.readyAt = now + l1p.latency;
+        return out;
+    }
+    if (is_data && cls != DemandClass::None)
+        ++stats_.classCounts[static_cast<int>(cls)];
+
+    const Cycle l1_ready = l2_ready + l1p.latency;
+    l1m.allocate(line, l1_ready, /*is_prefetch=*/false, is_write);
+    out.readyAt = l1_ready;
+    out.cls = cls;
+    return out;
+}
+
+AccessOutcome
+Hierarchy::load(Addr addr, Cycle now)
+{
+    return demandAccess(lineOf(addr), now, /*is_write=*/false,
+                        /*is_data=*/true, /*can_stall=*/true);
+}
+
+AccessOutcome
+Hierarchy::store(Addr addr, Cycle now)
+{
+    return demandAccess(lineOf(addr), now, /*is_write=*/true,
+                        /*is_data=*/true, /*can_stall=*/false);
+}
+
+AccessOutcome
+Hierarchy::fetch(Addr pc, Cycle now)
+{
+    return demandAccess(lineOf(pc), now, /*is_write=*/false,
+                        /*is_data=*/false, /*can_stall=*/true);
+}
+
+void
+Hierarchy::enqueuePrefetch(LineAddr line)
+{
+    ++stats_.prefetchesRequested;
+    if (l2_.contains(line) || l2Mshr_.find(line) ||
+        prefetchQueued(line)) {
+        ++stats_.prefetchesFiltered;
+        return;
+    }
+    if (prefetchQueue_.size() >= params_.prefetchQueueEntries) {
+        prefetchQueue_.pop_front();
+        ++stats_.prefetchesDropped;
+    }
+    prefetchQueue_.push_back(line);
+}
+
+bool
+Hierarchy::isCachedOrInFlightL2(LineAddr line) const
+{
+    return l2_.contains(line) || l2Mshr_.find(line) != nullptr;
+}
+
+bool
+Hierarchy::isCachedL1D(LineAddr line) const
+{
+    return l1d_.contains(line);
+}
+
+Cycle
+Hierarchy::nextEventCycle() const
+{
+    Cycle next = l2Mshr_.nextReady();
+    if (l1dMshr_.nextReady() < next)
+        next = l1dMshr_.nextReady();
+    if (l1iMshr_.nextReady() < next)
+        next = l1iMshr_.nextReady();
+    return next;
+}
+
+bool
+Hierarchy::prefetchWorkPending() const
+{
+    return !prefetchQueue_.empty() &&
+           l2Mshr_.inFlight() + params_.prefetchMshrReserve <
+           params_.l2.mshrs;
+}
+
+void
+Hierarchy::finalize()
+{
+    stats_.wrongPrefetches += l2_.countUnusedPrefetched();
+}
+
+} // namespace cbws

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Two-level inclusive cache hierarchy over a fixed-latency DRAM, with a
+ * prefetch-into-L2 path and the per-demand-access timeliness/accuracy
+ * classification of the paper's Fig. 13.
+ *
+ * Timing model: latency composition. A demand access resolves, at issue
+ * time, to the cycle its data becomes available, by walking L1 -> L2 ->
+ * DRAM and consulting the MSHR files for in-flight fills. Limited MSHRs
+ * provide structural back-pressure (the access reports `ok == false`
+ * and the core retries next cycle). Fills install into the tag arrays
+ * when their MSHR entry drains, so replacement decisions happen at fill
+ * time, in fill order.
+ *
+ * Per the paper's methodology, prefetchers fetch data into the L2 only.
+ */
+
+#ifndef CBWS_MEM_HIERARCHY_HH
+#define CBWS_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/cache.hh"
+#include "mem/mshr.hh"
+#include "mem/params.hh"
+
+namespace cbws
+{
+
+/**
+ * Fig. 13 classification of one demand L2 access (i.e., one L1D miss).
+ */
+enum class DemandClass : std::uint8_t
+{
+    None,       ///< not a demand L2 access (L1 hit / L1-MSHR merge)
+    CachedHit,  ///< L2 hit on a line not owed to an unused prefetch
+    Timely,     ///< L2 hit on a prefetched, not-yet-used line
+    Shorter,    ///< merged into an in-flight prefetch (partial hiding)
+    NonTimely,  ///< line was identified (queued) but not yet issued
+    Missing,    ///< plain miss: no prefetch issued, or evicted early
+    NumClasses,
+};
+
+/** Result of a demand access into the hierarchy. */
+struct AccessOutcome
+{
+    bool ok = true;       ///< false: structural stall, retry next cycle
+    Cycle readyAt = 0;    ///< cycle the data is usable by the core
+    bool l1Hit = false;
+    DemandClass cls = DemandClass::None;
+};
+
+/** Aggregate statistics of the hierarchy. */
+struct HierarchyStats
+{
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t demandL2Accesses = 0;
+    /** Primary demand misses in the LLC (drives Fig. 12 MPKI). */
+    std::uint64_t llcDemandMisses = 0;
+    std::uint64_t classCounts[static_cast<int>(
+        DemandClass::NumClasses)] = {};
+    /** Prefetched lines evicted (or left) without ever being used. */
+    std::uint64_t wrongPrefetches = 0;
+    std::uint64_t prefetchesRequested = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesFiltered = 0; ///< already cached/in flight
+    std::uint64_t prefetchesDropped = 0;  ///< queue overflow
+    std::uint64_t dramBytesRead = 0;
+    std::uint64_t dramBytesWritten = 0;
+    std::uint64_t mshrStalls = 0;
+
+    std::uint64_t
+    classCount(DemandClass cls) const
+    {
+        return classCounts[static_cast<int>(cls)];
+    }
+};
+
+/**
+ * The memory system: L1I + L1D backed by an inclusive L2 and DRAM.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params);
+
+    /**
+     * Advance bookkeeping to @p now: drain completed fills and issue
+     * queued prefetches. Must be called with non-decreasing cycles;
+     * the demand-access entry points call it internally as well.
+     */
+    void tick(Cycle now);
+
+    /** Demand load from the core at cycle @p now. */
+    AccessOutcome load(Addr addr, Cycle now);
+
+    /**
+     * Demand store (write-allocate, writeback). Stores never stall the
+     * core in this model: if no MSHR is free the miss is counted but
+     * the fill is skipped.
+     */
+    AccessOutcome store(Addr addr, Cycle now);
+
+    /** Instruction fetch through the L1I. */
+    AccessOutcome fetch(Addr pc, Cycle now);
+
+    /**
+     * Queue a prefetch request for @p line (issued to the L2 by
+     * tick(), bandwidth- and MSHR-permitting). Oldest requests are
+     * dropped on overflow.
+     */
+    void enqueuePrefetch(LineAddr line);
+
+    /** True when @p line is in the L2 or already being fetched. */
+    bool isCachedOrInFlightL2(LineAddr line) const;
+
+    /** True when @p line is resident in the L1D. */
+    bool isCachedL1D(LineAddr line) const;
+
+    /**
+     * End-of-run accounting: resident prefetched-but-unused lines are
+     * counted as wrong prefetches.
+     */
+    void finalize();
+
+    /** Zero the statistics (cache/MSHR state is preserved) — used at
+     *  the end of the warm-up window. */
+    void resetStats() { stats_ = HierarchyStats(); }
+
+    const HierarchyStats &stats() const { return stats_; }
+    const HierarchyParams &params() const { return params_; }
+
+    /**
+     * Earliest cycle at which any in-flight fill completes (a huge
+     * sentinel when idle) — lets the core fast-forward idle stretches.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * True when queued prefetches could issue right now; the core must
+     * not fast-forward past cycles in which the queue would drain.
+     */
+    bool prefetchWorkPending() const;
+
+  private:
+    /** Access the L2 on behalf of a data-side L1 miss. */
+    Cycle l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
+                         bool is_data, DemandClass &cls, bool &stall);
+
+    /** Common L1 + L2 demand path for loads, stores and fetches. */
+    AccessOutcome demandAccess(LineAddr line, Cycle now, bool is_write,
+                               bool is_data, bool can_stall);
+
+    void drainL2(Cycle now);
+    void drainL1(Cycle now);
+    void issuePrefetches(Cycle now);
+
+    /**
+     * Completion cycle of a DRAM access requested at @p t, honouring
+     * the bandwidth throttle (dramMinInterval) when enabled.
+     */
+    Cycle dramFillReady(Cycle t);
+    bool prefetchQueued(LineAddr line) const;
+    void removeQueuedPrefetch(LineAddr line);
+
+    HierarchyParams params_;
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    MshrFile l1dMshr_;
+    MshrFile l1iMshr_;
+    MshrFile l2Mshr_;
+    std::deque<LineAddr> prefetchQueue_;
+    HierarchyStats stats_;
+    /** Next cycle the DRAM accepts a request (bandwidth model). */
+    Cycle nextDramFree_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_MEM_HIERARCHY_HH

@@ -1,0 +1,96 @@
+#include "mem/mshr.hh"
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+MshrFile::Entry *
+MshrFile::find(LineAddr line)
+{
+    for (auto &e : entries_)
+        if (e.valid && e.line == line)
+            return &e;
+    return nullptr;
+}
+
+const MshrFile::Entry *
+MshrFile::find(LineAddr line) const
+{
+    for (const auto &e : entries_)
+        if (e.valid && e.line == line)
+            return &e;
+    return nullptr;
+}
+
+bool
+MshrFile::full() const
+{
+    for (const auto &e : entries_)
+        if (!e.valid)
+            return false;
+    return true;
+}
+
+unsigned
+MshrFile::inFlight() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+MshrFile::Entry &
+MshrFile::allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
+                   bool is_write)
+{
+    panic_if(find(line) != nullptr,
+             "MSHR double-allocation for line %llx",
+             static_cast<unsigned long long>(line));
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            e.valid = true;
+            e.line = line;
+            e.readyAt = ready_at;
+            e.isPrefetch = is_prefetch;
+            e.isWrite = is_write;
+            e.demanded = false;
+            if (ready_at < nextReady_)
+                nextReady_ = ready_at;
+            return e;
+        }
+    }
+    panic("MSHR allocation with a full file");
+}
+
+void
+MshrFile::drain(Cycle now, const std::function<void(const Entry &)>
+                &on_fill)
+{
+    if (now < nextReady_)
+        return;
+    Cycle next = NoEvent;
+    for (auto &e : entries_) {
+        if (!e.valid)
+            continue;
+        if (e.readyAt <= now) {
+            on_fill(e);
+            e.valid = false;
+        } else if (e.readyAt < next) {
+            next = e.readyAt;
+        }
+    }
+    nextReady_ = next;
+}
+
+void
+MshrFile::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    nextReady_ = NoEvent;
+}
+
+} // namespace cbws

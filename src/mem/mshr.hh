@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Miss status holding registers (MSHRs) with merge semantics.
+ *
+ * Each cache level owns an MshrFile. A miss allocates an entry with the
+ * cycle at which its fill completes; later misses to the same line merge
+ * into the existing entry (secondary misses) instead of generating new
+ * downstream traffic. A full MSHR file back-pressures the core: loads
+ * that cannot allocate retry the following cycle, which is what limits
+ * memory-level parallelism to the 4 L1 / 32 L2 MSHRs of Table II.
+ */
+
+#ifndef CBWS_MEM_MSHR_HH
+#define CBWS_MEM_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/**
+ * Fixed-capacity MSHR file for one cache level.
+ */
+class MshrFile
+{
+  public:
+    struct Entry
+    {
+        LineAddr line = 0;
+        Cycle readyAt = 0;
+        bool valid = false;
+        bool isPrefetch = false; ///< fill initiated by the prefetcher
+        bool isWrite = false;    ///< any merged request was a store
+        bool demanded = false;   ///< a demand access merged into this
+                                 ///< entry while it was in flight
+    };
+
+    explicit MshrFile(unsigned capacity) : entries_(capacity) {}
+
+    /** Find the in-flight entry for @p line, if any. */
+    Entry *find(LineAddr line);
+    const Entry *find(LineAddr line) const;
+
+    /** True when no entry can be allocated. */
+    bool full() const;
+
+    /** Number of valid (in-flight) entries. */
+    unsigned inFlight() const;
+
+    /**
+     * Allocate an entry; the caller must have checked full() and
+     * find() first. Returns the new entry.
+     */
+    Entry &allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
+                    bool is_write);
+
+    /**
+     * Retire every entry whose fill completed at or before @p now,
+     * invoking @p on_fill for each (used by the hierarchy to install
+     * lines into the tag arrays at fill time).
+     */
+    void drain(Cycle now, const std::function<void(const Entry &)>
+               &on_fill);
+
+    /** Drop all entries (end of simulation). */
+    void clear();
+
+    /**
+     * Cycle of the earliest pending fill, or a huge sentinel when the
+     * file is idle; lets the hierarchy skip drain scans on idle cycles.
+     */
+    Cycle nextReady() const { return nextReady_; }
+
+  private:
+    std::vector<Entry> entries_;
+    Cycle nextReady_ = NoEvent;
+
+    static constexpr Cycle NoEvent = ~Cycle(0);
+};
+
+} // namespace cbws
+
+#endif // CBWS_MEM_MSHR_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Configuration structures for the memory hierarchy, with defaults
+ * matching Table II of the paper.
+ */
+
+#ifndef CBWS_MEM_PARAMS_HH
+#define CBWS_MEM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/** Replacement policy selection for a cache. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,
+    RandomRepl,
+};
+
+/** Parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    Cycle latency = 2;
+    unsigned mshrs = 4;
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    std::uint64_t numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) *
+                            LineBytes);
+    }
+};
+
+/** Parameters of the whole hierarchy (Table II defaults). */
+struct HierarchyParams
+{
+    CacheParams l1d{"L1D", 32 * 1024, 4, 2, 4, ReplPolicy::LRU};
+    CacheParams l1i{"L1I", 32 * 1024, 2, 2, 4, ReplPolicy::LRU};
+    CacheParams l2{"L2", 2 * 1024 * 1024, 8, 30, 32, ReplPolicy::LRU};
+    /** Fixed main-memory access latency (Table II: 300 cycles). */
+    Cycle dramLatency = 300;
+    /**
+     * Minimum spacing between DRAM request issues, in cycles: a
+     * simple bandwidth model (64 B / interval bytes-per-cycle).
+     * 0 disables the throttle — the paper's latency-only
+     * configuration, and the default for all reproduction benches.
+     */
+    Cycle dramMinInterval = 0;
+    /** Prefetch request queue between prefetcher and L2. */
+    unsigned prefetchQueueEntries = 32;
+    /** Prefetches issued from the queue per cycle. */
+    unsigned prefetchIssuePerCycle = 2;
+    /** L2 MSHRs kept free for demand misses: prefetches may not
+     *  starve the demand stream. */
+    unsigned prefetchMshrReserve = 4;
+    /** Also install prefetched lines into the L1D (the paper fills
+     *  the L2 only; this is an ablation knob). */
+    bool prefetchToL1 = false;
+};
+
+} // namespace cbws
+
+#endif // CBWS_MEM_PARAMS_HH

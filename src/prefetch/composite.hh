@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The integrated CBWS+SMS prefetcher (Section VI): CBWS handles
+ * annotated tight loops and SMS acts as the fallback.
+ *
+ * Policy per the paper: "The CBWS prefetcher issues a prefetch only if
+ * the current access pattern hits in the history table. Otherwise, the
+ * SMS prefetcher issues the prefetch." Both components observe every
+ * committed access (SMS keeps training so its patterns stay warm), but
+ * SMS's *issues* are suppressed while execution is inside a block whose
+ * CBWS history is currently predicting.
+ */
+
+#ifndef CBWS_PREFETCH_COMPOSITE_HH
+#define CBWS_PREFETCH_COMPOSITE_HH
+
+#include "core/cbws_prefetcher.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/sms.hh"
+
+namespace cbws
+{
+
+/**
+ * CBWS add-on integrated with the SMS prefetcher.
+ */
+class CbwsSmsPrefetcher : public Prefetcher
+{
+  public:
+    CbwsSmsPrefetcher(const CbwsParams &cbws_params = CbwsParams(),
+                      const SmsParams &sms_params = SmsParams());
+
+    void observeAccess(const PrefetchContext &ctx,
+                       PrefetchSink &sink) override;
+    void observeCommit(const PrefetchContext &ctx,
+                       PrefetchSink &sink) override;
+    void blockBegin(BlockId id, PrefetchSink &sink) override;
+    void blockEnd(BlockId id, PrefetchSink &sink) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "CBWS+SMS"; }
+
+    CbwsPrefetcher &cbws() { return cbws_; }
+    SmsPrefetcher &sms() { return sms_; }
+    const CbwsPrefetcher &cbws() const { return cbws_; }
+
+    /** SMS issues suppressed because CBWS covered the block. */
+    std::uint64_t suppressedSmsIssues() const { return suppressed_; }
+
+  private:
+    /** Sink wrapper that can mute issues while forwarding queries. */
+    class GatedSink : public PrefetchSink
+    {
+      public:
+        GatedSink(PrefetchSink &inner, bool muted,
+                  std::uint64_t &suppressed)
+            : inner_(inner), muted_(muted), suppressed_(suppressed)
+        {
+        }
+
+        void
+        issuePrefetch(LineAddr line) override
+        {
+            if (muted_) {
+                ++suppressed_;
+                return;
+            }
+            inner_.issuePrefetch(line);
+        }
+
+        bool
+        isCached(LineAddr line) const override
+        {
+            return inner_.isCached(line);
+        }
+
+      private:
+        PrefetchSink &inner_;
+        bool muted_;
+        std::uint64_t &suppressed_;
+    };
+
+    CbwsPrefetcher cbws_;
+    SmsPrefetcher sms_;
+    std::uint64_t suppressed_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_PREFETCH_COMPOSITE_HH

@@ -1,0 +1,115 @@
+#include "prefetch/ghb.hh"
+
+#include <algorithm>
+
+namespace cbws
+{
+
+GhbPrefetcher::GhbPrefetcher(Mode mode, const GhbParams &params)
+    : mode_(mode), params_(params), buffer_(params.bufferEntries)
+{
+}
+
+const GhbPrefetcher::Entry *
+GhbPrefetcher::entryFor(std::uint64_t seq) const
+{
+    if (seq == InvalidSeq || seq >= nextSeq_)
+        return nullptr;
+    if (nextSeq_ - seq > buffer_.size())
+        return nullptr; // overwritten by wraparound
+    return &buffer_[seq % buffer_.size()];
+}
+
+std::vector<LineAddr>
+GhbPrefetcher::collect(std::uint64_t head_seq, unsigned max) const
+{
+    std::vector<LineAddr> lines;
+    std::uint64_t seq = head_seq;
+    while (lines.size() < max) {
+        const Entry *e = entryFor(seq);
+        if (!e)
+            break;
+        lines.push_back(e->line);
+        seq = e->prevSeq;
+    }
+    return lines;
+}
+
+void
+GhbPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
+{
+    // GHB records cache *misses* (Nesbit & Smith): only accesses that
+    // found the L2 without ready data train and trigger.
+    if (!ctx.l2Miss && !params_.trainOnHits)
+        return;
+
+    const Addr key = mode_ == Mode::GlobalDC ? 0 : ctx.pc;
+
+    // Link the new miss into its stream and update the index table.
+    std::uint64_t prev_seq = InvalidSeq;
+    if (auto it = indexTable_.find(key); it != indexTable_.end())
+        prev_seq = it->second;
+    const std::uint64_t seq = nextSeq_++;
+    buffer_[seq % buffer_.size()] = Entry{ctx.line, prev_seq};
+    indexTable_[key] = seq;
+
+    // Bound the index table: entries whose head has been overwritten
+    // are useless; prune opportunistically to keep memory bounded.
+    if (indexTable_.size() > 4 * params_.bufferEntries) {
+        for (auto it = indexTable_.begin(); it != indexTable_.end();) {
+            if (!entryFor(it->second))
+                it = indexTable_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    // Delta correlation over this stream's recent history.
+    std::vector<LineAddr> recent = collect(seq, params_.maxChainWalk);
+    if (recent.size() < params_.historyLength + 1)
+        return;
+    std::reverse(recent.begin(), recent.end()); // oldest -> newest
+
+    const std::size_t m = recent.size();
+    std::vector<std::int64_t> deltas(m - 1);
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+        deltas[i] = static_cast<std::int64_t>(recent[i + 1]) -
+                    static_cast<std::int64_t>(recent[i]);
+    }
+
+    // Correlate on the last two deltas (history length 3 addresses).
+    const std::size_t n = deltas.size();
+    if (n < 2)
+        return;
+    const std::int64_t d1 = deltas[n - 2];
+    const std::int64_t d2 = deltas[n - 1];
+
+    for (std::size_t k = n - 2; k >= 2; --k) {
+        if (deltas[k - 2] == d1 && deltas[k - 1] == d2) {
+            // Replay the deltas that followed the earlier occurrence.
+            LineAddr target = ctx.line;
+            for (unsigned d = 0; d < params_.degree && k + d < n;
+                 ++d) {
+                target = static_cast<LineAddr>(
+                    static_cast<std::int64_t>(target) + deltas[k + d]);
+                if (!sink.isCached(target))
+                    sink.issuePrefetch(target);
+            }
+            return;
+        }
+    }
+}
+
+std::uint64_t
+GhbPrefetcher::storageBits() const
+{
+    // Table III: G/DC is (3 history strides + 3 prefetch strides) per
+    // entry; PC/DC additionally stores a PC per entry.
+    std::uint64_t bits_per_entry = 2ull * params_.historyLength *
+                                   params_.strideBits;
+    if (mode_ == Mode::PcDC)
+        bits_per_entry += params_.pcBits;
+    return bits_per_entry * params_.bufferEntries;
+}
+
+} // namespace cbws

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Abstract prefetcher interface.
+ *
+ * Prefetchers are trained from the core's in-order commit stage: every
+ * committed memory operation is delivered via observe() together with
+ * its execute-time L1 hit/miss outcome, and the BLOCK_BEGIN/BLOCK_END
+ * markers are delivered via blockBegin()/blockEnd(). Prefetch requests
+ * are emitted through a PrefetchSink, which the simulator connects to
+ * the hierarchy's prefetch-into-L2 queue.
+ */
+
+#ifndef CBWS_PREFETCH_PREFETCHER_HH
+#define CBWS_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/** One committed memory access, as seen by a prefetcher. */
+struct PrefetchContext
+{
+    Addr pc = 0;
+    Addr addr = 0;
+    LineAddr line = 0;
+    bool isWrite = false;
+    bool l1Hit = false;
+    /** Demand access reached the L2 and the data was not ready (a
+     *  true last-level miss, including merges into in-flight fills).
+     *  Miss-triggered prefetchers (Stride, GHB) train on this. */
+    bool l2Miss = false;
+};
+
+/** Where prefetchers send their requests. */
+class PrefetchSink
+{
+  public:
+    virtual ~PrefetchSink() = default;
+
+    /** Request that @p line be brought into the L2. */
+    virtual void issuePrefetch(LineAddr line) = 0;
+
+    /**
+     * True when @p line is already resident in (or in flight to) the
+     * L2 — used by prefetchers to skip useless requests ("skipping
+     * addresses that are already cached").
+     */
+    virtual bool isCached(LineAddr line) const = 0;
+};
+
+/**
+ * Base class of all prefetchers.
+ *
+ * Two training points are offered, matching how the paper's schemes
+ * are attached in gem5:
+ *  - observeAccess(): invoked when a memory operation accesses the
+ *    cache (loads at execute — possibly out of program order — and
+ *    stores at commit). This is where conventional cache-attached
+ *    prefetchers (Stride, GHB, SMS) train.
+ *  - observeCommit(): invoked from the in-order commit stage, in
+ *    program order. The CBWS prefetcher trains here, as Section V
+ *    requires ("the prefetcher obtains the address sequence from the
+ *    in-order commit stage").
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** A memory operation accessing the cache (execute time). */
+    virtual void
+    observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
+    {
+        (void)ctx;
+        (void)sink;
+    }
+
+    /** A committed memory access, delivered in program order. */
+    virtual void
+    observeCommit(const PrefetchContext &ctx, PrefetchSink &sink)
+    {
+        (void)ctx;
+        (void)sink;
+    }
+
+    /** A committed BLOCK_BEGIN marker. */
+    virtual void blockBegin(BlockId id, PrefetchSink &sink)
+    {
+        (void)id;
+        (void)sink;
+    }
+
+    /** A committed BLOCK_END marker. */
+    virtual void blockEnd(BlockId id, PrefetchSink &sink)
+    {
+        (void)id;
+        (void)sink;
+    }
+
+    /** Hardware budget of the scheme, in bits (Table III). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Human-readable scheme name. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * The no-prefetching baseline.
+ */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    std::uint64_t storageBits() const override { return 0; }
+    std::string name() const override { return "No-Prefetch"; }
+};
+
+} // namespace cbws
+
+#endif // CBWS_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,167 @@
+#include "prefetch/sms.hh"
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+SmsPrefetcher::SmsPrefetcher(const SmsParams &params) : params_(params)
+{
+    fatal_if(params_.regionBytes < LineBytes ||
+             !isPowerOf2(params_.regionBytes),
+             "SMS region size must be a power-of-two >= one line");
+    linesPerRegion_ =
+        static_cast<unsigned>(params_.regionBytes / LineBytes);
+    fatal_if(linesPerRegion_ > 64,
+             "SMS pattern is limited to 64 lines per region");
+    pht_.assign(params_.phtEntries, PhtEntry{});
+}
+
+void
+SmsPrefetcher::endGeneration(const Generation &gen)
+{
+    phtInsert(phtKey(gen.triggerPc, gen.triggerOffset), gen.pattern);
+}
+
+std::uint64_t
+SmsPrefetcher::phtLookup(std::uint64_t key)
+{
+    const std::size_t num_sets = pht_.size() / params_.phtAssoc;
+    const std::size_t set = key % num_sets;
+    for (unsigned w = 0; w < params_.phtAssoc; ++w) {
+        PhtEntry &e = pht_[set * params_.phtAssoc + w];
+        if (e.valid && e.key == key) {
+            e.lastUse = ++useTick_;
+            return e.pattern;
+        }
+    }
+    return 0;
+}
+
+void
+SmsPrefetcher::phtInsert(std::uint64_t key, std::uint64_t pattern)
+{
+    const std::size_t num_sets = pht_.size() / params_.phtAssoc;
+    const std::size_t set = key % num_sets;
+    PhtEntry *victim = nullptr;
+    for (unsigned w = 0; w < params_.phtAssoc; ++w) {
+        PhtEntry &e = pht_[set * params_.phtAssoc + w];
+        if (e.valid && e.key == key) {
+            e.pattern = pattern;
+            e.lastUse = ++useTick_;
+            return;
+        }
+    }
+    for (unsigned w = 0; w < params_.phtAssoc && !victim; ++w) {
+        PhtEntry &e = pht_[set * params_.phtAssoc + w];
+        if (!e.valid)
+            victim = &e;
+    }
+    if (!victim) {
+        victim = &pht_[set * params_.phtAssoc];
+        for (unsigned w = 1; w < params_.phtAssoc; ++w) {
+            PhtEntry &e = pht_[set * params_.phtAssoc + w];
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->key = key;
+    victim->pattern = pattern;
+    victim->lastUse = ++useTick_;
+}
+
+void
+SmsPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
+{
+    if (ctx.l1Hit && !params_.trainOnHits)
+        return;
+
+    const Addr region = regionOf(ctx.addr);
+    const unsigned offset = offsetOf(ctx.addr);
+    const std::uint64_t bit = 1ull << offset;
+
+    // Already accumulating this region?
+    if (auto it = agt_.find(region); it != agt_.end()) {
+        it->second.pattern |= bit;
+        agtLru_.splice(agtLru_.begin(), agtLru_, it->second.lruIt);
+        return;
+    }
+
+    // Second distinct access promotes the region out of the filter.
+    if (auto it = filter_.find(region); it != filter_.end()) {
+        if (it->second.triggerOffset == offset) {
+            filterLru_.splice(filterLru_.begin(), filterLru_,
+                              it->second.lruIt);
+            return; // same line again: stays in the filter
+        }
+        Generation gen;
+        gen.triggerPc = it->second.triggerPc;
+        gen.triggerOffset = it->second.triggerOffset;
+        gen.pattern = (1ull << it->second.triggerOffset) | bit;
+        filterLru_.erase(it->second.lruIt);
+        filter_.erase(it);
+
+        if (agt_.size() >= params_.agtEntries) {
+            // Capacity eviction ends the oldest generation.
+            const Addr victim_region = agtLru_.back();
+            auto vit = agt_.find(victim_region);
+            endGeneration(vit->second);
+            agtLru_.pop_back();
+            agt_.erase(vit);
+        }
+        agtLru_.push_front(region);
+        gen.lruIt = agtLru_.begin();
+        agt_.emplace(region, gen);
+        return;
+    }
+
+    // New region: trigger access. Predict from the PHT, then start
+    // tracking the new generation in the filter.
+    if (const std::uint64_t pattern = phtLookup(phtKey(ctx.pc, offset))) {
+        const Addr region_base = region * params_.regionBytes;
+        for (unsigned l = 0; l < linesPerRegion_; ++l) {
+            if (l == offset || !(pattern & (1ull << l)))
+                continue;
+            const LineAddr line = lineOf(region_base +
+                                         static_cast<Addr>(l) *
+                                         LineBytes);
+            if (!sink.isCached(line))
+                sink.issuePrefetch(line);
+        }
+    }
+
+    if (filter_.size() >= params_.filterEntries) {
+        // Single-access generations are discarded, which is the
+        // filter's purpose.
+        filter_.erase(filterLru_.back());
+        filterLru_.pop_back();
+    }
+    filterLru_.push_front(region);
+    FilterEntry fe;
+    fe.triggerPc = ctx.pc;
+    fe.triggerOffset = offset;
+    fe.lruIt = filterLru_.begin();
+    filter_.emplace(region, fe);
+}
+
+std::uint64_t
+SmsPrefetcher::storageBits() const
+{
+    // Table III: AGT + Filter + PHT.
+    const std::uint64_t pattern_bits = params_.storagePatternBits;
+    const std::uint64_t agt =
+        static_cast<std::uint64_t>(params_.offsetBits + params_.pcBits +
+                                   params_.tagBits) *
+        params_.agtEntries;
+    const std::uint64_t filter =
+        static_cast<std::uint64_t>(params_.offsetBits + params_.pcBits +
+                                   params_.tagBits + pattern_bits) *
+        params_.filterEntries;
+    const std::uint64_t pht =
+        (pattern_bits + params_.pcBits + params_.offsetBits) *
+        params_.phtEntries;
+    return agt + filter + pht;
+}
+
+} // namespace cbws

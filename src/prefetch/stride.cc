@@ -1,0 +1,74 @@
+#include "prefetch/stride.hh"
+
+namespace cbws
+{
+
+StridePrefetcher::StridePrefetcher(const StrideParams &params)
+    : params_(params)
+{
+}
+
+void
+StridePrefetcher::observeAccess(const PrefetchContext &ctx,
+                          PrefetchSink &sink)
+{
+    // Classic miss-triggered configuration: only true cache misses
+    // train and trigger (the conservatism the paper's Section II
+    // contrasts CBWS against).
+    if (!ctx.l2Miss && !params_.trainOnHits)
+        return;
+
+    auto it = table_.find(ctx.pc);
+    if (it == table_.end()) {
+        if (table_.size() >= params_.tableEntries) {
+            // Evict the LRU stream.
+            table_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(ctx.pc);
+        Entry e;
+        e.lastLine = ctx.line;
+        e.lruIt = lru_.begin();
+        table_.emplace(ctx.pc, e);
+        return;
+    }
+
+    Entry &e = it->second;
+    lru_.splice(lru_.begin(), lru_, e.lruIt);
+
+    const std::int64_t delta =
+        static_cast<std::int64_t>(ctx.line) -
+        static_cast<std::int64_t>(e.lastLine);
+    if (delta == e.stride && delta != 0) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = delta;
+        }
+    }
+    e.lastLine = ctx.line;
+
+    if (e.confidence >= params_.confidenceThreshold && e.stride != 0) {
+        LineAddr target = ctx.line;
+        for (unsigned d = 0; d < params_.degree; ++d) {
+            target = static_cast<LineAddr>(
+                static_cast<std::int64_t>(target) + e.stride);
+            if (!sink.isCached(target))
+                sink.issuePrefetch(target);
+        }
+    }
+}
+
+std::uint64_t
+StridePrefetcher::storageBits() const
+{
+    // Table III: (PC + 2 x stride) x entries.
+    return static_cast<std::uint64_t>(params_.pcBits +
+                                      2 * params_.strideBits) *
+           params_.tableEntries;
+}
+
+} // namespace cbws

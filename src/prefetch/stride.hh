@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Classic PC-indexed stride prefetcher (reference-prediction-table
+ * style, Fu/Patel/Janssens and Jouppi) with the paper's unrealistically
+ * large 256-stream fully-associative table (Table II).
+ */
+
+#ifndef CBWS_PREFETCH_STRIDE_HH
+#define CBWS_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace cbws
+{
+
+/** Stride prefetcher configuration. */
+struct StrideParams
+{
+    unsigned tableEntries = 256; ///< fully associative, LRU
+    unsigned degree = 2;         ///< lines prefetched per trigger
+    unsigned confidenceThreshold = 2;
+    bool trainOnHits = false;    ///< classic config: misses only
+    unsigned pcBits = 48;        ///< for storage accounting
+    unsigned strideBits = 12;
+};
+
+/**
+ * Reference prediction table stride prefetcher.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const StrideParams &params =
+                              StrideParams());
+
+    void observeAccess(const PrefetchContext &ctx,
+                 PrefetchSink &sink) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "Stride"; }
+
+  private:
+    struct Entry
+    {
+        LineAddr lastLine = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::list<Addr>::iterator lruIt;
+    };
+
+    StrideParams params_;
+    std::unordered_map<Addr, Entry> table_;
+    std::list<Addr> lru_; ///< front = most recent
+};
+
+} // namespace cbws
+
+#endif // CBWS_PREFETCH_STRIDE_HH

@@ -1,0 +1,85 @@
+#include "sim/config.hh"
+
+#include "base/logging.hh"
+#include "prefetch/addon.hh"
+#include "prefetch/composite.hh"
+
+namespace cbws
+{
+
+const char *
+toString(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return "No-Prefetch";
+      case PrefetcherKind::Stride:
+        return "Stride";
+      case PrefetcherKind::GhbPcDc:
+        return "GHB-PC/DC";
+      case PrefetcherKind::GhbGDc:
+        return "GHB-G/DC";
+      case PrefetcherKind::Sms:
+        return "SMS";
+      case PrefetcherKind::Cbws:
+        return "CBWS";
+      case PrefetcherKind::CbwsSms:
+        return "CBWS+SMS";
+      case PrefetcherKind::Ampm:
+        return "AMPM";
+      case PrefetcherKind::CbwsAmpm:
+        return "CBWS+AMPM";
+    }
+    return "?";
+}
+
+std::vector<PrefetcherKind>
+allPrefetcherKinds()
+{
+    return {PrefetcherKind::None,   PrefetcherKind::Stride,
+            PrefetcherKind::GhbPcDc, PrefetcherKind::GhbGDc,
+            PrefetcherKind::Sms,    PrefetcherKind::Cbws,
+            PrefetcherKind::CbwsSms};
+}
+
+std::vector<PrefetcherKind>
+extendedPrefetcherKinds()
+{
+    auto kinds = allPrefetcherKinds();
+    kinds.push_back(PrefetcherKind::Ampm);
+    kinds.push_back(PrefetcherKind::CbwsAmpm);
+    return kinds;
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const SystemConfig &config)
+{
+    switch (config.prefetcher) {
+      case PrefetcherKind::None:
+        return std::make_unique<NullPrefetcher>();
+      case PrefetcherKind::Stride:
+        return std::make_unique<StridePrefetcher>(config.stride);
+      case PrefetcherKind::GhbPcDc:
+        return std::make_unique<GhbPrefetcher>(
+            GhbPrefetcher::Mode::PcDC, config.ghb);
+      case PrefetcherKind::GhbGDc:
+        return std::make_unique<GhbPrefetcher>(
+            GhbPrefetcher::Mode::GlobalDC, config.ghb);
+      case PrefetcherKind::Sms:
+        return std::make_unique<SmsPrefetcher>(config.sms);
+      case PrefetcherKind::Cbws:
+        return std::make_unique<CbwsPrefetcher>(config.cbws);
+      case PrefetcherKind::CbwsSms:
+        return std::make_unique<CbwsSmsPrefetcher>(config.cbws,
+                                                   config.sms);
+      case PrefetcherKind::Ampm:
+        return std::make_unique<AmpmPrefetcher>(config.ampm);
+      case PrefetcherKind::CbwsAmpm:
+        return std::make_unique<CbwsAddOnPrefetcher>(
+            std::make_unique<AmpmPrefetcher>(config.ampm),
+            config.cbws);
+    }
+    panic("unknown prefetcher kind");
+}
+
+} // namespace cbws

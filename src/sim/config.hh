@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Whole-system configuration (Table II) and prefetcher selection.
+ */
+
+#ifndef CBWS_SIM_CONFIG_HH
+#define CBWS_SIM_CONFIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cbws_prefetcher.hh"
+#include "cpu/core.hh"
+#include "mem/params.hh"
+#include "prefetch/ampm.hh"
+#include "prefetch/ghb.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+
+namespace cbws
+{
+
+/** The prefetching schemes evaluated by the paper. */
+enum class PrefetcherKind
+{
+    None,
+    Stride,
+    GhbPcDc,
+    GhbGDc,
+    Sms,
+    Cbws,
+    CbwsSms,
+    // Extensions beyond the paper's evaluated set:
+    Ampm,     ///< related-work baseline (Ishii et al.)
+    CbwsAmpm, ///< CBWS as a generic add-on bolted onto AMPM
+};
+
+/** Name as used in the paper's figures. */
+const char *toString(PrefetcherKind kind);
+
+/** All seven evaluated configurations, in Fig. 12 legend order. */
+std::vector<PrefetcherKind> allPrefetcherKinds();
+
+/** The paper's seven plus the extension schemes (AMPM, CBWS+AMPM). */
+std::vector<PrefetcherKind> extendedPrefetcherKinds();
+
+/** Which core timing model drives the simulation. */
+enum class CoreModel
+{
+    OutOfOrder, ///< Table II's 4-wide OoO core (the paper's setup)
+    InOrder,    ///< scalar stall-on-use core (extension)
+};
+
+/**
+ * Full simulated-system configuration; defaults reproduce Table II.
+ */
+struct SystemConfig
+{
+    CoreModel coreModel = CoreModel::OutOfOrder;
+    CoreParams core;
+    HierarchyParams mem;
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+    StrideParams stride;
+    GhbParams ghb;
+    SmsParams sms;
+    CbwsParams cbws;
+    AmpmParams ampm;
+};
+
+/** Instantiate the configured prefetcher. */
+std::unique_ptr<Prefetcher> makePrefetcher(const SystemConfig &config);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_CONFIG_HH

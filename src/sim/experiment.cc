@@ -1,0 +1,70 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+const SimResult &
+ExperimentMatrix::result(std::size_t row, PrefetcherKind kind) const
+{
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+        if (kinds[k] == kind)
+            return rows.at(row).byPrefetcher.at(k);
+    panic("prefetcher kind not in matrix");
+}
+
+ExperimentMatrix
+runMatrix(const std::vector<WorkloadPtr> &workloads,
+          const std::vector<PrefetcherKind> &kinds,
+          const SystemConfig &base_config, std::uint64_t max_insts,
+          std::uint64_t seed)
+{
+    ExperimentMatrix matrix;
+    matrix.kinds = kinds;
+
+    WorkloadParams params;
+    params.maxInstructions = max_insts;
+    params.seed = seed;
+
+    for (const auto &workload : workloads) {
+        WorkloadRow row;
+        row.workload = workload->name();
+        row.memoryIntensive = workload->memoryIntensive();
+
+        // Synthesise the trace once; replay it under every scheme so
+        // all configurations see the identical access stream.
+        Trace trace;
+        trace.reserve(max_insts + 512);
+        workload->generate(trace, params);
+
+        // A quarter of the budget warms caches and predictors (the
+        // paper fast-forwards past initialisation instead).
+        const std::uint64_t warmup = max_insts / 4;
+        for (PrefetcherKind kind : kinds) {
+            SystemConfig config = base_config;
+            config.prefetcher = kind;
+            SimResult res = simulate(trace, config, max_insts,
+                                     SimProbes(), warmup);
+            res.workload = workload->name();
+            row.byPrefetcher.push_back(std::move(res));
+        }
+        matrix.rows.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+std::uint64_t
+benchInstructionBudget(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("CBWS_BENCH_INSTS")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace cbws

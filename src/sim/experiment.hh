@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment matrix runner shared by the figure-regenerating benches:
+ * every workload is synthesised once and replayed through every
+ * prefetcher configuration, exactly how the paper compares schemes.
+ */
+
+#ifndef CBWS_SIM_EXPERIMENT_HH
+#define CBWS_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace cbws
+{
+
+/** Results for one workload across every prefetcher configuration. */
+struct WorkloadRow
+{
+    std::string workload;
+    bool memoryIntensive = false;
+    std::vector<SimResult> byPrefetcher; ///< parallel to kinds
+};
+
+/** The full workloads x prefetchers matrix. */
+struct ExperimentMatrix
+{
+    std::vector<PrefetcherKind> kinds;
+    std::vector<WorkloadRow> rows;
+
+    const SimResult &
+    result(std::size_t row, PrefetcherKind kind) const;
+
+    /** Arithmetic mean of @p metric over @p rows (MI subset or all). */
+    template <typename Fn>
+    double
+    average(Fn metric, bool mi_only) const
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (const auto &row : rows) {
+            if (mi_only && !row.memoryIntensive)
+                continue;
+            sum += metric(row);
+            ++n;
+        }
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+};
+
+/**
+ * Run the matrix: @p workloads x the seven prefetcher kinds.
+ * @param max_insts per-run committed-instruction budget.
+ */
+ExperimentMatrix
+runMatrix(const std::vector<WorkloadPtr> &workloads,
+          const std::vector<PrefetcherKind> &kinds,
+          const SystemConfig &base_config, std::uint64_t max_insts,
+          std::uint64_t seed = 42);
+
+/**
+ * Instruction budget for the benches: the CBWS_BENCH_INSTS
+ * environment variable, or @p fallback when unset.
+ */
+std::uint64_t benchInstructionBudget(std::uint64_t fallback = 120000);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_EXPERIMENT_HH

@@ -1,0 +1,84 @@
+#include "sim/report.hh"
+
+#include "base/json.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+void
+writeResult(JsonWriter &w, const SimResult &r)
+{
+    w.beginObject();
+    w.field("workload", r.workload);
+    w.field("prefetcher", r.prefetcher);
+    w.field("instructions", r.core.instructions);
+    w.field("cycles", r.core.cycles);
+    w.field("ipc", r.ipc());
+    w.field("mpki", r.mpki());
+    w.field("loop_fraction", r.core.loopFraction());
+    w.field("branches", r.core.branches);
+    w.field("branch_mispredicts", r.core.branchMispredicts);
+
+    w.key("l1d");
+    w.beginObject();
+    w.field("accesses", r.mem.l1dAccesses);
+    w.field("misses", r.mem.l1dMisses);
+    w.endObject();
+
+    w.key("llc");
+    w.beginObject();
+    w.field("demand_accesses", r.mem.demandL2Accesses);
+    w.field("demand_misses", r.mem.llcDemandMisses);
+    w.endObject();
+
+    w.key("classification");
+    w.beginObject();
+    w.field("timely", r.classFraction(DemandClass::Timely));
+    w.field("shorter", r.classFraction(DemandClass::Shorter));
+    w.field("non_timely", r.classFraction(DemandClass::NonTimely));
+    w.field("missing", r.classFraction(DemandClass::Missing));
+    w.field("wrong", r.wrongFraction());
+    w.endObject();
+
+    w.key("prefetch");
+    w.beginObject();
+    w.field("requested", r.mem.prefetchesRequested);
+    w.field("issued", r.mem.prefetchesIssued);
+    w.field("filtered", r.mem.prefetchesFiltered);
+    w.field("dropped", r.mem.prefetchesDropped);
+    w.field("storage_bits", r.prefetcherStorageBits);
+    w.endObject();
+
+    w.key("dram");
+    w.beginObject();
+    w.field("bytes_read", r.mem.dramBytesRead);
+    w.field("bytes_written", r.mem.dramBytesWritten);
+    w.endObject();
+    w.endObject();
+}
+
+} // anonymous namespace
+
+std::string
+toJson(const SimResult &result)
+{
+    JsonWriter w;
+    writeResult(w, result);
+    return w.str();
+}
+
+std::string
+toJson(const std::vector<SimResult> &results)
+{
+    JsonWriter w;
+    w.beginArray();
+    for (const auto &r : results)
+        writeResult(w, r);
+    w.endArray();
+    return w.str();
+}
+
+} // namespace cbws

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Machine-readable export of simulation results (JSON), used by the
+ * cbws-sim tool's --json mode and available to downstream scripts.
+ */
+
+#ifndef CBWS_SIM_REPORT_HH
+#define CBWS_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace cbws
+{
+
+/** Serialise one result to a JSON object string. */
+std::string toJson(const SimResult &result);
+
+/** Serialise a batch of results to a JSON array string. */
+std::string toJson(const std::vector<SimResult> &results);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_REPORT_HH

@@ -1,0 +1,121 @@
+#include "sim/simulator.hh"
+
+#include "cpu/inorder.hh"
+#include "prefetch/composite.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+/** Bridges a Prefetcher's requests into the hierarchy. */
+class HierarchySink : public PrefetchSink
+{
+  public:
+    explicit HierarchySink(Hierarchy &mem) : mem_(mem) {}
+
+    void
+    issuePrefetch(LineAddr line) override
+    {
+        mem_.enqueuePrefetch(line);
+    }
+
+    bool
+    isCached(LineAddr line) const override
+    {
+        return mem_.isCachedOrInFlightL2(line);
+    }
+
+  private:
+    Hierarchy &mem_;
+};
+
+} // anonymous namespace
+
+SimResult
+simulate(const Trace &trace, const SystemConfig &config,
+         std::uint64_t max_insts, const SimProbes &probes,
+         std::uint64_t warmup_insts)
+{
+    Hierarchy mem(config.mem);
+    auto prefetcher = makePrefetcher(config);
+    HierarchySink sink(mem);
+
+    if (probes.differentials) {
+        if (auto *p = dynamic_cast<CbwsPrefetcher *>(prefetcher.get()))
+            p->setDifferentialProbe(probes.differentials);
+        else if (auto *c = dynamic_cast<CbwsSmsPrefetcher *>(
+                     prefetcher.get()))
+            c->cbws().setDifferentialProbe(probes.differentials);
+    }
+
+    OooCore core(config.core, mem);
+    auto make_context = [](const TraceRecord &rec,
+                           const AccessOutcome &out) {
+        PrefetchContext ctx;
+        ctx.pc = rec.pc;
+        ctx.addr = rec.effAddr;
+        ctx.line = rec.line();
+        ctx.isWrite = rec.cls == InstClass::Store;
+        ctx.l1Hit = out.l1Hit;
+        ctx.l2Miss = out.cls == DemandClass::Shorter ||
+                     out.cls == DemandClass::NonTimely ||
+                     out.cls == DemandClass::Missing;
+        return ctx;
+    };
+    auto on_commit = [&](const TraceRecord &rec,
+                         const AccessOutcome &out) {
+        switch (rec.cls) {
+          case InstClass::Load:
+          case InstClass::Store:
+            prefetcher->observeCommit(make_context(rec, out), sink);
+            break;
+          case InstClass::BlockBegin:
+            prefetcher->blockBegin(rec.blockId, sink);
+            break;
+          case InstClass::BlockEnd:
+            prefetcher->blockEnd(rec.blockId, sink);
+            break;
+          default:
+            break;
+        }
+    };
+    auto on_access = [&](const TraceRecord &rec,
+                         const AccessOutcome &out) {
+        prefetcher->observeAccess(make_context(rec, out), sink);
+    };
+
+    SimResult result;
+    result.prefetcher = prefetcher->name();
+    if (config.coreModel == CoreModel::InOrder) {
+        InOrderCore inorder(config.core, mem);
+        result.core =
+            inorder.run(trace, max_insts, on_commit, on_access,
+                        warmup_insts, [&mem] { mem.resetStats(); });
+    } else {
+        result.core =
+            core.run(trace, max_insts, on_commit, on_access,
+                     warmup_insts, [&mem] { mem.resetStats(); });
+    }
+    mem.finalize();
+    result.mem = mem.stats();
+    result.prefetcherStorageBits = prefetcher->storageBits();
+    return result;
+}
+
+SimResult
+simulateWorkload(const Workload &workload, const SystemConfig &config,
+                 const WorkloadParams &params, const SimProbes &probes,
+                 std::uint64_t warmup_insts)
+{
+    Trace trace;
+    trace.reserve(params.maxInstructions + 512);
+    workload.generate(trace, params);
+    SimResult result = simulate(trace, config, params.maxInstructions,
+                                probes, warmup_insts);
+    result.workload = workload.name();
+    return result;
+}
+
+} // namespace cbws

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Top-level simulation driver: wires the OoO core, the memory
+ * hierarchy and the configured prefetcher together and reports the
+ * metrics the paper's figures are built from.
+ */
+
+#ifndef CBWS_SIM_SIMULATOR_HH
+#define CBWS_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "base/stats.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace cbws
+{
+
+/** Everything measured by one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    std::string prefetcher;
+    CoreStats core;
+    HierarchyStats mem;
+    std::uint64_t prefetcherStorageBits = 0;
+
+    double ipc() const { return core.ipc(); }
+
+    /** Last-level-cache misses per kilo-instruction (Fig. 12). */
+    double
+    mpki() const
+    {
+        return core.instructions
+                   ? 1000.0 * static_cast<double>(mem.llcDemandMisses) /
+                     static_cast<double>(core.instructions)
+                   : 0.0;
+    }
+
+    /** Fraction of demand L2 accesses in @p cls (Fig. 13). */
+    double
+    classFraction(DemandClass cls) const
+    {
+        return mem.demandL2Accesses
+                   ? static_cast<double>(mem.classCount(cls)) /
+                     static_cast<double>(mem.demandL2Accesses)
+                   : 0.0;
+    }
+
+    /** Wrong prefetches as a fraction of demand L2 accesses. */
+    double
+    wrongFraction() const
+    {
+        return mem.demandL2Accesses
+                   ? static_cast<double>(mem.wrongPrefetches) /
+                     static_cast<double>(mem.demandL2Accesses)
+                   : 0.0;
+    }
+
+    /** IPC per DRAM byte read (Fig. 15, before normalisation). */
+    double
+    perfPerByte() const
+    {
+        return mem.dramBytesRead
+                   ? ipc() / static_cast<double>(mem.dramBytesRead)
+                   : 0.0;
+    }
+};
+
+/** Optional instrumentation attached to a run. */
+struct SimProbes
+{
+    /** Samples the identity of every 1-step CBWS differential
+     *  (Fig. 5); only honoured by CBWS-based configurations. */
+    FrequencyCounter *differentials = nullptr;
+};
+
+/**
+ * Run @p trace through a system configured by @p config.
+ *
+ * @param warmup_insts committed instructions whose statistics are
+ *        discarded (caches and predictors stay warm) — stands in for
+ *        the paper's region-of-interest fast-forwarding.
+ */
+SimResult simulate(const Trace &trace, const SystemConfig &config,
+                   std::uint64_t max_insts,
+                   const SimProbes &probes = SimProbes(),
+                   std::uint64_t warmup_insts = 0);
+
+/**
+ * Convenience wrapper: synthesise @p workload's trace, then simulate
+ * it. max_insts defaults to the workload's generation budget.
+ */
+SimResult simulateWorkload(const Workload &workload,
+                           const SystemConfig &config,
+                           const WorkloadParams &params,
+                           const SimProbes &probes = SimProbes(),
+                           std::uint64_t warmup_insts = 0);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_SIMULATOR_HH

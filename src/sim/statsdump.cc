@@ -1,0 +1,110 @@
+#include "sim/statsdump.hh"
+
+#include <iomanip>
+
+namespace cbws
+{
+
+namespace
+{
+
+class Dumper
+{
+  public:
+    explicit Dumper(std::ostream &out) : out_(out) {}
+
+    void
+    line(const std::string &name, std::uint64_t value,
+         const std::string &desc)
+    {
+        out_ << std::left << std::setw(40) << name << std::right
+             << std::setw(16) << value << "  # " << desc << "\n";
+    }
+
+    void
+    line(const std::string &name, double value,
+         const std::string &desc)
+    {
+        out_ << std::left << std::setw(40) << name << std::right
+             << std::setw(16) << std::fixed << std::setprecision(6)
+             << value << "  # " << desc << "\n";
+    }
+
+  private:
+    std::ostream &out_;
+};
+
+} // anonymous namespace
+
+void
+dumpStats(std::ostream &out, const SimResult &r)
+{
+    Dumper d(out);
+    out << "---------- Begin Simulation Statistics ----------\n";
+    out << "# workload: " << r.workload
+        << "  prefetcher: " << r.prefetcher << "\n";
+
+    d.line("sim.instructions", r.core.instructions,
+           "committed instructions (markers included)");
+    d.line("sim.cycles", r.core.cycles, "simulated cycles");
+    d.line("sim.ipc", r.ipc(), "committed IPC");
+
+    d.line("core.memInstructions", r.core.memInstructions,
+           "committed loads + stores");
+    d.line("core.branches", r.core.branches, "committed branches");
+    d.line("core.branchMispredicts", r.core.branchMispredicts,
+           "direction or target mispredictions");
+    d.line("core.loopCycles", r.core.loopCycles,
+           "cycles attributed to annotated blocks");
+    d.line("core.loopFraction", r.core.loopFraction(),
+           "fraction of runtime in tight loops (Fig. 1)");
+    d.line("core.robFullStalls", r.core.robFullStalls,
+           "dispatch stalls on a full ROB");
+    d.line("core.lsqFullStalls", r.core.lsqFullStalls,
+           "dispatch stalls on a full LDQ/STQ");
+
+    d.line("l1d.accesses", r.mem.l1dAccesses, "demand accesses");
+    d.line("l1d.misses", r.mem.l1dMisses, "demand misses");
+    d.line("l1i.accesses", r.mem.l1iAccesses, "fetch accesses");
+    d.line("l1i.misses", r.mem.l1iMisses, "fetch misses");
+    d.line("l2.demandAccesses", r.mem.demandL2Accesses,
+           "data-side demand accesses reaching the L2");
+    d.line("l2.demandMisses", r.mem.llcDemandMisses,
+           "primary demand misses (drives Fig. 12 MPKI)");
+    d.line("l2.mpki", r.mpki(), "LLC misses per kilo-instruction");
+    d.line("l2.mshrStalls", r.mem.mshrStalls,
+           "accesses rejected by a full MSHR file");
+
+    d.line("pf.requested", r.mem.prefetchesRequested,
+           "prefetch requests from the prefetcher");
+    d.line("pf.issued", r.mem.prefetchesIssued,
+           "prefetches issued to memory");
+    d.line("pf.filtered", r.mem.prefetchesFiltered,
+           "requests dropped as cached/in-flight");
+    d.line("pf.dropped", r.mem.prefetchesDropped,
+           "requests lost to queue overflow");
+    d.line("pf.wrong", r.mem.wrongPrefetches,
+           "prefetched lines never used (Fig. 13 'wrong')");
+    d.line("pf.timelyFraction",
+           r.classFraction(DemandClass::Timely),
+           "demand L2 accesses served by a completed prefetch");
+    d.line("pf.shorterFraction",
+           r.classFraction(DemandClass::Shorter),
+           "demand L2 accesses merged into in-flight prefetches");
+    d.line("pf.nonTimelyFraction",
+           r.classFraction(DemandClass::NonTimely),
+           "demand beat the queued prefetch");
+    d.line("pf.missingFraction",
+           r.classFraction(DemandClass::Missing),
+           "demand misses with no prefetch help");
+    d.line("pf.storageBits", r.prefetcherStorageBits,
+           "hardware budget of the scheme (Table III)");
+
+    d.line("dram.bytesRead", r.mem.dramBytesRead,
+           "bytes fetched from memory");
+    d.line("dram.bytesWritten", r.mem.dramBytesWritten,
+           "writeback bytes to memory");
+    out << "---------- End Simulation Statistics   ----------\n";
+}
+
+} // namespace cbws

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * gem5-style statistics dump: every counter of a SimResult rendered
+ * as `name value # description` lines, grouped by component — the
+ * format simulation veterans grep.
+ */
+
+#ifndef CBWS_SIM_STATSDUMP_HH
+#define CBWS_SIM_STATSDUMP_HH
+
+#include <ostream>
+
+#include "sim/simulator.hh"
+
+namespace cbws
+{
+
+/** Write the full stats dump for @p result to @p out. */
+void dumpStats(std::ostream &out, const SimResult &result);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_STATSDUMP_HH

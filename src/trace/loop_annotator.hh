@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Automatic annotation of tight, innermost loops in a raw instruction
+ * trace.
+ *
+ * The paper annotates loop iterations with a dedicated LLVM pass that
+ * wraps each innermost tight loop body in BLOCK_BEGIN / BLOCK_END ISA
+ * markers. The only architecturally visible product of that pass is
+ * the placement of the markers, so this module reproduces it at the
+ * trace level: it detects innermost tight loops from taken backward
+ * branches, assigns each loop a static BlockId, and rewrites the trace
+ * with markers inserted around every dynamic iteration.
+ *
+ * Detection rules (mirroring the pass's "tight innermost loop" filter):
+ *  - a loop candidate is a taken backward branch (target <= pc); the
+ *    body is the static PC range [target, branch pc];
+ *  - a candidate is *innermost* if no other candidate's body nests
+ *    strictly inside it;
+ *  - a candidate is *tight* if its static body spans at most
+ *    maxBodyInsts instructions.
+ */
+
+#ifndef CBWS_TRACE_LOOP_ANNOTATOR_HH
+#define CBWS_TRACE_LOOP_ANNOTATOR_HH
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cbws
+{
+
+/** Static description of one detected loop. */
+struct DetectedLoop
+{
+    Addr headerPc = 0;   ///< first instruction of the loop body
+    Addr branchPc = 0;   ///< the backward branch closing the loop
+    BlockId id = 0;      ///< assigned static block identifier
+    std::uint64_t iterations = 0; ///< dynamic iteration count observed
+};
+
+/**
+ * Detects innermost tight loops in a trace and inserts block markers.
+ */
+class LoopAnnotator
+{
+  public:
+    struct Params
+    {
+        /** Maximum static body size (in instructions) of a tight
+         *  loop; bodies larger than this are left unannotated. */
+        std::size_t maxBodyInsts = 64;
+        /** Minimum dynamic iteration count before a loop is deemed
+         *  worth annotating. */
+        std::uint64_t minIterations = 4;
+        /** Assumed instruction size, used to measure body spans. */
+        unsigned instBytes = 4;
+    };
+
+    LoopAnnotator() : LoopAnnotator(Params{}) {}
+
+    explicit LoopAnnotator(const Params &params) : params_(params) {}
+
+    /**
+     * Analyse @p input and return a copy with BLOCK_BEGIN/BLOCK_END
+     * records inserted around every iteration of each detected loop.
+     * Input must not already contain block markers.
+     */
+    Trace annotate(const Trace &input);
+
+    /** Loops found by the most recent annotate() call. */
+    const std::vector<DetectedLoop> &loops() const { return loops_; }
+
+  private:
+    /** First pass: find innermost tight loop candidates. */
+    void detectLoops(const Trace &input);
+
+    Params params_;
+    std::vector<DetectedLoop> loops_;
+    /** headerPc -> index into loops_, for the rewrite pass. */
+    std::map<Addr, std::size_t> byHeader_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_TRACE_LOOP_ANNOTATOR_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Definition of the dynamic instruction trace record consumed by the
+ * out-of-order core model.
+ *
+ * Workload kernels (src/workloads) execute their real algorithm and
+ * emit one TraceRecord per dynamic instruction: program counter,
+ * instruction class, up to two source registers and one destination
+ * register (which the core uses for dependency-driven scheduling), the
+ * effective address for memory operations, and the outcome/target for
+ * branches. Code block boundaries — the paper's BLOCK_BEGIN and
+ * BLOCK_END ISA extensions — travel in the same stream as marker
+ * records.
+ */
+
+#ifndef CBWS_TRACE_RECORD_HH
+#define CBWS_TRACE_RECORD_HH
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/** Broad classification of a dynamic instruction. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer operation
+    IntMul,     ///< multi-cycle integer multiply/divide
+    FpAlu,      ///< floating-point operation
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Branch,     ///< conditional or unconditional control transfer
+    BlockBegin, ///< BLOCK_BEGIN marker (paper's ISA extension)
+    BlockEnd,   ///< BLOCK_END marker
+    Nop,        ///< no-operation placeholder
+};
+
+/** True for Load and Store records. */
+constexpr bool
+isMemory(InstClass cls)
+{
+    return cls == InstClass::Load || cls == InstClass::Store;
+}
+
+/** True for the BLOCK_BEGIN / BLOCK_END markers. */
+constexpr bool
+isBlockMarker(InstClass cls)
+{
+    return cls == InstClass::BlockBegin || cls == InstClass::BlockEnd;
+}
+
+/**
+ * One dynamic instruction.
+ *
+ * The layout is kept POD and compact (32 bytes) so multi-million
+ * instruction traces stay cheap to hold and to stream to disk.
+ */
+struct TraceRecord
+{
+    Addr pc = 0;              ///< virtual address of the instruction
+    Addr effAddr = 0;         ///< effective address (Load/Store) or
+                              ///< branch target (Branch)
+    InstClass cls = InstClass::Nop;
+    std::uint8_t size = 0;    ///< access size in bytes (Load/Store)
+    RegIndex src1 = InvalidReg;
+    RegIndex src2 = InvalidReg;
+    RegIndex dest = InvalidReg;
+    bool taken = false;       ///< actual branch outcome
+    BlockId blockId = 0;      ///< block identifier for marker records
+
+    /** Cache line touched by a memory record. */
+    LineAddr line() const { return lineOf(effAddr); }
+
+    static TraceRecord
+    alu(Addr pc, RegIndex dest, RegIndex src1 = InvalidReg,
+        RegIndex src2 = InvalidReg)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::IntAlu;
+        r.dest = dest;
+        r.src1 = src1;
+        r.src2 = src2;
+        return r;
+    }
+
+    static TraceRecord
+    fp(Addr pc, RegIndex dest, RegIndex src1 = InvalidReg,
+       RegIndex src2 = InvalidReg)
+    {
+        TraceRecord r = alu(pc, dest, src1, src2);
+        r.cls = InstClass::FpAlu;
+        return r;
+    }
+
+    static TraceRecord
+    load(Addr pc, Addr addr, RegIndex dest, RegIndex addr_reg = InvalidReg,
+         std::uint8_t size = 8)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::Load;
+        r.effAddr = addr;
+        r.size = size;
+        r.dest = dest;
+        r.src1 = addr_reg;
+        return r;
+    }
+
+    static TraceRecord
+    store(Addr pc, Addr addr, RegIndex data_reg,
+          RegIndex addr_reg = InvalidReg, std::uint8_t size = 8)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::Store;
+        r.effAddr = addr;
+        r.size = size;
+        r.src1 = data_reg;
+        r.src2 = addr_reg;
+        return r;
+    }
+
+    static TraceRecord
+    branch(Addr pc, bool taken, Addr target,
+           RegIndex cond_reg = InvalidReg)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::Branch;
+        r.taken = taken;
+        r.effAddr = target;
+        r.src1 = cond_reg;
+        return r;
+    }
+
+    static TraceRecord
+    blockBegin(Addr pc, BlockId id)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::BlockBegin;
+        r.blockId = id;
+        return r;
+    }
+
+    static TraceRecord
+    blockEnd(Addr pc, BlockId id)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = InstClass::BlockEnd;
+        r.blockId = id;
+        return r;
+    }
+};
+
+} // namespace cbws
+
+#endif // CBWS_TRACE_RECORD_HH

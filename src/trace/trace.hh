@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-memory instruction trace container plus a simple binary on-disk
+ * format for saving and replaying traces.
+ */
+
+#ifndef CBWS_TRACE_TRACE_HH
+#define CBWS_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace cbws
+{
+
+/**
+ * A dynamic instruction trace: an append-only sequence of TraceRecords
+ * produced by a workload kernel and consumed by the core model.
+ */
+class Trace
+{
+  public:
+    void
+    append(const TraceRecord &rec)
+    {
+        records_.push_back(rec);
+    }
+
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    auto begin() const { return records_.begin(); }
+    auto end() const { return records_.end(); }
+
+    std::vector<TraceRecord> &records() { return records_; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Count of records of a given class. */
+    std::size_t countClass(InstClass cls) const;
+
+    /**
+     * Structural validation: block markers balanced and non-nested,
+     * BLOCK_END ids matching their BLOCK_BEGIN, memory records with
+     * non-zero addresses. Returns an empty string when valid, or a
+     * description of the first violation.
+     */
+    std::string validate() const;
+
+    /**
+     * Serialise to the CBT1 binary format (raw records). Returns
+     * false (and warns) on I/O failure.
+     */
+    bool saveTo(const std::string &path) const;
+
+    /**
+     * Load a trace previously written by saveTo() or
+     * saveCompressed() (the magic selects the decoder). Returns
+     * false on I/O or format error.
+     */
+    bool loadFrom(const std::string &path);
+
+    /**
+     * Serialise to the CBT2 compact format: per-field delta +
+     * varint encoding, typically 3-4x smaller than CBT1. Loadable
+     * via loadFrom().
+     */
+    bool saveCompressed(const std::string &path) const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_TRACE_TRACE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Trace emission helper used by workload kernels.
+ *
+ * The Emitter manages the kernel's synthetic address space (a bump
+ * allocator for data arrays plus a code region for synthetic PCs),
+ * assigns each static emission site a stable PC, and appends
+ * TraceRecords. Kernels pass a small integer *site* per static
+ * instruction, so the same source line always produces the same PC —
+ * exactly what PC-indexed prefetchers and the branch predictor need.
+ */
+
+#ifndef CBWS_WORKLOADS_EMITTER_HH
+#define CBWS_WORKLOADS_EMITTER_HH
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace cbws
+{
+
+/**
+ * Appends records to a Trace on behalf of a kernel.
+ */
+class Emitter
+{
+  public:
+    Emitter(Trace &trace, const WorkloadParams &params,
+            Addr code_base = 0x400000, Addr data_base = 0x10000000)
+        : trace_(trace),
+          codeBase_(code_base),
+          dataBrk_(data_base),
+          limit_(params.maxInstructions + 256),
+          rng_(params.seed)
+    {
+    }
+
+    /** Budget exhausted? Kernels poll this in their outer loops. */
+    bool full() const { return trace_.size() >= limit_; }
+
+    /** Deterministic RNG seeded from the workload parameters. */
+    Random &rng() { return rng_; }
+
+    /** Allocate a data array with a guard gap between allocations. */
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = 64)
+    {
+        dataBrk_ = (dataBrk_ + align - 1) / align * align;
+        const Addr base = dataBrk_;
+        dataBrk_ += bytes + 4096; // guard page between arrays
+        return base;
+    }
+
+    /** PC assigned to static emission site @p site. */
+    Addr pcOf(unsigned site) const { return codeBase_ + site * 4u; }
+
+    void
+    alu(unsigned site, RegIndex dst, RegIndex s1 = InvalidReg,
+        RegIndex s2 = InvalidReg)
+    {
+        trace_.append(TraceRecord::alu(pcOf(site), dst, s1, s2));
+    }
+
+    void
+    mul(unsigned site, RegIndex dst, RegIndex s1 = InvalidReg,
+        RegIndex s2 = InvalidReg)
+    {
+        TraceRecord r = TraceRecord::alu(pcOf(site), dst, s1, s2);
+        r.cls = InstClass::IntMul;
+        trace_.append(r);
+    }
+
+    void
+    fp(unsigned site, RegIndex dst, RegIndex s1 = InvalidReg,
+       RegIndex s2 = InvalidReg)
+    {
+        trace_.append(TraceRecord::fp(pcOf(site), dst, s1, s2));
+    }
+
+    void
+    load(unsigned site, Addr addr, RegIndex dst,
+         RegIndex addr_reg = InvalidReg, std::uint8_t size = 8)
+    {
+        trace_.append(TraceRecord::load(pcOf(site), addr, dst,
+                                        addr_reg, size));
+    }
+
+    void
+    store(unsigned site, Addr addr, RegIndex data_reg,
+          RegIndex addr_reg = InvalidReg, std::uint8_t size = 8)
+    {
+        trace_.append(TraceRecord::store(pcOf(site), addr, data_reg,
+                                         addr_reg, size));
+    }
+
+    /** Conditional/unconditional branch to another static site. */
+    void
+    branch(unsigned site, bool taken, unsigned target_site,
+           RegIndex cond_reg = InvalidReg)
+    {
+        trace_.append(TraceRecord::branch(pcOf(site), taken,
+                                          pcOf(target_site), cond_reg));
+    }
+
+    void
+    blockBegin(unsigned site, BlockId id)
+    {
+        trace_.append(TraceRecord::blockBegin(pcOf(site), id));
+    }
+
+    void
+    blockEnd(unsigned site, BlockId id)
+    {
+        trace_.append(TraceRecord::blockEnd(pcOf(site), id));
+    }
+
+    /**
+     * Rotating temporary destination register (r40..r55): avoids
+     * serialising independent loads through a single register.
+     */
+    RegIndex
+    temp()
+    {
+        tempRot_ = (tempRot_ + 1) % 16;
+        return static_cast<RegIndex>(40 + tempRot_);
+    }
+
+  private:
+    Trace &trace_;
+    Addr codeBase_;
+    Addr dataBrk_;
+    std::uint64_t limit_;
+    Random rng_;
+    unsigned tempRot_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_WORKLOADS_EMITTER_HH

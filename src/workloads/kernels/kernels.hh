@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Factory functions for every synthetic benchmark kernel. One factory
+ * per benchmark in the paper's evaluation (Table IV memory-intensive
+ * group + the 15 low-MPKI benchmarks of Fig. 14).
+ */
+
+#ifndef CBWS_WORKLOADS_KERNELS_KERNELS_HH
+#define CBWS_WORKLOADS_KERNELS_KERNELS_HH
+
+#include "workloads/workload.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+// ---- Memory-intensive group (Table IV) ----
+WorkloadPtr makeBzip2();        // 401.bzip2-source
+WorkloadPtr makeHisto();        // Parboil histo-large
+WorkloadPtr makeMcf();          // 429.mcf-ref
+WorkloadPtr makeLbm();          // Parboil lbm-long
+WorkloadPtr makeMriQ();         // Parboil mri-q-large
+WorkloadPtr makeStencil();      // Parboil stencil-default
+WorkloadPtr makeFft();          // SPLASH fft-simlarge
+WorkloadPtr makeNw();           // Rodinia nw
+WorkloadPtr makeLibquantum();   // 462.libquantum-ref
+WorkloadPtr makeSoplex();       // 450.soplex-ref
+WorkloadPtr makeLuNcb();        // SPLASH lu-ncb-simlarge
+WorkloadPtr makeRadix();        // SPLASH radix-simlarge
+WorkloadPtr makeMilc();         // 433.milc-su3imp
+WorkloadPtr makeStreamcluster();// PARSEC streamcluster-simlarge
+WorkloadPtr makeSgemm();        // Parboil sgemm-medium
+
+// ---- Low-MPKI group (Fig. 14, bottom) ----
+WorkloadPtr makeSjeng();        // 458.sjeng-ref
+WorkloadPtr makeOmnetpp();      // 471.omnetpp
+WorkloadPtr makeBfs();          // bfs-1m
+WorkloadPtr makeCanneal();      // PARSEC canneal-simlarge
+WorkloadPtr makeCholesky();     // SPLASH cholesky-tk29
+WorkloadPtr makeFreqmine();     // PARSEC freqmine-simlarge
+WorkloadPtr makeMdLinpack();    // md-linpack
+WorkloadPtr makeMvxLinpack();   // mvx-linpack
+WorkloadPtr makeMxmLinpack();   // mxm-linpack
+WorkloadPtr makeOceanCp();      // SPLASH ocean-cp-simlarge
+WorkloadPtr makeSad();          // Parboil sad-base-large
+WorkloadPtr makeSpmv();         // Parboil spmv-large
+WorkloadPtr makeWaterSpatial(); // SPLASH water-spatial-native
+WorkloadPtr makeBackprop();     // Rodinia backprop
+WorkloadPtr makeSradV1();       // Rodinia srad-v1
+
+} // namespace kernels
+} // namespace cbws
+
+#endif // CBWS_WORKLOADS_KERNELS_KERNELS_HH

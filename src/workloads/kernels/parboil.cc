@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Synthetic kernels for the Parboil benchmarks used in the paper:
+ * stencil, sgemm, mri-q, histo and lbm (memory intensive) plus sad
+ * and spmv (low MPKI).
+ */
+
+#include "workloads/emitter.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+namespace
+{
+
+constexpr RegIndex RIdx = 1;
+constexpr RegIndex RJdx = 2;
+constexpr RegIndex RVal = 3;
+constexpr RegIndex RPtr = 4;
+constexpr RegIndex RAcc = 5;
+constexpr RegIndex RCmp = 6;
+
+/**
+ * Parboil stencil-default — 7-point Jacobi on a 3D grid (Fig. 2 of
+ * the paper).
+ *
+ * The paper's motivating example: IDX(nx,ny,x,y,z) = x + nx*(y+ny*z),
+ * with the innermost loop over z, so every neighbour access jumps by
+ * nx*ny floats per iteration. Each iteration touches seven distinct
+ * lines plus two cached coefficient loads, and consecutive CBWSs
+ * differ by a constant stride vector (Figs. 3-4).
+ */
+class StencilWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "stencil-default"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        // Parboil's default grid is 512x512x64; we keep the paper's
+        // long-innermost-sweep shape (large nz) at a scaled size.
+        const std::uint64_t nx = 64, ny = 64, nz = 512; // 8 MB grids
+        const Addr a0 = e.alloc(nx * ny * nz * 4);
+        const Addr a1 = e.alloc(nx * ny * nz * 4);
+        const Addr stack = e.alloc(256);
+
+        auto idx = [&](std::uint64_t x, std::uint64_t y,
+                       std::uint64_t z) {
+            return (x + nx * (y + ny * z)) * 4;
+        };
+
+        while (!e.full()) {
+            for (std::uint64_t i = 1; i + 1 < nx && !e.full(); ++i) {
+                // Outer-loop bookkeeping (non-loop runtime).
+                for (unsigned s = 0; s < 12; ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+                for (std::uint64_t j = 1; j + 1 < ny && !e.full();
+                     ++j) {
+                    e.alu(120, RJdx, RJdx);
+                    for (std::uint64_t k = 1; k + 1 < nz && !e.full();
+                         ++k) {
+                        e.blockBegin(0, /*id=*/7);
+                        // c0, c1 coefficient reloads (always cached;
+                        // the "80, 81" members of Fig. 3).
+                        e.load(1, stack + 0, e.temp(), InvalidReg, 4);
+                        e.load(2, stack + 8, e.temp(), InvalidReg, 4);
+                        e.load(3, a0 + idx(i, j, k + 1), e.temp(),
+                               RIdx, 4);
+                        e.load(4, a0 + idx(i, j, k - 1), e.temp(),
+                               RIdx, 4);
+                        e.load(5, a0 + idx(i, j + 1, k), e.temp(),
+                               RIdx, 4);
+                        e.load(6, a0 + idx(i, j - 1, k), e.temp(),
+                               RIdx, 4);
+                        e.load(7, a0 + idx(i + 1, j, k), e.temp(),
+                               RIdx, 4);
+                        e.load(8, a0 + idx(i - 1, j, k), e.temp(),
+                               RIdx, 4);
+                        e.load(9, a0 + idx(i, j, k), RVal, RIdx, 4);
+                        e.fp(10, RAcc, RVal);
+                        e.fp(11, RAcc, RAcc, RVal);
+                        e.store(12, a1 + idx(i, j, k), RAcc, RIdx, 4);
+                        e.alu(13, RIdx, RIdx);
+                        e.branch(14, k + 2 < nz, 1, RIdx);
+                        e.blockEnd(15, /*id=*/7);
+                    }
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Parboil sgemm-medium — dense matrix multiply, C += A*B.
+ *
+ * The innermost k-loop reads A row-wise (unit stride) and B
+ * column-wise (stride = N floats = 16 lines), a block-structured
+ * pattern whose CBWS differentials are constant. The long B-column
+ * stride walks out of SMS's 2 KB regions after two iterations, which
+ * is how the paper gets its headline 4x best case for CBWS on sgemm.
+ */
+class SgemmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "sgemm-medium"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 1024; // 4 MB per matrix
+        const Addr a = e.alloc(n * n * 4);
+        const Addr b = e.alloc(n * n * 4);
+        const Addr c = e.alloc(n * n * 4);
+
+        std::uint64_t pass = 0;
+        while (!e.full()) {
+            for (std::uint64_t i = pass % n; i < n && !e.full(); ++i) {
+                for (std::uint64_t j = 0; j < n && !e.full(); ++j) {
+                    // Outer bookkeeping + C tile load (non-loop).
+                    for (unsigned s = 0; s < 6; ++s)
+                        e.alu(100 + s % 3, RAcc, RAcc);
+                    e.load(110, c + (i * n + j) * 4, RAcc, RJdx, 4);
+                    // The compiler unrolls the k-loop by 4 (as the
+                    // Parboil build does), so one annotated block
+                    // touches four B-column lines.
+                    for (std::uint64_t k = 0; k < n && !e.full();
+                         k += 4) {
+                        e.blockBegin(0, /*id=*/8);
+                        for (unsigned u = 0; u < 4; ++u) {
+                            e.load(1 + u * 3,
+                                   a + (i * n + k + u) * 4, RVal,
+                                   RIdx, 4);
+                            e.load(2 + u * 3,
+                                   b + ((k + u) * n + j) * 4, RPtr,
+                                   RIdx, 4);
+                            e.fp(3 + u * 3, RAcc, RVal, RPtr);
+                        }
+                        e.alu(14, RIdx, RIdx);
+                        e.branch(15, k + 4 < n, 1, RIdx);
+                        e.blockEnd(16, /*id=*/8);
+                    }
+                    e.store(111, c + (i * n + j) * 4, RAcc, RJdx, 4);
+                }
+            }
+            ++pass;
+        }
+    }
+};
+
+/**
+ * Parboil mri-q-large — MRI Q-matrix computation.
+ *
+ * The inner loop streams the k-space trajectory array (three
+ * coordinate streams plus phase tables) with unit stride while the
+ * voxel coordinates stay in registers: several coordinated streams,
+ * friendly to every prefetcher, with CBWS capturing the full
+ * iteration working set.
+ */
+class MriQWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "mri-q-large"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_k = 1024 * 1024;
+        const Addr kx = e.alloc(num_k * 4);
+        const Addr ky = e.alloc(num_k * 4);
+        const Addr kz = e.alloc(num_k * 4);
+        const Addr phi_r = e.alloc(num_k * 4);
+        const Addr phi_i = e.alloc(num_k * 4);
+
+        while (!e.full()) {
+            // Per-voxel setup (non-loop).
+            for (unsigned s = 0; s < 25 && !e.full(); ++s)
+                e.alu(100 + s % 5, RAcc, RAcc);
+
+            // The k-space loop is unrolled by 4 in the Parboil build.
+            for (std::uint64_t k = 0; k < num_k && !e.full(); k += 4) {
+                e.blockBegin(0, /*id=*/9);
+                for (unsigned u = 0; u < 4; ++u) {
+                    e.load(1 + u * 7, kx + (k + u) * 4, RVal, RIdx, 4);
+                    e.load(2 + u * 7, ky + (k + u) * 4, RPtr, RIdx, 4);
+                    e.load(3 + u * 7, kz + (k + u) * 4, RCmp, RIdx, 4);
+                    e.fp(4 + u * 7, RAcc, RVal, RPtr);
+                    e.load(5 + u * 7, phi_r + (k + u) * 4, e.temp(),
+                           RIdx, 4);
+                    e.load(6 + u * 7, phi_i + (k + u) * 4, e.temp(),
+                           RIdx, 4);
+                    e.fp(7 + u * 7, RAcc, RAcc, RCmp);
+                }
+                e.alu(30, RIdx, RIdx);
+                e.branch(31, k + 4 < num_k, 1, RIdx);
+                e.blockEnd(32, /*id=*/9);
+            }
+        }
+    }
+};
+
+/**
+ * Parboil histo-large — image histogramming (Fig. 16 of the paper).
+ *
+ * Each iteration streams one pixel and then updates histo[value]: the
+ * second access is purely input-data dependent, so no differential
+ * representation can predict it. The paper singles histo out as a
+ * benchmark where CBWS-based schemes are outperformed.
+ */
+class HistoWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "histo-large"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t pixels = 996 * 1040;
+        const std::uint64_t bins = 256 * 4096; // large sparse histo
+        const Addr img = e.alloc(pixels * 4);
+        const Addr histo = e.alloc(bins);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 30 && !e.full(); ++s)
+                e.alu(100 + s % 6, RAcc, RAcc);
+
+            for (std::uint64_t i = 0; i < pixels && !e.full(); ++i) {
+                // Pixel values: a noisy 2D gradient, like the input
+                // images Parboil ships: neither uniform nor constant.
+                const std::uint64_t value =
+                    (i / 1040 + e.rng().below(64 * 1024)) % bins;
+                const bool saturated = e.rng().chance(0.02);
+                e.blockBegin(0, /*id=*/10);
+                e.load(1, img + i * 4, RVal, RIdx, 4);
+                e.load(2, histo + value, RPtr, RVal, 1);
+                e.alu(3, RCmp, RPtr);
+                e.branch(4, saturated, 6, RCmp);
+                if (!saturated)
+                    e.store(5, histo + value, RPtr, RVal, 1);
+                e.alu(6, RIdx, RIdx);
+                e.branch(7, i + 1 < pixels, 1, RIdx);
+                e.blockEnd(8, /*id=*/10);
+            }
+        }
+    }
+};
+
+/**
+ * Parboil lbm-long — lattice-Boltzmann collision/streaming step.
+ *
+ * Each cell update reads 19 distribution values from the source grid
+ * and scatters to neighbour cells of the destination grid, with an
+ * obstacle test making part of the pattern input dependent. The >16
+ * distinct lines per iteration exceed CBWS's tracing capacity, and
+ * the data-dependent scatter defeats differential prediction — lbm is
+ * one of the benchmarks where the paper's CBWS schemes lose to SMS.
+ */
+class LbmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lbm-long"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t cells = 100 * 100 * 26;
+        const std::uint64_t plane = 100 * 100;
+        const Addr src_grid = e.alloc(cells * 19 * 8);
+        const Addr dst_grid = e.alloc(cells * 19 * 8);
+        const Addr flags = e.alloc(cells);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 40 && !e.full(); ++s)
+                e.alu(100 + s % 8, RAcc, RAcc);
+
+            for (std::uint64_t c = 0; c < cells && !e.full(); ++c) {
+                const bool obstacle = e.rng().chance(0.1);
+                e.blockBegin(0, /*id=*/11);
+                e.load(1, flags + c, RCmp, RIdx, 1);
+                // 19 distribution functions: cell-major layout, so
+                // each is one line away from the next.
+                for (unsigned q = 0; q < 19; ++q) {
+                    e.load(2 + q, src_grid + (c * 19 + q) * 8,
+                           e.temp(), RIdx);
+                }
+                e.fp(21, RAcc, RVal);
+                e.fp(22, RAcc, RAcc);
+                e.branch(23, obstacle, 30, RCmp);
+                if (!obstacle) {
+                    // Stream to 4 representative neighbours.
+                    e.store(24, dst_grid + (c * 19 + 0) * 8, RAcc,
+                            RIdx);
+                    e.store(25, dst_grid + ((c + 1) * 19 + 1) * 8,
+                            RAcc, RIdx);
+                    e.store(26,
+                            dst_grid + ((c + 100) % cells * 19 + 5) *
+                            8, RAcc, RIdx);
+                    e.store(27,
+                            dst_grid +
+                            ((c + plane) % cells * 19 + 9) * 8,
+                            RAcc, RIdx);
+                } else {
+                    // Bounce-back: write to own cell reversed.
+                    e.store(28, dst_grid + (c * 19 + 2) * 8, RAcc,
+                            RIdx);
+                }
+                e.alu(30, RIdx, RIdx);
+                e.branch(31, c + 1 < cells, 1, RIdx);
+                e.blockEnd(32, /*id=*/11);
+            }
+        }
+    }
+};
+
+/**
+ * Parboil sad-base-large — sum-of-absolute-differences motion search
+ * (low MPKI).
+ *
+ * 16x16 macroblock comparisons stay inside two frames that are
+ * re-walked continuously; after the first sweep, most accesses hit in
+ * the L2.
+ */
+class SadWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "sad-base-large"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t w = 176, h = 128;
+        const Addr cur = e.alloc(w * h);
+        const Addr ref = e.alloc(w * h);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 20 && !e.full(); ++s)
+                e.alu(100 + s % 4, RAcc, RAcc);
+
+            for (std::uint64_t mb = 0; mb < 88 && !e.full(); ++mb) {
+                const std::uint64_t mbx = (mb % 11) * 16;
+                const std::uint64_t mby = (mb / 11) * 16;
+                for (std::uint64_t row = 0; row < 16 && !e.full();
+                     ++row) {
+                    const Addr c_row = cur + (mby + row) * w + mbx;
+                    const Addr r_row = ref + (mby + row) * w + mbx;
+                    e.blockBegin(0, /*id=*/12);
+                    e.load(1, c_row, RVal, RIdx, 8);
+                    e.load(2, c_row + 8, RPtr, RIdx, 8);
+                    e.load(3, r_row, RCmp, RIdx, 8);
+                    e.load(4, r_row + 8, RAcc, RIdx, 8);
+                    e.alu(5, RAcc, RVal, RCmp);
+                    e.alu(6, RAcc, RPtr, RAcc);
+                    e.alu(7, RIdx, RIdx);
+                    e.branch(8, row + 1 < 16, 1, RIdx);
+                    e.blockEnd(9, /*id=*/12);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Parboil spmv-large — sparse matrix-vector product, CSR (low MPKI).
+ *
+ * Row pointers, column indices and values stream with unit stride;
+ * the x-vector gathers are irregular but x fits in the L2, so the
+ * miss rate stays low.
+ */
+class SpmvWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "spmv-large"; }
+    std::string suite() const override { return "Parboil"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 1024;   // rows; all arrays L2 resident
+        const std::uint64_t nnz = 8192;
+        const Addr vals = e.alloc(nnz * 8);
+        const Addr cols = e.alloc(nnz * 4);
+        const Addr x = e.alloc(n * 8);
+        const Addr y = e.alloc(n * 8);
+
+        while (!e.full()) {
+            std::uint64_t k = 0;
+            for (std::uint64_t row = 0; row < n && !e.full(); ++row) {
+                for (unsigned s = 0; s < 4; ++s)
+                    e.alu(100 + s, RAcc, RAcc);
+                const std::uint64_t len = 4 + e.rng().below(8);
+                for (std::uint64_t j = 0; j < len && !e.full(); ++j) {
+                    const std::uint64_t kk = (k + j) % nnz;
+                    const std::uint64_t col =
+                        (row + e.rng().below(2048)) % n;
+                    e.blockBegin(0, /*id=*/13);
+                    e.load(1, vals + kk * 8, RVal, RIdx);
+                    e.load(2, cols + kk * 4, RPtr, RIdx, 4);
+                    e.load(3, x + col * 8, RCmp, RPtr);
+                    e.fp(4, RAcc, RVal, RCmp);
+                    e.alu(5, RIdx, RIdx);
+                    e.branch(6, j + 1 < len, 1, RIdx);
+                    e.blockEnd(7, /*id=*/13);
+                }
+                k += len;
+                e.store(110, y + row * 8, RAcc, RJdx);
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+WorkloadPtr
+makeStencil()
+{
+    return std::make_unique<StencilWorkload>();
+}
+
+WorkloadPtr
+makeSgemm()
+{
+    return std::make_unique<SgemmWorkload>();
+}
+
+WorkloadPtr
+makeMriQ()
+{
+    return std::make_unique<MriQWorkload>();
+}
+
+WorkloadPtr
+makeHisto()
+{
+    return std::make_unique<HistoWorkload>();
+}
+
+WorkloadPtr
+makeLbm()
+{
+    return std::make_unique<LbmWorkload>();
+}
+
+WorkloadPtr
+makeSad()
+{
+    return std::make_unique<SadWorkload>();
+}
+
+WorkloadPtr
+makeSpmv()
+{
+    return std::make_unique<SpmvWorkload>();
+}
+
+} // namespace kernels
+} // namespace cbws

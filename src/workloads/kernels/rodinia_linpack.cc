@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Synthetic kernels for the Rodinia and Linpack-style benchmarks used
+ * in the paper: nw (memory intensive) plus bfs-1m, backprop, srad-v1,
+ * md-linpack, mvx-linpack and mxm-linpack (low MPKI).
+ */
+
+#include <algorithm>
+
+#include "workloads/emitter.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+namespace
+{
+
+constexpr RegIndex RIdx = 1;
+constexpr RegIndex RJdx = 2;
+constexpr RegIndex RVal = 3;
+constexpr RegIndex RPtr = 4;
+constexpr RegIndex RAcc = 5;
+constexpr RegIndex RCmp = 6;
+
+/**
+ * Rodinia nw — Needleman-Wunsch dynamic programming.
+ *
+ * The inner loop fills one DP row: each iteration reads the cell to
+ * the left, the two cells in the previous row, and the reference
+ * score. All four streams advance in lock step (unit stride within a
+ * row, one row stride apart), so the iteration working set evolves by
+ * a small constant differential — nw is one of the benchmarks where
+ * the paper reports both CBWS schemes beating every other prefetcher.
+ */
+class NwWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "nw"; }
+    std::string suite() const override { return "Rodinia"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 2048; // 16 MB DP matrix of ints
+        const Addr dp = e.alloc(n * n * 4);
+        const Addr ref = e.alloc(n * n * 4);
+
+        // Rodinia nw walks anti-diagonals (the wavefront dependency
+        // order), so consecutive iterations move to a different DP
+        // row: every access lands on a fresh line, and the iteration
+        // working set shifts by a constant (rowStride - cellSize)
+        // differential.
+        while (!e.full()) {
+            for (std::uint64_t d = 2; d < 2 * n - 1 && !e.full();
+                 ++d) {
+                // Diagonal setup (non-loop).
+                for (unsigned s = 0; s < 10; ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+                const std::uint64_t i_lo = d >= n ? d - n + 1 : 1;
+                const std::uint64_t i_hi = std::min<std::uint64_t>(
+                    d - 1, n - 1);
+                for (std::uint64_t i = i_lo;
+                     i <= i_hi && !e.full(); ++i) {
+                    const std::uint64_t j = d - i;
+                    if (j == 0 || j >= n)
+                        continue;
+                    e.blockBegin(0, /*id=*/23);
+                    e.load(1, dp + ((i - 1) * n + j - 1) * 4, RVal,
+                           RIdx, 4);
+                    e.load(2, dp + ((i - 1) * n + j) * 4, RPtr, RIdx,
+                           4);
+                    e.load(3, dp + (i * n + j - 1) * 4, RCmp, RIdx,
+                           4);
+                    e.load(4, ref + (i * n + j) * 4, RAcc, RIdx, 4);
+                    e.alu(5, RVal, RVal, RAcc);   // diag + score
+                    e.alu(6, RVal, RVal, RPtr);   // max3
+                    e.alu(7, RVal, RVal, RCmp);
+                    e.store(8, dp + (i * n + j) * 4, RVal, RIdx, 4);
+                    e.alu(9, RIdx, RIdx);
+                    e.branch(10, i < i_hi, 1, RIdx);
+                    e.blockEnd(11, /*id=*/23);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * bfs-1m — frontier breadth-first search (low MPKI).
+ *
+ * Frontier nodes and their adjacency lists live in arrays small
+ * enough to stay L2-resident; the visited bitmap gathers are
+ * irregular but cheap.
+ */
+class BfsWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "bfs-1m"; }
+    std::string suite() const override { return "Rodinia"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t nodes = 8192;
+        const Addr adj = e.alloc(nodes * 8 * 4); // 8 edges per node
+        const Addr visited = e.alloc(nodes);
+        const Addr frontier = e.alloc(nodes * 4);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 25 && !e.full(); ++s)
+                e.alu(100 + s % 5, RAcc, RAcc);
+
+            for (std::uint64_t f = 0; f < 512 && !e.full(); ++f) {
+                const std::uint64_t node = (f * 17) % nodes;
+                for (unsigned ed = 0; ed < 8 && !e.full(); ++ed) {
+                    const std::uint64_t nb = e.rng().below(nodes);
+                    const bool unvisited = e.rng().chance(0.3);
+                    e.blockBegin(0, /*id=*/24);
+                    e.load(1, frontier + f * 4, RVal, RIdx, 4);
+                    e.load(2, adj + (node * 8 + ed) * 4, RPtr, RVal,
+                           4);
+                    e.load(3, visited + nb, RCmp, RPtr, 1);
+                    e.branch(4, !unvisited, 6, RCmp);
+                    if (unvisited)
+                        e.store(5, visited + nb, RCmp, RPtr, 1);
+                    e.alu(6, RIdx, RIdx);
+                    e.branch(7, ed + 1 < 8, 1, RIdx);
+                    e.blockEnd(8, /*id=*/24);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Rodinia backprop — neural network forward/backward pass (low MPKI).
+ *
+ * The weight matrix is deliberately L2-resident, so repeated layer
+ * sweeps hit after the first pass.
+ */
+class BackpropWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "backprop"; }
+    std::string suite() const override { return "Rodinia"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t in_n = 512, hid_n = 8;
+        const Addr weights = e.alloc(in_n * hid_n * 4); // 16 KB
+        const Addr input = e.alloc(in_n * 4);
+        const Addr hidden = e.alloc(hid_n * 4);
+
+        while (!e.full()) {
+            for (std::uint64_t h = 0; h < hid_n && !e.full(); ++h) {
+                for (unsigned s = 0; s < 8; ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+                for (std::uint64_t i = 0; i < in_n && !e.full();
+                     ++i) {
+                    e.blockBegin(0, /*id=*/25);
+                    e.load(1, input + i * 4, RVal, RIdx, 4);
+                    e.load(2, weights + (i * hid_n + h) * 4, RPtr,
+                           RIdx, 4);
+                    e.fp(3, RAcc, RVal, RPtr);
+                    e.alu(4, RIdx, RIdx);
+                    e.branch(5, i + 1 < in_n, 1, RIdx);
+                    e.blockEnd(6, /*id=*/25);
+                }
+                e.store(110, hidden + h * 4, RAcc, RJdx, 4);
+            }
+        }
+    }
+};
+
+/**
+ * Rodinia srad-v1 — speckle-reducing anisotropic diffusion
+ * (low MPKI).
+ *
+ * A 4-neighbour image stencil over an image that fits in the L2
+ * after the first sweep.
+ */
+class SradWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "srad-v1"; }
+    std::string suite() const override { return "Rodinia"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t rows = 64, cols = 64; // 16 KB, resident
+        const Addr img = e.alloc(rows * cols * 4);
+        const Addr coef = e.alloc(rows * cols * 4);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 1; i + 1 < rows && !e.full();
+                 ++i) {
+                for (unsigned s = 0; s < 8; ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+                for (std::uint64_t j = 1; j + 1 < cols && !e.full();
+                     ++j) {
+                    const std::uint64_t c = i * cols + j;
+                    e.blockBegin(0, /*id=*/26);
+                    e.load(1, img + c * 4, RVal, RIdx, 4);
+                    e.load(2, img + (c - cols) * 4, RPtr, RIdx, 4);
+                    e.load(3, img + (c + cols) * 4, RCmp, RIdx, 4);
+                    e.load(4, img + (c - 1) * 4, e.temp(), RIdx, 4);
+                    e.load(5, img + (c + 1) * 4, e.temp(), RIdx, 4);
+                    e.fp(6, RAcc, RVal, RPtr);
+                    e.fp(7, RAcc, RAcc, RCmp);
+                    e.store(8, coef + c * 4, RAcc, RIdx, 4);
+                    e.alu(9, RIdx, RIdx);
+                    e.branch(10, j + 2 < cols, 1, RIdx);
+                    e.blockEnd(11, /*id=*/26);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * md-linpack — molecular dynamics neighbour-list forces (low MPKI).
+ */
+class MdWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "md-linpack"; }
+    std::string suite() const override { return "Linpack"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t particles = 512; // 32 KB
+        const Addr pos = e.alloc(particles * 32);
+        const Addr force = e.alloc(particles * 32);
+        const Addr neigh = e.alloc(particles * 16 * 4);
+
+        while (!e.full()) {
+            for (std::uint64_t p = 0; p < 512 && !e.full();
+                 ++p) {
+                for (unsigned s = 0; s < 6; ++s)
+                    e.fp(100 + s % 3, RAcc, RAcc);
+                for (unsigned k = 0; k < 8 && !e.full(); ++k) {
+                    const std::uint64_t nb =
+                        (p + 1 + e.rng().below(32)) % particles;
+                    e.blockBegin(0, /*id=*/27);
+                    e.load(1, neigh + (p * 16 + k) * 4, RPtr, RIdx,
+                           4);
+                    e.load(2, pos + p * 32, RVal, RIdx);
+                    e.load(3, pos + nb * 32, RCmp, RPtr);
+                    e.fp(4, RAcc, RVal, RCmp);
+                    e.fp(5, RAcc, RAcc, RVal);
+                    e.store(6, force + p * 32, RAcc, RIdx);
+                    e.alu(7, RIdx, RIdx);
+                    e.branch(8, k + 1 < 16, 1, RIdx);
+                    e.blockEnd(9, /*id=*/27);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * mvx-linpack — repeated matrix-vector product (low MPKI).
+ *
+ * A 1.1 MB matrix streamed over and over: after the first sweep the
+ * matrix is L2-resident.
+ */
+class MvxWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "mvx-linpack"; }
+    std::string suite() const override { return "Linpack"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 64;
+        const Addr mat = e.alloc(n * n * 8); // 32 KB, resident
+        const Addr x = e.alloc(n * 8);
+        const Addr y = e.alloc(n * 8);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 0; i < n && !e.full(); ++i) {
+                for (unsigned s = 0; s < 6; ++s)
+                    e.alu(100 + s % 3, RAcc, RAcc);
+                for (std::uint64_t j = 0; j < n && !e.full(); ++j) {
+                    e.blockBegin(0, /*id=*/28);
+                    e.load(1, mat + (i * n + j) * 8, RVal, RIdx);
+                    e.load(2, x + j * 8, RPtr, RIdx);
+                    e.fp(3, RAcc, RVal, RPtr);
+                    e.alu(4, RIdx, RIdx);
+                    e.branch(5, j + 1 < n, 1, RIdx);
+                    e.blockEnd(6, /*id=*/28);
+                }
+                e.store(110, y + i * 8, RAcc, RJdx);
+            }
+        }
+    }
+};
+
+/**
+ * mxm-linpack — blocked matrix multiply on L2-resident matrices
+ * (low MPKI).
+ */
+class MxmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "mxm-linpack"; }
+    std::string suite() const override { return "Linpack"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 128; // 128 KB per matrix
+        const Addr a = e.alloc(n * n * 8);
+        const Addr b = e.alloc(n * n * 8);
+        const Addr c = e.alloc(n * n * 8);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 0; i < n && !e.full(); ++i) {
+                for (std::uint64_t j = 0; j < n && !e.full(); ++j) {
+                    for (unsigned s = 0; s < 4; ++s)
+                        e.alu(100 + s, RAcc, RAcc);
+                    for (std::uint64_t k = 0; k < n && !e.full();
+                         ++k) {
+                        e.blockBegin(0, /*id=*/29);
+                        e.load(1, a + (i * n + k) * 8, RVal, RIdx);
+                        e.load(2, b + (k * n + j) * 8, RPtr, RIdx);
+                        e.fp(3, RAcc, RVal, RPtr);
+                        e.alu(4, RIdx, RIdx);
+                        e.branch(5, k + 1 < n, 1, RIdx);
+                        e.blockEnd(6, /*id=*/29);
+                    }
+                    e.store(110, c + (i * n + j) * 8, RAcc, RJdx);
+                }
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+WorkloadPtr
+makeNw()
+{
+    return std::make_unique<NwWorkload>();
+}
+
+WorkloadPtr
+makeBfs()
+{
+    return std::make_unique<BfsWorkload>();
+}
+
+WorkloadPtr
+makeBackprop()
+{
+    return std::make_unique<BackpropWorkload>();
+}
+
+WorkloadPtr
+makeSradV1()
+{
+    return std::make_unique<SradWorkload>();
+}
+
+WorkloadPtr
+makeMdLinpack()
+{
+    return std::make_unique<MdWorkload>();
+}
+
+WorkloadPtr
+makeMvxLinpack()
+{
+    return std::make_unique<MvxWorkload>();
+}
+
+WorkloadPtr
+makeMxmLinpack()
+{
+    return std::make_unique<MxmWorkload>();
+}
+
+} // namespace kernels
+} // namespace cbws

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Synthetic kernels for the SPEC CPU2006 benchmarks used in the paper:
+ * 429.mcf, 450.soplex, 462.libquantum, 433.milc, 401.bzip2 (memory
+ * intensive) and 458.sjeng, 471.omnetpp (low MPKI).
+ *
+ * Each kernel reproduces the memory behaviour of its benchmark's
+ * dominant innermost loops: the address streams, the inter-iteration
+ * dependencies, and the branch divergence that the paper's evaluation
+ * attributes the per-benchmark prefetcher outcomes to.
+ */
+
+#include <vector>
+
+#include "workloads/emitter.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+namespace
+{
+
+// Register conventions shared by the kernels in this file.
+constexpr RegIndex RIdx = 1;   ///< primary induction variable
+constexpr RegIndex RIdx2 = 2;  ///< secondary induction variable
+constexpr RegIndex RVal = 3;   ///< loaded data value
+constexpr RegIndex RPtr = 4;   ///< pointer loaded from memory
+constexpr RegIndex RAcc = 5;   ///< accumulator
+constexpr RegIndex RCmp = 6;   ///< comparison result feeding branches
+
+/**
+ * 429.mcf-ref — network simplex pricing loop.
+ *
+ * The dominant loop walks the arc array linearly and dereferences each
+ * arc's tail node to read its potential. Arc storage is linear (one
+ * line per arc); node references exhibit the slowly-advancing-with-
+ * noise locality of mcf's graph, so consecutive iterations' working
+ * sets are often related by small, repeating stride vectors — which is
+ * why the paper reports the integrated CBWS+SMS delivering the best
+ * performance on mcf.
+ */
+class McfWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "429.mcf-ref"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_arcs = 120000;  // 7.5 MB arc array
+        const std::uint64_t num_nodes = 65536;  // 4 MB node array
+        const Addr arcs = e.alloc(num_arcs * 64);
+        const Addr nodes = e.alloc(num_nodes * 64);
+
+        std::uint64_t tree_pos = 0;
+        while (!e.full()) {
+            // Pricing loop over arcs (tight, innermost; annotated).
+            // Arcs are sorted by tail node (as mcf's network storage
+            // is), so the tail-node stream advances with the arc
+            // stream modulo small graph noise — the iteration working
+            // set evolves by a small, recurring stride vector.
+            for (std::uint64_t i = 0; i < num_arcs && !e.full(); ++i) {
+                // Node references scatter across the graph: mcf
+                // is the benchmark no prefetcher tames.
+                const std::uint64_t tail = e.rng().below(num_nodes);
+                const bool negative_cost = e.rng().chance(0.30);
+
+                e.blockBegin(0, /*id=*/0);
+                e.load(1, arcs + i * 64, RVal, RIdx);       // arc cost
+                e.load(2, arcs + i * 64 + 8, RPtr, RIdx);   // arc tail
+                e.load(3, nodes + tail * 64, RAcc, RPtr);   // potential
+                e.alu(4, RCmp, RVal, RAcc);                 // red. cost
+                e.branch(5, !negative_cost, 9, RCmp);
+                if (negative_cost) {
+                    // Update the arc's flow in place (same line as
+                    // the cost load, so the working set stays fixed).
+                    e.store(6, arcs + i * 64 + 16, RCmp, RIdx);
+                    e.alu(7, RAcc, RAcc, RCmp);
+                    e.alu(8, RAcc, RAcc);
+                }
+                e.alu(9, RIdx, RIdx);                       // i++
+                e.branch(10, i + 1 < num_arcs, 1, RIdx);
+                e.blockEnd(11, /*id=*/0);
+
+                // Basis-tree update (non-loop runtime, Fig. 1):
+                // every few arcs the simplex walks spanning-tree
+                // nodes and updates bookkeeping — outside any
+                // annotated block.
+                if (i % 24 == 23) {
+                    for (unsigned s = 0; s < 4 && !e.full(); ++s) {
+                        tree_pos = (tree_pos * 2 + 1 +
+                                    e.rng().below(7)) % num_nodes;
+                        e.load(110 + s, nodes + tree_pos * 64 + 8,
+                               RPtr, RPtr);
+                        e.alu(120 + s, RAcc, RAcc, RPtr);
+                    }
+                    for (unsigned s = 0; s < 10; ++s)
+                        e.alu(130 + s % 6, RAcc, RAcc);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * 450.soplex-ref — sparse LP pricing/ratio-test loop.
+ *
+ * Iterations scan a sparse vector (value + index pairs) and gather
+ * from the dense solution vector through the data-dependent index.
+ * Roughly half the iterations take a value-dependent branch that adds
+ * extra accesses, so working-set sizes diverge between iterations —
+ * the branch divergence the paper blames for CBWS's failure to cut
+ * soplex's MPKI despite its skewed differential distribution.
+ */
+class SoplexWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "450.soplex-ref"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t nnz = 400000;
+        const std::uint64_t dense_n = 500000;
+        const Addr vals = e.alloc(nnz * 8);
+        const Addr idxs = e.alloc(nnz * 4);
+        const Addr dense = e.alloc(dense_n * 8);
+        const Addr work = e.alloc(dense_n * 8);
+
+        std::uint64_t col_start = 0;
+        while (!e.full()) {
+            // Non-loop phase: simplex pivot bookkeeping.
+            for (unsigned s = 0; s < 60 && !e.full(); ++s)
+                e.alu(100 + s % 10, RAcc, RAcc);
+
+            // One column scan. Sparse row indices advance by a
+            // *small alphabet* of strides: the differential
+            // distribution is highly skewed (Fig. 5: ~90% of
+            // iterations from ~5% of vectors), but the stride
+            // *sequence* is data dependent and the update branch
+            // diverges, which is why CBWS still fails to predict
+            // soplex (Section VII-A).
+            const std::uint64_t len = 200 + e.rng().below(200);
+            std::uint64_t row = e.rng().below(dense_n / 2);
+            static const std::uint64_t row_strides[4] = {8, 24, 136,
+                                                         1032};
+            for (std::uint64_t j = 0; j < len && !e.full(); ++j) {
+                const std::uint64_t k = (col_start + j) % nnz;
+                row = (row + row_strides[e.rng().below(4)]) %
+                      dense_n;
+                const bool update = e.rng().chance(0.5);
+
+                e.blockBegin(0, /*id=*/1);
+                e.load(1, vals + k * 8, RVal, RIdx);
+                e.load(2, idxs + k * 4, RPtr, RIdx, 4);
+                e.load(3, dense + row * 8, RAcc, RPtr);
+                e.alu(4, RCmp, RVal, RAcc);
+                e.branch(5, !update, 10, RCmp);
+                if (update) {
+                    e.fp(6, RAcc, RVal, RAcc);
+                    e.load(7, work + row * 8, e.temp(), RPtr);
+                    e.store(8, work + row * 8, RAcc, RPtr);
+                    e.alu(9, RCmp, RCmp);
+                }
+                e.alu(10, RIdx, RIdx);
+                e.branch(11, j + 1 < len, 1, RIdx);
+                e.blockEnd(12, /*id=*/1);
+            }
+            col_start += len;
+
+            // Pivot selection and basis refactorisation (non-loop
+            // runtime): scattered reads of the basis matrix.
+            for (unsigned s = 0; s < 12 && !e.full(); ++s) {
+                e.load(120 + s % 4,
+                       dense + e.rng().below(dense_n) * 8, e.temp(),
+                       RAcc);
+                e.alu(130 + s % 6, RAcc, RAcc);
+                e.alu(136 + s % 6, RCmp, RAcc);
+            }
+        }
+    }
+};
+
+/**
+ * 462.libquantum-ref — quantum gate application.
+ *
+ * A single tight loop streams the quantum register (16-byte
+ * amplitude records), toggling each state: load, xor, store. The
+ * pattern is pure unit-stride streaming, which every prefetcher in
+ * the paper's evaluation handles.
+ */
+class LibquantumWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "462.libquantum-ref"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_states = 2 * 1024 * 1024;
+        const Addr reg = e.alloc(num_states * 16);
+
+        while (!e.full()) {
+            // Gate setup (non-loop).
+            for (unsigned s = 0; s < 30 && !e.full(); ++s)
+                e.alu(100 + s % 6, RAcc, RAcc);
+
+            // The gate loop is unrolled by 16 (four cache lines of
+            // amplitude records per annotated block).
+            for (std::uint64_t i = 0; i < num_states && !e.full();
+                 i += 16) {
+                e.blockBegin(0, /*id=*/2);
+                for (unsigned u = 0; u < 16; ++u) {
+                    e.load(1 + u * 3, reg + (i + u) * 16, RVal, RIdx);
+                    e.alu(2 + u * 3, RVal, RVal); // toggle target bit
+                    e.store(3 + u * 3, reg + (i + u) * 16, RVal,
+                            RIdx);
+                }
+                e.alu(49, RIdx, RIdx);
+                e.branch(50, i + 16 < num_states, 1, RIdx);
+                e.blockEnd(51, /*id=*/2);
+            }
+        }
+    }
+};
+
+/**
+ * 433.milc-su3imp — SU(3) matrix-vector products over a 4D lattice.
+ *
+ * Each site multiplies a 3x3 complex matrix (from the gauge-link
+ * array) with neighbour vectors: several concurrent streams with
+ * large but constant strides, plus a long-stride neighbour gather in
+ * the time direction. Iteration working sets (~7 lines) evolve by a
+ * constant differential, which CBWS captures whole; the paper reports
+ * CBWS+SMS delivering the best performance on milc.
+ */
+class MilcWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "433.milc-su3imp"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t sites = 64 * 1024;
+        const std::uint64_t t_stride = 16 * 16 * 16; // x*y*z sites
+        const Addr links = e.alloc(sites * 144); // 3x3 complex doubles
+        const Addr src = e.alloc(sites * 48);    // su3_vector
+        const Addr dst = e.alloc(sites * 48);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 0; i < sites && !e.full(); ++i) {
+                // Measurement/gauge-fixing work between site groups
+                // (non-loop runtime).
+                if (i % 96 == 0) {
+                    for (unsigned s = 0; s < 3 && !e.full(); ++s) {
+                        e.load(120 + s,
+                               links + e.rng().below(sites) * 144,
+                               e.temp(), RAcc);
+                        e.fp(124 + s, RAcc, RAcc);
+                    }
+                    for (unsigned s = 0; s < 12; ++s)
+                        e.fp(130 + s % 6, RAcc, RAcc);
+                }
+                const std::uint64_t fwd = (i + t_stride) % sites;
+                e.blockBegin(0, /*id=*/3);
+                // Gauge link: 144 bytes = 3 lines.
+                e.load(1, links + i * 144, e.temp(), RIdx);
+                e.load(2, links + i * 144 + 64, e.temp(), RIdx);
+                e.load(3, links + i * 144 + 128, e.temp(), RIdx);
+                // Source vector at this site and its time neighbour.
+                e.load(4, src + i * 48, RVal, RIdx);
+                e.load(5, src + fwd * 48, RPtr, RIdx);
+                e.fp(6, RAcc, RVal, RPtr);
+                e.fp(7, RAcc, RAcc, RVal);
+                e.store(8, dst + i * 48, RAcc, RIdx);
+                e.alu(9, RIdx, RIdx);
+                e.branch(10, i + 1 < sites, 1, RIdx);
+                e.blockEnd(11, /*id=*/3);
+            }
+        }
+    }
+};
+
+/**
+ * 401.bzip2-source — Burrows-Wheeler compression inner loop.
+ *
+ * The annotated tight loop iterates over symbol runs, but each
+ * iteration gathers from ~20 different tables and buffer positions
+ * (block, quadrant, sorting pointers, frequency tables...), so its
+ * working set regularly exceeds the 16-line CBWS capacity. The paper
+ * reports both CBWS schemes ~5% behind SMS on bzip2 for exactly this
+ * reason.
+ */
+class Bzip2Workload : public Workload
+{
+  public:
+    std::string name() const override { return "401.bzip2-source"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t block_size = 900000;
+        const Addr block = e.alloc(block_size);
+        const Addr zptr = e.alloc(block_size * 4);
+        const Addr quadrant = e.alloc(block_size * 2);
+        const Addr ftab = e.alloc(65536 * 4);
+
+        std::uint64_t pos = 0;
+        std::uint64_t file_pos = 0;
+        const Addr file_buf = e.alloc(16 * 1024 * 1024);
+        while (!e.full()) {
+            for (unsigned r = 0; r < 4000 && !e.full(); ++r) {
+                // Buffered file reads (non-loop runtime): every few
+                // runs, bzip2 streams another chunk of the input.
+                if (r % 48 == 0) {
+                    for (unsigned s = 0; s < 6 && !e.full(); ++s) {
+                        e.load(140 + s, file_buf + file_pos,
+                               e.temp(), RAcc);
+                        file_pos = (file_pos + 64) % (16 * 1024 *
+                                                      1024);
+                        e.alu(150 + s % 4, RAcc, RAcc);
+                    }
+                    for (unsigned s = 0; s < 12; ++s)
+                        e.alu(160 + s % 6, RAcc, RAcc);
+                }
+                e.blockBegin(0, /*id=*/4);
+                // Each iteration compares two rotations: gathers from
+                // ~20 distinct cache lines spread over four tables.
+                const std::uint64_t p1 = pos % block_size;
+                const std::uint64_t p2 =
+                    (pos * 7919 + e.rng().below(block_size)) %
+                    block_size;
+                unsigned site = 1;
+                for (unsigned d = 0; d < 7; ++d, site += 2) {
+                    e.load(site, block + (p1 + d * 97) % block_size,
+                           e.temp(), RIdx, 1);
+                    e.load(site + 1,
+                           block + (p2 + d * 97) % block_size,
+                           e.temp(), RPtr, 1);
+                }
+                e.load(site, zptr + (p1 % block_size) * 4, RVal, RIdx,
+                       4);
+                e.load(site + 1, zptr + (p2 % block_size) * 4, RPtr,
+                       RPtr, 4);
+                e.load(site + 2, quadrant + (p1 % block_size) * 2,
+                       e.temp(), RIdx, 2);
+                e.load(site + 3, quadrant + (p2 % block_size) * 2,
+                       e.temp(), RPtr, 2);
+                e.load(site + 4, ftab + (p1 % 65536) * 4, e.temp(),
+                       RVal, 4);
+                e.load(site + 5, ftab + (p2 % 65536) * 4, e.temp(),
+                       RVal, 4);
+                e.alu(site + 6, RCmp, RVal, RPtr);
+                const bool swap = e.rng().chance(0.45);
+                e.branch(site + 7, !swap, site + 10, RCmp);
+                if (swap) {
+                    e.store(site + 8, zptr + (p1 % block_size) * 4,
+                            RPtr, RIdx, 4);
+                    e.store(site + 9, zptr + (p2 % block_size) * 4,
+                            RVal, RPtr, 4);
+                }
+                e.alu(site + 10, RIdx, RIdx);
+                e.branch(site + 11, r + 1 < 4000, 1, RIdx);
+                e.blockEnd(site + 12, /*id=*/4);
+                pos += 311;
+            }
+        }
+    }
+};
+
+/**
+ * 458.sjeng-ref — game-tree search (low MPKI).
+ *
+ * Probes of a transposition table that fits comfortably in the L2,
+ * plus branchy evaluation code: very few LLC misses, so prefetcher
+ * choice barely matters.
+ */
+class SjengWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "458.sjeng-ref"; }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t tt_entries = 1024; // 64 KB: L2 resident
+        const Addr tt = e.alloc(tt_entries * 64);
+        const Addr board = e.alloc(64 * 16);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 20 && !e.full(); ++s)
+                e.alu(100 + s % 6, RAcc, RAcc);
+
+            for (unsigned m = 0; m < 2000 && !e.full(); ++m) {
+                const std::uint64_t slot = e.rng().below(tt_entries);
+                const bool cutoff = e.rng().chance(0.35);
+                e.blockBegin(0, /*id=*/5);
+                e.load(1, board + (m % 64) * 16, RVal, RIdx);
+                e.load(2, tt + slot * 64, RPtr, RVal);
+                e.alu(3, RCmp, RPtr, RVal);
+                e.branch(4, !cutoff, 7, RCmp);
+                if (cutoff) {
+                    e.alu(5, RAcc, RAcc, RCmp);
+                    e.store(6, tt + slot * 64 + 8, RAcc, RVal);
+                }
+                e.alu(7, RIdx, RIdx);
+                e.branch(8, m + 1 < 2000, 1, RIdx);
+                e.blockEnd(9, /*id=*/5);
+            }
+        }
+    }
+};
+
+/**
+ * 471.omnetpp — discrete event simulation (low MPKI).
+ *
+ * Binary-heap event queue operations: short pointer walks of
+ * logarithmic depth within a heap that fits in the L2.
+ */
+class OmnetppWorkload : public Workload
+{
+  public:
+    std::string name() const override
+    {
+        return "471.omnetpp-omnetpp";
+    }
+    std::string suite() const override { return "SPEC2006"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t heap_entries = 1024; // 64 KB
+        const Addr heap = e.alloc(heap_entries * 64);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 25 && !e.full(); ++s)
+                e.alu(100 + s % 5, RAcc, RAcc);
+
+            for (unsigned ev = 0; ev < 300 && !e.full(); ++ev) {
+                // Sift-down from the root: a 13-deep pointer walk.
+                std::uint64_t node = 0;
+                for (unsigned d = 0; d < 13 && !e.full(); ++d) {
+                    const std::uint64_t child =
+                        2 * node + 1 + e.rng().below(2);
+                    if (child >= heap_entries)
+                        break;
+                    e.blockBegin(0, /*id=*/6);
+                    e.load(1, heap + node * 64, RVal, RPtr);
+                    e.load(2, heap + child * 64, RPtr, RPtr);
+                    e.alu(3, RCmp, RVal, RPtr);
+                    e.store(4, heap + node * 64, RPtr, RPtr);
+                    e.alu(5, RIdx, RIdx);
+                    e.branch(6, d + 1 < 13, 1, RCmp);
+                    e.blockEnd(7, /*id=*/6);
+                    node = child;
+                }
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+WorkloadPtr
+makeMcf()
+{
+    return std::make_unique<McfWorkload>();
+}
+
+WorkloadPtr
+makeSoplex()
+{
+    return std::make_unique<SoplexWorkload>();
+}
+
+WorkloadPtr
+makeLibquantum()
+{
+    return std::make_unique<LibquantumWorkload>();
+}
+
+WorkloadPtr
+makeMilc()
+{
+    return std::make_unique<MilcWorkload>();
+}
+
+WorkloadPtr
+makeBzip2()
+{
+    return std::make_unique<Bzip2Workload>();
+}
+
+WorkloadPtr
+makeSjeng()
+{
+    return std::make_unique<SjengWorkload>();
+}
+
+WorkloadPtr
+makeOmnetpp()
+{
+    return std::make_unique<OmnetppWorkload>();
+}
+
+} // namespace kernels
+} // namespace cbws

@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Synthetic kernels for the SPLASH-2 and PARSEC benchmarks used in
+ * the paper: fft, radix, lu-ncb, streamcluster (memory intensive) and
+ * canneal, cholesky, freqmine, ocean-cp, water-spatial (low MPKI).
+ */
+
+#include "workloads/emitter.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+namespace
+{
+
+constexpr RegIndex RIdx = 1;
+constexpr RegIndex RJdx = 2;
+constexpr RegIndex RVal = 3;
+constexpr RegIndex RPtr = 4;
+constexpr RegIndex RAcc = 5;
+constexpr RegIndex RCmp = 6;
+
+/**
+ * SPLASH fft-simlarge — radix-2 butterflies plus twiddle gathers.
+ *
+ * Butterfly spans halve every stage and the twiddle index advances by
+ * a stage-dependent amount, so the stream of 1-step CBWS differentials
+ * cycles through many distinct vectors. The paper found exactly this:
+ * fft has too many distinct differentials for the 16-entry history
+ * table, so standalone CBWS loses to SMS there while CBWS+SMS keeps
+ * the better timeliness.
+ */
+class FftWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "fft-simlarge"; }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 1 << 20; // complex doubles: 16 MB
+        const Addr data = e.alloc(n * 16);
+        const Addr twiddle = e.alloc(n * 16);
+
+        while (!e.full()) {
+            for (unsigned stage = 0; stage < 20 && !e.full();
+                 ++stage) {
+                const std::uint64_t half = n >> (stage + 1);
+                if (half == 0)
+                    break;
+                // Inter-stage transpose/bit-reversal work (non-loop
+                // runtime): scattered accesses between stages.
+                for (unsigned s = 0; s < 40 && !e.full(); ++s) {
+                    e.alu(100 + s % 5, RAcc, RAcc);
+                    if (s % 4 == 1) {
+                        e.load(110 + s % 4,
+                               data + e.rng().below(n) * 16,
+                               e.temp(), RAcc);
+                    }
+                }
+
+                // The butterfly loop is unrolled by 4 (SPLASH's
+                // radix-4 kernel shape): one annotated block touches
+                // a top line, a bottom line and a twiddle line.
+                const std::uint64_t tw_step = 1ull << stage;
+                std::uint64_t tw = 0;
+                for (std::uint64_t i = 0; i + 4 <= n / 2 && !e.full();
+                     i += 4) {
+                    e.blockBegin(0, /*id=*/14);
+                    for (unsigned u = 0; u < 4; ++u) {
+                        const std::uint64_t b = i + u;
+                        const std::uint64_t top =
+                            (b / half) * 2 * half + (b % half);
+                        const std::uint64_t bot = top + half;
+                        tw = (tw + tw_step) % n;
+                        e.load(1 + u * 7, data + top * 16, RVal,
+                               RIdx);
+                        e.load(2 + u * 7, data + bot * 16, RPtr,
+                               RIdx);
+                        e.load(3 + u * 7, twiddle + tw * 16, RCmp,
+                               RIdx);
+                        e.fp(4 + u * 7, RAcc, RVal, RCmp);
+                        e.fp(5 + u * 7, RVal, RPtr, RCmp);
+                        e.store(6 + u * 7, data + top * 16, RAcc,
+                                RIdx);
+                        e.store(7 + u * 7, data + bot * 16, RVal,
+                                RIdx);
+                    }
+                    e.alu(29, RIdx, RIdx);
+                    e.branch(30, i + 8 <= n / 2, 1, RIdx);
+                    e.blockEnd(31, /*id=*/14);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * SPLASH radix-simlarge — radix sort permutation pass.
+ *
+ * Keys arrive in long same-digit runs (the sorted-ish distributions
+ * the simlarge input produces after the first pass), so the read
+ * stream and the active bucket's write stream both advance with
+ * constant strides for hundreds of iterations: a block-structured
+ * pattern the paper reports CBWS effectively eliminating misses on.
+ */
+class RadixWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "radix-simlarge"; }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_keys = 2 * 1024 * 1024; // 4B keys
+        const std::uint64_t radix = 64;
+        const std::uint64_t bucket_span = num_keys / radix;
+        const Addr keys = e.alloc(num_keys * 4);
+        const Addr out = e.alloc(num_keys * 4);
+        const Addr counts = e.alloc(radix * 8);
+
+        std::vector<std::uint64_t> bucket_pos(radix);
+        for (std::uint64_t d = 0; d < radix; ++d)
+            bucket_pos[d] = d * bucket_span;
+
+        std::uint64_t hist_pos = 0;
+        while (!e.full()) {
+            // Permutation pass on partially-sorted keys (a later
+            // radix pass): digits arrive in 16-key runs that cycle
+            // round-robin over the 64 buckets, so the iteration
+            // working set hops bucket-to-bucket by a constant stride
+            // — differential-predictable, while each bucket's 2 KB
+            // region is touched far too rarely for SMS generations
+            // to accumulate, and the alternating store stride keeps
+            // the stride prefetcher from locking on.
+            std::uint64_t digit = 0;
+            for (std::uint64_t i = 0; i + 32 <= num_keys &&
+                 !e.full(); i += 32) {
+                e.blockBegin(0, /*id=*/15);
+                // One 32-key run per iteration: two key lines in,
+                // two output lines in the current bucket. Rank
+                // counters stay in registers after the histogram
+                // pass, so the block's working set is exactly the
+                // key and output lines.
+                e.load(1, keys + i * 4, RVal, RIdx, 4);
+                e.load(2, keys + (i + 16) * 4, RPtr, RIdx, 4);
+                e.alu(3, RPtr, RVal);                 // extract digit
+                e.alu(4, RCmp, RPtr);                 // rank lookup
+                for (unsigned u = 0; u < 8; ++u) {
+                    const std::uint64_t dst = bucket_pos[digit];
+                    bucket_pos[digit] = (dst + 4) % num_keys;
+                    e.store(5 + u, out + dst * 4, RVal, RCmp, 4);
+                }
+                e.alu(13, RIdx, RIdx);
+                e.branch(14, i + 64 <= num_keys, 1, RIdx);
+                e.blockEnd(15, /*id=*/15);
+                digit = (digit + 1) % radix;
+
+                // Histogram/prefix-sum phase of the *next* pass
+                // (non-loop runtime, Fig. 1: radix spends a large
+                // share of time outside the permute loop).
+                if (i % 128 == 0) {
+                    for (unsigned s = 0; s < 8 && !e.full(); ++s) {
+                        e.load(116 + s % 4, keys + hist_pos * 4,
+                               e.temp(), RAcc, 4);
+                        hist_pos = (hist_pos + 400) % num_keys;
+                        e.load(120 + s % 4,
+                               counts + (s % radix) * 8, e.temp(),
+                               RAcc);
+                        e.alu(124 + s % 4, RAcc, RAcc);
+                    }
+                    for (unsigned s = 0; s < 16; ++s)
+                        e.alu(128 + s % 8, RAcc, RAcc);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * SPLASH lu-ncb-simlarge — LU with non-contiguous blocks.
+ *
+ * The daxpy-style inner loop updates a block column whose elements
+ * are a full matrix row apart (non-contiguous allocation), giving
+ * every access a long constant stride. CBWS captures the whole
+ * iteration; SMS's 2 KB regions each catch only one line per visit.
+ */
+class LuNcbWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lu-ncb-simlarge"; }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 1024; // 8 MB matrix of doubles
+        const Addr mat = e.alloc(n * n * 8);
+
+        while (!e.full()) {
+            for (std::uint64_t k = 0; k < n - 1 && !e.full(); ++k) {
+                // Pivot selection (non-loop).
+                for (unsigned s = 0; s < 20 && !e.full(); ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+
+                const std::uint64_t jmax = std::min<std::uint64_t>(
+                    n, k + 1 + 24);
+                for (std::uint64_t j = k + 1; j < jmax && !e.full();
+                     ++j) {
+                    // Update column j below the pivot: elements are n
+                    // doubles apart (row-major), i.e., 128 lines.
+                    // The i-loop is unrolled by 2, so an annotated
+                    // block touches four long-stride lines.
+                    for (std::uint64_t i = k + 1; i + 1 < n &&
+                         !e.full(); i += 2) {
+                        e.blockBegin(0, /*id=*/16);
+                        for (unsigned u = 0; u < 2; ++u) {
+                            e.load(1 + u * 5,
+                                   mat + ((i + u) * n + k) * 8, RVal,
+                                   RIdx);
+                            e.load(2 + u * 5, mat + (k * n + j) * 8,
+                                   RPtr, RJdx);
+                            e.load(3 + u * 5,
+                                   mat + ((i + u) * n + j) * 8, RAcc,
+                                   RIdx);
+                            e.fp(4 + u * 5, RAcc, RVal, RPtr);
+                            e.store(5 + u * 5,
+                                    mat + ((i + u) * n + j) * 8,
+                                    RAcc, RIdx);
+                        }
+                        e.alu(12, RIdx, RIdx);
+                        e.branch(13, i + 3 < n, 1, RIdx);
+                        e.blockEnd(14, /*id=*/16);
+                    }
+                }
+            }
+        }
+    }
+};
+
+/**
+ * PARSEC streamcluster-simlarge — k-median distance evaluation.
+ *
+ * Each annotated iteration computes the distance from one point to
+ * the currently considered centre. Points stream regularly but the
+ * centre changes data-dependently every few points, so the
+ * differential stream mixes many distinct vectors — like fft, too
+ * many for the 16-entry table, making SMS the better standalone
+ * scheme (the CBWS+SMS hybrid recovers the difference).
+ */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    std::string name() const override
+    {
+        return "streamcluster-simlarge";
+    }
+    std::string suite() const override { return "PARSEC"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_points = 65536;
+        const std::uint64_t dim = 32; // 256 B per point: 4 lines
+        const Addr points = e.alloc(num_points * dim * 8);
+        const Addr centers = e.alloc(num_points * dim * 8);
+        const Addr assign = e.alloc(num_points * 8);
+
+        std::uint64_t center = 0;
+        while (!e.full()) {
+            for (std::uint64_t p = 0; p < num_points && !e.full();
+                 ++p) {
+                // Medoid shuffling and gain bookkeeping (non-loop
+                // runtime): scattered reads between point scans.
+                if (p % 40 == 0) {
+                    for (unsigned s = 0; s < 5 && !e.full(); ++s) {
+                        e.load(120 + s,
+                               assign +
+                                   e.rng().below(num_points) * 8,
+                               e.temp(), RAcc);
+                        e.alu(126 + s % 4, RAcc, RAcc);
+                    }
+                    for (unsigned s = 0; s < 10; ++s)
+                        e.alu(130 + s % 5, RAcc, RAcc);
+                }
+                if (e.rng().chance(0.3))
+                    center = e.rng().below(num_points);
+                const Addr prow = points + p * dim * 8;
+                const Addr crow = centers + center * dim * 8;
+                const bool improved = e.rng().chance(0.25);
+                e.blockBegin(0, /*id=*/17);
+                for (unsigned d = 0; d < 4; ++d) {
+                    e.load(1 + d * 3, prow + d * 64, RVal, RIdx);
+                    e.load(2 + d * 3, crow + d * 64, RCmp, RJdx);
+                    e.fp(3 + d * 3, RAcc, RVal, RCmp);
+                }
+                e.branch(13, !improved, 15, RAcc);
+                if (improved)
+                    e.store(14, assign + p * 8, RAcc, RIdx);
+                e.alu(15, RIdx, RIdx);
+                e.branch(16, p + 1 < num_points, 1, RIdx);
+                e.blockEnd(17, /*id=*/17);
+            }
+        }
+    }
+};
+
+/**
+ * PARSEC canneal-simlarge — simulated-annealing element swaps
+ * (low MPKI).
+ *
+ * Random pairs of netlist elements are read and occasionally swapped;
+ * the netlist here fits in the L2, so misses are rare.
+ */
+class CannealWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "canneal-simlarge"; }
+    std::string suite() const override { return "PARSEC"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t elements = 1024; // 64 KB
+        const Addr netlist = e.alloc(elements * 64);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 25 && !e.full(); ++s)
+                e.alu(100 + s % 5, RAcc, RAcc);
+
+            for (unsigned sw = 0; sw < 3000 && !e.full(); ++sw) {
+                const std::uint64_t a = e.rng().below(elements);
+                const std::uint64_t b = e.rng().below(elements);
+                const bool accept = e.rng().chance(0.4);
+                e.blockBegin(0, /*id=*/18);
+                e.load(1, netlist + a * 64, RVal, RIdx);
+                e.load(2, netlist + b * 64, RPtr, RIdx);
+                e.alu(3, RCmp, RVal, RPtr);
+                e.branch(4, !accept, 7, RCmp);
+                if (accept) {
+                    e.store(5, netlist + a * 64, RPtr, RIdx);
+                    e.store(6, netlist + b * 64, RVal, RIdx);
+                }
+                e.alu(7, RIdx, RIdx);
+                e.branch(8, sw + 1 < 3000, 1, RIdx);
+                e.blockEnd(9, /*id=*/18);
+            }
+        }
+    }
+};
+
+/**
+ * SPLASH cholesky-tk29 — supernodal factorisation (low MPKI).
+ *
+ * Dense column updates within a factor that fits in the L2: floating
+ * point dominated, few LLC misses.
+ */
+class CholeskyWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "cholesky-tk29"; }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 128; // 128 KB factor
+        const Addr mat = e.alloc(n * n * 8);
+
+        while (!e.full()) {
+            for (std::uint64_t k = 0; k < n && !e.full(); ++k) {
+                for (unsigned s = 0; s < 15 && !e.full(); ++s)
+                    e.fp(100 + s % 3, RAcc, RAcc);
+                for (std::uint64_t i = k + 1; i < n && !e.full();
+                     ++i) {
+                    e.blockBegin(0, /*id=*/19);
+                    e.load(1, mat + (i * n + k) * 8, RVal, RIdx);
+                    e.load(2, mat + (k * n + k) * 8, RPtr, RJdx);
+                    e.fp(3, RAcc, RVal, RPtr);
+                    e.fp(4, RAcc, RAcc, RVal);
+                    e.store(5, mat + (i * n + k) * 8, RAcc, RIdx);
+                    e.alu(6, RIdx, RIdx);
+                    e.branch(7, i + 1 < n, 1, RIdx);
+                    e.blockEnd(8, /*id=*/19);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * PARSEC freqmine-simlarge — FP-growth tree walks (low MPKI).
+ *
+ * Short pointer chases through an FP-tree that fits in the L2, with
+ * data-dependent fan-out branches.
+ */
+class FreqmineWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "freqmine-simlarge"; }
+    std::string suite() const override { return "PARSEC"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t nodes = 1024; // 64 KB
+        const Addr tree = e.alloc(nodes * 64);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 20 && !e.full(); ++s)
+                e.alu(100 + s % 4, RAcc, RAcc);
+
+            for (unsigned w = 0; w < 600 && !e.full(); ++w) {
+                std::uint64_t node = e.rng().below(nodes);
+                for (unsigned d = 0; d < 8 && !e.full(); ++d) {
+                    const bool descend = e.rng().chance(0.7);
+                    e.blockBegin(0, /*id=*/20);
+                    e.load(1, tree + node * 64, RPtr, RPtr);
+                    e.load(2, tree + node * 64 + 16, RVal, RPtr);
+                    e.alu(3, RAcc, RAcc, RVal);
+                    e.branch(4, descend, 1, RVal);
+                    e.blockEnd(5, /*id=*/20);
+                    if (!descend)
+                        break;
+                    node = (node * 3 + 1 + e.rng().below(7)) % nodes;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * SPLASH ocean-cp-simlarge — red-black relaxation (low MPKI).
+ *
+ * A 5-point stencil over a grid small enough that successive sweeps
+ * mostly hit in the L2.
+ */
+class OceanCpWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "ocean-cp-simlarge"; }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 64; // 32 KB grid, L2 resident
+        const Addr grid = e.alloc(n * n * 8);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 1; i + 1 < n && !e.full(); ++i) {
+                for (unsigned s = 0; s < 8; ++s)
+                    e.alu(100 + s % 4, RAcc, RAcc);
+                for (std::uint64_t j = 1; j + 1 < n && !e.full();
+                     ++j) {
+                    e.blockBegin(0, /*id=*/21);
+                    e.load(1, grid + (i * n + j) * 8, RVal, RIdx);
+                    e.load(2, grid + ((i - 1) * n + j) * 8, RPtr,
+                           RIdx);
+                    e.load(3, grid + ((i + 1) * n + j) * 8, RCmp,
+                           RIdx);
+                    e.load(4, grid + (i * n + j - 1) * 8, e.temp(),
+                           RIdx);
+                    e.load(5, grid + (i * n + j + 1) * 8, e.temp(),
+                           RIdx);
+                    e.fp(6, RAcc, RVal, RPtr);
+                    e.fp(7, RAcc, RAcc, RCmp);
+                    e.store(8, grid + (i * n + j) * 8, RAcc, RIdx);
+                    e.alu(9, RIdx, RIdx);
+                    e.branch(10, j + 2 < n, 1, RIdx);
+                    e.blockEnd(11, /*id=*/21);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * SPLASH water-spatial-native — molecular dynamics in spatial boxes
+ * (low MPKI).
+ *
+ * Pairwise force computation within small neighbour boxes: compute
+ * heavy, working set resident in the L2.
+ */
+class WaterSpatialWorkload : public Workload
+{
+  public:
+    std::string name() const override
+    {
+        return "water-spatial-native";
+    }
+    std::string suite() const override { return "PARSEC-SPLASH"; }
+    bool memoryIntensive() const override { return false; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t molecules = 1024; // 256 KB
+        const Addr mol = e.alloc(molecules * 256);
+
+        while (!e.full()) {
+            for (unsigned s = 0; s < 20 && !e.full(); ++s)
+                e.fp(100 + s % 4, RAcc, RAcc);
+
+            for (std::uint64_t m = 0; m < molecules && !e.full();
+                 ++m) {
+                const std::uint64_t nb =
+                    (m + 1 + e.rng().below(8)) % molecules;
+                e.blockBegin(0, /*id=*/22);
+                e.load(1, mol + m * 256, RVal, RIdx);
+                e.load(2, mol + m * 256 + 64, RPtr, RIdx);
+                e.load(3, mol + nb * 256, RCmp, RJdx);
+                e.fp(4, RAcc, RVal, RCmp);
+                e.fp(5, RAcc, RAcc, RPtr);
+                e.fp(6, RAcc, RAcc, RVal);
+                e.fp(7, RAcc, RAcc, RCmp);
+                e.store(8, mol + m * 256 + 128, RAcc, RIdx);
+                e.alu(9, RIdx, RIdx);
+                e.branch(10, m + 1 < molecules, 1, RIdx);
+                e.blockEnd(11, /*id=*/22);
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+WorkloadPtr
+makeFft()
+{
+    return std::make_unique<FftWorkload>();
+}
+
+WorkloadPtr
+makeRadix()
+{
+    return std::make_unique<RadixWorkload>();
+}
+
+WorkloadPtr
+makeLuNcb()
+{
+    return std::make_unique<LuNcbWorkload>();
+}
+
+WorkloadPtr
+makeStreamcluster()
+{
+    return std::make_unique<StreamclusterWorkload>();
+}
+
+WorkloadPtr
+makeCanneal()
+{
+    return std::make_unique<CannealWorkload>();
+}
+
+WorkloadPtr
+makeCholesky()
+{
+    return std::make_unique<CholeskyWorkload>();
+}
+
+WorkloadPtr
+makeFreqmine()
+{
+    return std::make_unique<FreqmineWorkload>();
+}
+
+WorkloadPtr
+makeOceanCp()
+{
+    return std::make_unique<OceanCpWorkload>();
+}
+
+WorkloadPtr
+makeWaterSpatial()
+{
+    return std::make_unique<WaterSpatialWorkload>();
+}
+
+} // namespace kernels
+} // namespace cbws

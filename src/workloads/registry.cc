@@ -1,0 +1,89 @@
+#include "workloads/registry.hh"
+
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+using Factory = WorkloadPtr (*)();
+
+/** Fig. 12 x-axis order for the memory-intensive group. */
+constexpr Factory MiFactories[] = {
+    kernels::makeBzip2,
+    kernels::makeHisto,
+    kernels::makeMcf,
+    kernels::makeLbm,
+    kernels::makeMriQ,
+    kernels::makeStencil,
+    kernels::makeFft,
+    kernels::makeNw,
+    kernels::makeLibquantum,
+    kernels::makeSoplex,
+    kernels::makeLuNcb,
+    kernels::makeRadix,
+    kernels::makeMilc,
+    kernels::makeStreamcluster,
+    kernels::makeSgemm,
+};
+
+/** Fig. 14 bottom-panel order for the low-MPKI group. */
+constexpr Factory LowFactories[] = {
+    kernels::makeSjeng,
+    kernels::makeOmnetpp,
+    kernels::makeBfs,
+    kernels::makeCanneal,
+    kernels::makeCholesky,
+    kernels::makeFreqmine,
+    kernels::makeMdLinpack,
+    kernels::makeMvxLinpack,
+    kernels::makeMxmLinpack,
+    kernels::makeOceanCp,
+    kernels::makeSad,
+    kernels::makeSpmv,
+    kernels::makeWaterSpatial,
+    kernels::makeBackprop,
+    kernels::makeSradV1,
+};
+
+} // anonymous namespace
+
+std::vector<WorkloadPtr>
+memoryIntensiveWorkloads()
+{
+    std::vector<WorkloadPtr> out;
+    for (Factory f : MiFactories)
+        out.push_back(f());
+    return out;
+}
+
+std::vector<WorkloadPtr>
+lowMpkiWorkloads()
+{
+    std::vector<WorkloadPtr> out;
+    for (Factory f : LowFactories)
+        out.push_back(f());
+    return out;
+}
+
+std::vector<WorkloadPtr>
+allWorkloads()
+{
+    std::vector<WorkloadPtr> out = memoryIntensiveWorkloads();
+    for (auto &w : lowMpkiWorkloads())
+        out.push_back(std::move(w));
+    return out;
+}
+
+WorkloadPtr
+findWorkload(const std::string &name)
+{
+    for (auto &w : allWorkloads())
+        if (w->name() == name)
+            return std::move(w);
+    return nullptr;
+}
+
+} // namespace cbws

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registry of the 30 synthetic benchmark kernels (Table IV MI group +
+ * the 15 low-MPKI kernels of Fig. 14).
+ */
+
+#ifndef CBWS_WORKLOADS_REGISTRY_HH
+#define CBWS_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace cbws
+{
+
+/** Instantiate every registered workload. */
+std::vector<WorkloadPtr> allWorkloads();
+
+/** The paper's memory-intensive group (Table IV order). */
+std::vector<WorkloadPtr> memoryIntensiveWorkloads();
+
+/** The 15 low-MPKI workloads (Fig. 14, bottom panel order). */
+std::vector<WorkloadPtr> lowMpkiWorkloads();
+
+/** Look up one workload by its figure name; nullptr when unknown. */
+WorkloadPtr findWorkload(const std::string &name);
+
+} // namespace cbws
+
+#endif // CBWS_WORKLOADS_REGISTRY_HH

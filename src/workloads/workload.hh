@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Workload framework: synthetic benchmark kernels that stand in for
+ * the paper's SPEC CPU2006 / PARSEC / SPLASH / Rodinia / Parboil
+ * binaries.
+ *
+ * Each kernel executes the real algorithm of its benchmark's dominant
+ * loops on synthetic data and emits the resulting dynamic instruction
+ * trace — memory addresses, register dependencies, branch outcomes and
+ * BLOCK_BEGIN/BLOCK_END annotations on innermost tight loops (standing
+ * in for the paper's LLVM annotation pass; see DESIGN.md for the
+ * substitution argument).
+ */
+
+#ifndef CBWS_WORKLOADS_WORKLOAD_HH
+#define CBWS_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cbws
+{
+
+/** Generation parameters shared by all kernels. */
+struct WorkloadParams
+{
+    /** Records to emit (a little beyond the core's commit budget). */
+    std::uint64_t maxInstructions = 200000;
+    /** Seed for the kernel's synthetic data. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Base class of every synthetic benchmark kernel.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Originating suite (SPEC2006, Parboil, ...). */
+    virtual std::string suite() const = 0;
+
+    /** Member of the paper's memory-intensive (MI) group? */
+    virtual bool memoryIntensive() const = 0;
+
+    /** Synthesise the instruction trace. */
+    virtual void generate(Trace &trace,
+                          const WorkloadParams &params) const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+} // namespace cbws
+
+#endif // CBWS_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the base utilities: address helpers, the RNG, the
+ * statistics containers and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/types.hh"
+
+namespace cbws
+{
+namespace
+{
+
+TEST(Types, LineArithmetic)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineOf(0x1000), 0x40u);
+    EXPECT_EQ(lineBase(1), 64u);
+    EXPECT_EQ(lineBase(lineOf(0x12345678)), 0x12345640u);
+    EXPECT_EQ(lineOffset(0x12345678), 0x38u);
+}
+
+TEST(Types, LineRoundTrip)
+{
+    for (Addr a : {Addr(0), Addr(1), Addr(63), Addr(64), Addr(65),
+                   Addr(0xdeadbeef), Addr(~0ull)}) {
+        EXPECT_LE(lineBase(lineOf(a)), a);
+        EXPECT_LT(a - lineBase(lineOf(a)), LineBytes);
+    }
+}
+
+TEST(Types, PowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2((1ull << 35) + 5), 35u);
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal = all_equal && va == b.next();
+        any_diff_seed = any_diff_seed || va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ChanceApproximatesProbability)
+{
+    Random r(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RunningStat, Summary)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,inf)
+    h.sample(0.0);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(25.0);
+    h.sample(1000.0); // overflow -> last bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.cdfAt(3), 1.0);
+    EXPECT_NEAR(h.cdfAt(0), 0.4, 1e-9);
+}
+
+TEST(FrequencyCounter, CoverageCurveIsMonotone)
+{
+    FrequencyCounter fc;
+    // Skewed: key 1 dominates.
+    for (int i = 0; i < 90; ++i)
+        fc.sample(1);
+    for (int i = 0; i < 5; ++i)
+        fc.sample(2);
+    for (std::uint64_t k = 3; k < 8; ++k)
+        fc.sample(k);
+    EXPECT_EQ(fc.distinct(), 7u);
+    EXPECT_EQ(fc.total(), 100u);
+    const auto curve = fc.coverageCurve();
+    ASSERT_EQ(curve.size(), 7u);
+    EXPECT_NEAR(curve[0], 0.90, 1e-9);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+    EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+}
+
+TEST(FrequencyCounter, SkewStatistic)
+{
+    FrequencyCounter fc;
+    // One key covers 90% of samples; covering 0.9 needs 1/7 of keys.
+    for (int i = 0; i < 90; ++i)
+        fc.sample(42);
+    for (std::uint64_t k = 0; k < 6; ++k)
+        fc.sample(k + 100, 2);
+    EXPECT_NEAR(fc.vectorsFractionForCoverage(0.85), 1.0 / 7.0, 1e-9);
+    EXPECT_NEAR(fc.vectorsFractionForCoverage(1.0), 1.0, 1e-9);
+}
+
+TEST(FrequencyCounter, EmptyIsSafe)
+{
+    FrequencyCounter fc;
+    EXPECT_TRUE(fc.coverageCurve().empty());
+    EXPECT_DOUBLE_EQ(fc.vectorsFractionForCoverage(0.5), 0.0);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every line of the table body should place the second column at
+    // the same offset.
+    const auto first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(Logging, VformatBasics)
+{
+    EXPECT_EQ(vformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(vformat("plain"), "plain");
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the tournament branch predictor and BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_pred.hh"
+
+namespace cbws
+{
+namespace
+{
+
+TEST(TournamentBP, LoopBranchConverges)
+{
+    TournamentBP bp;
+    const Addr pc = 0x400100;
+    // Loop-closing branch: taken 99 times, then not taken.
+    unsigned mispredicts = 0;
+    for (int i = 0; i < 100; ++i) {
+        auto r = bp.predictAndTrain(pc, i < 99, 0x400000);
+        if (r.mispredict())
+            ++mispredicts;
+    }
+    // Converges quickly: a handful of warmup mispredicts plus the
+    // final exit at most.
+    EXPECT_LE(mispredicts, 5u);
+    EXPECT_EQ(bp.lookups(), 100u);
+    EXPECT_EQ(bp.mispredicts(), mispredicts);
+}
+
+TEST(TournamentBP, AlternatingPatternLearned)
+{
+    TournamentBP bp;
+    const Addr pc = 0x400200;
+    unsigned late_mispredicts = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool taken = i % 2 == 0;
+        auto r = bp.predictAndTrain(pc, taken, 0x400000);
+        if (i >= 200 && r.dirMispredict)
+            ++late_mispredicts;
+    }
+    // Local history easily captures period-2 behaviour.
+    EXPECT_EQ(late_mispredicts, 0u);
+}
+
+TEST(TournamentBP, Period4PatternLearned)
+{
+    TournamentBP bp;
+    const Addr pc = 0x400300;
+    unsigned late_mispredicts = 0;
+    for (int i = 0; i < 800; ++i) {
+        const bool taken = i % 4 != 3;
+        auto r = bp.predictAndTrain(pc, taken, 0x400000);
+        if (i >= 400 && r.dirMispredict)
+            ++late_mispredicts;
+    }
+    EXPECT_LE(late_mispredicts, 4u);
+}
+
+TEST(TournamentBP, RandomBranchMispredictsOften)
+{
+    TournamentBP bp;
+    const Addr pc = 0x400400;
+    std::uint64_t x = 88172645463325252ull;
+    unsigned mispredicts = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        auto r = bp.predictAndTrain(pc, (x & 1) != 0, 0x400000);
+        if (r.dirMispredict)
+            ++mispredicts;
+    }
+    // Random outcomes cannot be predicted: ~50% misses.
+    EXPECT_GT(mispredicts, n / 3u);
+}
+
+TEST(TournamentBP, BtbMissOnFirstTakenBranch)
+{
+    TournamentBP bp;
+    // Prime the direction predictor at a different pc that aliases
+    // nothing; the first *taken* encounter of a branch can direction-
+    // predict taken but must flag a BTB target miss.
+    const Addr pc = 0x400500;
+    bool saw_target_misp = false;
+    for (int i = 0; i < 10; ++i) {
+        auto r = bp.predictAndTrain(pc, true, 0x400000);
+        if (r.targetMispredict)
+            saw_target_misp = true;
+    }
+    EXPECT_TRUE(saw_target_misp);
+    // Once installed, no further target misses.
+    auto r = bp.predictAndTrain(pc, true, 0x400000);
+    EXPECT_FALSE(r.targetMispredict);
+}
+
+TEST(TournamentBP, BtbDetectsChangedTarget)
+{
+    TournamentBP bp;
+    const Addr pc = 0x400600;
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndTrain(pc, true, 0xAAA000);
+    auto r = bp.predictAndTrain(pc, true, 0xBBB000);
+    EXPECT_TRUE(r.targetMispredict);
+}
+
+TEST(TournamentBP, IndependentBranchesDoNotDestroyEachOther)
+{
+    TournamentBP bp;
+    // Two branches with opposite biases at non-aliasing PCs.
+    unsigned late_mispredicts = 0;
+    for (int i = 0; i < 600; ++i) {
+        auto r1 = bp.predictAndTrain(0x400700, true, 0x400000);
+        auto r2 = bp.predictAndTrain(0x404704, false, 0x400000);
+        if (i >= 300) {
+            late_mispredicts += r1.dirMispredict;
+            late_mispredicts += r2.dirMispredict;
+        }
+    }
+    EXPECT_LE(late_mispredicts, 6u);
+}
+
+TEST(TournamentBP, RejectsNonPowerOf2Tables)
+{
+    BranchPredParams p;
+    p.globalEntries = 1000;
+    EXPECT_EXIT({ TournamentBP bp(p); }, testing::ExitedWithCode(1),
+                "");
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array: lookup, replacement,
+ * dirty bits and the prefetch bookkeeping driving Fig. 13.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace cbws
+{
+namespace
+{
+
+CacheParams
+tinyCache(unsigned assoc = 2, std::uint64_t sets = 4,
+          ReplPolicy repl = ReplPolicy::LRU)
+{
+    CacheParams p;
+    p.name = "tiny";
+    p.assoc = assoc;
+    p.sizeBytes = sets * assoc * LineBytes;
+    p.repl = repl;
+    return p;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyCache());
+    EXPECT_FALSE(c.access(1, 0, false));
+    c.insert(1, 0, false);
+    EXPECT_TRUE(c.access(1, 1, false));
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(tinyCache(/*assoc=*/2, /*sets=*/1));
+    c.insert(10, 0, false);
+    c.insert(20, 1, false);
+    // Touch 10 so 20 becomes LRU.
+    EXPECT_TRUE(c.access(10, 2, false));
+    const auto victim = c.insert(30, 3, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, 20u);
+    EXPECT_TRUE(c.contains(10));
+    EXPECT_TRUE(c.contains(30));
+    EXPECT_FALSE(c.contains(20));
+}
+
+TEST(Cache, InsertPrefersInvalidWay)
+{
+    Cache c(tinyCache(/*assoc=*/4, /*sets=*/1));
+    for (LineAddr l = 0; l < 4; ++l) {
+        const auto victim = c.insert(l * 4, l, false);
+        EXPECT_FALSE(victim.valid);
+    }
+    const auto victim = c.insert(100, 10, false);
+    EXPECT_TRUE(victim.valid);
+}
+
+TEST(Cache, SetIndexingSeparatesSets)
+{
+    Cache c(tinyCache(/*assoc=*/1, /*sets=*/4));
+    // Lines 0..3 map to distinct sets; no evictions.
+    for (LineAddr l = 0; l < 4; ++l)
+        EXPECT_FALSE(c.insert(l, l, false).valid);
+    // Line 4 conflicts with line 0 (same set).
+    const auto victim = c.insert(4, 9, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.line, 0u);
+}
+
+TEST(Cache, DirtyBitTravelsWithVictim)
+{
+    Cache c(tinyCache(/*assoc=*/1, /*sets=*/1));
+    c.insert(1, 0, false);
+    c.access(1, 1, /*is_write=*/true);
+    const auto victim = c.insert(2, 2, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+}
+
+TEST(Cache, SetDirtyExplicit)
+{
+    Cache c(tinyCache(/*assoc=*/1, /*sets=*/1));
+    c.insert(1, 0, false);
+    c.setDirty(1);
+    const auto victim = c.insert(2, 1, false);
+    EXPECT_TRUE(victim.dirty);
+    // setDirty on an absent line is a no-op.
+    c.setDirty(99);
+}
+
+TEST(Cache, PrefetchedUnusedTracking)
+{
+    Cache c(tinyCache(/*assoc=*/2, /*sets=*/1));
+    c.insert(1, 0, /*prefetched=*/true);
+    EXPECT_TRUE(c.isUnusedPrefetch(1));
+    EXPECT_EQ(c.countUnusedPrefetched(), 1u);
+    // A demand access consumes the prefetch.
+    EXPECT_TRUE(c.access(1, 1, false));
+    EXPECT_FALSE(c.isUnusedPrefetch(1));
+    EXPECT_EQ(c.countUnusedPrefetched(), 0u);
+}
+
+TEST(Cache, UnusedPrefetchVictimReported)
+{
+    Cache c(tinyCache(/*assoc=*/1, /*sets=*/1));
+    c.insert(1, 0, /*prefetched=*/true);
+    const auto victim = c.insert(2, 1, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.prefetched);
+    EXPECT_FALSE(victim.usedAfterPrefetch);
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(tinyCache());
+    c.insert(5, 0, false);
+    c.access(5, 1, true);
+    const auto info = c.invalidate(5);
+    ASSERT_TRUE(info.valid);
+    EXPECT_TRUE(info.dirty);
+    EXPECT_FALSE(c.contains(5));
+    // Invalidating an absent line reports invalid.
+    EXPECT_FALSE(c.invalidate(5).valid);
+}
+
+TEST(Cache, RandomReplacementStillCorrect)
+{
+    Cache c(tinyCache(/*assoc=*/2, /*sets=*/1,
+                      ReplPolicy::RandomRepl));
+    c.insert(1, 0, false);
+    c.insert(2, 1, false);
+    const auto victim = c.insert(3, 2, false);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.line == 1 || victim.line == 2);
+    EXPECT_TRUE(c.contains(3));
+    // Exactly one of {1,2} survives.
+    EXPECT_NE(c.contains(1), c.contains(2));
+}
+
+TEST(Cache, ReinsertRefreshes)
+{
+    Cache c(tinyCache(/*assoc=*/2, /*sets=*/1));
+    c.insert(1, 0, false);
+    c.insert(2, 1, false);
+    // Refill of a resident line must not evict anything.
+    const auto victim = c.insert(1, 2, false);
+    EXPECT_FALSE(victim.valid);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(2));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheParams p;
+    p.sizeBytes = 3 * LineBytes; // 3 sets at assoc 1: not a power of 2
+    p.assoc = 1;
+    EXPECT_EXIT({ Cache c(p); }, testing::ExitedWithCode(1), "");
+}
+
+TEST(Cache, Table2Geometries)
+{
+    // The Table II caches must construct with the right set counts.
+    CacheParams l1d{"L1D", 32 * 1024, 4, 2, 4, ReplPolicy::LRU};
+    EXPECT_EQ(Cache(l1d).numSets(), 128u);
+    CacheParams l2{"L2", 2 * 1024 * 1024, 8, 30, 32, ReplPolicy::LRU};
+    EXPECT_EQ(Cache(l2).numSets(), 4096u);
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the CBWS value types: working-set vectors and
+ * differentials (Section IV, Eq. 1-2 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cbws_types.hh"
+
+namespace cbws
+{
+namespace
+{
+
+TEST(CbwsVector, OrderedDistinctMembers)
+{
+    CbwsVector v;
+    EXPECT_EQ(v.push(0x120, 16), CbwsVector::Push::Added);
+    EXPECT_EQ(v.push(0x3f9, 16), CbwsVector::Push::Added);
+    // Re-access of a member does not change the set (Eq. 1: unique
+    // addresses, time-ordered).
+    EXPECT_EQ(v.push(0x120, 16), CbwsVector::Push::Duplicate);
+    EXPECT_EQ(v.push(0x1ff, 16), CbwsVector::Push::Added);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 0x120u);
+    EXPECT_EQ(v[1], 0x3f9u);
+    EXPECT_EQ(v[2], 0x1ffu);
+}
+
+TEST(CbwsVector, CapacityOverflow)
+{
+    CbwsVector v;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(v.push(i, 16), CbwsVector::Push::Added);
+    EXPECT_EQ(v.push(99, 16), CbwsVector::Push::Overflow);
+    EXPECT_EQ(v.size(), 16u);
+    // Duplicates are still recognised at capacity.
+    EXPECT_EQ(v.push(5, 16), CbwsVector::Push::Duplicate);
+}
+
+TEST(CbwsVector, ClearAndEquality)
+{
+    CbwsVector a, b;
+    a.push(1, 16);
+    b.push(1, 16);
+    EXPECT_TRUE(a == b);
+    a.push(2, 16);
+    EXPECT_FALSE(a == b);
+    a.clear();
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(CbwsDifferential, ElementWiseSubtraction)
+{
+    // The paper's Table I example: CBWS0 = (120,3F9,1FF),
+    // CBWS1 = (124,3F1,1FF) -> delta = (4,-8,0).
+    CbwsVector c0, c1;
+    c0.push(0x120, 16);
+    c0.push(0x3f9, 16);
+    c0.push(0x1ff, 16);
+    c1.push(0x124, 16);
+    c1.push(0x3f1, 16);
+    c1.push(0x1ff, 16);
+    const auto d = CbwsDifferential::between(c1, c0);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_EQ(d[0], 4);
+    EXPECT_EQ(d[1], -8);
+    EXPECT_EQ(d[2], 0);
+}
+
+TEST(CbwsDifferential, TruncatesToShorterVector)
+{
+    // Branch divergence: sizes differ; the differential is defined by
+    // the smaller CBWS (Section IV-B).
+    CbwsVector a, b;
+    a.push(10, 16);
+    a.push(20, 16);
+    a.push(30, 16);
+    b.push(11, 16);
+    b.push(25, 16);
+    const auto d = CbwsDifferential::between(b, a);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0], 1);
+    EXPECT_EQ(d[1], 5);
+}
+
+TEST(CbwsDifferential, SixteenBitWraparound)
+{
+    // Strides are 16-bit in hardware (Fig. 8): an overflowing true
+    // stride wraps exactly as the adders would.
+    CbwsVector a, b;
+    a.push(0, 16);
+    b.push(40000, 16); // > 2^15 - 1
+    const auto d = CbwsDifferential::between(b, a);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0], static_cast<std::int16_t>(40000));
+    EXPECT_LT(d[0], 0); // wrapped negative
+}
+
+TEST(CbwsDifferential, StencilExample)
+{
+    // Fig. 4: consecutive stencil CBWSs differ by (0,0,1024,...).
+    CbwsVector c0, c1;
+    const std::uint32_t m0[] = {80, 81, 6515, 4467, 5499, 5483, 5491};
+    const std::uint32_t m1[] = {80, 81, 7539, 5491, 6523, 6507, 6515};
+    for (auto m : m0)
+        c0.push(m, 16);
+    for (auto m : m1)
+        c1.push(m, 16);
+    const auto d = CbwsDifferential::between(c1, c0);
+    ASSERT_EQ(d.size(), 7u);
+    EXPECT_EQ(d[0], 0);
+    EXPECT_EQ(d[1], 0);
+    for (std::size_t i = 2; i < 7; ++i)
+        EXPECT_EQ(d[i], 1024);
+}
+
+TEST(CbwsDifferential, IncrementalAppendMatchesBetween)
+{
+    CbwsVector prev, curr;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        prev.push(i * 100, 16);
+        curr.push(i * 100 + 7, 16);
+    }
+    CbwsDifferential incremental;
+    for (std::size_t i = 0; i < curr.size(); ++i) {
+        incremental.append(
+            static_cast<std::int16_t>(curr[i] - prev[i]));
+    }
+    EXPECT_TRUE(incremental ==
+                CbwsDifferential::between(curr, prev));
+}
+
+TEST(CbwsDifferential, HashStableAndDiscriminating)
+{
+    CbwsDifferential a, b, c;
+    for (int i = 0; i < 5; ++i) {
+        a.append(static_cast<std::int16_t>(i));
+        b.append(static_cast<std::int16_t>(i));
+        c.append(static_cast<std::int16_t>(i + 1));
+    }
+    EXPECT_EQ(a.hashBits(12), b.hashBits(12));
+    EXPECT_NE(a.hashBits(12), c.hashBits(12));
+    EXPECT_LT(a.hashBits(12), 1u << 12);
+    EXPECT_LT(a.hashBits(8), 1u << 8);
+}
+
+TEST(CbwsDifferential, HashSensitiveToOrder)
+{
+    CbwsDifferential ab, ba;
+    ab.append(3);
+    ab.append(7);
+    ba.append(7);
+    ba.append(3);
+    EXPECT_NE(ab.hashBits(12), ba.hashBits(12));
+}
+
+TEST(CbwsDifferential, IdentityHashSeparatesSizes)
+{
+    CbwsDifferential short_d, long_d;
+    short_d.append(5);
+    long_d.append(5);
+    long_d.append(0);
+    EXPECT_NE(short_d.identityHash(), long_d.identityHash());
+}
+
+TEST(CbwsDifferential, EmptyDifferential)
+{
+    CbwsDifferential d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.hashBits(12), d.hashBits(12)); // stable on empty
+    const auto e = CbwsDifferential::between(CbwsVector(),
+                                             CbwsVector());
+    EXPECT_TRUE(e.empty());
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the workload Emitter: PC stability, allocation
+ * guards, budget tracking and record synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/emitter.hh"
+
+namespace cbws
+{
+namespace
+{
+
+WorkloadParams
+params(std::uint64_t insts = 1000, std::uint64_t seed = 1)
+{
+    WorkloadParams p;
+    p.maxInstructions = insts;
+    p.seed = seed;
+    return p;
+}
+
+TEST(Emitter, StablePcsPerSite)
+{
+    Trace t;
+    Emitter e(t, params());
+    e.alu(3, 1);
+    e.alu(3, 2);
+    e.alu(7, 1);
+    EXPECT_EQ(t[0].pc, t[1].pc);
+    EXPECT_NE(t[0].pc, t[2].pc);
+    EXPECT_EQ(e.pcOf(7) - e.pcOf(3), 16u); // 4 bytes per site
+}
+
+TEST(Emitter, AllocationsAreDisjoint)
+{
+    Trace t;
+    Emitter e(t, params());
+    const Addr a = e.alloc(1000);
+    const Addr b = e.alloc(1000);
+    const Addr c = e.alloc(64, 4096);
+    EXPECT_GE(b, a + 1000); // guard gap between arrays
+    EXPECT_EQ(c % 4096, 0u); // alignment honoured
+    EXPECT_GT(c, b);
+}
+
+TEST(Emitter, BudgetSignalledViaFull)
+{
+    Trace t;
+    Emitter e(t, params(10));
+    unsigned emitted = 0;
+    while (!e.full()) {
+        e.alu(1, 1);
+        ++emitted;
+    }
+    // full() allows the documented slack past maxInstructions.
+    EXPECT_GE(emitted, 10u);
+    EXPECT_LE(emitted, 10u + 256u);
+}
+
+TEST(Emitter, RecordKindsAndOperands)
+{
+    Trace t;
+    Emitter e(t, params());
+    e.load(1, 0x1234, 5, 6, 4);
+    e.store(2, 0x2000, 7, 8, 8);
+    e.branch(3, true, 1, 9);
+    e.mul(4, 10, 11, 12);
+    e.fp(5, 13, 14);
+    e.blockBegin(6, 42);
+    e.blockEnd(7, 42);
+
+    EXPECT_EQ(t[0].cls, InstClass::Load);
+    EXPECT_EQ(t[0].effAddr, 0x1234u);
+    EXPECT_EQ(t[0].dest, 5);
+    EXPECT_EQ(t[0].src1, 6);
+    EXPECT_EQ(t[0].size, 4);
+
+    EXPECT_EQ(t[1].cls, InstClass::Store);
+    EXPECT_EQ(t[1].src1, 7);
+
+    EXPECT_EQ(t[2].cls, InstClass::Branch);
+    EXPECT_TRUE(t[2].taken);
+    EXPECT_EQ(t[2].effAddr, e.pcOf(1));
+
+    EXPECT_EQ(t[3].cls, InstClass::IntMul);
+    EXPECT_EQ(t[4].cls, InstClass::FpAlu);
+    EXPECT_EQ(t[5].cls, InstClass::BlockBegin);
+    EXPECT_EQ(t[5].blockId, 42);
+    EXPECT_EQ(t[6].cls, InstClass::BlockEnd);
+}
+
+TEST(Emitter, TempRegistersRotateInRange)
+{
+    Trace t;
+    Emitter e(t, params());
+    RegIndex first = e.temp();
+    bool repeated = false;
+    for (int i = 0; i < 40; ++i) {
+        const RegIndex r = e.temp();
+        EXPECT_GE(r, 40);
+        EXPECT_LT(r, 56);
+        repeated = repeated || r == first;
+    }
+    EXPECT_TRUE(repeated); // cycles through the pool
+}
+
+TEST(Emitter, RngSeededFromParams)
+{
+    Trace t1, t2, t3;
+    Emitter a(t1, params(1000, 5)), b(t2, params(1000, 5)),
+        c(t3, params(1000, 6));
+    EXPECT_EQ(a.rng().next(), b.rng().next());
+    Emitter d(t1, params(1000, 5));
+    EXPECT_NE(d.rng().next(), c.rng().next());
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the automatic loop annotator (the trace-level stand-
+ * in for the paper's LLVM annotation pass).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/loop_annotator.hh"
+
+namespace cbws
+{
+namespace
+{
+
+/** Emit @p iters iterations of a simple counted loop. */
+void
+emitLoop(Trace &t, Addr header, unsigned body_insts, unsigned iters,
+         Addr data_base = 0x1000000)
+{
+    for (unsigned i = 0; i < iters; ++i) {
+        Addr pc = header;
+        for (unsigned b = 0; b < body_insts; ++b, pc += 4) {
+            t.append(TraceRecord::load(pc, data_base + i * 64 + b * 8,
+                                       3, 1));
+        }
+        t.append(TraceRecord::branch(pc, i + 1 < iters, header, 2));
+    }
+}
+
+TEST(LoopAnnotator, DetectsSimpleLoop)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 3, 20);
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    ASSERT_EQ(ann.loops().size(), 1u);
+    EXPECT_EQ(ann.loops()[0].headerPc, 0x400000u);
+    EXPECT_EQ(out.countClass(InstClass::BlockBegin), 20u);
+    EXPECT_EQ(out.countClass(InstClass::BlockEnd), 20u);
+}
+
+TEST(LoopAnnotator, MarkersWrapEachIteration)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 2, 5);
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    // Structure: BEGIN, body..., branch, END, repeated.
+    int depth = 0;
+    for (const auto &rec : out) {
+        if (rec.cls == InstClass::BlockBegin) {
+            EXPECT_EQ(depth, 0);
+            ++depth;
+        } else if (rec.cls == InstClass::BlockEnd) {
+            EXPECT_EQ(depth, 1);
+            --depth;
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(LoopAnnotator, OnlyInnermostAnnotated)
+{
+    // Outer loop (header 0x400000) containing an inner loop (header
+    // 0x400010): only the inner one is tight & innermost.
+    Trace t;
+    const Addr outer_header = 0x400000;
+    const Addr inner_header = 0x400010;
+    for (unsigned o = 0; o < 6; ++o) {
+        // Outer body prologue.
+        for (unsigned b = 0; b < 4; ++b) {
+            t.append(
+                TraceRecord::alu(outer_header + b * 4, 3, 3));
+        }
+        // Inner loop.
+        for (unsigned i = 0; i < 10; ++i) {
+            t.append(TraceRecord::load(inner_header,
+                                       0x1000000 + i * 64, 3, 1));
+            t.append(TraceRecord::branch(inner_header + 4,
+                                         i + 1 < 10, inner_header,
+                                         2));
+        }
+        t.append(TraceRecord::branch(inner_header + 8, o + 1 < 6,
+                                     outer_header, 2));
+    }
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    ASSERT_EQ(ann.loops().size(), 1u);
+    EXPECT_EQ(ann.loops()[0].headerPc, inner_header);
+    EXPECT_EQ(out.countClass(InstClass::BlockBegin), 60u);
+}
+
+TEST(LoopAnnotator, LargeBodiesNotTight)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 200, 20); // body > maxBodyInsts (64)
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    EXPECT_TRUE(ann.loops().empty());
+    EXPECT_EQ(out.countClass(InstClass::BlockBegin), 0u);
+    EXPECT_EQ(out.size(), t.size());
+}
+
+TEST(LoopAnnotator, ColdLoopsIgnored)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 3, 2); // below minIterations (4)
+    LoopAnnotator ann;
+    ann.annotate(t);
+    EXPECT_TRUE(ann.loops().empty());
+}
+
+TEST(LoopAnnotator, TightnessThresholdConfigurable)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 100, 10);
+    LoopAnnotator::Params p;
+    p.maxBodyInsts = 128;
+    LoopAnnotator ann(p);
+    ann.annotate(t);
+    EXPECT_EQ(ann.loops().size(), 1u);
+}
+
+TEST(LoopAnnotator, DistinctLoopsGetDistinctIds)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 3, 10, 0x1000000);
+    emitLoop(t, 0x500000, 3, 10, 0x2000000);
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    ASSERT_EQ(ann.loops().size(), 2u);
+    EXPECT_NE(ann.loops()[0].id, ann.loops()[1].id);
+    // Iteration counts recorded per loop (taken back-branches).
+    EXPECT_EQ(ann.loops()[0].iterations, 9u);
+}
+
+TEST(LoopAnnotator, RefusesPreAnnotatedInput)
+{
+    Trace t;
+    t.append(TraceRecord::blockBegin(0x400000, 0));
+    LoopAnnotator ann;
+    EXPECT_DEATH({ ann.annotate(t); }, "already contains");
+}
+
+TEST(LoopAnnotator, PreservesOriginalRecords)
+{
+    Trace t;
+    emitLoop(t, 0x400000, 3, 8);
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    // Every original record appears, in order, in the output.
+    std::size_t j = 0;
+    for (const auto &rec : out) {
+        if (isBlockMarker(rec.cls))
+            continue;
+        ASSERT_LT(j, t.size());
+        EXPECT_EQ(rec.pc, t[j].pc);
+        EXPECT_EQ(rec.cls, t[j].cls);
+        ++j;
+    }
+    EXPECT_EQ(j, t.size());
+}
+
+TEST(LoopAnnotator, BranchyBodyStillOneBlockPerIteration)
+{
+    // Iteration contains a forward conditional branch: the block must
+    // still span the whole iteration.
+    Trace t;
+    const Addr header = 0x400000;
+    for (unsigned i = 0; i < 12; ++i) {
+        t.append(TraceRecord::load(header, 0x1000000 + i * 64, 3, 1));
+        const bool skip = i % 2 == 0;
+        t.append(TraceRecord::branch(header + 4, skip, header + 12,
+                                     3));
+        if (!skip)
+            t.append(TraceRecord::alu(header + 8, 4, 3));
+        t.append(TraceRecord::branch(header + 12, i + 1 < 12, header,
+                                     2));
+    }
+    LoopAnnotator ann;
+    Trace out = ann.annotate(t);
+    ASSERT_EQ(ann.loops().size(), 1u);
+    EXPECT_EQ(out.countClass(InstClass::BlockBegin), 12u);
+    EXPECT_EQ(out.countClass(InstClass::BlockEnd), 12u);
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the top-level simulation driver and experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace
+{
+
+TEST(Config, PrefetcherNames)
+{
+    EXPECT_STREQ(toString(PrefetcherKind::None), "No-Prefetch");
+    EXPECT_STREQ(toString(PrefetcherKind::Sms), "SMS");
+    EXPECT_STREQ(toString(PrefetcherKind::CbwsSms), "CBWS+SMS");
+    EXPECT_EQ(allPrefetcherKinds().size(), 7u);
+}
+
+TEST(Config, MakePrefetcherMatchesKind)
+{
+    for (PrefetcherKind kind : allPrefetcherKinds()) {
+        SystemConfig cfg;
+        cfg.prefetcher = kind;
+        auto pf = makePrefetcher(cfg);
+        ASSERT_NE(pf, nullptr);
+        EXPECT_EQ(pf->name(), toString(kind));
+    }
+}
+
+TEST(Simulate, EndToEndProducesSaneMetrics)
+{
+    auto w = findWorkload("stencil-default");
+    ASSERT_NE(w, nullptr);
+    SystemConfig cfg;
+    WorkloadParams params;
+    params.maxInstructions = 20000;
+    SimResult r = simulateWorkload(*w, cfg, params);
+    EXPECT_EQ(r.workload, "stencil-default");
+    EXPECT_EQ(r.prefetcher, "No-Prefetch");
+    EXPECT_EQ(r.core.instructions, params.maxInstructions);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_LE(r.ipc(), 4.0);
+    EXPECT_GT(r.mpki(), 0.0);
+    EXPECT_GT(r.mem.dramBytesRead, 0u);
+    EXPECT_GT(r.core.loopFraction(), 0.5);
+}
+
+TEST(Simulate, CbwsCutsStencilMisses)
+{
+    auto w = findWorkload("stencil-default");
+    WorkloadParams params;
+    params.maxInstructions = 30000;
+    Trace t;
+    w->generate(t, params);
+
+    SystemConfig none_cfg, cbws_cfg;
+    cbws_cfg.prefetcher = PrefetcherKind::Cbws;
+    SimResult none = simulate(t, none_cfg, params.maxInstructions);
+    SimResult cbws = simulate(t, cbws_cfg, params.maxInstructions);
+    EXPECT_LT(cbws.mpki(), none.mpki() * 0.3);
+    EXPECT_GT(cbws.ipc(), none.ipc() * 1.5);
+}
+
+TEST(Simulate, DifferentialProbeAttaches)
+{
+    auto w = findWorkload("stencil-default");
+    WorkloadParams params;
+    params.maxInstructions = 10000;
+    SystemConfig cfg;
+    cfg.prefetcher = PrefetcherKind::Cbws;
+    FrequencyCounter probe;
+    SimProbes probes;
+    probes.differentials = &probe;
+    simulateWorkload(*w, cfg, params, probes);
+    EXPECT_GT(probe.total(), 100u);
+    // The stencil's differential distribution is extremely skewed
+    // (Fig. 5): very few distinct vectors.
+    EXPECT_LT(probe.distinct(), probe.total() / 10);
+
+    // The probe also attaches through the composite.
+    FrequencyCounter probe2;
+    probes.differentials = &probe2;
+    cfg.prefetcher = PrefetcherKind::CbwsSms;
+    simulateWorkload(*w, cfg, params, probes);
+    EXPECT_GT(probe2.total(), 100u);
+}
+
+TEST(Simulate, WarmupReducesColdMisses)
+{
+    auto w = findWorkload("458.sjeng-ref"); // L2-resident working set
+    WorkloadParams params;
+    params.maxInstructions = 60000;
+    Trace t;
+    w->generate(t, params);
+    SystemConfig cfg;
+    SimResult cold = simulate(t, cfg, params.maxInstructions);
+    SimResult warm = simulate(t, cfg, params.maxInstructions,
+                              SimProbes(), 30000);
+    EXPECT_LT(warm.mpki(), cold.mpki());
+}
+
+TEST(Simulate, DeterministicAcrossRuns)
+{
+    auto w = findWorkload("radix-simlarge");
+    WorkloadParams params;
+    params.maxInstructions = 15000;
+    Trace t;
+    w->generate(t, params);
+    SystemConfig cfg;
+    cfg.prefetcher = PrefetcherKind::CbwsSms;
+    SimResult a = simulate(t, cfg, params.maxInstructions);
+    SimResult b = simulate(t, cfg, params.maxInstructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.mem.llcDemandMisses, b.mem.llcDemandMisses);
+    EXPECT_EQ(a.mem.prefetchesIssued, b.mem.prefetchesIssued);
+}
+
+TEST(Experiment, MatrixShapeAndLookup)
+{
+    std::vector<WorkloadPtr> ws;
+    ws.push_back(findWorkload("sgemm-medium"));
+    ws.push_back(findWorkload("histo-large"));
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::None, PrefetcherKind::Sms,
+        PrefetcherKind::CbwsSms};
+    SystemConfig cfg;
+    auto matrix = runMatrix(ws, kinds, cfg, 12000);
+    ASSERT_EQ(matrix.rows.size(), 2u);
+    ASSERT_EQ(matrix.rows[0].byPrefetcher.size(), 3u);
+    EXPECT_EQ(matrix.result(0, PrefetcherKind::Sms).prefetcher,
+              "SMS");
+    EXPECT_EQ(matrix.rows[0].workload, "sgemm-medium");
+    EXPECT_TRUE(matrix.rows[0].memoryIntensive);
+
+    const double avg_mi = matrix.average(
+        [&](const WorkloadRow &row) {
+            return row.byPrefetcher[0].ipc();
+        },
+        /*mi_only=*/true);
+    EXPECT_GT(avg_mi, 0.0);
+}
+
+TEST(Experiment, BudgetEnvOverride)
+{
+    unsetenv("CBWS_BENCH_INSTS");
+    EXPECT_EQ(benchInstructionBudget(4242), 4242u);
+    setenv("CBWS_BENCH_INSTS", "777", 1);
+    EXPECT_EQ(benchInstructionBudget(4242), 777u);
+    unsetenv("CBWS_BENCH_INSTS");
+}
+
+TEST(SimResult, DerivedMetrics)
+{
+    SimResult r;
+    r.core.instructions = 1000;
+    r.core.cycles = 2000;
+    r.mem.llcDemandMisses = 50;
+    r.mem.demandL2Accesses = 100;
+    r.mem.classCounts[static_cast<int>(DemandClass::Timely)] = 25;
+    r.mem.wrongPrefetches = 10;
+    r.mem.dramBytesRead = 6400;
+    EXPECT_DOUBLE_EQ(r.ipc(), 0.5);
+    EXPECT_DOUBLE_EQ(r.mpki(), 50.0);
+    EXPECT_DOUBLE_EQ(r.classFraction(DemandClass::Timely), 0.25);
+    EXPECT_DOUBLE_EQ(r.wrongFraction(), 0.10);
+    EXPECT_DOUBLE_EQ(r.perfPerByte(), 0.5 / 6400);
+}
+
+} // anonymous namespace
+} // namespace cbws

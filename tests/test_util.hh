@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the unit and integration tests.
+ */
+
+#ifndef CBWS_TESTS_TEST_UTIL_HH
+#define CBWS_TESTS_TEST_UTIL_HH
+
+#include <set>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "trace/trace.hh"
+
+namespace cbws
+{
+namespace test
+{
+
+/**
+ * PrefetchSink that records every issued line and serves isCached()
+ * from a configurable set.
+ */
+class MockSink : public PrefetchSink
+{
+  public:
+    void
+    issuePrefetch(LineAddr line) override
+    {
+        issued.push_back(line);
+    }
+
+    bool
+    isCached(LineAddr line) const override
+    {
+        return cached.count(line) > 0;
+    }
+
+    bool
+    wasIssued(LineAddr line) const
+    {
+        for (LineAddr l : issued)
+            if (l == line)
+                return true;
+        return false;
+    }
+
+    std::vector<LineAddr> issued;
+    std::set<LineAddr> cached;
+};
+
+/** Feed a memory access (as a committed op) into a prefetcher. */
+inline PrefetchContext
+memCtx(Addr pc, Addr addr, bool is_write = false, bool l1_hit = false,
+       bool l2_miss = true)
+{
+    PrefetchContext ctx;
+    ctx.pc = pc;
+    ctx.addr = addr;
+    ctx.line = lineOf(addr);
+    ctx.isWrite = is_write;
+    ctx.l1Hit = l1_hit;
+    ctx.l2Miss = l2_miss;
+    return ctx;
+}
+
+/**
+ * Replay a trace's memory records and block markers straight into a
+ * prefetcher (no core, no hierarchy) using @p sink.
+ */
+inline void
+replayTrace(const Trace &trace, Prefetcher &pf, PrefetchSink &sink)
+{
+    for (const auto &rec : trace) {
+        switch (rec.cls) {
+          case InstClass::BlockBegin:
+            pf.blockBegin(rec.blockId, sink);
+            break;
+          case InstClass::BlockEnd:
+            pf.blockEnd(rec.blockId, sink);
+            break;
+          case InstClass::Load:
+          case InstClass::Store: {
+            PrefetchContext ctx =
+                memCtx(rec.pc, rec.effAddr,
+                       rec.cls == InstClass::Store);
+            pf.observeAccess(ctx, sink);
+            pf.observeCommit(ctx, sink);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace test
+} // namespace cbws
+
+#endif // CBWS_TESTS_TEST_UTIL_HH

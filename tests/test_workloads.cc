@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the synthetic workload kernels and the registry: every
+ * benchmark of the paper's evaluation must exist, generate
+ * deterministic, well-formed annotated traces, and respect the
+ * instruction budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace
+{
+
+TEST(Registry, ThirtyBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 30u);
+    EXPECT_EQ(memoryIntensiveWorkloads().size(), 15u);
+    EXPECT_EQ(lowMpkiWorkloads().size(), 15u);
+}
+
+TEST(Registry, NamesUniqueAndGroupsConsistent)
+{
+    std::set<std::string> names;
+    for (const auto &w : allWorkloads())
+        EXPECT_TRUE(names.insert(w->name()).second)
+            << "duplicate workload name: " << w->name();
+    for (const auto &w : memoryIntensiveWorkloads())
+        EXPECT_TRUE(w->memoryIntensive());
+    for (const auto &w : lowMpkiWorkloads())
+        EXPECT_FALSE(w->memoryIntensive());
+}
+
+TEST(Registry, Table4MembersPresent)
+{
+    // The paper's Table IV memory-intensive list.
+    const char *mi[] = {
+        "429.mcf-ref",     "450.soplex-ref",
+        "462.libquantum-ref", "433.milc-su3imp",
+        "401.bzip2-source", "mri-q-large",
+        "histo-large",     "stencil-default",
+        "sgemm-medium",    "nw",
+        "lbm-long",        "lu-ncb-simlarge",
+        "fft-simlarge",    "radix-simlarge",
+        "streamcluster-simlarge",
+    };
+    for (const char *name : mi) {
+        auto w = findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        EXPECT_TRUE(w->memoryIntensive()) << name;
+    }
+}
+
+TEST(Registry, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(findWorkload("not-a-benchmark"), nullptr);
+}
+
+class WorkloadTraceTest
+    : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTraceTest, GeneratesWellFormedTrace)
+{
+    auto w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+
+    WorkloadParams params;
+    params.maxInstructions = 12000;
+    Trace t;
+    w->generate(t, params);
+
+    // Budget respected (with the emitter's small slack).
+    EXPECT_GE(t.size(), params.maxInstructions);
+    EXPECT_LE(t.size(), params.maxInstructions + 512);
+
+    // Block markers are balanced and non-nested, with stable ids.
+    int depth = 0;
+    std::set<BlockId> ids;
+    std::size_t mem_ops = 0;
+    std::size_t in_block_mem = 0;
+    for (const auto &rec : t) {
+        switch (rec.cls) {
+          case InstClass::BlockBegin:
+            ASSERT_EQ(depth, 0) << "nested BLOCK_BEGIN";
+            ids.insert(rec.blockId);
+            ++depth;
+            break;
+          case InstClass::BlockEnd:
+            ASSERT_EQ(depth, 1) << "unpaired BLOCK_END";
+            --depth;
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            ++mem_ops;
+            in_block_mem += depth;
+            EXPECT_GT(rec.effAddr, 0x100000u); // inside the heap
+            break;
+          default:
+            break;
+        }
+    }
+    // A possibly unterminated final block is acceptable.
+    EXPECT_LE(depth, 1);
+    // Each kernel uses one static block id for its innermost loop.
+    EXPECT_GE(ids.size(), 1u);
+    // Kernels are memory workloads: a meaningful share of memory ops,
+    // most of them inside annotated blocks.
+    EXPECT_GT(mem_ops, t.size() / 20);
+    EXPECT_GT(in_block_mem * 2, mem_ops);
+}
+
+TEST_P(WorkloadTraceTest, DeterministicForSameSeed)
+{
+    auto w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    WorkloadParams params;
+    params.maxInstructions = 4000;
+    Trace a, b;
+    w->generate(a, params);
+    w->generate(b, params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr);
+        EXPECT_EQ(a[i].cls, b[i].cls);
+    }
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        names.push_back(w->name());
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadTraceTest,
+    testing::ValuesIn(allWorkloadNames()),
+    [](const testing::TestParamInfo<std::string> &param_info) {
+        std::string s = param_info.param;
+        for (char &c : s)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return s;
+    });
+
+TEST(Workloads, BranchOutcomesVary)
+{
+    // Kernels with divergent branches must actually diverge (the
+    // branch predictor should not see constant outcomes everywhere).
+    auto w = findWorkload("450.soplex-ref");
+    WorkloadParams params;
+    params.maxInstructions = 10000;
+    Trace t;
+    w->generate(t, params);
+    std::size_t taken = 0, total = 0;
+    for (const auto &rec : t) {
+        if (rec.cls != InstClass::Branch)
+            continue;
+        ++total;
+        taken += rec.taken;
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(taken, total / 10);
+    EXPECT_LT(taken, total - total / 10);
+}
+
+TEST(Workloads, DifferentSeedsChangeDataDependentStreams)
+{
+    auto w = findWorkload("histo-large");
+    WorkloadParams p1, p2;
+    p1.maxInstructions = p2.maxInstructions = 4000;
+    p1.seed = 1;
+    p2.seed = 2;
+    Trace a, b;
+    w->generate(a, p1);
+    w->generate(b, p2);
+    bool any_diff = false;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n && !any_diff; ++i)
+        any_diff = a[i].effAddr != b[i].effAddr;
+    EXPECT_TRUE(any_diff);
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * cbws-sim — command-line simulation driver.
+ *
+ * Runs one workload (or a trace file) through one or all prefetcher
+ * configurations on the Table II system, with every interesting knob
+ * exposed as a flag. Human-readable or CSV output.
+ *
+ * Examples:
+ *   cbws-sim --list
+ *   cbws-sim --workload sgemm-medium --prefetcher all
+ *   cbws-sim --workload nw --prefetcher CBWS --insts 200000 --csv
+ *   cbws-sim --workload fft-simlarge --cbws-table-entries 64
+ *   cbws-sim --workload stencil-default --save-trace stencil.cbt
+ *   cbws-sim --load-trace stencil.cbt --prefetcher CBWS+SMS
+ *   cbws-sim --workload radix-simlarge --auto-annotate
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/argparse.hh"
+#include "base/table.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/statsdump.hh"
+#include "trace/loop_annotator.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+namespace
+{
+
+PrefetcherKind
+kindFromName(const std::string &name, bool &ok)
+{
+    ok = true;
+    for (PrefetcherKind kind : allPrefetcherKinds())
+        if (name == toString(kind))
+            return kind;
+    ok = false;
+    return PrefetcherKind::None;
+}
+
+void
+listWorkloads()
+{
+    TextTable t;
+    t.header({"benchmark", "suite", "group"});
+    for (const auto &w : allWorkloads()) {
+        t.row({w->name(), w->suite(),
+               w->memoryIntensive() ? "memory-intensive"
+                                    : "low-MPKI"});
+    }
+    std::printf("%s", t.render().c_str());
+}
+
+void
+applyOverrides(const ArgParser &args, SystemConfig &config)
+{
+    if (args.provided("cbws-table-entries")) {
+        config.cbws.tableEntries = static_cast<unsigned>(
+            args.getUint("cbws-table-entries", 16));
+    }
+    if (args.provided("cbws-max-members")) {
+        config.cbws.maxVectorMembers = static_cast<unsigned>(
+            args.getUint("cbws-max-members", 16));
+    }
+    if (args.provided("cbws-steps")) {
+        config.cbws.numSteps =
+            static_cast<unsigned>(args.getUint("cbws-steps", 4));
+    }
+    if (args.getFlag("cbws-train-misses-only"))
+        config.cbws.trainOnHits = false;
+    if (args.provided("l2-kb")) {
+        config.mem.l2.sizeBytes =
+            args.getUint("l2-kb", 2048) * 1024;
+    }
+    if (args.provided("dram-latency")) {
+        config.mem.dramLatency =
+            args.getUint("dram-latency", 300);
+    }
+    if (args.provided("l1d-mshrs")) {
+        config.mem.l1d.mshrs = static_cast<unsigned>(
+            args.getUint("l1d-mshrs", 4));
+    }
+    if (args.provided("rob")) {
+        config.core.robSize =
+            static_cast<unsigned>(args.getUint("rob", 128));
+    }
+}
+
+void
+applyCoreModel(const ArgParser &args, SystemConfig &config)
+{
+    if (args.getFlag("inorder"))
+        config.coreModel = CoreModel::InOrder;
+}
+
+void
+printHuman(const SimResult &r)
+{
+    std::printf("%-12s ipc=%.4f cycles=%llu insts=%llu mpki=%.2f "
+                "l1d-miss%%=%.1f\n",
+                r.prefetcher.c_str(), r.ipc(),
+                static_cast<unsigned long long>(r.core.cycles),
+                static_cast<unsigned long long>(
+                    r.core.instructions),
+                r.mpki(),
+                r.mem.l1dAccesses
+                    ? 100.0 * r.mem.l1dMisses / r.mem.l1dAccesses
+                    : 0.0);
+    std::printf(
+        "             timely=%.1f%% shorter=%.1f%% nontimely=%.1f%% "
+        "missing=%.1f%% wrong=%.1f%%\n",
+        100 * r.classFraction(DemandClass::Timely),
+        100 * r.classFraction(DemandClass::Shorter),
+        100 * r.classFraction(DemandClass::NonTimely),
+        100 * r.classFraction(DemandClass::Missing),
+        100 * r.wrongFraction());
+    std::printf("             pf: req=%llu issued=%llu filtered=%llu "
+                "dropped=%llu; dram=%.2f MB read / %.2f MB written; "
+                "loop=%.1f%%; bp-miss=%llu\n",
+                static_cast<unsigned long long>(
+                    r.mem.prefetchesRequested),
+                static_cast<unsigned long long>(
+                    r.mem.prefetchesIssued),
+                static_cast<unsigned long long>(
+                    r.mem.prefetchesFiltered),
+                static_cast<unsigned long long>(
+                    r.mem.prefetchesDropped),
+                r.mem.dramBytesRead / 1e6,
+                r.mem.dramBytesWritten / 1e6,
+                100 * r.core.loopFraction(),
+                static_cast<unsigned long long>(
+                    r.core.branchMispredicts));
+}
+
+void
+printCsvHeader()
+{
+    std::printf("workload,prefetcher,insts,cycles,ipc,mpki,"
+                "timely,shorter,nontimely,missing,wrong,"
+                "pf_issued,dram_read_bytes,loop_fraction\n");
+}
+
+void
+printCsv(const SimResult &r)
+{
+    std::printf("%s,%s,%llu,%llu,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,"
+                "%.4f,%llu,%llu,%.4f\n",
+                r.workload.c_str(), r.prefetcher.c_str(),
+                static_cast<unsigned long long>(
+                    r.core.instructions),
+                static_cast<unsigned long long>(r.core.cycles),
+                r.ipc(), r.mpki(),
+                r.classFraction(DemandClass::Timely),
+                r.classFraction(DemandClass::Shorter),
+                r.classFraction(DemandClass::NonTimely),
+                r.classFraction(DemandClass::Missing),
+                r.wrongFraction(),
+                static_cast<unsigned long long>(
+                    r.mem.prefetchesIssued),
+                static_cast<unsigned long long>(
+                    r.mem.dramBytesRead),
+                r.core.loopFraction());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("cbws-sim",
+                   "run the CBWS reproduction's simulator");
+    args.addFlag("list", "list the available benchmarks and exit");
+    args.addOption("workload", "benchmark to run",
+                   "stencil-default");
+    args.addOption("prefetcher",
+                   "scheme name as in the paper's figures, or 'all'",
+                   "CBWS+SMS");
+    args.addOption("insts", "committed-instruction budget", "120000");
+    args.addOption("warmup",
+                   "instructions whose statistics are discarded "
+                   "(default: insts/4)",
+                   "");
+    args.addOption("seed", "workload synthesis seed", "42");
+    args.addOption("save-trace",
+                   "write the generated trace to this file", "");
+    args.addOption("load-trace",
+                   "replay a trace file instead of a workload", "");
+    args.addFlag("auto-annotate",
+                 "strip kernel markers and re-annotate with the "
+                 "automatic loop detector");
+    args.addFlag("csv", "machine-readable CSV output");
+    args.addFlag("json", "machine-readable JSON output");
+    args.addFlag("stats", "gem5-style full statistics dump");
+    args.addFlag("inorder",
+                 "use the scalar in-order core model (extension)");
+    args.addOption("cbws-table-entries",
+                   "CBWS differential table entries", "");
+    args.addOption("cbws-max-members",
+                   "CBWS max working-set members", "");
+    args.addOption("cbws-steps", "CBWS prediction depth", "");
+    args.addFlag("cbws-train-misses-only",
+                 "CBWS tracks only L1 misses inside blocks");
+    args.addOption("l2-kb", "L2 capacity in KB", "");
+    args.addOption("dram-latency", "memory latency in cycles", "");
+    args.addOption("l1d-mshrs", "L1D MSHR count", "");
+    args.addOption("rob", "reorder-buffer entries", "");
+
+    if (!args.parse(argc, argv))
+        return 1;
+    if (args.helpRequested())
+        return 0;
+    if (args.getFlag("list")) {
+        listWorkloads();
+        return 0;
+    }
+
+    const std::uint64_t insts = args.getUint("insts", 120000);
+    const std::uint64_t warmup =
+        args.provided("warmup") ? args.getUint("warmup", 0)
+                                : insts / 4;
+
+    // Obtain the trace: load, or synthesise from a workload.
+    Trace trace;
+    std::string workload_name;
+    if (args.provided("load-trace")) {
+        if (!trace.loadFrom(args.get("load-trace")))
+            return 1;
+        workload_name = args.get("load-trace");
+    } else {
+        auto workload = findWorkload(args.get("workload"));
+        if (!workload) {
+            std::fprintf(stderr,
+                         "unknown benchmark '%s' (use --list)\n",
+                         args.get("workload").c_str());
+            return 1;
+        }
+        WorkloadParams params;
+        params.maxInstructions = insts;
+        params.seed = args.getUint("seed", 42);
+        workload->generate(trace, params);
+        workload_name = workload->name();
+    }
+
+    if (args.getFlag("auto-annotate")) {
+        Trace raw;
+        for (const auto &rec : trace)
+            if (!isBlockMarker(rec.cls))
+                raw.append(rec);
+        LoopAnnotator annotator;
+        trace = annotator.annotate(raw);
+        if (!args.getFlag("csv")) {
+            std::printf("auto-annotation found %zu tight innermost "
+                        "loop(s)\n",
+                        annotator.loops().size());
+        }
+    }
+
+    if (args.provided("save-trace")) {
+        if (!trace.saveTo(args.get("save-trace")))
+            return 1;
+        if (!args.getFlag("csv")) {
+            std::printf("saved %zu records to %s\n", trace.size(),
+                        args.get("save-trace").c_str());
+        }
+    }
+
+    // Select the schemes.
+    std::vector<PrefetcherKind> kinds;
+    if (args.get("prefetcher") == "all") {
+        kinds = allPrefetcherKinds();
+    } else {
+        bool ok = false;
+        kinds.push_back(kindFromName(args.get("prefetcher"), ok));
+        if (!ok) {
+            std::fprintf(stderr, "unknown prefetcher '%s'; one of:",
+                         args.get("prefetcher").c_str());
+            for (PrefetcherKind kind : allPrefetcherKinds())
+                std::fprintf(stderr, " '%s'", toString(kind));
+            std::fprintf(stderr, " or 'all'\n");
+            return 1;
+        }
+    }
+
+    const bool quiet = args.getFlag("csv") || args.getFlag("json");
+    if (args.getFlag("csv"))
+        printCsvHeader();
+    else if (!quiet)
+        std::printf("%s: %zu records, %llu insts (%llu warmup)\n\n",
+                    workload_name.c_str(), trace.size(),
+                    static_cast<unsigned long long>(insts),
+                    static_cast<unsigned long long>(warmup));
+
+    std::vector<SimResult> results;
+    for (PrefetcherKind kind : kinds) {
+        SystemConfig config;
+        config.prefetcher = kind;
+        applyOverrides(args, config);
+        applyCoreModel(args, config);
+        SimResult r =
+            simulate(trace, config, insts, SimProbes(), warmup);
+        r.workload = workload_name;
+        if (args.getFlag("json"))
+            results.push_back(std::move(r));
+        else if (args.getFlag("csv"))
+            printCsv(r);
+        else if (args.getFlag("stats"))
+            dumpStats(std::cout, r);
+        else
+            printHuman(r);
+    }
+    if (args.getFlag("json"))
+        std::printf("%s\n", toJson(results).c_str());
+    return 0;
+}

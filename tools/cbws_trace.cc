@@ -1,0 +1,179 @@
+/**
+ * @file
+ * cbws-trace — trace inspection tool.
+ *
+ * Generates, saves, loads and summarises instruction traces: record
+ * mix, block-marker structure, per-block working-set size
+ * distribution, hottest PCs and the cache-line footprint.
+ *
+ * Examples:
+ *   cbws-trace --workload nw --insts 50000
+ *   cbws-trace --workload sgemm-medium --save sgemm.cbt
+ *   cbws-trace --load sgemm.cbt --blocks
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/argparse.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+namespace
+{
+
+void
+summarise(const Trace &trace, bool show_blocks)
+{
+    std::printf("records: %zu\n", trace.size());
+
+    TextTable mix;
+    mix.header({"class", "count", "share"});
+    struct ClassRow
+    {
+        InstClass cls;
+        const char *name;
+    };
+    const ClassRow classes[] = {
+        {InstClass::IntAlu, "int-alu"},
+        {InstClass::IntMul, "int-mul"},
+        {InstClass::FpAlu, "fp-alu"},
+        {InstClass::Load, "load"},
+        {InstClass::Store, "store"},
+        {InstClass::Branch, "branch"},
+        {InstClass::BlockBegin, "block-begin"},
+        {InstClass::BlockEnd, "block-end"},
+    };
+    for (const auto &row : classes) {
+        const std::size_t n = trace.countClass(row.cls);
+        mix.row({row.name, std::to_string(n),
+                 TextTable::num(trace.size()
+                                    ? 100.0 * n / trace.size()
+                                    : 0.0,
+                                1) +
+                     "%"});
+    }
+    std::printf("%s\n", mix.render().c_str());
+
+    // Line footprint and hottest memory PCs.
+    std::set<LineAddr> lines;
+    std::map<Addr, std::uint64_t> pc_counts;
+    for (const auto &rec : trace) {
+        if (!isMemory(rec.cls))
+            continue;
+        lines.insert(rec.line());
+        ++pc_counts[rec.pc];
+    }
+    std::printf("memory footprint: %zu distinct lines (%.2f MB)\n",
+                lines.size(), lines.size() * 64.0 / 1e6);
+
+    std::vector<std::pair<std::uint64_t, Addr>> hot;
+    for (const auto &[pc, count] : pc_counts)
+        hot.emplace_back(count, pc);
+    std::sort(hot.rbegin(), hot.rend());
+    std::printf("hottest memory PCs:");
+    for (std::size_t i = 0; i < 5 && i < hot.size(); ++i)
+        std::printf(" %#llx(x%llu)",
+                    static_cast<unsigned long long>(hot[i].second),
+                    static_cast<unsigned long long>(hot[i].first));
+    std::printf("\n");
+
+    // Block structure.
+    Histogram ws_sizes(33, 1.0);
+    std::uint64_t blocks = 0, over16 = 0;
+    std::set<LineAddr> block_lines;
+    bool in_block = false;
+    for (const auto &rec : trace) {
+        if (rec.cls == InstClass::BlockBegin) {
+            block_lines.clear();
+            in_block = true;
+        } else if (rec.cls == InstClass::BlockEnd && in_block) {
+            ws_sizes.sample(static_cast<double>(block_lines.size()));
+            over16 += block_lines.size() > 16;
+            ++blocks;
+            in_block = false;
+        } else if (in_block && isMemory(rec.cls)) {
+            block_lines.insert(rec.line());
+        }
+    }
+    if (blocks) {
+        std::printf("\nannotated blocks: %llu; working sets over 16 "
+                    "lines: %.2f%% (paper: <2%% typical)\n",
+                    static_cast<unsigned long long>(blocks),
+                    100.0 * over16 / blocks);
+        if (show_blocks) {
+            std::printf("working-set size distribution "
+                        "(lines : blocks):\n");
+            for (std::size_t b = 0; b < ws_sizes.numBuckets(); ++b) {
+                if (ws_sizes.bucket(b)) {
+                    std::printf("  %2zu%s : %llu\n", b,
+                                b + 1 == ws_sizes.numBuckets() ? "+"
+                                                               : " ",
+                                static_cast<unsigned long long>(
+                                    ws_sizes.bucket(b)));
+                }
+            }
+        }
+    } else {
+        std::printf("\nno annotated blocks in this trace\n");
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("cbws-trace", "inspect CBWS instruction traces");
+    args.addOption("workload", "benchmark to synthesise", "");
+    args.addOption("insts", "records to generate", "50000");
+    args.addOption("seed", "synthesis seed", "42");
+    args.addOption("save", "write the trace to this file", "");
+    args.addOption("load", "load a trace file instead", "");
+    args.addFlag("blocks",
+                 "print the per-block working-set size histogram");
+
+    if (!args.parse(argc, argv))
+        return 1;
+    if (args.helpRequested())
+        return 0;
+
+    Trace trace;
+    if (args.provided("load")) {
+        if (!trace.loadFrom(args.get("load")))
+            return 1;
+        std::printf("loaded %s\n\n", args.get("load").c_str());
+    } else if (args.provided("workload")) {
+        auto workload = findWorkload(args.get("workload"));
+        if (!workload) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         args.get("workload").c_str());
+            return 1;
+        }
+        WorkloadParams params;
+        params.maxInstructions = args.getUint("insts", 50000);
+        params.seed = args.getUint("seed", 42);
+        workload->generate(trace, params);
+        std::printf("synthesised %s\n\n",
+                    workload->name().c_str());
+    } else {
+        std::fprintf(stderr,
+                     "need --workload <name> or --load <file>\n");
+        return 1;
+    }
+
+    if (args.provided("save")) {
+        if (!trace.saveTo(args.get("save")))
+            return 1;
+        std::printf("saved to %s\n\n", args.get("save").c_str());
+    }
+
+    summarise(trace, args.getFlag("blocks"));
+    return 0;
+}
