@@ -1,0 +1,115 @@
+#include "base/debug.hh"
+
+#include <cstdarg>
+#include <utility>
+
+namespace cbws
+{
+namespace debug
+{
+
+State state;
+
+namespace
+{
+
+struct NamedFlag
+{
+    const char *name;
+    Flag flag;
+};
+
+constexpr NamedFlag kFlags[] = {
+    {"Cache", Flag::Cache},       {"MSHR", Flag::MSHR},
+    {"Prefetch", Flag::Prefetch}, {"CBWS", Flag::CBWS},
+    {"SMS", Flag::SMS},           {"Core", Flag::Core},
+    {"Sim", Flag::Sim},           {"Snapshot", Flag::Snapshot},
+};
+
+} // anonymous namespace
+
+std::vector<std::string>
+flagNames()
+{
+    std::vector<std::string> names;
+    for (const auto &f : kFlags)
+        names.push_back(f.name);
+    return names;
+}
+
+bool
+setFlags(const std::string &csv, std::string *err)
+{
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (const auto &f : kFlags) {
+            if (name == f.name) {
+                state.mask |= static_cast<std::uint32_t>(f.flag);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err)
+                *err = "unknown debug flag '" + name + "'";
+            state.anyEnabled = state.mask != 0;
+            return false;
+        }
+    }
+    state.anyEnabled = state.mask != 0;
+    return true;
+}
+
+void
+setWindow(Cycle start, Cycle end)
+{
+    state.start = start;
+    state.end = end;
+}
+
+void
+setOutput(std::FILE *out)
+{
+    state.out = out;
+}
+
+void
+reset()
+{
+    state = State();
+}
+
+void
+print(const char *flag_name, const char *fmt, ...)
+{
+    char msg[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+
+    // One formatted line, one stdio call: trace lines stay whole even
+    // if a future parallel sweep traces from several threads.
+    char line[600];
+    const int n =
+        std::snprintf(line, sizeof(line), "%10llu: %s: %s\n",
+                      static_cast<unsigned long long>(state.now),
+                      flag_name, msg);
+    std::FILE *out = state.out ? state.out : stderr;
+    std::fwrite(line, 1, static_cast<std::size_t>(
+                             n < static_cast<int>(sizeof(line))
+                                 ? n
+                                 : static_cast<int>(sizeof(line)) - 1),
+                out);
+}
+
+} // namespace debug
+} // namespace cbws

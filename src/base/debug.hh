@@ -1,0 +1,127 @@
+/**
+ * @file
+ * gem5-style compiled-in trace-flag facility.
+ *
+ * Every component prints through DPRINTF(Flag, fmt, ...). Output is
+ * emitted only when the flag was enabled (--debug-flags=Cache,CBWS,...)
+ * AND the current simulated cycle lies inside the optional
+ * [--debug-start, --debug-end) window. The macro's fast path is a
+ * single predicted-not-taken branch on one global bool, so a fully
+ * release-built simulator pays (close to) nothing when tracing is off.
+ *
+ * The facility is global, matching gem5's trace infrastructure: a
+ * simulation process traces one run at a time. Components report the
+ * advancing cycle via debug::setCycle() (the hierarchy and the cores
+ * do this), which is what the window gating compares against.
+ */
+
+#ifndef CBWS_BASE_DEBUG_HH
+#define CBWS_BASE_DEBUG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+namespace debug
+{
+
+/** One bit per trace flag; combined into State::mask. */
+enum class Flag : std::uint32_t
+{
+    Cache    = 1u << 0, ///< demand path: hits, misses, fills, evictions
+    MSHR     = 1u << 1, ///< MSHR allocate/merge/drain and back-pressure
+    Prefetch = 1u << 2, ///< prefetch queue/issue/lifecycle transitions
+    CBWS     = 1u << 3, ///< CBWS training, table updates, predictions
+    SMS      = 1u << 4, ///< SMS training and pattern replays
+    Core     = 1u << 5, ///< commit/stall/redirect activity in the cores
+    Sim      = 1u << 6, ///< run-level milestones (warmup, finalize)
+    Snapshot = 1u << 7, ///< periodic stats snapshot emission
+};
+
+/** Global trace state. Single-threaded by design (like gem5's). */
+struct State
+{
+    /** OR of the enabled Flag bits. */
+    std::uint32_t mask = 0;
+    /** First cycle (inclusive) at which enabled flags print. */
+    Cycle start = 0;
+    /** First cycle at which printing stops (exclusive). */
+    Cycle end = ~Cycle(0);
+    /** Current simulated cycle, maintained via setCycle(). */
+    Cycle now = 0;
+    /** Destination stream; stderr when null. */
+    std::FILE *out = nullptr;
+    /**
+     * Fast gate consulted by DPRINTF before anything else: true iff
+     * mask != 0. Window membership is checked afterwards so the hot
+     * path stays one load + one branch when tracing is off.
+     */
+    bool anyEnabled = false;
+};
+
+extern State state;
+
+/** Names of all flags, in declaration order (for --debug-flags=help). */
+std::vector<std::string> flagNames();
+
+/**
+ * Enable the flags named in the comma-separated list @p csv
+ * (e.g. "Cache,CBWS"). Names are case-sensitive. Returns false and
+ * fills @p err (when given) on the first unknown name; flags named
+ * before the bad one stay enabled.
+ */
+bool setFlags(const std::string &csv, std::string *err = nullptr);
+
+/** Set the [start, end) cycle window outside which nothing prints. */
+void setWindow(Cycle start, Cycle end);
+
+/** Redirect trace output (nullptr = stderr, the default). */
+void setOutput(std::FILE *out);
+
+/** Disable all flags and restore the default window/output. */
+void reset();
+
+/** Report simulated time to the window gate. */
+inline void
+setCycle(Cycle now)
+{
+    state.now = now;
+}
+
+/** Is @p flag enabled and the current cycle inside the window? */
+inline bool
+active(Flag flag)
+{
+    return (state.mask & static_cast<std::uint32_t>(flag)) != 0 &&
+           state.now >= state.start && state.now < state.end;
+}
+
+/**
+ * Emit one trace line: `<cycle>: <flag>: <message>`. Never call
+ * directly — DPRINTF performs the enabled/window checks first.
+ */
+void print(const char *flag_name, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace debug
+
+/**
+ * Trace-flag print. Zero work when no flag is enabled beyond one
+ * predicted branch; the format arguments are not even evaluated.
+ */
+#define DPRINTF(flag, ...)                                                \
+    do {                                                                  \
+        if (__builtin_expect(::cbws::debug::state.anyEnabled, 0) &&       \
+            ::cbws::debug::active(::cbws::debug::Flag::flag)) {           \
+            ::cbws::debug::print(#flag, __VA_ARGS__);                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace cbws
+
+#endif // CBWS_BASE_DEBUG_HH

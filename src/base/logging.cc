@@ -43,13 +43,17 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    // One stdio call per diagnostic: concurrent warn()s from parallel
+    // sweeps emit whole lines instead of interleaved fragments.
+    const std::string line = "warn: " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    const std::string line = "info: " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stdout);
 }
 
 } // namespace cbws

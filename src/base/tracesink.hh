@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Abstract event sink for timeline tracing.
+ *
+ * Low-level components (the memory hierarchy, the cores) emit
+ * cycle-stamped events through this interface without depending on any
+ * particular output format; the sim layer's ChromeTraceWriter
+ * implements it to produce Chrome trace-event / Perfetto JSON.
+ *
+ * Emitters must call wants() first and skip event construction when it
+ * returns false — that is what bounds tracing to a cycle window and
+ * keeps the disabled-path cost at a null-check.
+ */
+
+#ifndef CBWS_BASE_TRACESINK_HH
+#define CBWS_BASE_TRACESINK_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/** Well-known track (thread) ids used by the emitters. */
+enum class TraceTrack : unsigned
+{
+    Core = 0,     ///< commit/stall/redirect activity
+    Cache = 1,    ///< demand accesses and fills
+    Prefetch = 2, ///< prefetch lifecycle events
+};
+
+/**
+ * Receiver of timeline events. All timestamps and durations are in
+ * simulated cycles.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Would an event at cycle @p ts be recorded? (cheap pre-check) */
+    virtual bool wants(Cycle ts) const = 0;
+
+    /**
+     * A duration event (Chrome "X" phase): something that started at
+     * @p ts and lasted @p dur cycles. @p arg is an optional line/value
+     * annotation (0 = none).
+     */
+    virtual void complete(const char *cat, const char *name,
+                          TraceTrack track, Cycle ts, Cycle dur,
+                          std::uint64_t arg = 0) = 0;
+
+    /** A point-in-time event (Chrome "i" phase). */
+    virtual void instant(const char *cat, const char *name,
+                         TraceTrack track, Cycle ts,
+                         std::uint64_t arg = 0) = 0;
+
+    /** A sampled numeric series (Chrome "C" phase). */
+    virtual void counter(const char *name, Cycle ts,
+                         std::uint64_t value) = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_TRACESINK_HH

@@ -64,6 +64,47 @@ lineOffset(Addr addr)
     return static_cast<unsigned>(addr & (LineBytes - 1));
 }
 
+/**
+ * Identity of the component that generated a prefetch request. Travels
+ * with the request through the queue, the MSHRs and the cache tags so
+ * the lifecycle probe can attribute accuracy/coverage/pollution to the
+ * scheme that issued each line (composite schemes issue from several).
+ */
+enum class PfSource : std::uint8_t
+{
+    Unknown = 0,
+    Stride,
+    Ghb,
+    Sms,
+    Ampm,
+    Cbws,
+    NumSources,
+};
+
+/** Number of distinct PfSource values (array-sizing helper). */
+constexpr unsigned NumPfSources =
+    static_cast<unsigned>(PfSource::NumSources);
+
+/** Short lowercase name of a prefetch source (stats-dump keys). */
+constexpr const char *
+toString(PfSource src)
+{
+    switch (src) {
+      case PfSource::Stride:
+        return "stride";
+      case PfSource::Ghb:
+        return "ghb";
+      case PfSource::Sms:
+        return "sms";
+      case PfSource::Ampm:
+        return "ampm";
+      case PfSource::Cbws:
+        return "cbws";
+      default:
+        return "unknown";
+    }
+}
+
 /** True when @p value is a power of two (and non-zero). */
 constexpr bool
 isPowerOf2(std::uint64_t value)

@@ -1,5 +1,6 @@
 #include "core/cbws_prefetcher.hh"
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 
 namespace cbws
@@ -94,6 +95,9 @@ CbwsPrefetcher::blockEnd(BlockId id, PrefetchSink &sink)
     ++stats_.blocksCompleted;
     if (currTruncated_)
         ++stats_.blocksTruncated;
+    DPRINTF(CBWS, "block %llu end: ws=%zu members%s",
+            static_cast<unsigned long long>(id), currCbws_.size(),
+            currTruncated_ ? " (truncated)" : "");
 
     // Fig. 5 instrumentation: identity of the 1-step differential.
     if (probe_ && !prev_[0].empty() && !currDiff_[0].empty())
@@ -132,6 +136,9 @@ CbwsPrefetcher::blockEnd(BlockId id, PrefetchSink &sink)
         }
         ++stats_.tableHits;
         lastBlockPredicted_ = true;
+        DPRINTF(CBWS, "step %u hit: predicting %zu lines for "
+                "block %llu", k, pred->size(),
+                static_cast<unsigned long long>(id) + k + 1);
         const std::size_t n = pred->size() < prev_[0].size()
                                   ? pred->size()
                                   : prev_[0].size();
@@ -142,7 +149,7 @@ CbwsPrefetcher::blockEnd(BlockId id, PrefetchSink &sink)
                     static_cast<std::int32_t>((*pred)[j]));
             const LineAddr target = static_cast<LineAddr>(target32);
             if (!sink.isCached(target)) {
-                sink.issuePrefetch(target);
+                sink.issuePrefetch(target, PfSource::Cbws);
                 ++stats_.linesPredicted;
             }
         }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 
 namespace cbws
@@ -38,7 +39,7 @@ CoreStats
 OooCore::run(const Trace &trace, std::uint64_t max_insts,
              const CommitHook &on_commit, const AccessHook &on_access,
              std::uint64_t warmup_insts,
-             const std::function<void()> &on_warmup)
+             const std::function<void(Cycle)> &on_warmup)
 {
     CoreStats stats;
     CoreStats warm_snapshot;
@@ -101,7 +102,7 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                 // order; they never stall the core.
                 head.mem = mem_.store(head.rec.effAddr, now);
                 if (on_access)
-                    on_access(head.rec, head.mem);
+                    on_access(head.rec, head.mem, now);
                 --stq_count;
                 ++stats.memInstructions;
             } else if (head.rec.cls == InstClass::Load) {
@@ -113,7 +114,11 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                     ++stats.branchMispredicts;
             }
             if (on_commit)
-                on_commit(head.rec, head.mem);
+                on_commit(head.rec, head.mem, now);
+            DPRINTF(Core, "commit seq=%llu pc=%#llx cls=%d",
+                    static_cast<unsigned long long>(head_seq),
+                    static_cast<unsigned long long>(head.rec.pc),
+                    static_cast<int>(head.rec.cls));
             last_committed_in_block = head.inBlock;
             rob_head = (rob_head + 1) % params_.robSize;
             --rob_count;
@@ -127,8 +132,12 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                 warm_snapshot = stats;
                 warm_snapshot.cycles = now;
                 if (on_warmup)
-                    on_warmup();
+                    on_warmup(now);
             }
+        }
+        if (trace_ && committed > 0 && trace_->wants(now)) {
+            trace_->counter("core.commit", now, committed);
+            trace_->counter("core.rob", now, rob_count);
         }
 
         if (stats.instructions >= max_insts)
@@ -195,7 +204,7 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                     e.mem = out;
                     e.readyAt = out.readyAt;
                     if (on_access)
-                        on_access(e.rec, out);
+                        on_access(e.rec, out, now);
                 }
                 ++mem_ports_used;
             } else if (e.rec.cls == InstClass::Store) {
@@ -207,6 +216,16 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                 if (e.mispredicted) {
                     fetch_allowed_at =
                         e.readyAt + params_.mispredictPenalty;
+                    DPRINTF(Core, "mispredict pc=%#llx resolved; "
+                            "fetch resumes at %llu",
+                            static_cast<unsigned long long>(e.rec.pc),
+                            static_cast<unsigned long long>(
+                                fetch_allowed_at));
+                    if (trace_ && trace_->wants(now)) {
+                        trace_->instant("core", "mispredict",
+                                        TraceTrack::Core, now,
+                                        e.rec.pc);
+                    }
                 }
             } else {
                 e.readyAt = now + execLatency(params_, e.rec.cls);
@@ -220,6 +239,10 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
         while (!fetch_queue.empty() && dispatched < params_.width) {
             if (rob_count >= params_.robSize) {
                 ++stats.robFullStalls;
+                if (trace_ && trace_->wants(now)) {
+                    trace_->instant("core", "rob-full",
+                                    TraceTrack::Core, now, rob_count);
+                }
                 break;
             }
             RobEntry &fe = fetch_queue.front();

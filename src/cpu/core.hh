@@ -89,10 +89,12 @@ class OooCore
     /**
      * Observer invoked for every committed instruction, in program
      * order. Memory records carry the execute-time access outcome
-     * (for L1-hit/miss-filtered prefetcher training).
+     * (for L1-hit/miss-filtered prefetcher training). The cycle of
+     * the commit is passed for observability consumers (periodic
+     * snapshots, timeline traces).
      */
-    using CommitHook =
-        std::function<void(const TraceRecord &, const AccessOutcome &)>;
+    using CommitHook = std::function<void(
+        const TraceRecord &, const AccessOutcome &, Cycle)>;
 
     /**
      * Observer invoked when a memory operation accesses the cache:
@@ -110,17 +112,21 @@ class OooCore
      *
      * @param warmup_insts statistics are discarded for the first this
      *        many committed instructions (cache/predictor state is
-     *        kept warm); @p on_warmup fires once at the boundary so
-     *        the caller can reset external stats (e.g., the
-     *        hierarchy's).
+     *        kept warm); @p on_warmup fires once at the boundary, with
+     *        the boundary cycle, so the caller can reset external
+     *        stats (e.g., the hierarchy's).
      */
     CoreStats run(const Trace &trace, std::uint64_t max_insts,
                   const CommitHook &on_commit = nullptr,
                   const AccessHook &on_access = nullptr,
                   std::uint64_t warmup_insts = 0,
-                  const std::function<void()> &on_warmup = nullptr);
+                  const std::function<void(Cycle)> &on_warmup =
+                      nullptr);
 
     const TournamentBP &branchPredictor() const { return bp_; }
+
+    /** Attach a timeline-event sink (nullptr detaches). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
   private:
     struct RobEntry
@@ -144,6 +150,7 @@ class OooCore
     CoreParams params_;
     Hierarchy &mem_;
     TournamentBP bp_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace cbws

@@ -15,7 +15,7 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
                  const OooCore::CommitHook &on_commit,
                  const OooCore::AccessHook &on_access,
                  std::uint64_t warmup_insts,
-                 const std::function<void()> &on_warmup)
+                 const std::function<void(Cycle)> &on_warmup)
 {
     CoreStats stats;
     CoreStats warm_snapshot;
@@ -69,7 +69,7 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
             }
             mem_out = out;
             if (on_access)
-                on_access(rec, out);
+                on_access(rec, out, now);
             if (rec.dest != InvalidReg)
                 reg_ready[rec.dest] = out.readyAt;
             ++stats.memInstructions;
@@ -80,7 +80,7 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
             now = std::max(now, src_ready(rec));
             mem_out = mem_.store(rec.effAddr, now);
             if (on_access)
-                on_access(rec, mem_out);
+                on_access(rec, mem_out, now);
             ++stats.memInstructions;
             ++now;
             break;
@@ -123,7 +123,9 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
         if (in_block || rec.cls == InstClass::BlockEnd)
             stats.loopCycles += now - record_start;
         if (on_commit)
-            on_commit(rec, mem_out);
+            on_commit(rec, mem_out, now);
+        if (trace_ && trace_->wants(now))
+            trace_->counter("core.commit", now, 1);
         if (rec.cls == InstClass::BlockEnd)
             in_block = false;
 
@@ -133,7 +135,7 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
             warm_snapshot = stats;
             warm_snapshot.cycles = now;
             if (on_warmup)
-                on_warmup();
+                on_warmup(now);
         }
     }
 

@@ -38,14 +38,19 @@ class InOrderCore
                   const OooCore::CommitHook &on_commit = nullptr,
                   const OooCore::AccessHook &on_access = nullptr,
                   std::uint64_t warmup_insts = 0,
-                  const std::function<void()> &on_warmup = nullptr);
+                  const std::function<void(Cycle)> &on_warmup =
+                      nullptr);
 
     const TournamentBP &branchPredictor() const { return bp_; }
+
+    /** Attach a timeline-event sink (nullptr detaches). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
   private:
     CoreParams params_;
     Hierarchy &mem_;
     TournamentBP bp_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace cbws

@@ -73,8 +73,15 @@ Cache::isUnusedPrefetch(LineAddr line) const
     return way && way->prefetched && !way->usedAfterPrefetch;
 }
 
+PfSource
+Cache::prefetchSource(LineAddr line) const
+{
+    const Way *way = findWay(line);
+    return way && way->prefetched ? way->pfSource : PfSource::Unknown;
+}
+
 Cache::Victim
-Cache::insert(LineAddr line, Cycle now, bool prefetched)
+Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src)
 {
     Set &set = setFor(line);
 
@@ -108,6 +115,7 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched)
         victim.dirty = victim_way->dirty;
         victim.prefetched = victim_way->prefetched;
         victim.usedAfterPrefetch = victim_way->usedAfterPrefetch;
+        victim.pfSource = victim_way->pfSource;
     }
 
     victim_way->line = line;
@@ -115,6 +123,7 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched)
     victim_way->dirty = false;
     victim_way->prefetched = prefetched;
     victim_way->usedAfterPrefetch = false;
+    victim_way->pfSource = prefetched ? src : PfSource::Unknown;
     victim_way->lastTouch = now;
     return victim;
 }
@@ -129,6 +138,7 @@ Cache::invalidate(LineAddr line)
         victim.dirty = way->dirty;
         victim.prefetched = way->prefetched;
         victim.usedAfterPrefetch = way->usedAfterPrefetch;
+        victim.pfSource = way->pfSource;
         way->valid = false;
         way->dirty = false;
     }
@@ -151,6 +161,15 @@ Cache::countUnusedPrefetched() const
             if (way.valid && way.prefetched && !way.usedAfterPrefetch)
                 ++count;
     return count;
+}
+
+void
+Cache::countUnusedPrefetchedBySource(std::uint64_t *counts) const
+{
+    for (const auto &set : sets_)
+        for (const auto &way : set)
+            if (way.valid && way.prefetched && !way.usedAfterPrefetch)
+                ++counts[static_cast<unsigned>(way.pfSource)];
 }
 
 } // namespace cbws

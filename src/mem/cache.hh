@@ -39,6 +39,7 @@ class Cache
         bool dirty = false;
         bool prefetched = false;
         bool usedAfterPrefetch = false;
+        PfSource pfSource = PfSource::Unknown;
     };
 
     explicit Cache(const CacheParams &params,
@@ -67,9 +68,18 @@ class Cache
      * Install @p line, evicting the replacement victim if the set is
      * full.
      * @param prefetched marks the fill as prefetcher-initiated.
+     * @param src the prefetcher component that requested the fill
+     *        (lifecycle attribution; meaningful only when prefetched).
      * @return the victim (valid == false when an invalid way was used).
      */
-    Victim insert(LineAddr line, Cycle now, bool prefetched);
+    Victim insert(LineAddr line, Cycle now, bool prefetched,
+                  PfSource src = PfSource::Unknown);
+
+    /**
+     * Source tag of the prefetch that filled @p line (Unknown when the
+     * line is absent or was demand-filled).
+     */
+    PfSource prefetchSource(LineAddr line) const;
 
     /** Drop @p line if present; returns victim-style info about it. */
     Victim invalidate(LineAddr line);
@@ -83,6 +93,13 @@ class Cache
      */
     std::uint64_t countUnusedPrefetched() const;
 
+    /**
+     * Per-source breakdown of countUnusedPrefetched(): adds the count
+     * of resident prefetched-but-unused lines from each source into
+     * @p counts (an array of at least NumPfSources elements).
+     */
+    void countUnusedPrefetchedBySource(std::uint64_t *counts) const;
+
     std::uint64_t numSets() const { return sets_.size(); }
 
   private:
@@ -94,6 +111,7 @@ class Cache
         bool dirty = false;
         bool prefetched = false;
         bool usedAfterPrefetch = false;
+        PfSource pfSource = PfSource::Unknown;
     };
 
     using Set = std::vector<Way>;

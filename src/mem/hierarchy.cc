@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 
 namespace cbws
 {
+
+namespace
+{
+
+/** Event/trace label of a demand classification. */
+const char *
+className(DemandClass cls)
+{
+    switch (cls) {
+      case DemandClass::CachedHit:
+        return "hit";
+      case DemandClass::Timely:
+        return "hit:timely-pf";
+      case DemandClass::Shorter:
+        return "miss:late-pf";
+      case DemandClass::NonTimely:
+        return "miss:nontimely-pf";
+      case DemandClass::Missing:
+        return "miss";
+      default:
+        return "none";
+    }
+}
+
+} // anonymous namespace
 
 Hierarchy::Hierarchy(const HierarchyParams &params)
     : params_(params),
@@ -19,15 +45,50 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
 }
 
 void
+Hierarchy::recordLateness(PfSource src, Cycle lateness)
+{
+    stats_.pfLife[static_cast<unsigned>(src)].latenessCycles +=
+        lateness;
+    unsigned bucket = 0;
+    if (lateness > 0)
+        bucket = floorLog2(lateness) + 1;
+    if (bucket >= LatenessBuckets)
+        bucket = LatenessBuckets - 1;
+    ++stats_.latenessHist[bucket];
+}
+
+void
 Hierarchy::drainL2(Cycle now)
 {
     l2Mshr_.drain(now, [this, now](const MshrFile::Entry &e) {
         const bool prefetched = e.isPrefetch && !e.demanded;
-        Cache::Victim victim = l2_.insert(e.line, now, prefetched);
+        if (e.isPrefetch) {
+            auto &life = stats_.pfLife[static_cast<unsigned>(
+                e.pfSource)];
+            ++life.filled;
+            if (e.demanded) {
+                // The demand merged into the fill while it was in
+                // flight: useful but late by the wait it imposed.
+                ++life.demandHitLate;
+                recordLateness(e.pfSource, e.readyAt > e.firstDemandAt
+                                               ? e.readyAt -
+                                                     e.firstDemandAt
+                                               : 0);
+            }
+            DPRINTF(Prefetch,
+                    "fill line=%#llx src=%s id=%llu%s",
+                    static_cast<unsigned long long>(e.line),
+                    toString(e.pfSource),
+                    static_cast<unsigned long long>(e.pfId),
+                    e.demanded ? " (late: demand waited)" : "");
+        }
+        Cache::Victim victim =
+            l2_.insert(e.line, now, prefetched, e.pfSource);
         if (prefetched && params_.prefetchToL1) {
             // Ablation: fill the L1D as well (evictions write back
             // into the inclusive L2, which now holds the line).
-            Cache::Victim l1v = l1d_.insert(e.line, now, true);
+            Cache::Victim l1v =
+                l1d_.insert(e.line, now, true, e.pfSource);
             if (l1v.valid && l1v.dirty)
                 l2_.setDirty(l1v.line);
         }
@@ -39,8 +100,20 @@ Hierarchy::drainL2(Cycle now)
             l2_.setDirty(e.line);
         }
         if (victim.valid) {
-            if (victim.prefetched && !victim.usedAfterPrefetch)
+            if (victim.prefetched && !victim.usedAfterPrefetch) {
                 ++stats_.wrongPrefetches;
+                ++stats_
+                      .pfLife[static_cast<unsigned>(victim.pfSource)]
+                      .evictedUnused;
+                DPRINTF(Prefetch, "evict-unused line=%#llx src=%s",
+                        static_cast<unsigned long long>(victim.line),
+                        toString(victim.pfSource));
+                if (trace_ && trace_->wants(now)) {
+                    trace_->instant("prefetch", "evict-unused",
+                                    TraceTrack::Prefetch, now,
+                                    victim.line);
+                }
+            }
             if (victim.dirty)
                 stats_.dramBytesWritten += LineBytes;
             // Inclusive L2: evictions invalidate the L1 copies.
@@ -48,6 +121,9 @@ Hierarchy::drainL2(Cycle now)
             if (l1v.valid && l1v.dirty)
                 stats_.dramBytesWritten += LineBytes;
             l1i_.invalidate(victim.line);
+            DPRINTF(Cache, "L2 evict line=%#llx%s",
+                    static_cast<unsigned long long>(victim.line),
+                    victim.dirty ? " (writeback)" : "");
         }
     });
 }
@@ -88,29 +164,51 @@ Hierarchy::issuePrefetches(Cycle now)
     unsigned issued = 0;
     while (!prefetchQueue_.empty() &&
            issued < params_.prefetchIssuePerCycle) {
-        const LineAddr line = prefetchQueue_.front();
-        if (l2_.contains(line) || l2Mshr_.find(line)) {
-            prefetchQueue_.pop_front();
+        const QueuedPrefetch &req = prefetchQueue_.front();
+        if (l2_.contains(req.line) || l2Mshr_.find(req.line)) {
             ++stats_.prefetchesFiltered;
+            ++stats_.pfLife[static_cast<unsigned>(req.src)].merged;
+            DPRINTF(Prefetch, "merge-at-issue line=%#llx src=%s "
+                    "id=%llu (already cached/in flight)",
+                    static_cast<unsigned long long>(req.line),
+                    toString(req.src),
+                    static_cast<unsigned long long>(req.id));
+            prefetchQueue_.pop_front();
             continue;
         }
         if (l2Mshr_.inFlight() + params_.prefetchMshrReserve >=
             params_.l2.mshrs) {
             break; // leave room for demand misses; retry next cycle
         }
-        prefetchQueue_.pop_front();
-        l2Mshr_.allocate(line,
-                         dramFillReady(now + params_.l2.latency),
-                         /*is_prefetch=*/true, /*is_write=*/false);
+        const Cycle ready =
+            dramFillReady(now + params_.l2.latency);
+        MshrFile::Entry &e =
+            l2Mshr_.allocate(req.line, ready,
+                             /*is_prefetch=*/true, /*is_write=*/false);
+        e.pfSource = req.src;
+        e.pfId = req.id;
         stats_.dramBytesRead += LineBytes;
         ++stats_.prefetchesIssued;
         ++issued;
+        DPRINTF(Prefetch, "issue line=%#llx src=%s id=%llu readyAt=%llu",
+                static_cast<unsigned long long>(req.line),
+                toString(req.src),
+                static_cast<unsigned long long>(req.id),
+                static_cast<unsigned long long>(ready));
+        if (trace_ && trace_->wants(now)) {
+            trace_->complete("prefetch", toString(req.src),
+                             TraceTrack::Prefetch, now, ready - now,
+                             req.line);
+        }
+        prefetchQueue_.pop_front();
     }
 }
 
 void
 Hierarchy::tick(Cycle now)
 {
+    if (__builtin_expect(debug::state.anyEnabled, 0))
+        debug::setCycle(now);
     drainL2(now);
     drainL1(now);
     if (!prefetchQueue_.empty())
@@ -120,17 +218,32 @@ Hierarchy::tick(Cycle now)
 bool
 Hierarchy::prefetchQueued(LineAddr line) const
 {
-    return std::find(prefetchQueue_.begin(), prefetchQueue_.end(),
-                     line) != prefetchQueue_.end();
+    return std::find_if(prefetchQueue_.begin(), prefetchQueue_.end(),
+                        [line](const QueuedPrefetch &q) {
+                            return q.line == line;
+                        }) != prefetchQueue_.end();
 }
 
 void
-Hierarchy::removeQueuedPrefetch(LineAddr line)
+Hierarchy::mergeQueuedPrefetch(LineAddr line, Cycle now)
 {
-    auto it = std::find(prefetchQueue_.begin(), prefetchQueue_.end(),
-                        line);
-    if (it != prefetchQueue_.end())
-        prefetchQueue_.erase(it);
+    auto it = std::find_if(prefetchQueue_.begin(),
+                           prefetchQueue_.end(),
+                           [line](const QueuedPrefetch &q) {
+                               return q.line == line;
+                           });
+    if (it == prefetchQueue_.end())
+        return;
+    ++stats_.pfLife[static_cast<unsigned>(it->src)].merged;
+    DPRINTF(Prefetch,
+            "merge-by-demand line=%#llx src=%s id=%llu (non-timely)",
+            static_cast<unsigned long long>(line), toString(it->src),
+            static_cast<unsigned long long>(it->id));
+    if (trace_ && trace_->wants(now)) {
+        trace_->instant("prefetch", "overtaken-by-demand",
+                        TraceTrack::Prefetch, now, line);
+    }
+    prefetchQueue_.erase(it);
 }
 
 Cycle
@@ -144,8 +257,18 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
     // Hit in the L2 arrays?
     const bool was_unused_prefetch = l2_.isUnusedPrefetch(line);
     if (l2_.access(line, t_l2, is_write)) {
-        cls = was_unused_prefetch ? DemandClass::Timely
-                                  : DemandClass::CachedHit;
+        if (was_unused_prefetch) {
+            cls = DemandClass::Timely;
+            const PfSource src = l2_.prefetchSource(line);
+            ++stats_.pfLife[static_cast<unsigned>(src)]
+                  .demandHitTimely;
+            recordLateness(src, 0);
+            DPRINTF(Prefetch, "demand-hit-timely line=%#llx src=%s",
+                    static_cast<unsigned long long>(line),
+                    toString(src));
+        } else {
+            cls = DemandClass::CachedHit;
+        }
         return t_l2 + params_.l2.latency;
     }
 
@@ -153,6 +276,8 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
     if (MshrFile::Entry *e = l2Mshr_.find(line)) {
         cls = e->isPrefetch && !e->demanded ? DemandClass::Shorter
                                             : DemandClass::Missing;
+        if (!e->demanded)
+            e->firstDemandAt = t_l2;
         e->demanded = true;
         e->isWrite |= is_write;
         return std::max(e->readyAt, t_l2 + params_.l2.latency);
@@ -161,7 +286,7 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
     // Identified by the prefetcher but the request is still queued:
     // the demand takes over (non-timely prefetch).
     if (prefetchQueued(line)) {
-        removeQueuedPrefetch(line);
+        mergeQueuedPrefetch(line, t_l2);
         cls = DemandClass::NonTimely;
     } else {
         cls = DemandClass::Missing;
@@ -169,6 +294,8 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
 
     if (l2Mshr_.full()) {
         stall = true;
+        DPRINTF(MSHR, "L2 MSHR full: stalling demand line=%#llx",
+                static_cast<unsigned long long>(line));
         return 0;
     }
     const Cycle ready = dramFillReady(t_l2 + params_.l2.latency);
@@ -264,8 +391,20 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
         out.readyAt = now + l1p.latency;
         return out;
     }
-    if (is_data && cls != DemandClass::None)
+    if (is_data && cls != DemandClass::None) {
         ++stats_.classCounts[static_cast<int>(cls)];
+        DPRINTF(Cache, "demand %s line=%#llx -> %s readyAt=%llu",
+                is_write ? "store" : "load",
+                static_cast<unsigned long long>(line), className(cls),
+                static_cast<unsigned long long>(l2_ready));
+        if (trace_ && cls != DemandClass::CachedHit &&
+            trace_->wants(now)) {
+            trace_->complete("cache", className(cls),
+                             TraceTrack::Cache, now,
+                             l2_ready > now ? l2_ready - now : 1,
+                             line);
+        }
+    }
 
     const Cycle l1_ready = l2_ready + l1p.latency;
     l1m.allocate(line, l1_ready, /*is_prefetch=*/false, is_write);
@@ -296,19 +435,35 @@ Hierarchy::fetch(Addr pc, Cycle now)
 }
 
 void
-Hierarchy::enqueuePrefetch(LineAddr line)
+Hierarchy::enqueuePrefetch(LineAddr line, PfSource src)
 {
     ++stats_.prefetchesRequested;
+    auto &life = stats_.pfLife[static_cast<unsigned>(src)];
+    ++life.issued;
+    const std::uint64_t id = nextPfId_++;
     if (l2_.contains(line) || l2Mshr_.find(line) ||
         prefetchQueued(line)) {
         ++stats_.prefetchesFiltered;
+        ++life.merged;
+        DPRINTF(Prefetch, "merge-at-enqueue line=%#llx src=%s id=%llu",
+                static_cast<unsigned long long>(line), toString(src),
+                static_cast<unsigned long long>(id));
         return;
     }
     if (prefetchQueue_.size() >= params_.prefetchQueueEntries) {
-        prefetchQueue_.pop_front();
+        const QueuedPrefetch &old = prefetchQueue_.front();
         ++stats_.prefetchesDropped;
+        ++stats_.pfLife[static_cast<unsigned>(old.src)].dropped;
+        DPRINTF(Prefetch, "drop line=%#llx src=%s id=%llu (overflow)",
+                static_cast<unsigned long long>(old.line),
+                toString(old.src),
+                static_cast<unsigned long long>(old.id));
+        prefetchQueue_.pop_front();
     }
-    prefetchQueue_.push_back(line);
+    DPRINTF(Prefetch, "enqueue line=%#llx src=%s id=%llu",
+            static_cast<unsigned long long>(line), toString(src),
+            static_cast<unsigned long long>(id));
+    prefetchQueue_.push_back(QueuedPrefetch{line, src, id});
 }
 
 bool
@@ -345,7 +500,45 @@ Hierarchy::prefetchWorkPending() const
 void
 Hierarchy::finalize()
 {
+    if (finalized_)
+        return;
+    finalized_ = true;
+
     stats_.wrongPrefetches += l2_.countUnusedPrefetched();
+
+    // Lifecycle epilogue: settle every request that is still somewhere
+    // in the machine so the conservation laws close.
+    std::uint64_t resident[NumPfSources] = {};
+    l2_.countUnusedPrefetchedBySource(resident);
+    for (unsigned s = 0; s < NumPfSources; ++s)
+        stats_.pfLife[s].residentAtEnd += resident[s];
+
+    // In-flight prefetch fills: account them as if the fill completed
+    // (the DRAM read already happened).
+    for (const auto &e : l2Mshr_.entries()) {
+        if (!e.valid || !e.isPrefetch)
+            continue;
+        auto &life = stats_.pfLife[static_cast<unsigned>(e.pfSource)];
+        ++life.filled;
+        if (e.demanded) {
+            ++life.demandHitLate;
+            recordLateness(e.pfSource,
+                           e.readyAt > e.firstDemandAt
+                               ? e.readyAt - e.firstDemandAt
+                               : 0);
+        } else {
+            ++life.residentAtEnd;
+        }
+    }
+
+    // Requests still queued never reached memory at all.
+    for (const auto &req : prefetchQueue_) {
+        ++stats_.pfLife[static_cast<unsigned>(req.src)].dropped;
+    }
+    prefetchQueue_.clear();
+
+    DPRINTF(Sim, "hierarchy finalized: %llu wrong prefetches",
+            static_cast<unsigned long long>(stats_.wrongPrefetches));
 }
 
 } // namespace cbws

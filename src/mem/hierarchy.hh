@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "base/tracesink.hh"
 #include "mem/cache.hh"
 #include "mem/mshr.hh"
 #include "mem/params.hh"
@@ -51,6 +52,84 @@ struct AccessOutcome
     DemandClass cls = DemandClass::None;
 };
 
+/** Number of log2 buckets in the prefetch lateness histogram. */
+constexpr unsigned LatenessBuckets = 24;
+
+/**
+ * Lifecycle accounting for the prefetches of one source: every request
+ * is tagged with an id at the prefetcher's issue and tracked until it
+ * is conclusively resolved. Two conservation laws hold for any
+ * finalized run without a warmup window:
+ *
+ *   issued == dropped + merged + filled
+ *   filled == demandHitTimely + demandHitLate
+ *             + evictedUnused + residentAtEnd
+ *
+ * "merged" covers every way a request is subsumed without its own
+ * fill: the line was already cached or in flight, or a demand access
+ * overtook the still-queued request (the paper's non-timely class).
+ */
+struct PrefetchLifecycle
+{
+    std::uint64_t issued = 0;  ///< requests tagged by the prefetcher
+    std::uint64_t dropped = 0; ///< queue overflow / never left queue
+    std::uint64_t merged = 0;  ///< subsumed by a copy or a demand
+    std::uint64_t filled = 0;  ///< brought a line into the L2
+    std::uint64_t demandHitTimely = 0; ///< line demanded after fill
+    std::uint64_t demandHitLate = 0;   ///< demanded while in flight
+    std::uint64_t evictedUnused = 0;   ///< pollution: evicted unused
+    std::uint64_t residentAtEnd = 0;   ///< unused but still resident
+    /** Total cycles demands waited on late prefetch fills. */
+    std::uint64_t latenessCycles = 0;
+
+    std::uint64_t
+    demandHits() const
+    {
+        return demandHitTimely + demandHitLate;
+    }
+
+    /** Useful fraction of the lines this source brought in. */
+    double
+    accuracy() const
+    {
+        return filled ? static_cast<double>(demandHits()) /
+                            static_cast<double>(filled)
+                      : 0.0;
+    }
+
+    /** Fraction of useful prefetches that arrived after the demand. */
+    double
+    lateFraction() const
+    {
+        return demandHits() ? static_cast<double>(demandHitLate) /
+                                  static_cast<double>(demandHits())
+                            : 0.0;
+    }
+
+    /** Fraction of filled lines that only polluted the cache. */
+    double
+    pollutionRate() const
+    {
+        return filled ? static_cast<double>(evictedUnused) /
+                            static_cast<double>(filled)
+                      : 0.0;
+    }
+
+    void
+    add(const PrefetchLifecycle &o)
+    {
+        issued += o.issued;
+        dropped += o.dropped;
+        merged += o.merged;
+        filled += o.filled;
+        demandHitTimely += o.demandHitTimely;
+        demandHitLate += o.demandHitLate;
+        evictedUnused += o.evictedUnused;
+        residentAtEnd += o.residentAtEnd;
+        latenessCycles += o.latenessCycles;
+    }
+};
+
 /** Aggregate statistics of the hierarchy. */
 struct HierarchyStats
 {
@@ -73,10 +152,29 @@ struct HierarchyStats
     std::uint64_t dramBytesWritten = 0;
     std::uint64_t mshrStalls = 0;
 
+    /** Per-source prefetch lifecycle accounting. */
+    PrefetchLifecycle pfLife[NumPfSources];
+    /**
+     * Histogram of fill lateness of useful prefetches: bucket 0 holds
+     * timely hits (the fill beat the demand), bucket b >= 1 holds late
+     * hits whose demand waited in [2^(b-1), 2^b) cycles.
+     */
+    std::uint64_t latenessHist[LatenessBuckets] = {};
+
     std::uint64_t
     classCount(DemandClass cls) const
     {
         return classCounts[static_cast<int>(cls)];
+    }
+
+    /** Lifecycle counters summed over every source. */
+    PrefetchLifecycle
+    pfLifeTotal() const
+    {
+        PrefetchLifecycle total;
+        for (const auto &life : pfLife)
+            total.add(life);
+        return total;
     }
 };
 
@@ -111,9 +209,11 @@ class Hierarchy
     /**
      * Queue a prefetch request for @p line (issued to the L2 by
      * tick(), bandwidth- and MSHR-permitting). Oldest requests are
-     * dropped on overflow.
+     * dropped on overflow. @p src attributes the request's lifecycle
+     * to the prefetcher component that generated it.
      */
-    void enqueuePrefetch(LineAddr line);
+    void enqueuePrefetch(LineAddr line,
+                         PfSource src = PfSource::Unknown);
 
     /** True when @p line is in the L2 or already being fetched. */
     bool isCachedOrInFlightL2(LineAddr line) const;
@@ -133,6 +233,13 @@ class Hierarchy
 
     const HierarchyStats &stats() const { return stats_; }
     const HierarchyParams &params() const { return params_; }
+
+    /**
+     * Attach a timeline-event sink (Chrome trace export); nullptr
+     * detaches. Events are only constructed for cycles the sink
+     * wants().
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
     /**
      * Earliest cycle at which any in-flight fill completes (a huge
@@ -165,7 +272,23 @@ class Hierarchy
      */
     Cycle dramFillReady(Cycle t);
     bool prefetchQueued(LineAddr line) const;
-    void removeQueuedPrefetch(LineAddr line);
+
+    /** One tagged entry of the prefetch request queue. */
+    struct QueuedPrefetch
+    {
+        LineAddr line = 0;
+        PfSource src = PfSource::Unknown;
+        std::uint64_t id = 0;
+    };
+
+    /**
+     * Remove the queued request for @p line, if any, recording it as
+     * merged (a demand access took the miss over).
+     */
+    void mergeQueuedPrefetch(LineAddr line, Cycle now);
+
+    /** Record a useful prefetch's lateness in the histogram. */
+    void recordLateness(PfSource src, Cycle lateness);
 
     HierarchyParams params_;
     Cache l1d_;
@@ -174,10 +297,15 @@ class Hierarchy
     MshrFile l1dMshr_;
     MshrFile l1iMshr_;
     MshrFile l2Mshr_;
-    std::deque<LineAddr> prefetchQueue_;
+    std::deque<QueuedPrefetch> prefetchQueue_;
     HierarchyStats stats_;
     /** Next cycle the DRAM accepts a request (bandwidth model). */
     Cycle nextDramFree_ = 0;
+    /** Id assigned to the next tracked prefetch request. */
+    std::uint64_t nextPfId_ = 1;
+    /** Guards against double-counting in repeated finalize() calls. */
+    bool finalized_ = false;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace cbws

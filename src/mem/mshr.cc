@@ -57,6 +57,9 @@ MshrFile::allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
             e.isPrefetch = is_prefetch;
             e.isWrite = is_write;
             e.demanded = false;
+            e.pfSource = PfSource::Unknown;
+            e.pfId = 0;
+            e.firstDemandAt = 0;
             if (ready_at < nextReady_)
                 nextReady_ = ready_at;
             return e;

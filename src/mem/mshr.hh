@@ -37,6 +37,12 @@ class MshrFile
         bool isWrite = false;    ///< any merged request was a store
         bool demanded = false;   ///< a demand access merged into this
                                  ///< entry while it was in flight
+        /** Lifecycle attribution of prefetch-initiated fills. */
+        PfSource pfSource = PfSource::Unknown;
+        /** Unique id assigned to the prefetch request (0 = none). */
+        std::uint64_t pfId = 0;
+        /** Cycle the first demand merged in (lateness accounting). */
+        Cycle firstDemandAt = 0;
     };
 
     explicit MshrFile(unsigned capacity) : entries_(capacity) {}
@@ -68,6 +74,9 @@ class MshrFile
 
     /** Drop all entries (end of simulation). */
     void clear();
+
+    /** Raw entry array (end-of-run lifecycle accounting only). */
+    const std::vector<Entry> &entries() const { return entries_; }
 
     /**
      * Cycle of the earliest pending fill, or a huge sentinel when the

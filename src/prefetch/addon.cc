@@ -22,11 +22,17 @@ class MutedSink : public PrefetchSink
     void
     issuePrefetch(LineAddr line) override
     {
+        issuePrefetch(line, PfSource::Unknown);
+    }
+
+    void
+    issuePrefetch(LineAddr line, PfSource src) override
+    {
         if (muted_) {
             ++suppressed_;
             return;
         }
-        inner_.issuePrefetch(line);
+        inner_.issuePrefetch(line, src);
     }
 
     bool

@@ -70,7 +70,7 @@ AmpmPrefetcher::observeAccess(const PrefetchContext &ctx,
                 zone_base +
                 static_cast<Addr>(target) * LineBytes);
             if (!sink.isCached(line)) {
-                sink.issuePrefetch(line);
+                sink.issuePrefetch(line, PfSource::Ampm);
                 if (++issued >= params_.degree)
                     break;
             }

@@ -61,11 +61,17 @@ class CbwsSmsPrefetcher : public Prefetcher
         void
         issuePrefetch(LineAddr line) override
         {
+            issuePrefetch(line, PfSource::Unknown);
+        }
+
+        void
+        issuePrefetch(LineAddr line, PfSource src) override
+        {
             if (muted_) {
                 ++suppressed_;
                 return;
             }
-            inner_.issuePrefetch(line);
+            inner_.issuePrefetch(line, src);
         }
 
         bool

@@ -93,7 +93,7 @@ GhbPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
                 target = static_cast<LineAddr>(
                     static_cast<std::int64_t>(target) + deltas[k + d]);
                 if (!sink.isCached(target))
-                    sink.issuePrefetch(target);
+                    sink.issuePrefetch(target, PfSource::Ghb);
             }
             return;
         }

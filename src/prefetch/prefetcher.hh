@@ -45,6 +45,18 @@ class PrefetchSink
     virtual void issuePrefetch(LineAddr line) = 0;
 
     /**
+     * Source-attributed variant: @p src identifies the component that
+     * generated the request, for lifecycle accounting. Sinks that do
+     * not track attribution inherit this forwarding default.
+     */
+    virtual void
+    issuePrefetch(LineAddr line, PfSource src)
+    {
+        (void)src;
+        issuePrefetch(line);
+    }
+
+    /**
      * True when @p line is already resident in (or in flight to) the
      * L2 — used by prefetchers to skip useless requests ("skipping
      * addresses that are already cached").

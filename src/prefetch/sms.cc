@@ -1,5 +1,6 @@
 #include "prefetch/sms.hh"
 
+#include "base/debug.hh"
 #include "base/logging.hh"
 
 namespace cbws
@@ -20,6 +21,10 @@ SmsPrefetcher::SmsPrefetcher(const SmsParams &params) : params_(params)
 void
 SmsPrefetcher::endGeneration(const Generation &gen)
 {
+    DPRINTF(SMS, "generation end: pc=%#llx offset=%u pattern=%#llx",
+            static_cast<unsigned long long>(gen.triggerPc),
+            gen.triggerOffset,
+            static_cast<unsigned long long>(gen.pattern));
     phtInsert(phtKey(gen.triggerPc, gen.triggerOffset), gen.pattern);
 }
 
@@ -119,6 +124,11 @@ SmsPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
     // New region: trigger access. Predict from the PHT, then start
     // tracking the new generation in the filter.
     if (const std::uint64_t pattern = phtLookup(phtKey(ctx.pc, offset))) {
+        DPRINTF(SMS, "trigger pc=%#llx region=%#llx: replaying "
+                "pattern=%#llx",
+                static_cast<unsigned long long>(ctx.pc),
+                static_cast<unsigned long long>(region),
+                static_cast<unsigned long long>(pattern));
         const Addr region_base = region * params_.regionBytes;
         for (unsigned l = 0; l < linesPerRegion_; ++l) {
             if (l == offset || !(pattern & (1ull << l)))
@@ -127,7 +137,7 @@ SmsPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
                                          static_cast<Addr>(l) *
                                          LineBytes);
             if (!sink.isCached(line))
-                sink.issuePrefetch(line);
+                sink.issuePrefetch(line, PfSource::Sms);
         }
     }
 

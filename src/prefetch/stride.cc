@@ -57,7 +57,7 @@ StridePrefetcher::observeAccess(const PrefetchContext &ctx,
             target = static_cast<LineAddr>(
                 static_cast<std::int64_t>(target) + e.stride);
             if (!sink.isCached(target))
-                sink.issuePrefetch(target);
+                sink.issuePrefetch(target, PfSource::Stride);
         }
     }
 }

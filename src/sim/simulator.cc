@@ -2,6 +2,7 @@
 
 #include "cpu/inorder.hh"
 #include "prefetch/composite.hh"
+#include "sim/snapshot.hh"
 
 namespace cbws
 {
@@ -19,6 +20,12 @@ class HierarchySink : public PrefetchSink
     issuePrefetch(LineAddr line) override
     {
         mem_.enqueuePrefetch(line);
+    }
+
+    void
+    issuePrefetch(LineAddr line, PfSource src) override
+    {
+        mem_.enqueuePrefetch(line, src);
     }
 
     bool
@@ -42,12 +49,41 @@ simulate(const Trace &trace, const SystemConfig &config,
     auto prefetcher = makePrefetcher(config);
     HierarchySink sink(mem);
 
-    if (probes.differentials) {
-        if (auto *p = dynamic_cast<CbwsPrefetcher *>(prefetcher.get()))
-            p->setDifferentialProbe(probes.differentials);
-        else if (auto *c = dynamic_cast<CbwsSmsPrefetcher *>(
-                     prefetcher.get()))
-            c->cbws().setDifferentialProbe(probes.differentials);
+    CbwsPrefetcher *cbws_pf = nullptr;
+    if (auto *p = dynamic_cast<CbwsPrefetcher *>(prefetcher.get()))
+        cbws_pf = p;
+    else if (auto *c =
+                 dynamic_cast<CbwsSmsPrefetcher *>(prefetcher.get()))
+        cbws_pf = &c->cbws();
+
+    if (probes.differentials && cbws_pf)
+        cbws_pf->setDifferentialProbe(probes.differentials);
+
+    if (probes.trace)
+        mem.setTraceSink(probes.trace);
+
+    if (probes.snapshot) {
+        probes.snapshot->begin(prefetcher->name(), mem);
+        if (cbws_pf) {
+            SnapshotWriter::CbwsGauges gauges;
+            gauges.occupancy = [cbws_pf] {
+                return static_cast<std::uint64_t>(
+                    cbws_pf->table().occupancy());
+            };
+            gauges.capacity = [cbws_pf] {
+                return static_cast<std::uint64_t>(
+                    cbws_pf->table().capacity());
+            };
+            gauges.tableHits = [cbws_pf] {
+                return cbws_pf->schemeStats().tableHits;
+            };
+            gauges.tableMisses = [cbws_pf] {
+                return cbws_pf->schemeStats().tableMisses;
+            };
+            probes.snapshot->setCbwsGauges(std::move(gauges));
+        } else {
+            probes.snapshot->setCbwsGauges(SnapshotWriter::CbwsGauges());
+        }
     }
 
     OooCore core(config.core, mem);
@@ -65,7 +101,9 @@ simulate(const Trace &trace, const SystemConfig &config,
         return ctx;
     };
     auto on_commit = [&](const TraceRecord &rec,
-                         const AccessOutcome &out) {
+                         const AccessOutcome &out, Cycle now) {
+        if (probes.snapshot)
+            probes.snapshot->onCommit(now);
         switch (rec.cls) {
           case InstClass::Load:
           case InstClass::Store:
@@ -82,25 +120,36 @@ simulate(const Trace &trace, const SystemConfig &config,
         }
     };
     auto on_access = [&](const TraceRecord &rec,
-                         const AccessOutcome &out) {
+                         const AccessOutcome &out, Cycle now) {
+        (void)now;
         prefetcher->observeAccess(make_context(rec, out), sink);
+    };
+
+    auto on_warmup = [&mem, &probes](Cycle now) {
+        mem.resetStats();
+        if (probes.snapshot)
+            probes.snapshot->onWarmupBoundary(now);
     };
 
     SimResult result;
     result.prefetcher = prefetcher->name();
     if (config.coreModel == CoreModel::InOrder) {
         InOrderCore inorder(config.core, mem);
+        inorder.setTraceSink(probes.trace);
         result.core =
             inorder.run(trace, max_insts, on_commit, on_access,
-                        warmup_insts, [&mem] { mem.resetStats(); });
+                        warmup_insts, on_warmup);
     } else {
+        core.setTraceSink(probes.trace);
         result.core =
             core.run(trace, max_insts, on_commit, on_access,
-                     warmup_insts, [&mem] { mem.resetStats(); });
+                     warmup_insts, on_warmup);
     }
     mem.finalize();
     result.mem = mem.stats();
     result.prefetcherStorageBits = prefetcher->storageBits();
+    if (probes.snapshot)
+        probes.snapshot->finalize(result);
     return result;
 }
 

@@ -70,12 +70,22 @@ struct SimResult
     }
 };
 
+class SnapshotWriter;
+class TraceSink;
+
 /** Optional instrumentation attached to a run. */
 struct SimProbes
 {
     /** Samples the identity of every 1-step CBWS differential
      *  (Fig. 5); only honoured by CBWS-based configurations. */
     FrequencyCounter *differentials = nullptr;
+
+    /** Periodic JSONL statistics snapshots (sim/snapshot.hh). */
+    SnapshotWriter *snapshot = nullptr;
+
+    /** Timeline-event sink (e.g., the Chrome trace exporter);
+     *  attached to the hierarchy and the core for the run. */
+    TraceSink *trace = nullptr;
 };
 
 /**

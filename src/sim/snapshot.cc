@@ -1,0 +1,164 @@
+#include "sim/snapshot.hh"
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "mem/hierarchy.hh"
+#include "sim/simulator.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+double
+perKilo(std::uint64_t num, std::uint64_t den)
+{
+    return den ? 1000.0 * static_cast<double>(num) /
+                     static_cast<double>(den)
+               : 0.0;
+}
+
+} // anonymous namespace
+
+SnapshotWriter::SnapshotWriter(const std::string &path,
+                               std::uint64_t interval)
+    : interval_(interval)
+{
+    if (path.empty() || path == "-") {
+        out_ = stdout;
+    } else {
+        out_ = std::fopen(path.c_str(), "w");
+        owned_ = out_ != nullptr;
+        if (!out_) {
+            warn("snapshot: cannot open '%s' for writing",
+                 path.c_str());
+        }
+    }
+}
+
+SnapshotWriter::~SnapshotWriter()
+{
+    if (out_ && owned_)
+        std::fclose(out_);
+}
+
+void
+SnapshotWriter::begin(const std::string &prefetcher,
+                      const Hierarchy &mem)
+{
+    prefetcher_ = prefetcher;
+    mem_ = &mem;
+    seq_ = 0;
+    insts_ = 0;
+    baseCycle_ = 0;
+    lastInsts_ = 0;
+    lastCycle_ = 0;
+    lastLlcMisses_ = 0;
+    lastPfIssued_ = 0;
+}
+
+void
+SnapshotWriter::onWarmupBoundary(Cycle now)
+{
+    insts_ = 0;
+    baseCycle_ = now;
+    lastInsts_ = 0;
+    lastCycle_ = now;
+    lastLlcMisses_ = 0;
+    lastPfIssued_ = 0;
+}
+
+void
+SnapshotWriter::emitRecord(Cycle now)
+{
+    if (!out_ || !mem_)
+        return;
+    const HierarchyStats &m = mem_->stats();
+    const Cycle cycles = now - baseCycle_;
+    const std::uint64_t w_insts = insts_ - lastInsts_;
+    const Cycle w_cycles = now - lastCycle_;
+    const std::uint64_t w_llc = m.llcDemandMisses - lastLlcMisses_;
+    const std::uint64_t w_pf = m.prefetchesIssued - lastPfIssued_;
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("type", "snapshot");
+    w.field("workload", workload_);
+    w.field("prefetcher", prefetcher_);
+    w.field("seq", seq_);
+    w.field("insts", insts_);
+    w.field("cycle", static_cast<std::uint64_t>(now));
+    w.field("ipc", ratio(insts_, cycles));
+    w.field("ipc_window", ratio(w_insts, w_cycles));
+    w.field("mpki", perKilo(m.llcDemandMisses, insts_));
+    w.field("mpki_window", perKilo(w_llc, w_insts));
+    w.field("pf_issued", m.prefetchesIssued);
+    w.field("pf_issue_rate_window", perKilo(w_pf, w_insts));
+    w.field("l1d_miss_rate", ratio(m.l1dMisses, m.l1dAccesses));
+    w.field("l2_miss_rate",
+            ratio(m.llcDemandMisses, m.demandL2Accesses));
+    if (gauges_.occupancy) {
+        w.field("cbws_occupancy", gauges_.occupancy());
+        if (gauges_.capacity)
+            w.field("cbws_capacity", gauges_.capacity());
+        if (gauges_.tableHits && gauges_.tableMisses) {
+            const std::uint64_t hits = gauges_.tableHits();
+            w.field("cbws_table_hit_rate",
+                    ratio(hits, hits + gauges_.tableMisses()));
+        }
+    }
+    w.endObject();
+
+    const std::string line = w.str() + "\n";
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+    ++records_;
+    ++seq_;
+
+    lastInsts_ = insts_;
+    lastCycle_ = now;
+    lastLlcMisses_ = m.llcDemandMisses;
+    lastPfIssued_ = m.prefetchesIssued;
+}
+
+void
+SnapshotWriter::finalize(const SimResult &result)
+{
+    if (!out_)
+        return;
+    const PrefetchLifecycle total = result.mem.pfLifeTotal();
+    JsonWriter w;
+    w.beginObject();
+    w.field("type", "final");
+    w.field("workload",
+            result.workload.empty() ? workload_ : result.workload);
+    w.field("prefetcher", result.prefetcher);
+    w.field("insts", result.core.instructions);
+    w.field("cycles", result.core.cycles);
+    w.field("ipc", result.ipc());
+    w.field("mpki", result.mpki());
+    w.field("pf_issued", result.mem.prefetchesIssued);
+    w.field("pf_accuracy", total.accuracy());
+    w.field("pf_late_fraction", total.lateFraction());
+    w.field("pf_pollution_rate", total.pollutionRate());
+    w.field("l1d_miss_rate",
+            ratio(result.mem.l1dMisses, result.mem.l1dAccesses));
+    w.field("l2_miss_rate", ratio(result.mem.llcDemandMisses,
+                                  result.mem.demandL2Accesses));
+    w.endObject();
+
+    const std::string line = w.str() + "\n";
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+    ++records_;
+}
+
+} // namespace cbws

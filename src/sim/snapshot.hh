@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Periodic statistics snapshots.
+ *
+ * A SnapshotWriter emits one JSON object per line (JSONL) every N
+ * committed instructions, sampling the live core/hierarchy counters:
+ * IPC and MPKI (cumulative and over the last window), prefetch issue
+ * rate, L1D/L2 miss rates, and — when attached — CBWS table occupancy
+ * and hit rate. A final record, derived from the finished SimResult,
+ * closes each run so consumers can check the last snapshot against
+ * the end-of-run aggregates.
+ */
+
+#ifndef CBWS_SIM_SNAPSHOT_HH
+#define CBWS_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace cbws
+{
+
+class Hierarchy;
+struct SimResult;
+
+/**
+ * JSONL periodic-snapshot emitter. One writer may serve several
+ * consecutive runs (begin() rearms it); records are tagged with the
+ * run's workload and prefetcher names.
+ */
+class SnapshotWriter
+{
+  public:
+    /** Live gauges of a CBWS-based prefetcher, sampled per record. */
+    struct CbwsGauges
+    {
+        std::function<std::uint64_t()> occupancy;
+        std::function<std::uint64_t()> capacity;
+        std::function<std::uint64_t()> tableHits;
+        std::function<std::uint64_t()> tableMisses;
+    };
+
+    /**
+     * @param path output file ("-" or empty selects stdout; otherwise
+     *        created/truncated).
+     * @param interval committed instructions between records (0
+     *        disables periodic records; finalize() still writes the
+     *        final one).
+     */
+    SnapshotWriter(const std::string &path, std::uint64_t interval);
+    ~SnapshotWriter();
+
+    SnapshotWriter(const SnapshotWriter &) = delete;
+    SnapshotWriter &operator=(const SnapshotWriter &) = delete;
+
+    /** False when the output file could not be opened. */
+    bool ok() const { return out_ != nullptr; }
+
+    /** Label the next run's records (simulate() does not know the
+     *  workload's name; callers set it before each run). */
+    void setWorkload(const std::string &workload)
+    {
+        workload_ = workload;
+    }
+
+    /** Arm the writer for a new run. Resets counters and baselines. */
+    void begin(const std::string &prefetcher, const Hierarchy &mem);
+
+    /** Attach (or detach, with a default-constructed value) the CBWS
+     *  gauges sampled into every record. */
+    void setCbwsGauges(CbwsGauges gauges) { gauges_ = std::move(gauges); }
+
+    /** One committed instruction at @p now; emits on interval. */
+    void
+    onCommit(Cycle now)
+    {
+        ++insts_;
+        if (interval_ && insts_ - lastInsts_ >= interval_)
+            emitRecord(now);
+    }
+
+    /**
+     * The warmup boundary: external stats were reset, so re-baseline
+     * cumulative metrics at @p now / instruction count zero.
+     */
+    void onWarmupBoundary(Cycle now);
+
+    /** Emit the final record from the finished run's aggregates. */
+    void finalize(const SimResult &result);
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    void emitRecord(Cycle now);
+
+    FILE *out_ = nullptr;
+    bool owned_ = false;
+    std::uint64_t interval_ = 0;
+    CbwsGauges gauges_;
+
+    const Hierarchy *mem_ = nullptr;
+    std::string workload_;
+    std::string prefetcher_;
+    std::uint64_t records_ = 0;
+    std::uint64_t seq_ = 0;
+
+    /** Committed instructions seen since begin()/warmup boundary. */
+    std::uint64_t insts_ = 0;
+    Cycle baseCycle_ = 0;
+
+    // Last-record baselines for window metrics.
+    std::uint64_t lastInsts_ = 0;
+    Cycle lastCycle_ = 0;
+    std::uint64_t lastLlcMisses_ = 0;
+    std::uint64_t lastPfIssued_ = 0;
+};
+
+} // namespace cbws
+
+#endif // CBWS_SIM_SNAPSHOT_HH

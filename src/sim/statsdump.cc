@@ -100,6 +100,59 @@ dumpStats(std::ostream &out, const SimResult &r)
     d.line("pf.storageBits", r.prefetcherStorageBits,
            "hardware budget of the scheme (Table III)");
 
+    // Per-source lifecycle accounting: one group per prefetcher
+    // component that issued at least one request this run.
+    for (unsigned s = 0; s < NumPfSources; ++s) {
+        const PrefetchLifecycle &life = r.mem.pfLife[s];
+        if (life.issued == 0 && life.filled == 0)
+            continue;
+        const std::string p =
+            std::string("pf.") + toString(static_cast<PfSource>(s));
+        d.line(p + ".issued", life.issued,
+               "requests tagged by this component");
+        d.line(p + ".merged", life.merged,
+               "subsumed by a resident/in-flight copy or a demand");
+        d.line(p + ".dropped", life.dropped,
+               "lost to queue overflow / end of run");
+        d.line(p + ".filled", life.filled,
+               "lines this component brought into the L2");
+        d.line(p + ".demandHitTimely", life.demandHitTimely,
+               "fills demanded after arriving (fully hidden)");
+        d.line(p + ".demandHitLate", life.demandHitLate,
+               "fills demanded while still in flight");
+        d.line(p + ".evictedUnused", life.evictedUnused,
+               "fills evicted without a demand hit (pollution)");
+        d.line(p + ".residentAtEnd", life.residentAtEnd,
+               "unused fills still resident at the end");
+        d.line(p + ".accuracy", life.accuracy(),
+               "demand-hit fraction of filled lines");
+        d.line(p + ".lateFraction", life.lateFraction(),
+               "useful fills that arrived after the demand");
+        d.line(p + ".pollutionRate", life.pollutionRate(),
+               "filled lines that only polluted the cache");
+        d.line(p + ".latenessCycles", life.latenessCycles,
+               "total cycles demands waited on late fills");
+    }
+    {
+        // Coverage: fraction of would-be LLC misses removed by
+        // prefetching (timely hits over timely hits + actual misses).
+        const PrefetchLifecycle total = r.mem.pfLifeTotal();
+        const std::uint64_t covered = total.demandHitTimely;
+        const std::uint64_t coverage_den =
+            covered + r.mem.llcDemandMisses;
+        d.line("pf.accuracy", total.accuracy(),
+               "all sources: demand-hit fraction of fills");
+        d.line("pf.coverage",
+               coverage_den ? static_cast<double>(covered) /
+                                  static_cast<double>(coverage_den)
+                            : 0.0,
+               "misses removed by completed prefetches");
+        d.line("pf.lateFraction", total.lateFraction(),
+               "all sources: useful fills arriving late");
+        d.line("pf.pollutionRate", total.pollutionRate(),
+               "all sources: fills that only polluted");
+    }
+
     d.line("dram.bytesRead", r.mem.dramBytesRead,
            "bytes fetched from memory");
     d.line("dram.bytesWritten", r.mem.dramBytesWritten,

@@ -1,0 +1,144 @@
+#include "sim/tracefmt.hh"
+
+#include <cinttypes>
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+/** Display name of a track's synthetic thread. */
+const char *
+trackName(TraceTrack track)
+{
+    switch (track) {
+      case TraceTrack::Core:
+        return "core";
+      case TraceTrack::Cache:
+        return "cache";
+      case TraceTrack::Prefetch:
+        return "prefetch";
+      default:
+        return "other";
+    }
+}
+
+} // anonymous namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path,
+                                     Cycle start, Cycle end,
+                                     std::uint64_t max_events)
+    : start_(start), end_(end), maxEvents_(max_events)
+{
+    out_ = std::fopen(path.c_str(), "w");
+    if (!out_) {
+        warn("chrome-trace: cannot open '%s' for writing",
+             path.c_str());
+        return;
+    }
+    writeHeader();
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    close();
+}
+
+void
+ChromeTraceWriter::writeHeader()
+{
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out_);
+    // Metadata: name the per-track synthetic threads so the viewer
+    // shows "core" / "cache" / "prefetch" rows instead of numbers.
+    for (TraceTrack track : {TraceTrack::Core, TraceTrack::Cache,
+                             TraceTrack::Prefetch}) {
+        std::fprintf(out_,
+                     "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                     "\"name\":\"thread_name\",\"args\":{\"name\":"
+                     "\"%s\"}},\n",
+                     static_cast<int>(track), trackName(track));
+    }
+    // A counter-track placeholder event keeps the JSON valid even if
+    // no simulation event ever lands in the window.
+    std::fprintf(out_, "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                       "\"name\":\"process_name\","
+                       "\"args\":{\"name\":\"cbws-sim\"}}");
+}
+
+bool
+ChromeTraceWriter::admit()
+{
+    if (!out_ || capped_)
+        return false;
+    if (events_ >= maxEvents_) {
+        capped_ = true;
+        warn("chrome-trace: event cap (%llu) reached; later events "
+             "are dropped",
+             static_cast<unsigned long long>(maxEvents_));
+        return false;
+    }
+    ++events_;
+    return true;
+}
+
+void
+ChromeTraceWriter::complete(const char *cat, const char *name,
+                            TraceTrack track, Cycle ts, Cycle dur,
+                            std::uint64_t arg)
+{
+    if (!admit())
+        return;
+    std::fprintf(out_,
+                 ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                 "\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64
+                 ",\"dur\":%" PRIu64
+                 ",\"args\":{\"addr\":\"0x%" PRIx64 "\"}}",
+                 static_cast<int>(track), cat, name,
+                 static_cast<std::uint64_t>(ts),
+                 static_cast<std::uint64_t>(dur ? dur : 1), arg);
+}
+
+void
+ChromeTraceWriter::instant(const char *cat, const char *name,
+                           TraceTrack track, Cycle ts,
+                           std::uint64_t arg)
+{
+    if (!admit())
+        return;
+    std::fprintf(out_,
+                 ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                 "\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64
+                 ",\"s\":\"t\",\"args\":{\"addr\":\"0x%" PRIx64
+                 "\"}}",
+                 static_cast<int>(track), cat, name,
+                 static_cast<std::uint64_t>(ts), arg);
+}
+
+void
+ChromeTraceWriter::counter(const char *name, Cycle ts,
+                           std::uint64_t value)
+{
+    if (!admit())
+        return;
+    std::fprintf(out_,
+                 ",\n{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                 "\"ts\":%" PRIu64 ",\"args\":{\"value\":%" PRIu64
+                 "}}",
+                 name, static_cast<std::uint64_t>(ts),
+                 static_cast<std::uint64_t>(value));
+}
+
+void
+ChromeTraceWriter::close()
+{
+    if (!out_)
+        return;
+    std::fputs("\n]}\n", out_);
+    std::fclose(out_);
+    out_ = nullptr;
+}
+
+} // namespace cbws

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-compatible) JSON export.
+ *
+ * Implements the TraceSink interface over the Trace Event Format's
+ * JSON array flavour: complete ("X"), instant ("i") and counter ("C")
+ * events, one simulated cycle per microsecond of trace time. The
+ * export window is bounded in cycles and in event count so a full run
+ * cannot produce an unbounded file; load the output in Perfetto or
+ * chrome://tracing.
+ */
+
+#ifndef CBWS_SIM_TRACEFMT_HH
+#define CBWS_SIM_TRACEFMT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "base/tracesink.hh"
+#include "base/types.hh"
+
+namespace cbws
+{
+
+/**
+ * TraceSink writing Chrome trace-event JSON. Event producers
+ * (hierarchy, cores) must check wants() before building events — it
+ * is false outside [start, end) and after the event cap is hit, which
+ * is what keeps the exporter zero-cost outside the window.
+ */
+class ChromeTraceWriter : public TraceSink
+{
+  public:
+    /**
+     * @param path output file (created/truncated).
+     * @param start first cycle recorded.
+     * @param end first cycle *not* recorded (~0 = until the cap).
+     * @param max_events hard cap on emitted events.
+     */
+    ChromeTraceWriter(const std::string &path, Cycle start, Cycle end,
+                      std::uint64_t max_events = 500000);
+    ~ChromeTraceWriter() override;
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** False when the output file could not be opened. */
+    bool ok() const { return out_ != nullptr; }
+
+    bool
+    wants(Cycle ts) const override
+    {
+        return out_ && !capped_ && ts >= start_ && ts < end_;
+    }
+
+    void complete(const char *cat, const char *name, TraceTrack track,
+                  Cycle ts, Cycle dur, std::uint64_t arg = 0) override;
+    void instant(const char *cat, const char *name, TraceTrack track,
+                 Cycle ts, std::uint64_t arg = 0) override;
+    void counter(const char *name, Cycle ts,
+                 std::uint64_t value) override;
+
+    /** Write the JSON footer and close the file (idempotent). */
+    void close();
+
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    /** Common prologue; false once the cap is reached. */
+    bool admit();
+    void writeHeader();
+
+    FILE *out_ = nullptr;
+    Cycle start_ = 0;
+    Cycle end_ = 0;
+    std::uint64_t maxEvents_ = 0;
+    std::uint64_t events_ = 0;
+    bool capped_ = false;
+};
+
+} // namespace cbws
+
+#endif // CBWS_SIM_TRACEFMT_HH

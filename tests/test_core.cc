@@ -172,7 +172,7 @@ TEST(Core, CommitHookSeesProgramOrder)
     OooCore core(CoreParams(), mem);
     std::vector<Addr> pcs;
     core.run(t, t.size(),
-             [&](const TraceRecord &rec, const AccessOutcome &) {
+             [&](const TraceRecord &rec, const AccessOutcome &, Cycle) {
                  pcs.push_back(rec.pc);
              });
     ASSERT_EQ(pcs.size(), 100u);
@@ -190,7 +190,7 @@ TEST(Core, AccessHookFiresForLoadsAndStores)
     OooCore core(CoreParams(), mem);
     unsigned loads = 0, stores = 0;
     core.run(t, 2, nullptr,
-             [&](const TraceRecord &rec, const AccessOutcome &) {
+             [&](const TraceRecord &rec, const AccessOutcome &, Cycle) {
                  if (rec.cls == InstClass::Load)
                      ++loads;
                  else if (rec.cls == InstClass::Store)
@@ -238,7 +238,7 @@ TEST(Core, WarmupDiscardsEarlyStats)
     OooCore core(CoreParams(), mem);
     bool warm_fired = false;
     auto st = core.run(t, 2000, nullptr, nullptr, 1000,
-                       [&] { warm_fired = true; });
+                       [&](Cycle) { warm_fired = true; });
     EXPECT_TRUE(warm_fired);
     EXPECT_EQ(st.instructions, 1000u);
     // Measured region is the wide phase only.

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests of the trace-flag debug facility (base/debug.hh):
+ * flag-list parsing, the enable/window gates DPRINTF relies on, and
+ * the no-output-when-disabled guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/debug.hh"
+
+namespace cbws
+{
+namespace
+{
+
+/** Resets global debug state around every test. */
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { debug::reset(); }
+    void TearDown() override { debug::reset(); }
+};
+
+/** Capture everything DPRINTF writes while in scope (via tmpfile). */
+class CaptureOutput
+{
+  public:
+    CaptureOutput() : file_(std::tmpfile())
+    {
+        debug::setOutput(file_);
+    }
+
+    ~CaptureOutput()
+    {
+        debug::setOutput(nullptr);
+        if (file_)
+            std::fclose(file_);
+    }
+
+    std::string
+    contents()
+    {
+        std::string out;
+        if (!file_)
+            return out;
+        std::fflush(file_);
+        std::rewind(file_);
+        char buf[256];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0)
+            out.append(buf, n);
+        return out;
+    }
+
+  private:
+    std::FILE *file_;
+};
+
+TEST_F(DebugTest, DisabledByDefault)
+{
+    EXPECT_EQ(debug::state.mask, 0u);
+    EXPECT_FALSE(debug::state.anyEnabled);
+    EXPECT_FALSE(debug::active(debug::Flag::Cache));
+}
+
+TEST_F(DebugTest, SetFlagsParsesCommaSeparatedList)
+{
+    EXPECT_TRUE(debug::setFlags("Cache,CBWS,Core"));
+    EXPECT_TRUE(debug::state.anyEnabled);
+    EXPECT_TRUE(debug::active(debug::Flag::Cache));
+    EXPECT_TRUE(debug::active(debug::Flag::CBWS));
+    EXPECT_TRUE(debug::active(debug::Flag::Core));
+    EXPECT_FALSE(debug::active(debug::Flag::SMS));
+    EXPECT_FALSE(debug::active(debug::Flag::Prefetch));
+}
+
+TEST_F(DebugTest, SetFlagsSkipsEmptySegments)
+{
+    EXPECT_TRUE(debug::setFlags(",Cache,,SMS,"));
+    EXPECT_TRUE(debug::active(debug::Flag::Cache));
+    EXPECT_TRUE(debug::active(debug::Flag::SMS));
+}
+
+TEST_F(DebugTest, SetFlagsRejectsUnknownNameKeepingEarlierFlags)
+{
+    std::string err;
+    EXPECT_FALSE(debug::setFlags("Cache,NoSuchFlag,SMS", &err));
+    EXPECT_NE(err.find("NoSuchFlag"), std::string::npos);
+    // Flags before the bad name stay enabled; later ones do not.
+    EXPECT_TRUE(debug::active(debug::Flag::Cache));
+    EXPECT_FALSE(debug::active(debug::Flag::SMS));
+    EXPECT_TRUE(debug::state.anyEnabled);
+}
+
+TEST_F(DebugTest, FlagNamesCoverEveryFlag)
+{
+    const auto names = debug::flagNames();
+    ASSERT_EQ(names.size(), 8u);
+    for (const auto &name : names)
+        EXPECT_TRUE(debug::setFlags(name)) << name;
+}
+
+TEST_F(DebugTest, WindowGatesActive)
+{
+    ASSERT_TRUE(debug::setFlags("Prefetch"));
+    debug::setWindow(100, 200);
+
+    debug::setCycle(99);
+    EXPECT_FALSE(debug::active(debug::Flag::Prefetch));
+    debug::setCycle(100); // start is inclusive
+    EXPECT_TRUE(debug::active(debug::Flag::Prefetch));
+    debug::setCycle(199);
+    EXPECT_TRUE(debug::active(debug::Flag::Prefetch));
+    debug::setCycle(200); // end is exclusive
+    EXPECT_FALSE(debug::active(debug::Flag::Prefetch));
+}
+
+TEST_F(DebugTest, DprintfWritesLineWithCycleAndFlag)
+{
+    CaptureOutput capture;
+    ASSERT_TRUE(debug::setFlags("Cache"));
+    debug::setCycle(42);
+    DPRINTF(Cache, "hello %d", 7);
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("Cache: hello 7"), std::string::npos);
+}
+
+TEST_F(DebugTest, NoOutputWhenDisabled)
+{
+    CaptureOutput capture;
+    debug::setCycle(42);
+    DPRINTF(Cache, "must not appear %d", 1);
+    EXPECT_TRUE(capture.contents().empty());
+}
+
+TEST_F(DebugTest, NoOutputOutsideWindow)
+{
+    CaptureOutput capture;
+    ASSERT_TRUE(debug::setFlags("Cache"));
+    debug::setWindow(10, 20);
+    debug::setCycle(30);
+    DPRINTF(Cache, "outside the window");
+    EXPECT_TRUE(capture.contents().empty());
+}
+
+TEST_F(DebugTest, NoOutputForDisabledFlagWhenOthersEnabled)
+{
+    CaptureOutput capture;
+    ASSERT_TRUE(debug::setFlags("SMS"));
+    DPRINTF(Cache, "wrong flag");
+    EXPECT_TRUE(capture.contents().empty());
+    DPRINTF(SMS, "right flag");
+    EXPECT_FALSE(capture.contents().empty());
+}
+
+TEST_F(DebugTest, ArgumentsNotEvaluatedWhenDisabled)
+{
+    int evaluations = 0;
+    auto touch = [&evaluations] { return ++evaluations; };
+    DPRINTF(Cache, "side effect %d", touch());
+    EXPECT_EQ(evaluations, 0);
+
+    ASSERT_TRUE(debug::setFlags("Cache"));
+    CaptureOutput capture;
+    DPRINTF(Cache, "side effect %d", touch());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(DebugTest, ResetClearsFlagsWindowAndOutput)
+{
+    ASSERT_TRUE(debug::setFlags("Cache,MSHR"));
+    debug::setWindow(5, 6);
+    debug::reset();
+    EXPECT_EQ(debug::state.mask, 0u);
+    EXPECT_FALSE(debug::state.anyEnabled);
+    EXPECT_EQ(debug::state.start, 0u);
+    EXPECT_EQ(debug::state.end, ~Cycle(0));
+    EXPECT_EQ(debug::state.out, nullptr);
+}
+
+} // anonymous namespace
+} // namespace cbws

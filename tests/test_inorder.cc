@@ -105,10 +105,10 @@ TEST(InOrderCore, HooksFireInProgramOrder)
     unsigned accesses = 0;
     core.run(
         t, t.size(),
-        [&](const TraceRecord &rec, const AccessOutcome &) {
+        [&](const TraceRecord &rec, const AccessOutcome &, Cycle) {
             commits.push_back(rec.cls);
         },
-        [&](const TraceRecord &, const AccessOutcome &) {
+        [&](const TraceRecord &, const AccessOutcome &, Cycle) {
             ++accesses;
         });
     ASSERT_EQ(commits.size(), 4u);
@@ -169,7 +169,7 @@ TEST(InOrderCore, WarmupSubtraction)
     InOrderCore core(CoreParams(), mem);
     bool fired = false;
     auto st = core.run(t, 2000, nullptr, nullptr, 1000,
-                       [&] { fired = true; });
+                       [&](Cycle) { fired = true; });
     EXPECT_TRUE(fired);
     EXPECT_EQ(st.instructions, 1000u);
 }

@@ -115,6 +115,61 @@ TEST_P(PrefetcherPropertyTest, EndToEndInvariants)
     EXPECT_LE(r.core.loopCycles, r.core.cycles);
 }
 
+TEST_P(PrefetcherPropertyTest, LifecycleConservationLaws)
+{
+    // Every tracked prefetch resolves exactly once: with no warmup
+    // window (stats are never reset mid-run), the finalized lifecycle
+    // counters of every source must satisfy
+    //
+    //   issued == dropped + merged + filled
+    //   filled == demandHitTimely + demandHitLate
+    //             + evictedUnused + residentAtEnd
+    //
+    // across several workloads and both core models.
+    for (const char *wname :
+         {"433.milc-su3imp", "sgemm-medium", "fft-simlarge"}) {
+        auto w = findWorkload(wname);
+        ASSERT_NE(w, nullptr) << wname;
+        WorkloadParams params;
+        params.maxInstructions = 12000;
+        Trace t;
+        w->generate(t, params);
+
+        for (CoreModel model :
+             {CoreModel::OutOfOrder, CoreModel::InOrder}) {
+            SystemConfig cfg;
+            cfg.prefetcher = GetParam();
+            cfg.coreModel = model;
+            SimResult r = simulate(t, cfg, params.maxInstructions,
+                                   SimProbes(), /*warmup_insts=*/0);
+
+            std::uint64_t any_issued = 0;
+            for (unsigned s = 0; s < NumPfSources; ++s) {
+                const PrefetchLifecycle &life = r.mem.pfLife[s];
+                const char *src =
+                    toString(static_cast<PfSource>(s));
+                EXPECT_EQ(life.issued,
+                          life.dropped + life.merged + life.filled)
+                    << wname << " src=" << src;
+                EXPECT_EQ(life.filled,
+                          life.demandHitTimely + life.demandHitLate +
+                              life.evictedUnused + life.residentAtEnd)
+                    << wname << " src=" << src;
+                any_issued += life.issued;
+            }
+            // The lifecycle view must agree with the flat counters.
+            EXPECT_EQ(any_issued, r.mem.prefetchesRequested);
+            const PrefetchLifecycle total = r.mem.pfLifeTotal();
+            EXPECT_EQ(total.filled, r.mem.prefetchesIssued);
+            // The lateness histogram records one entry per demand hit.
+            std::uint64_t hist = 0;
+            for (unsigned b = 0; b < LatenessBuckets; ++b)
+                hist += r.mem.latenessHist[b];
+            EXPECT_EQ(hist, total.demandHits());
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, PrefetcherPropertyTest,
     testing::ValuesIn(allPrefetcherKinds()),

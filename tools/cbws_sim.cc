@@ -17,15 +17,20 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/argparse.hh"
+#include "base/debug.hh"
 #include "base/table.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/snapshot.hh"
 #include "sim/statsdump.hh"
+#include "sim/tracefmt.hh"
 #include "trace/loop_annotator.hh"
 #include "workloads/registry.hh"
 
@@ -211,6 +216,35 @@ main(int argc, char **argv)
     args.addOption("dram-latency", "memory latency in cycles", "");
     args.addOption("l1d-mshrs", "L1D MSHR count", "");
     args.addOption("rob", "reorder-buffer entries", "");
+    args.addOption("stats-file",
+                   "write the gem5-style statistics dump here "
+                   "(implies --stats semantics for the file)",
+                   "");
+    args.addOption("debug-flags",
+                   "comma-separated trace flags (e.g. Cache,CBWS; "
+                   "'help' lists them); printed to stderr",
+                   "");
+    args.addOption("debug-start",
+                   "first cycle at which debug flags print", "0");
+    args.addOption("debug-end",
+                   "first cycle at which debug printing stops", "");
+    args.addOption("snapshot-interval",
+                   "emit a JSONL stats snapshot every N committed "
+                   "instructions (0 = off)",
+                   "0");
+    args.addOption("snapshot-file",
+                   "snapshot destination ('-' = stdout)", "-");
+    args.addOption("chrome-trace",
+                   "write a Chrome trace-event JSON timeline here "
+                   "(single-prefetcher runs only)",
+                   "");
+    args.addOption("trace-start",
+                   "first cycle recorded in the Chrome trace", "0");
+    args.addOption("trace-end",
+                   "first cycle not recorded in the Chrome trace",
+                   "");
+    args.addOption("trace-max-events",
+                   "Chrome trace event cap", "500000");
 
     if (!args.parse(argc, argv))
         return 1;
@@ -225,6 +259,26 @@ main(int argc, char **argv)
     const std::uint64_t warmup =
         args.provided("warmup") ? args.getUint("warmup", 0)
                                 : insts / 4;
+
+    if (args.provided("debug-flags")) {
+        const std::string csv = args.get("debug-flags");
+        if (csv == "help") {
+            std::printf("trace flags:");
+            for (const auto &name : debug::flagNames())
+                std::printf(" %s", name.c_str());
+            std::printf("\n");
+            return 0;
+        }
+        std::string err;
+        if (!debug::setFlags(csv, &err)) {
+            std::fprintf(stderr, "--debug-flags: %s\n", err.c_str());
+            return 1;
+        }
+        debug::setWindow(args.getUint("debug-start", 0),
+                         args.provided("debug-end")
+                             ? args.getUint("debug-end", 0)
+                             : ~Cycle(0));
+    }
 
     // Obtain the trace: load, or synthesise from a workload.
     Trace trace;
@@ -297,15 +351,60 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(insts),
                     static_cast<unsigned long long>(warmup));
 
+    // Observability attachments shared by the runs.
+    std::unique_ptr<SnapshotWriter> snapshot;
+    const std::uint64_t snap_interval =
+        args.getUint("snapshot-interval", 0);
+    if (snap_interval > 0 || args.provided("snapshot-file")) {
+        snapshot = std::make_unique<SnapshotWriter>(
+            args.get("snapshot-file"), snap_interval);
+        if (!snapshot->ok())
+            return 1;
+        snapshot->setWorkload(workload_name);
+    }
+
+    std::unique_ptr<ChromeTraceWriter> chrome;
+    if (args.provided("chrome-trace")) {
+        if (kinds.size() > 1) {
+            std::fprintf(stderr,
+                         "--chrome-trace needs a single prefetcher "
+                         "(not 'all'); skipping timeline export\n");
+        } else {
+            chrome = std::make_unique<ChromeTraceWriter>(
+                args.get("chrome-trace"),
+                args.getUint("trace-start", 0),
+                args.provided("trace-end")
+                    ? args.getUint("trace-end", 0)
+                    : ~Cycle(0),
+                args.getUint("trace-max-events", 500000));
+            if (!chrome->ok())
+                return 1;
+        }
+    }
+
+    std::ofstream stats_file;
+    if (args.provided("stats-file")) {
+        stats_file.open(args.get("stats-file"));
+        if (!stats_file) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         args.get("stats-file").c_str());
+            return 1;
+        }
+    }
+
     std::vector<SimResult> results;
     for (PrefetcherKind kind : kinds) {
         SystemConfig config;
         config.prefetcher = kind;
         applyOverrides(args, config);
         applyCoreModel(args, config);
-        SimResult r =
-            simulate(trace, config, insts, SimProbes(), warmup);
+        SimProbes probes;
+        probes.snapshot = snapshot.get();
+        probes.trace = chrome.get();
+        SimResult r = simulate(trace, config, insts, probes, warmup);
         r.workload = workload_name;
+        if (stats_file.is_open())
+            dumpStats(stats_file, r);
         if (args.getFlag("json"))
             results.push_back(std::move(r));
         else if (args.getFlag("csv"))
@@ -315,6 +414,8 @@ main(int argc, char **argv)
         else
             printHuman(r);
     }
+    if (chrome)
+        chrome->close();
     if (args.getFlag("json"))
         std::printf("%s\n", toJson(results).c_str());
     return 0;
