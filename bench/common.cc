@@ -2,13 +2,69 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "base/argparse.hh"
+#include "base/threadpool.hh"
 #include "workloads/registry.hh"
 
 namespace cbws
 {
 namespace bench
 {
+
+namespace
+{
+
+/** Resolved by init(); defaulted from the environment otherwise. */
+unsigned g_jobs = 0; // 0 = let runMatrix resolve CBWS_JOBS
+TraceCache g_trace_cache = TraceCache::fromEnv();
+
+} // anonymous namespace
+
+void
+init(int argc, char **argv)
+{
+    ArgParser parser(argv && argc > 0 ? argv[0] : "bench",
+                     "Figure-regenerating bench (CBWS reproduction)");
+    parser.addOption("jobs",
+                     "worker threads for the experiment matrix "
+                     "(default: CBWS_JOBS env, else 1; results are "
+                     "identical for any value)");
+    parser.addOption("trace-cache",
+                     "directory for the on-disk trace cache "
+                     "(default: CBWS_TRACE_CACHE env; '0' or 'off' "
+                     "disables)");
+    if (!parser.parse(argc, argv))
+        std::exit(1);
+    if (parser.helpRequested())
+        std::exit(0);
+
+    if (parser.provided("jobs")) {
+        const std::uint64_t jobs = parser.getUint("jobs", 0);
+        if (jobs == 0) {
+            std::fprintf(stderr, "--jobs must be a positive integer\n");
+            std::exit(1);
+        }
+        g_jobs = static_cast<unsigned>(jobs);
+    }
+    if (parser.provided("trace-cache")) {
+        const std::string dir = parser.get("trace-cache");
+        g_trace_cache = (dir.empty() || dir == "0" || dir == "off")
+                            ? TraceCache()
+                            : TraceCache(dir);
+    }
+}
+
+MatrixOptions
+matrixOptions()
+{
+    MatrixOptions options;
+    options.jobs = g_jobs;
+    if (g_trace_cache.enabled())
+        options.traceCache = &g_trace_cache;
+    return options;
+}
 
 void
 banner(const std::string &title, const std::string &paper_ref,
@@ -32,7 +88,7 @@ fullMatrix(std::uint64_t insts)
 {
     SystemConfig config; // Table II defaults
     return runMatrix(allWorkloads(), allPrefetcherKinds(), config,
-                     insts);
+                     insts, 42, matrixOptions());
 }
 
 std::string

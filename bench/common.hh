@@ -16,6 +16,23 @@ namespace cbws
 namespace bench
 {
 
+/**
+ * Parse the execution knobs every matrix bench shares:
+ *
+ *   --jobs=N          worker threads (default: CBWS_JOBS env, else 1)
+ *   --trace-cache=DIR on-disk trace cache (default: CBWS_TRACE_CACHE
+ *                     env; "0"/"off" disables)
+ *   --help            print usage and exit
+ *
+ * Call at the top of main(); exits on bad arguments or --help. Any
+ * jobs value produces byte-identical report output — parallelism
+ * only changes wall-clock time.
+ */
+void init(int argc, char **argv);
+
+/** The runMatrix options resolved by init() (or the env defaults). */
+MatrixOptions matrixOptions();
+
 /** Print the standard bench banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref,
             std::uint64_t insts);

@@ -20,8 +20,9 @@
 using namespace cbws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     const std::uint64_t insts = benchInstructionBudget();
     bench::banner("Extension - CBWS as a generic add-on: SMS vs "
                   "AMPM fallbacks",
@@ -35,7 +36,8 @@ main()
     };
     SystemConfig config;
     auto matrix = runMatrix(memoryIntensiveWorkloads(), kinds,
-                            config, insts);
+                            config, insts, 42,
+                            bench::matrixOptions());
 
     TextTable table;
     table.header({"benchmark", "SMS", "CBWS+SMS", "AMPM",

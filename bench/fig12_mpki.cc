@@ -13,8 +13,9 @@
 using namespace cbws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     const std::uint64_t insts = benchInstructionBudget();
     bench::banner("Figure 12 - LLC misses per kilo-instruction "
                   "(lower is better)",

@@ -14,8 +14,9 @@
 using namespace cbws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     const std::uint64_t insts = benchInstructionBudget();
     bench::banner("Figure 13 - prefetch timeliness and accuracy "
                   "(% of demand L2 accesses)",

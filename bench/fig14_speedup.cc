@@ -44,8 +44,9 @@ emitGroup(const ExperimentMatrix &matrix, bool mi_group)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     const std::uint64_t insts = benchInstructionBudget();
     bench::banner("Figure 14 - IPC normalised to SMS (higher is "
                   "better)",

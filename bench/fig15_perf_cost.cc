@@ -13,8 +13,9 @@
 using namespace cbws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     const std::uint64_t insts = benchInstructionBudget();
     bench::banner("Figure 15 - performance/cost: IPC per DRAM byte "
                   "read, normalised to no-prefetch",

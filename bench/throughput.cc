@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Simulator throughput harness: times the full experiment matrix
+ * serially and with the configured worker count, reports simulated
+ * (committed) instructions per wall-clock second for both, and checks
+ * the two result sets are bit-identical. Machine-readable results go
+ * to BENCH_sim_throughput.json for CI trend tracking.
+ *
+ * The serial leg always runs with jobs=1; the parallel leg uses
+ * --jobs / CBWS_JOBS, falling back to the hardware thread count. When
+ * a trace cache is configured it is primed before timing starts, so
+ * neither leg pays synthesis costs the other does not.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "base/threadpool.hh"
+#include "common.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point begin,
+        std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** Committed (post-warmup) instructions summed over every cell. */
+std::uint64_t
+simulatedInstructions(const ExperimentMatrix &matrix)
+{
+    std::uint64_t total = 0;
+    for (const auto &row : matrix.rows)
+        for (const auto &res : row.byPrefetcher)
+            total += res.core.instructions;
+    return total;
+}
+
+/** Bitwise comparison of two runs of the same matrix. */
+bool
+identicalResults(const ExperimentMatrix &a, const ExperimentMatrix &b)
+{
+    if (a.rows.size() != b.rows.size())
+        return false;
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        const auto &ra = a.rows[r].byPrefetcher;
+        const auto &rb = b.rows[r].byPrefetcher;
+        if (ra.size() != rb.size())
+            return false;
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            if (ra[k].workload != rb[k].workload ||
+                ra[k].prefetcher != rb[k].prefetcher ||
+                ra[k].prefetcherStorageBits !=
+                    rb[k].prefetcherStorageBits ||
+                std::memcmp(&ra[k].core, &rb[k].core,
+                            sizeof(ra[k].core)) != 0 ||
+                std::memcmp(&ra[k].mem, &rb[k].mem,
+                            sizeof(ra[k].mem)) != 0) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init(argc, argv);
+
+    const std::uint64_t insts = benchInstructionBudget(60000);
+    bench::banner("Simulator throughput (wall-clock, full matrix)",
+                  "the methodology (Sec. 5)", insts);
+
+    MatrixOptions opts = bench::matrixOptions();
+    const unsigned parallel_jobs =
+        opts.jobs ? opts.jobs : ThreadPool::jobsFromEnv(0);
+
+    const auto workloads = allWorkloads();
+    const auto kinds = allPrefetcherKinds();
+    const std::size_t cells = workloads.size() * kinds.size();
+    SystemConfig config; // Table II defaults
+
+    // Prime the trace cache so both timed legs read identical inputs
+    // with identical effort (all hits, or no cache at all).
+    if (opts.traceCache) {
+        WorkloadParams params;
+        params.maxInstructions = insts;
+        params.seed = 42;
+        for (const auto &wl : workloads) {
+            const TraceCache::Key key{wl->name(), insts, 42};
+            Trace trace;
+            if (opts.traceCache->load(key, trace))
+                continue;
+            trace.reserve(insts + 512);
+            wl->generate(trace, params);
+            opts.traceCache->store(key, trace);
+        }
+        std::printf("Trace cache primed: %s\n\n",
+                    opts.traceCache->directory().c_str());
+    }
+
+    std::printf("Matrix: %zu workloads x %zu prefetchers = %zu "
+                "cells\n\n",
+                workloads.size(), kinds.size(), cells);
+
+    MatrixOptions serial_opts = opts;
+    serial_opts.jobs = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    const ExperimentMatrix serial =
+        runMatrix(workloads, kinds, config, insts, 42, serial_opts);
+    auto t1 = std::chrono::steady_clock::now();
+    const double serial_s = seconds(t0, t1);
+    const std::uint64_t sim_insts = simulatedInstructions(serial);
+    const double serial_ips =
+        serial_s > 0 ? static_cast<double>(sim_insts) / serial_s : 0;
+    std::printf("serial    jobs=1    %8.2f s   %12.0f inst/s\n",
+                serial_s, serial_ips);
+
+    MatrixOptions parallel_opts = opts;
+    parallel_opts.jobs = parallel_jobs;
+    t0 = std::chrono::steady_clock::now();
+    const ExperimentMatrix parallel = runMatrix(
+        workloads, kinds, config, insts, 42, parallel_opts);
+    t1 = std::chrono::steady_clock::now();
+    const double parallel_s = seconds(t0, t1);
+    const double parallel_ips =
+        parallel_s > 0 ? static_cast<double>(sim_insts) / parallel_s
+                       : 0;
+    std::printf("parallel  jobs=%-4u %8.2f s   %12.0f inst/s\n",
+                parallel_jobs, parallel_s, parallel_ips);
+
+    const double speedup =
+        parallel_s > 0 ? serial_s / parallel_s : 0;
+    const bool identical = identicalResults(serial, parallel);
+    std::printf("\nspeedup: %.2fx   results identical: %s\n", speedup,
+                identical ? "yes" : "NO (determinism bug!)");
+
+    std::FILE *json = std::fopen("BENCH_sim_throughput.json", "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"bench\": \"sim_throughput\",\n"
+            "  \"instructions_per_run\": %llu,\n"
+            "  \"cells\": %zu,\n"
+            "  \"simulated_instructions\": %llu,\n"
+            "  \"serial\": {\"jobs\": 1, \"seconds\": %.4f, "
+            "\"instructions_per_second\": %.0f},\n"
+            "  \"parallel\": {\"jobs\": %u, \"seconds\": %.4f, "
+            "\"instructions_per_second\": %.0f},\n"
+            "  \"speedup\": %.4f,\n"
+            "  \"identical\": %s,\n"
+            "  \"trace_cache\": \"%s\"\n"
+            "}\n",
+            static_cast<unsigned long long>(insts), cells,
+            static_cast<unsigned long long>(sim_insts), serial_s,
+            serial_ips, parallel_jobs, parallel_s, parallel_ips,
+            speedup, identical ? "true" : "false",
+            opts.traceCache ? opts.traceCache->directory().c_str()
+                            : "");
+        std::fclose(json);
+        std::printf("wrote BENCH_sim_throughput.json\n");
+    } else {
+        std::fprintf(stderr,
+                     "could not write BENCH_sim_throughput.json\n");
+    }
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+#include "base/threadpool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace cbws
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers <= 1)
+        return; // inline mode
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::runTask(std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runTask(task);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (threads_.empty()) {
+        // Inline mode: same-thread execution, same error contract.
+        runTask(task);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return inFlight_ == 0; });
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+ThreadPool::jobsFromEnv(unsigned fallback)
+{
+    if (const char *env = std::getenv("CBWS_JOBS")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback ? fallback : hardwareJobs();
+}
+
+void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(jobs < count ? jobs
+                                 : static_cast<unsigned>(count));
+    std::atomic<std::size_t> next{0};
+    const unsigned drainers = pool.workers();
+    for (unsigned w = 0; w < drainers; ++w) {
+        pool.submit([&next, count, &body] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1)) {
+                body(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace cbws

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
@@ -79,6 +80,19 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
     LineAddr last_fetch_line = ~LineAddr(0);
     unsigned ldq_count = 0;
     unsigned stq_count = 0;
+    // Count of in-flight (dispatched, uncommitted) stores per line:
+    // lets the store-to-load forwarding check skip its O(ROB)
+    // backward scan for the common load with no matching store —
+    // without changing which loads forward (the scan still decides).
+    std::unordered_map<LineAddr, unsigned> pending_store_lines;
+    auto note_store = [&](LineAddr line) {
+        ++pending_store_lines[line];
+    };
+    auto retire_store = [&](LineAddr line) {
+        auto it = pending_store_lines.find(line);
+        if (it != pending_store_lines.end() && --it->second == 0)
+            pending_store_lines.erase(it);
+    };
     bool fetch_in_block = false;
     bool last_committed_in_block = false;
     // First offset in the ROB that may hold an unissued entry; issue
@@ -103,6 +117,7 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                 head.mem = mem_.store(head.rec.effAddr, now);
                 if (on_access)
                     on_access(head.rec, head.mem, now);
+                retire_store(head.rec.line());
                 --stq_count;
                 ++stats.memInstructions;
             } else if (head.rec.cls == InstClass::Load) {
@@ -171,23 +186,28 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                 if (mem_ports_used >= params_.memPortsPerCycle)
                     continue;
                 // Store-to-load forwarding: an older, uncommitted
-                // store to the same line supplies the data.
+                // store to the same line supplies the data. The
+                // backward ROB scan only runs when the line counter
+                // says some in-flight store touches this line.
                 bool forwarded = false;
                 bool wait_for_store = false;
                 const LineAddr line = e.rec.line();
-                for (std::size_t j = i; j-- > 0;) {
-                    const RobEntry &older = rob_at(j);
-                    if (older.rec.cls != InstClass::Store ||
-                        older.rec.line() != line) {
-                        continue;
+                if (pending_store_lines.count(line)) {
+                    for (std::size_t j = i; j-- > 0;) {
+                        const RobEntry &older = rob_at(j);
+                        if (older.rec.cls != InstClass::Store ||
+                            older.rec.line() != line) {
+                            continue;
+                        }
+                        if (!older.issued) {
+                            wait_for_store = true;
+                        } else {
+                            forwarded = true;
+                            e.readyAt =
+                                std::max(now, older.readyAt) + 1;
+                        }
+                        break;
                     }
-                    if (!older.issued) {
-                        wait_for_store = true;
-                    } else {
-                        forwarded = true;
-                        e.readyAt = std::max(now, older.readyAt) + 1;
-                    }
-                    break;
                 }
                 if (wait_for_store)
                     continue;
@@ -258,6 +278,7 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
                     break;
                 }
                 ++stq_count;
+                note_store(fe.rec.line());
             }
             RobEntry &slot = rob[(rob_head + rob_count) %
                                  params_.robSize];

@@ -32,8 +32,10 @@ Cache::setFor(LineAddr line) const
 Cache::Way *
 Cache::findWay(LineAddr line)
 {
+    // Invalid ways hold the NoLine sentinel, so the tag compare alone
+    // decides — one branch per way on the simulator's hottest path.
     for (auto &way : setFor(line))
-        if (way.valid && way.line == line)
+        if (way.line == line)
             return &way;
     return nullptr;
 }
@@ -42,7 +44,7 @@ const Cache::Way *
 Cache::findWay(LineAddr line) const
 {
     for (const auto &way : setFor(line))
-        if (way.valid && way.line == line)
+        if (way.line == line)
             return &way;
     return nullptr;
 }
@@ -141,6 +143,7 @@ Cache::invalidate(LineAddr line)
         victim.pfSource = way->pfSource;
         way->valid = false;
         way->dirty = false;
+        way->line = NoLine;
     }
     return victim;
 }

@@ -103,9 +103,18 @@ class Cache
     std::uint64_t numSets() const { return sets_.size(); }
 
   private:
+    /**
+     * Tag sentinel stored in invalid ways. Real line addresses are
+     * byte addresses shifted right by LineShift, so ~0 can never
+     * collide — which lets findWay() compare tags alone, without
+     * also testing the valid bit, in the hottest loop of the whole
+     * simulator (every L1 access walks one set).
+     */
+    static constexpr LineAddr NoLine = ~LineAddr(0);
+
     struct Way
     {
-        LineAddr line = 0;
+        LineAddr line = NoLine;
         Cycle lastTouch = 0;
         bool valid = false;
         bool dirty = false;

@@ -173,6 +173,7 @@ Hierarchy::issuePrefetches(Cycle now)
                     static_cast<unsigned long long>(req.line),
                     toString(req.src),
                     static_cast<unsigned long long>(req.id));
+            queuedLines_.erase(req.line);
             prefetchQueue_.pop_front();
             continue;
         }
@@ -200,6 +201,7 @@ Hierarchy::issuePrefetches(Cycle now)
                              TraceTrack::Prefetch, now, ready - now,
                              req.line);
         }
+        queuedLines_.erase(req.line);
         prefetchQueue_.pop_front();
     }
 }
@@ -218,15 +220,14 @@ Hierarchy::tick(Cycle now)
 bool
 Hierarchy::prefetchQueued(LineAddr line) const
 {
-    return std::find_if(prefetchQueue_.begin(), prefetchQueue_.end(),
-                        [line](const QueuedPrefetch &q) {
-                            return q.line == line;
-                        }) != prefetchQueue_.end();
+    return queuedLines_.count(line) != 0;
 }
 
 void
 Hierarchy::mergeQueuedPrefetch(LineAddr line, Cycle now)
 {
+    if (!prefetchQueued(line))
+        return;
     auto it = std::find_if(prefetchQueue_.begin(),
                            prefetchQueue_.end(),
                            [line](const QueuedPrefetch &q) {
@@ -243,6 +244,7 @@ Hierarchy::mergeQueuedPrefetch(LineAddr line, Cycle now)
         trace_->instant("prefetch", "overtaken-by-demand",
                         TraceTrack::Prefetch, now, line);
     }
+    queuedLines_.erase(line);
     prefetchQueue_.erase(it);
 }
 
@@ -458,11 +460,13 @@ Hierarchy::enqueuePrefetch(LineAddr line, PfSource src)
                 static_cast<unsigned long long>(old.line),
                 toString(old.src),
                 static_cast<unsigned long long>(old.id));
+        queuedLines_.erase(old.line);
         prefetchQueue_.pop_front();
     }
     DPRINTF(Prefetch, "enqueue line=%#llx src=%s id=%llu",
             static_cast<unsigned long long>(line), toString(src),
             static_cast<unsigned long long>(id));
+    queuedLines_.insert(line);
     prefetchQueue_.push_back(QueuedPrefetch{line, src, id});
 }
 
@@ -536,6 +540,7 @@ Hierarchy::finalize()
         ++stats_.pfLife[static_cast<unsigned>(req.src)].dropped;
     }
     prefetchQueue_.clear();
+    queuedLines_.clear();
 
     DPRINTF(Sim, "hierarchy finalized: %llu wrong prefetches",
             static_cast<unsigned long long>(stats_.wrongPrefetches));

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 
 #include "base/tracesink.hh"
 #include "mem/cache.hh"
@@ -298,6 +299,13 @@ class Hierarchy
     MshrFile l1iMshr_;
     MshrFile l2Mshr_;
     std::deque<QueuedPrefetch> prefetchQueue_;
+    /**
+     * Lines currently in prefetchQueue_ (which never holds
+     * duplicates). Demand misses and enqueue filtering probe queue
+     * membership on the hot path; this index answers in O(1) what a
+     * deque scan answered in O(queue depth).
+     */
+    std::unordered_set<LineAddr> queuedLines_;
     HierarchyStats stats_;
     /** Next cycle the DRAM accepts a request (bandwidth model). */
     Cycle nextDramFree_ = 0;

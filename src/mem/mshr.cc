@@ -23,25 +23,6 @@ MshrFile::find(LineAddr line) const
     return nullptr;
 }
 
-bool
-MshrFile::full() const
-{
-    for (const auto &e : entries_)
-        if (!e.valid)
-            return false;
-    return true;
-}
-
-unsigned
-MshrFile::inFlight() const
-{
-    unsigned n = 0;
-    for (const auto &e : entries_)
-        if (e.valid)
-            ++n;
-    return n;
-}
-
 MshrFile::Entry &
 MshrFile::allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
                    bool is_write)
@@ -60,6 +41,7 @@ MshrFile::allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
             e.pfSource = PfSource::Unknown;
             e.pfId = 0;
             e.firstDemandAt = 0;
+            ++numValid_;
             if (ready_at < nextReady_)
                 nextReady_ = ready_at;
             return e;
@@ -81,6 +63,7 @@ MshrFile::drain(Cycle now, const std::function<void(const Entry &)>
         if (e.readyAt <= now) {
             on_fill(e);
             e.valid = false;
+            --numValid_;
         } else if (e.readyAt < next) {
             next = e.readyAt;
         }
@@ -93,6 +76,7 @@ MshrFile::clear()
 {
     for (auto &e : entries_)
         e.valid = false;
+    numValid_ = 0;
     nextReady_ = NoEvent;
 }
 

@@ -51,11 +51,16 @@ class MshrFile
     Entry *find(LineAddr line);
     const Entry *find(LineAddr line) const;
 
-    /** True when no entry can be allocated. */
-    bool full() const;
+    /**
+     * True when no entry can be allocated. O(1): the valid count is
+     * maintained at allocate/drain/clear, because full() guards every
+     * demand miss and inFlight() every prefetch issue — the two
+     * hottest queries in the hierarchy.
+     */
+    bool full() const { return numValid_ == entries_.size(); }
 
-    /** Number of valid (in-flight) entries. */
-    unsigned inFlight() const;
+    /** Number of valid (in-flight) entries. O(1). */
+    unsigned inFlight() const { return numValid_; }
 
     /**
      * Allocate an entry; the caller must have checked full() and
@@ -86,6 +91,7 @@ class MshrFile
 
   private:
     std::vector<Entry> entries_;
+    unsigned numValid_ = 0;
     Cycle nextReady_ = NoEvent;
 
     static constexpr Cycle NoEvent = ~Cycle(0);

@@ -2,14 +2,37 @@
 
 #include <cstdlib>
 
+#include "base/debug.hh"
 #include "base/logging.hh"
+#include "base/threadpool.hh"
 
 namespace cbws
 {
 
+void
+ExperimentMatrix::indexKinds()
+{
+    std::size_t max_kind = 0;
+    for (PrefetcherKind kind : kinds)
+        max_kind = std::max(max_kind,
+                            static_cast<std::size_t>(kind));
+    kindIndex.assign(max_kind + 1, -1);
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+        kindIndex[static_cast<std::size_t>(kinds[k])] =
+            static_cast<std::int16_t>(k);
+}
+
 const SimResult &
 ExperimentMatrix::result(std::size_t row, PrefetcherKind kind) const
 {
+    if (!kindIndex.empty()) {
+        const auto i = static_cast<std::size_t>(kind);
+        if (i < kindIndex.size() && kindIndex[i] >= 0)
+            return rows.at(row).byPrefetcher.at(
+                static_cast<std::size_t>(kindIndex[i]));
+        panic("prefetcher kind not in matrix");
+    }
+    // Unindexed (hand-assembled) matrix: scan.
     for (std::size_t k = 0; k < kinds.size(); ++k)
         if (kinds[k] == kind)
             return rows.at(row).byPrefetcher.at(k);
@@ -20,39 +43,74 @@ ExperimentMatrix
 runMatrix(const std::vector<WorkloadPtr> &workloads,
           const std::vector<PrefetcherKind> &kinds,
           const SystemConfig &base_config, std::uint64_t max_insts,
-          std::uint64_t seed)
+          std::uint64_t seed, const MatrixOptions &options)
 {
     ExperimentMatrix matrix;
     matrix.kinds = kinds;
+    matrix.indexKinds();
+
+    unsigned jobs =
+        options.jobs ? options.jobs : ThreadPool::jobsFromEnv(1);
+    if (jobs > 1 && debug::state.anyEnabled) {
+        // The trace-flag facility is global (gem5-style, one traced
+        // run per process): parallel cells would interleave lines and
+        // race on the cycle gate. Tracing a matrix implies studying
+        // one run anyway, so degrade to serial rather than garble.
+        warn("runMatrix: debug trace flags are enabled; "
+             "forcing jobs=1 for coherent trace output");
+        jobs = 1;
+    }
 
     WorkloadParams params;
     params.maxInstructions = max_insts;
     params.seed = seed;
 
-    for (const auto &workload : workloads) {
-        WorkloadRow row;
-        row.workload = workload->name();
-        row.memoryIntensive = workload->memoryIntensive();
+    const std::size_t num_workloads = workloads.size();
+    const std::size_t num_kinds = kinds.size();
 
-        // Synthesise the trace once; replay it under every scheme so
-        // all configurations see the identical access stream.
-        Trace trace;
-        trace.reserve(max_insts + 512);
-        workload->generate(trace, params);
-
-        // A quarter of the budget warms caches and predictors (the
-        // paper fast-forwards past initialisation instead).
-        const std::uint64_t warmup = max_insts / 4;
-        for (PrefetcherKind kind : kinds) {
-            SystemConfig config = base_config;
-            config.prefetcher = kind;
-            SimResult res = simulate(trace, config, max_insts,
-                                     SimProbes(), warmup);
-            res.workload = workload->name();
-            row.byPrefetcher.push_back(std::move(res));
+    // Phase 1: synthesise (or load from the trace cache) every
+    // workload's trace, one cell per workload. Each trace is written
+    // exactly once and only read afterwards, so the simulation phase
+    // shares them without copies or locks.
+    std::vector<Trace> traces(num_workloads);
+    parallelFor(jobs, num_workloads, [&](std::size_t w) {
+        Trace &trace = traces[w];
+        const TraceCache::Key key{workloads[w]->name(), max_insts,
+                                  seed};
+        if (options.traceCache &&
+            options.traceCache->load(key, trace)) {
+            return;
         }
-        matrix.rows.push_back(std::move(row));
+        trace.reserve(max_insts + 512);
+        workloads[w]->generate(trace, params);
+        if (options.traceCache)
+            options.traceCache->store(key, trace);
+    });
+
+    matrix.rows.resize(num_workloads);
+    for (std::size_t w = 0; w < num_workloads; ++w) {
+        matrix.rows[w].workload = workloads[w]->name();
+        matrix.rows[w].memoryIntensive =
+            workloads[w]->memoryIntensive();
+        matrix.rows[w].byPrefetcher.resize(num_kinds);
     }
+
+    // Phase 2: the workloads x kinds cells, each an independent
+    // simulated system replaying a shared read-only trace into its
+    // preassigned result slot. A quarter of the budget warms caches
+    // and predictors (the paper fast-forwards past initialisation
+    // instead).
+    const std::uint64_t warmup = max_insts / 4;
+    parallelFor(jobs, num_workloads * num_kinds, [&](std::size_t i) {
+        const std::size_t w = i / num_kinds;
+        const std::size_t k = i % num_kinds;
+        SystemConfig config = base_config;
+        config.prefetcher = kinds[k];
+        SimResult res = simulate(traces[w], config, max_insts,
+                                 SimProbes(), warmup);
+        res.workload = matrix.rows[w].workload;
+        matrix.rows[w].byPrefetcher[k] = std::move(res);
+    });
     return matrix;
 }
 

@@ -3,6 +3,13 @@
  * Experiment matrix runner shared by the figure-regenerating benches:
  * every workload is synthesised once and replayed through every
  * prefetcher configuration, exactly how the paper compares schemes.
+ *
+ * The matrix is embarrassingly parallel — each (workload, prefetcher)
+ * cell owns its complete simulated system and only shares the
+ * read-only input trace — so runMatrix can fan the cells across a
+ * thread pool. Results are bit-identical to a serial run for any job
+ * count: every cell writes a preallocated slot, and nothing about a
+ * simulation depends on which thread (or in what order) it ran.
  */
 
 #ifndef CBWS_SIM_EXPERIMENT_HH
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "trace/tracecache.hh"
 #include "workloads/workload.hh"
 
 namespace cbws
@@ -30,6 +38,17 @@ struct ExperimentMatrix
 {
     std::vector<PrefetcherKind> kinds;
     std::vector<WorkloadRow> rows;
+
+    /**
+     * Dense kind -> column map (index: the PrefetcherKind's integer
+     * value; -1 when absent). Built by indexKinds(); result() falls
+     * back to a linear scan over `kinds` while it is empty, so
+     * hand-assembled matrices (tests) keep working unindexed.
+     */
+    std::vector<std::int16_t> kindIndex;
+
+    /** (Re)build kindIndex from `kinds`. */
+    void indexKinds();
 
     const SimResult &
     result(std::size_t row, PrefetcherKind kind) const;
@@ -51,6 +70,21 @@ struct ExperimentMatrix
     }
 };
 
+/** Execution knobs of runMatrix (parallelism, trace reuse). */
+struct MatrixOptions
+{
+    /**
+     * Worker threads for trace synthesis and the simulation cells.
+     * 0 (the default) resolves via the CBWS_JOBS environment
+     * variable, falling back to 1 (serial) when it is unset. Any
+     * value yields bit-identical results.
+     */
+    unsigned jobs = 0;
+
+    /** Optional on-disk trace cache consulted before synthesis. */
+    TraceCache *traceCache = nullptr;
+};
+
 /**
  * Run the matrix: @p workloads x the seven prefetcher kinds.
  * @param max_insts per-run committed-instruction budget.
@@ -59,7 +93,8 @@ ExperimentMatrix
 runMatrix(const std::vector<WorkloadPtr> &workloads,
           const std::vector<PrefetcherKind> &kinds,
           const SystemConfig &base_config, std::uint64_t max_insts,
-          std::uint64_t seed = 42);
+          std::uint64_t seed = 42,
+          const MatrixOptions &options = MatrixOptions());
 
 /**
  * Instruction budget for the benches: the CBWS_BENCH_INSTS

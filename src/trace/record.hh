@@ -16,6 +16,9 @@
 #ifndef CBWS_TRACE_RECORD_HH
 #define CBWS_TRACE_RECORD_HH
 
+#include <cstddef>
+#include <type_traits>
+
 #include "base/types.hh"
 
 namespace cbws
@@ -52,8 +55,13 @@ isBlockMarker(InstClass cls)
 /**
  * One dynamic instruction.
  *
- * The layout is kept POD and compact (32 bytes) so multi-million
- * instruction traces stay cheap to hold and to stream to disk.
+ * The layout is kept POD and packed to exactly 24 bytes (2.7 records
+ * per cache line) so multi-million instruction traces stay cheap to
+ * hold, cheap to stream from disk, and light on memory bandwidth in
+ * the replay loop. The static_asserts below pin the layout: a field
+ * added or reordered carelessly fails the build instead of silently
+ * bloating every trace and invalidating the CBT1/trace-cache on-disk
+ * formats (which write raw records / record-size tags).
  */
 struct TraceRecord
 {
@@ -154,6 +162,13 @@ struct TraceRecord
         return r;
     }
 };
+
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "TraceRecord is memcpy'd to/from disk");
+static_assert(sizeof(TraceRecord) == 24,
+              "TraceRecord must stay packed at 24 bytes");
+static_assert(offsetof(TraceRecord, blockId) == 22,
+              "TraceRecord fields must leave no padding holes");
 
 } // namespace cbws
 

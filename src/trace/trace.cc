@@ -142,19 +142,16 @@ Trace::saveTo(const std::string &path) const
     return ok;
 }
 
-bool
-Trace::saveCompressed(const std::string &path) const
+namespace tracecodec
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        warn("cannot open trace file '%s' for writing", path.c_str());
-        return false;
-    }
-    std::fwrite(TraceMagic2, 1, sizeof(TraceMagic2), f);
-    putVarint(f, records_.size());
+
+bool
+writeBody(std::FILE *f, const std::vector<TraceRecord> &records)
+{
+    putVarint(f, records.size());
     Addr prev_pc = 0;
     Addr prev_addr = 0;
-    for (const auto &r : records_) {
+    for (const auto &r : records) {
         std::fputc(static_cast<int>(r.cls), f);
         std::fputc(r.taken ? 1 : 0, f);
         putVarint(f, zigzag(static_cast<std::int64_t>(r.pc) -
@@ -177,18 +174,11 @@ Trace::saveCompressed(const std::string &path) const
             putVarint(f, r.blockId);
         }
     }
-    const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    if (!ok)
-        warn("short write to trace file '%s'", path.c_str());
-    return ok;
+    return std::ferror(f) == 0;
 }
 
-namespace
-{
-
 bool
-loadCompressedBody(std::FILE *f, std::vector<TraceRecord> &records)
+readBody(std::FILE *f, std::vector<TraceRecord> &records)
 {
     std::uint64_t count = 0;
     if (!getVarint(f, count))
@@ -242,7 +232,23 @@ loadCompressedBody(std::FILE *f, std::vector<TraceRecord> &records)
     return true;
 }
 
-} // anonymous namespace
+} // namespace tracecodec
+
+bool
+Trace::saveCompressed(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot open trace file '%s' for writing", path.c_str());
+        return false;
+    }
+    std::fwrite(TraceMagic2, 1, sizeof(TraceMagic2), f);
+    const bool ok = tracecodec::writeBody(f, records_);
+    std::fclose(f);
+    if (!ok)
+        warn("short write to trace file '%s'", path.c_str());
+    return ok;
+}
 
 bool
 Trace::loadFrom(const std::string &path)
@@ -255,7 +261,7 @@ Trace::loadFrom(const std::string &path)
     char magic[4];
     bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic);
     if (ok && std::memcmp(magic, TraceMagic2, sizeof(magic)) == 0) {
-        ok = loadCompressedBody(f, records_);
+        ok = tracecodec::readBody(f, records_);
     } else if (ok &&
                std::memcmp(magic, TraceMagic, sizeof(magic)) == 0) {
         // CBT1: raw records after the fixed header.

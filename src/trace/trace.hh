@@ -8,6 +8,7 @@
 #define CBWS_TRACE_TRACE_HH
 
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,27 @@
 
 namespace cbws
 {
+
+/**
+ * The CBT2 record codec (per-field delta + varint encoding), shared
+ * by Trace::saveCompressed/loadFrom and the on-disk trace cache.
+ * Both operate on an already-positioned stdio stream: the caller
+ * owns the surrounding magic/header bytes.
+ */
+namespace tracecodec
+{
+
+/** Append the record count + encoded records to @p f. */
+bool writeBody(std::FILE *f, const std::vector<TraceRecord> &records);
+
+/**
+ * Decode a body written by writeBody() into @p records (replacing
+ * its contents). Returns false on EOF/corruption; @p records is then
+ * in an unspecified state and the caller must discard it.
+ */
+bool readBody(std::FILE *f, std::vector<TraceRecord> &records);
+
+} // namespace tracecodec
 
 /**
  * A dynamic instruction trace: an append-only sequence of TraceRecords

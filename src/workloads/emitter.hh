@@ -35,6 +35,11 @@ class Emitter
           limit_(params.maxInstructions + 256),
           rng_(params.seed)
     {
+        // One up-front reservation for the whole generation budget:
+        // kernels emit millions of records one at a time, and letting
+        // the vector grow geometrically would copy the trace ~log(n)
+        // times over.
+        trace_.reserve(limit_ + 256);
     }
 
     /** Budget exhausted? Kernels poll this in their outer loops. */

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Determinism of the parallel experiment runner: runMatrix must be
+ * bit-identical for any job count, across every prefetcher kind, and
+ * the O(1) result() lookup must agree with the row layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace
+{
+
+std::vector<WorkloadPtr>
+sampleWorkloads()
+{
+    // One block-structured, one data-dependent, one low-MPKI kernel
+    // keeps the run cheap while exercising very different simulator
+    // paths.
+    std::vector<WorkloadPtr> ws;
+    for (const char *name :
+         {"sgemm-medium", "histo-large", "fft-simlarge"}) {
+        auto w = findWorkload(name);
+        EXPECT_NE(w, nullptr) << name;
+        if (w)
+            ws.push_back(std::move(w));
+    }
+    return ws;
+}
+
+/** Bitwise equality of two cells (POD stats + identity strings). */
+::testing::AssertionResult
+cellsIdentical(const SimResult &a, const SimResult &b)
+{
+    if (a.workload != b.workload)
+        return ::testing::AssertionFailure()
+               << "workload: " << a.workload << " vs " << b.workload;
+    if (a.prefetcher != b.prefetcher)
+        return ::testing::AssertionFailure()
+               << "prefetcher: " << a.prefetcher << " vs "
+               << b.prefetcher;
+    if (a.prefetcherStorageBits != b.prefetcherStorageBits)
+        return ::testing::AssertionFailure() << "storage bits differ";
+    if (std::memcmp(&a.core, &b.core, sizeof(a.core)) != 0)
+        return ::testing::AssertionFailure()
+               << a.workload << "/" << a.prefetcher
+               << ": CoreStats differ";
+    if (std::memcmp(&a.mem, &b.mem, sizeof(a.mem)) != 0)
+        return ::testing::AssertionFailure()
+               << a.workload << "/" << a.prefetcher
+               << ": HierarchyStats differ";
+    return ::testing::AssertionSuccess();
+}
+
+TEST(ParallelMatrix, FourJobsBitIdenticalToSerialAcrossAllKinds)
+{
+    const auto ws = sampleWorkloads();
+    ASSERT_EQ(ws.size(), 3u);
+    const auto kinds = allPrefetcherKinds();
+    SystemConfig cfg;
+    constexpr std::uint64_t insts = 12000;
+
+    MatrixOptions serial;
+    serial.jobs = 1;
+    const auto m1 = runMatrix(ws, kinds, cfg, insts, 42, serial);
+
+    MatrixOptions parallel;
+    parallel.jobs = 4;
+    const auto m4 = runMatrix(ws, kinds, cfg, insts, 42, parallel);
+
+    ASSERT_EQ(m1.rows.size(), m4.rows.size());
+    for (std::size_t r = 0; r < m1.rows.size(); ++r) {
+        ASSERT_EQ(m1.rows[r].byPrefetcher.size(), kinds.size());
+        ASSERT_EQ(m4.rows[r].byPrefetcher.size(), kinds.size());
+        EXPECT_EQ(m1.rows[r].workload, m4.rows[r].workload);
+        EXPECT_EQ(m1.rows[r].memoryIntensive,
+                  m4.rows[r].memoryIntensive);
+        for (std::size_t k = 0; k < kinds.size(); ++k)
+            EXPECT_TRUE(cellsIdentical(m1.rows[r].byPrefetcher[k],
+                                       m4.rows[r].byPrefetcher[k]));
+    }
+}
+
+TEST(ParallelMatrix, MoreJobsThanCellsIsStillIdentical)
+{
+    std::vector<WorkloadPtr> ws;
+    ws.push_back(findWorkload("stencil-default"));
+    ASSERT_NE(ws[0], nullptr);
+    const std::vector<PrefetcherKind> kinds = {PrefetcherKind::Cbws,
+                                               PrefetcherKind::Sms};
+    SystemConfig cfg;
+
+    MatrixOptions serial;
+    serial.jobs = 1;
+    const auto m1 = runMatrix(ws, kinds, cfg, 8000, 42, serial);
+
+    MatrixOptions wide;
+    wide.jobs = 16; // far more workers than the 2 cells
+    const auto mw = runMatrix(ws, kinds, cfg, 8000, 42, wide);
+
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+        EXPECT_TRUE(cellsIdentical(m1.rows[0].byPrefetcher[k],
+                                   mw.rows[0].byPrefetcher[k]));
+}
+
+TEST(ParallelMatrix, ResultLookupAgreesWithRowLayout)
+{
+    std::vector<WorkloadPtr> ws;
+    ws.push_back(findWorkload("fft-simlarge"));
+    ASSERT_NE(ws[0], nullptr);
+    const auto kinds = allPrefetcherKinds();
+    SystemConfig cfg;
+    const auto m = runMatrix(ws, kinds, cfg, 8000);
+
+    EXPECT_FALSE(m.kindIndex.empty()) << "runMatrix must index kinds";
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+        EXPECT_EQ(&m.result(0, kinds[k]), &m.rows[0].byPrefetcher[k]);
+}
+
+TEST(ParallelMatrix, ResultFallsBackToScanWhenUnindexed)
+{
+    // Hand-assembled matrices (as some tests build) never call
+    // indexKinds(); result() must still resolve by scanning.
+    ExperimentMatrix m;
+    m.kinds = {PrefetcherKind::Sms, PrefetcherKind::Cbws};
+    m.rows.resize(1);
+    m.rows[0].byPrefetcher.resize(2);
+    m.rows[0].byPrefetcher[1].prefetcherStorageBits = 77;
+    EXPECT_TRUE(m.kindIndex.empty());
+    EXPECT_EQ(m.result(0, PrefetcherKind::Cbws).prefetcherStorageBits,
+              77u);
+}
+
+} // anonymous namespace
+} // namespace cbws
