@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "base/argparse.hh"
+#include "base/faultinject.hh"
 #include "base/threadpool.hh"
 #include "workloads/registry.hh"
 
@@ -19,6 +20,7 @@ namespace
 /** Resolved by init(); defaulted from the environment otherwise. */
 unsigned g_jobs = 0; // 0 = let runMatrix resolve CBWS_JOBS
 TraceCache g_trace_cache = TraceCache::fromEnv();
+std::string g_checkpoint; // empty = checkpointing off
 
 } // anonymous namespace
 
@@ -35,10 +37,24 @@ init(int argc, char **argv)
                      "directory for the on-disk trace cache "
                      "(default: CBWS_TRACE_CACHE env; '0' or 'off' "
                      "disables)");
+    parser.addOption("checkpoint",
+                     "crash-safe checkpoint file: finished matrix "
+                     "cells are appended there and a restarted run "
+                     "resumes instead of recomputing them");
     if (!parser.parse(argc, argv))
         std::exit(1);
     if (parser.helpRequested())
         std::exit(0);
+
+    {
+        Result<void> faults =
+            FaultInjector::instance().configureFromEnv();
+        if (!faults.ok()) {
+            std::fprintf(stderr, "CBWS_FAULT: %s\n",
+                         faults.error().str().c_str());
+            std::exit(1);
+        }
+    }
 
     if (parser.provided("jobs")) {
         const std::uint64_t jobs = parser.getUint("jobs", 0);
@@ -54,6 +70,8 @@ init(int argc, char **argv)
                             ? TraceCache()
                             : TraceCache(dir);
     }
+    if (parser.provided("checkpoint"))
+        g_checkpoint = parser.get("checkpoint");
 }
 
 MatrixOptions
@@ -63,6 +81,7 @@ matrixOptions()
     options.jobs = g_jobs;
     if (g_trace_cache.enabled())
         options.traceCache = &g_trace_cache;
+    options.checkpointPath = g_checkpoint;
     return options;
 }
 

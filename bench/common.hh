@@ -22,7 +22,12 @@ namespace bench
  *   --jobs=N          worker threads (default: CBWS_JOBS env, else 1)
  *   --trace-cache=DIR on-disk trace cache (default: CBWS_TRACE_CACHE
  *                     env; "0"/"off" disables)
+ *   --checkpoint=FILE crash-safe checkpoint: finished cells are
+ *                     appended; a restarted run resumes from them
  *   --help            print usage and exit
+ *
+ * init() also arms the deterministic fault-injection harness from the
+ * CBWS_FAULT / CBWS_FAULT_SEED environment (base/faultinject.hh).
  *
  * Call at the top of main(); exits on bad arguments or --help. Any
  * jobs value produces byte-identical report output — parallelism

@@ -94,7 +94,7 @@ replay(const Trace &trace, Prefetcher &pf, CbwsSchemeStats (*stats)(
     class CountSink : public PrefetchSink
     {
       public:
-        void issuePrefetch(LineAddr) override { ++issued; }
+        void issuePrefetch(LineAddr, PfSource) override { ++issued; }
         bool isCached(LineAddr) const override { return false; }
         std::uint64_t issued = 0;
     } sink;

@@ -29,7 +29,7 @@ using namespace cbws;
 class NullSink : public PrefetchSink
 {
   public:
-    void issuePrefetch(LineAddr line) override
+    void issuePrefetch(LineAddr line, PfSource) override
     {
         benchmark::DoNotOptimize(line);
     }

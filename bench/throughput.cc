@@ -99,7 +99,7 @@ main(int argc, char **argv)
         for (const auto &wl : workloads) {
             const TraceCache::Key key{wl->name(), insts, 42};
             Trace trace;
-            if (opts.traceCache->load(key, trace))
+            if (opts.traceCache->load(key, trace).ok())
                 continue;
             trace.reserve(insts + 512);
             wl->generate(trace, params);

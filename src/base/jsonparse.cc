@@ -1,0 +1,314 @@
+#include "base/jsonparse.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace cbws
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Result<JsonValue>
+    parse()
+    {
+        JsonValue value;
+        Result<void> r = parseValue(value);
+        if (!r.ok())
+            return r.error();
+        skipSpace();
+        if (pos_ != text_.size())
+            return failError("trailing characters after document");
+        return value;
+    }
+
+  private:
+    Error
+    failError(const std::string &what) const
+    {
+        return Error(Errc::Corrupt,
+                     what + " at offset " + std::to_string(pos_));
+    }
+
+    Result<void> fail(const std::string &what) const
+    {
+        return failError(what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Result<void>
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+          case 't':
+          case 'f':
+            return parseKeyword(out);
+          case 'n':
+            return parseKeyword(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Result<void>
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (consume('}'))
+            return Result<void>();
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            Result<void> r = parseString(key);
+            if (!r.ok())
+                return r;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':' after key");
+            JsonValue member;
+            r = parseValue(member);
+            if (!r.ok())
+                return r;
+            out.object.emplace_back(std::move(key),
+                                    std::move(member));
+            skipSpace();
+            if (consume('}'))
+                return Result<void>();
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Result<void>
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (consume(']'))
+            return Result<void>();
+        while (true) {
+            JsonValue element;
+            Result<void> r = parseValue(element);
+            if (!r.ok())
+                return r;
+            out.array.push_back(std::move(element));
+            skipSpace();
+            if (consume(']'))
+                return Result<void>();
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Result<void>
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Result<void>();
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (unsigned i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The writer only escapes control characters; emit
+                // the low byte (sufficient for the formats we read).
+                out.push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Result<void>
+    parseKeyword(JsonValue &out)
+    {
+        auto match = [&](const char *word) {
+            const std::size_t len = std::strlen(word);
+            if (text_.compare(pos_, len, word) != 0)
+                return false;
+            pos_ += len;
+            return true;
+        };
+        if (match("true")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return Result<void>();
+        }
+        if (match("false")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return Result<void>();
+        }
+        if (match("null")) {
+            out.type = JsonValue::Type::Null;
+            return Result<void>();
+        }
+        return fail("unknown keyword");
+    }
+
+    Result<void>
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            integral = false;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        if (integral) {
+            out.type = JsonValue::Type::Uint;
+            out.uintValue = std::strtoull(token.c_str(), &end, 10);
+            out.number = static_cast<double>(out.uintValue);
+        } else {
+            out.type = JsonValue::Type::Number;
+            out.number = std::strtod(token.c_str(), &end);
+        }
+        if (!end || *end)
+            return fail("malformed number '" + token + "'");
+        return Result<void>();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &member : object)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::uintOr(const std::string &key, std::uint64_t fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->type == Type::Uint ? v->uintValue : fallback;
+}
+
+std::string
+JsonValue::strOr(const std::string &key,
+                 const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->type == Type::String ? v->str : fallback;
+}
+
+Result<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace cbws

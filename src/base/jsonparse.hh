@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader, the counterpart of the
+ * JsonWriter in base/json.hh. Added for the crash-safe experiment
+ * checkpoint: resume must read back the JSONL records the previous
+ * process appended. Covers the full JSON grammar the project emits
+ * (objects, arrays, strings with the writer's escapes, integers,
+ * doubles, booleans, null); unsigned integers are preserved exactly
+ * so 64-bit counters round-trip bit-for-bit.
+ */
+
+#ifndef CBWS_BASE_JSONPARSE_HH
+#define CBWS_BASE_JSONPARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.hh"
+
+namespace cbws
+{
+
+/** One parsed JSON value (a small tagged tree). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Uint,   ///< non-negative integer that fits a uint64
+        Number, ///< any other number (negative, fractional, exponent)
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::uint64_t uintValue = 0; ///< valid when type == Uint
+    double number = 0.0;         ///< valid for Uint and Number
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isUint() const { return type == Type::Uint; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member's uint value, or @p fallback when absent/mistyped. */
+    std::uint64_t uintOr(const std::string &key,
+                         std::uint64_t fallback = 0) const;
+
+    /** Member's string value, or @p fallback when absent/mistyped. */
+    std::string strOr(const std::string &key,
+                      const std::string &fallback = "") const;
+};
+
+/**
+ * Parse @p text as one JSON document. Corrupt on any syntax error
+ * (with position context) or trailing garbage.
+ */
+Result<JsonValue> parseJson(const std::string &text);
+
+} // namespace cbws
+
+#endif // CBWS_BASE_JSONPARSE_HH

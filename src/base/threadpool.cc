@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "base/faultinject.hh"
+
 namespace cbws
 {
 
@@ -30,6 +32,9 @@ void
 ThreadPool::runTask(std::function<void()> &task)
 {
     try {
+        if (FaultInjector::instance().shouldFire(FaultSite::PoolJob))
+            throw FaultInjectedError("injected thread-pool job "
+                                     "failure");
         task();
     } catch (...) {
         std::unique_lock<std::mutex> lock(mutex_);

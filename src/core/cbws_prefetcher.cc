@@ -2,6 +2,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "prefetch/registry.hh"
 
 namespace cbws
 {
@@ -181,5 +182,13 @@ CbwsPrefetcher::storageBits() const
             params_.maxVectorMembers) * params_.strideBits);
     return curr + last + diffs + hist + table;
 }
+
+CBWS_REGISTER_PREFETCHER(cbws, "CBWS",
+                         "code block working set prefetcher (the "
+                         "paper's scheme)",
+                         [](const ParamSet &p) {
+                             return std::make_unique<CbwsPrefetcher>(
+                                 p.getOr<CbwsParams>());
+                         })
 
 } // namespace cbws

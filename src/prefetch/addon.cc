@@ -1,6 +1,8 @@
 #include "prefetch/addon.hh"
 
 #include "base/logging.hh"
+#include "prefetch/ampm.hh"
+#include "prefetch/registry.hh"
 
 namespace cbws
 {
@@ -17,12 +19,6 @@ class MutedSink : public PrefetchSink
               std::uint64_t &suppressed)
         : inner_(inner), muted_(muted), suppressed_(suppressed)
     {
-    }
-
-    void
-    issuePrefetch(LineAddr line) override
-    {
-        issuePrefetch(line, PfSource::Unknown);
     }
 
     void
@@ -102,5 +98,15 @@ CbwsAddOnPrefetcher::name() const
 {
     return "CBWS+" + base_->name();
 }
+
+CBWS_REGISTER_PREFETCHER(cbws_ampm, "CBWS+AMPM",
+                         "CBWS gating an AMPM base prefetcher",
+                         [](const ParamSet &p) {
+                             return std::make_unique<
+                                 CbwsAddOnPrefetcher>(
+                                 std::make_unique<AmpmPrefetcher>(
+                                     p.getOr<AmpmParams>()),
+                                 p.getOr<CbwsParams>());
+                         })
 
 } // namespace cbws

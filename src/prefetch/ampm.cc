@@ -1,6 +1,7 @@
 #include "prefetch/ampm.hh"
 
 #include "base/logging.hh"
+#include "prefetch/registry.hh"
 
 namespace cbws
 {
@@ -85,5 +86,12 @@ AmpmPrefetcher::storageBits() const
     return static_cast<std::uint64_t>(params_.mapEntries) *
            (params_.tagBits + linesPerZone_);
 }
+
+CBWS_REGISTER_PREFETCHER(ampm, "AMPM",
+                         "access map pattern matching prefetcher",
+                         [](const ParamSet &p) {
+                             return std::make_unique<AmpmPrefetcher>(
+                                 p.getOr<AmpmParams>());
+                         })
 
 } // namespace cbws

@@ -1,5 +1,7 @@
 #include "prefetch/composite.hh"
 
+#include "prefetch/registry.hh"
+
 namespace cbws
 {
 
@@ -45,5 +47,14 @@ CbwsSmsPrefetcher::storageBits() const
 {
     return cbws_.storageBits() + sms_.storageBits();
 }
+
+CBWS_REGISTER_PREFETCHER(cbws_sms, "CBWS+SMS",
+                         "CBWS with SMS fallback (Section VI "
+                         "integration)",
+                         [](const ParamSet &p) {
+                             return std::make_unique<CbwsSmsPrefetcher>(
+                                 p.getOr<CbwsParams>(),
+                                 p.getOr<SmsParams>());
+                         })
 
 } // namespace cbws

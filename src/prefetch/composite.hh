@@ -59,12 +59,6 @@ class CbwsSmsPrefetcher : public Prefetcher
         }
 
         void
-        issuePrefetch(LineAddr line) override
-        {
-            issuePrefetch(line, PfSource::Unknown);
-        }
-
-        void
         issuePrefetch(LineAddr line, PfSource src) override
         {
             if (muted_) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prefetch/registry.hh"
+
 namespace cbws
 {
 
@@ -111,5 +113,23 @@ GhbPrefetcher::storageBits() const
         bits_per_entry += params_.pcBits;
     return bits_per_entry * params_.bufferEntries;
 }
+
+CBWS_REGISTER_PREFETCHER(ghb_pc_dc, "GHB-PC/DC",
+                         "global history buffer, per-PC delta "
+                         "correlation",
+                         [](const ParamSet &p) {
+                             return std::make_unique<GhbPrefetcher>(
+                                 GhbPrefetcher::Mode::PcDC,
+                                 p.getOr<GhbParams>());
+                         })
+
+CBWS_REGISTER_PREFETCHER(ghb_g_dc, "GHB-G/DC",
+                         "global history buffer, global delta "
+                         "correlation",
+                         [](const ParamSet &p) {
+                             return std::make_unique<GhbPrefetcher>(
+                                 GhbPrefetcher::Mode::GlobalDC,
+                                 p.getOr<GhbParams>());
+                         })
 
 } // namespace cbws

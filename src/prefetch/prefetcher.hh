@@ -41,20 +41,14 @@ class PrefetchSink
   public:
     virtual ~PrefetchSink() = default;
 
-    /** Request that @p line be brought into the L2. */
-    virtual void issuePrefetch(LineAddr line) = 0;
-
     /**
-     * Source-attributed variant: @p src identifies the component that
-     * generated the request, for lifecycle accounting. Sinks that do
-     * not track attribution inherit this forwarding default.
+     * Request that @p line be brought into the L2. @p src identifies
+     * the component that generated the request, for lifecycle
+     * accounting; sinks that do not track attribution ignore it.
+     * (Single entry point — the old unattributed overload is gone.)
      */
-    virtual void
-    issuePrefetch(LineAddr line, PfSource src)
-    {
-        (void)src;
-        issuePrefetch(line);
-    }
+    virtual void issuePrefetch(LineAddr line,
+                               PfSource src = PfSource::Unknown) = 0;
 
     /**
      * True when @p line is already resident in (or in flight to) the
@@ -62,6 +56,25 @@ class PrefetchSink
      * addresses that are already cached").
      */
     virtual bool isCached(LineAddr line) const = 0;
+};
+
+/** Pipeline stage a training notification originates from. */
+enum class PfStage : std::uint8_t
+{
+    Access, ///< the operation accessed the cache (execute time)
+    Commit, ///< the operation committed, in program order
+};
+
+/**
+ * One training notification delivered to a prefetcher: the committed
+ * or executed access plus the stage it was observed at. The single
+ * struct replaces the parallel observeAccess/observeCommit plumbing
+ * between the core models and the prefetchers.
+ */
+struct PrefetchEvent
+{
+    PfStage stage = PfStage::Access;
+    PrefetchContext ctx;
 };
 
 /**
@@ -82,6 +95,21 @@ class Prefetcher
 {
   public:
     virtual ~Prefetcher() = default;
+
+    /**
+     * Single delivery point used by the simulator plumbing: routes
+     * @p event to the per-stage training hook matching its stage.
+     * Schemes override the hooks; composite schemes that need the
+     * whole event may call this on their children.
+     */
+    void
+    observe(const PrefetchEvent &event, PrefetchSink &sink)
+    {
+        if (event.stage == PfStage::Access)
+            observeAccess(event.ctx, sink);
+        else
+            observeCommit(event.ctx, sink);
+    }
 
     /** A memory operation accessing the cache (execute time). */
     virtual void

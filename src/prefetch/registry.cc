@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Registration of the trivial baseline. Every real scheme registers
+ * from its own translation unit; the no-prefetching baseline has no
+ * TU of its own (NullPrefetcher is header-only), so it lives with
+ * the registry.
+ */
+
+#include "prefetch/registry.hh"
+
+namespace cbws
+{
+
+CBWS_REGISTER_PREFETCHER(none, "No-Prefetch",
+                         "baseline without any prefetching",
+                         [](const ParamSet &) {
+                             return std::make_unique<NullPrefetcher>();
+                         })
+
+} // namespace cbws

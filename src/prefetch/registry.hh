@@ -1,0 +1,239 @@
+/**
+ * @file
+ * String-keyed prefetcher registry.
+ *
+ * Pythia-style customisable framework: every scheme registers a
+ * factory under the name the paper's figures use ("CBWS+SMS",
+ * "GHB-PC/DC", ...), from its *own* translation unit, and consumers
+ * instantiate by name:
+ *
+ *     auto pf = prefetcherRegistry().create("cbws+sms", params);
+ *
+ * Lookup is case-insensitive, so CLI surfaces accept "cbws+sms" for
+ * "CBWS+SMS". Factories receive a ParamSet — a type-erased bag of
+ * the per-scheme parameter structs — and fall back to each struct's
+ * Table II defaults when a slot is absent. The PrefetcherKind enum
+ * in sim/config.hh survives only as a thin compat shim that maps to
+ * registry names.
+ *
+ * Static-archive caveat: a registration living in an otherwise
+ * unreferenced object file is dropped by the linker. Each
+ * CBWS_REGISTER_PREFETCHER therefore also defines a linker anchor,
+ * and any always-linked TU (sim/config.cc for the built-ins) pins the
+ * scheme with CBWS_FORCE_LINK_PREFETCHER. Schemes registered from an
+ * executable's own sources need no anchor.
+ */
+
+#ifndef CBWS_PREFETCH_REGISTRY_HH
+#define CBWS_PREFETCH_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/result.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace cbws
+{
+
+/**
+ * Type-erased bag of per-scheme parameter structs, keyed by type.
+ * set(StrideParams{...}) stores a copy; get<StrideParams>() returns
+ * it (or nullptr when absent — use getOr() for defaulting).
+ */
+class ParamSet
+{
+  public:
+    template <typename T>
+    void
+    set(const T &value)
+    {
+        slots_[std::type_index(typeid(T))] =
+            std::make_shared<T>(value);
+    }
+
+    template <typename T>
+    const T *
+    get() const
+    {
+        const auto it = slots_.find(std::type_index(typeid(T)));
+        return it == slots_.end()
+                   ? nullptr
+                   : static_cast<const T *>(it->second.get());
+    }
+
+    /** The stored T, or a default-constructed one (Table II). */
+    template <typename T>
+    T
+    getOr() const
+    {
+        const T *p = get<T>();
+        return p ? *p : T();
+    }
+
+  private:
+    std::map<std::type_index, std::shared_ptr<const void>> slots_;
+};
+
+/**
+ * Fully inline so registration TUs in any library (cbws_core hosts
+ * CBWS, cbws_prefetch the rest) can use it without a link-time
+ * dependency between those libraries.
+ */
+class PrefetcherRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Prefetcher>(
+        const ParamSet &params)>;
+
+    /**
+     * Register @p factory under @p name (the canonical display name).
+     * Returns false (and warns) on a duplicate instead of replacing:
+     * first registration wins, so a mislinked duplicate cannot
+     * silently shadow a scheme.
+     */
+    bool
+    add(const std::string &name, const std::string &description,
+        Factory factory)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = entries_.emplace(
+            canon(name),
+            Entry{name, description, std::move(factory)});
+        (void)it;
+        if (!inserted)
+            warn("prefetcher registry: duplicate registration of "
+                 "'%s' ignored",
+                 name.c_str());
+        return inserted;
+    }
+
+    /** Instantiate the scheme registered under @p name
+     *  (case-insensitive). NotFound lists the registered names. */
+    Result<std::unique_ptr<Prefetcher>>
+    create(const std::string &name,
+           const ParamSet &params = ParamSet()) const
+    {
+        Factory factory;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(canon(name));
+            if (it != entries_.end())
+                factory = it->second.factory;
+        }
+        if (!factory) {
+            std::string known;
+            for (const auto &n : names())
+                known += (known.empty() ? "" : ", ") + n;
+            return Error(Errc::NotFound,
+                         "no prefetcher registered as '" + name +
+                             "' (registered: " + known + ")");
+        }
+        return factory(params);
+    }
+
+    bool
+    contains(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.count(canon(name)) != 0;
+    }
+
+    /** Canonical names, sorted case-insensitively (stable output for
+     *  `--scheme help` regardless of registration order). */
+    std::vector<std::string>
+    names() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto &entry : entries_)
+            out.push_back(entry.second.name);
+        return out; // map order == sorted canonical order
+    }
+
+    /** Registered description of @p name (empty when unknown). */
+    std::string
+    describe(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(canon(name));
+        return it == entries_.end() ? std::string()
+                                    : it->second.description;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name; ///< canonical display form
+        std::string description;
+        Factory factory;
+    };
+
+    static std::string
+    canon(const std::string &name)
+    {
+        std::string out;
+        out.reserve(name.size());
+        for (char c : name)
+            out.push_back(c >= 'A' && c <= 'Z'
+                              ? static_cast<char>(c - 'A' + 'a')
+                              : c);
+        return out;
+    }
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_; ///< canon(name) -> entry
+};
+
+/** The process-wide registry (safe across static initialisers). */
+inline PrefetcherRegistry &
+prefetcherRegistry()
+{
+    static PrefetcherRegistry registry;
+    return registry;
+}
+
+/**
+ * Self-registration from a scheme's translation unit:
+ *
+ *   CBWS_REGISTER_PREFETCHER(stride, "Stride", "RPT stride prefetcher",
+ *       [](const ParamSet &p) {
+ *           return std::make_unique<StridePrefetcher>(
+ *               p.getOr<StrideParams>());
+ *       })
+ *
+ * @p tag is a C identifier naming the linker anchor.
+ */
+#define CBWS_REGISTER_PREFETCHER(tag, name, description, ...)          \
+    extern "C" char cbwsPrefetcherAnchor_##tag;                        \
+    char cbwsPrefetcherAnchor_##tag = 0;                               \
+    namespace {                                                        \
+    const bool cbwsPrefetcherReg_##tag [[maybe_unused]] =              \
+        ::cbws::prefetcherRegistry().add(name, description,            \
+                                         __VA_ARGS__);                 \
+    }
+
+/**
+ * Pin a scheme's registration TU into the link (see file comment).
+ * Lives in an always-linked TU of the consumer.
+ */
+#define CBWS_FORCE_LINK_PREFETCHER(tag)                                \
+    extern "C" char cbwsPrefetcherAnchor_##tag;                        \
+    namespace {                                                        \
+    /* [[gnu::used]]: an unreferenced internal-linkage constant would \
+     * otherwise be discarded before it creates the relocation that   \
+     * drags the registration TU out of its archive. */               \
+    [[gnu::used, maybe_unused]] const char                             \
+        *const cbwsPrefetcherPin_##tag = &cbwsPrefetcherAnchor_##tag;  \
+    }
+
+} // namespace cbws
+
+#endif // CBWS_PREFETCH_REGISTRY_HH

@@ -2,6 +2,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "prefetch/registry.hh"
 
 namespace cbws
 {
@@ -173,5 +174,12 @@ SmsPrefetcher::storageBits() const
         params_.phtEntries;
     return agt + filter + pht;
 }
+
+CBWS_REGISTER_PREFETCHER(sms, "SMS",
+                         "spatial memory streaming prefetcher",
+                         [](const ParamSet &p) {
+                             return std::make_unique<SmsPrefetcher>(
+                                 p.getOr<SmsParams>());
+                         })
 
 } // namespace cbws

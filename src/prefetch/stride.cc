@@ -1,5 +1,7 @@
 #include "prefetch/stride.hh"
 
+#include "prefetch/registry.hh"
+
 namespace cbws
 {
 
@@ -70,5 +72,12 @@ StridePrefetcher::storageBits() const
                                       2 * params_.strideBits) *
            params_.tableEntries;
 }
+
+CBWS_REGISTER_PREFETCHER(stride, "Stride",
+                         "reference-prediction-table stride prefetcher",
+                         [](const ParamSet &p) {
+                             return std::make_unique<StridePrefetcher>(
+                                 p.getOr<StrideParams>());
+                         })
 
 } // namespace cbws

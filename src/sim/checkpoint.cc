@@ -1,0 +1,440 @@
+#include "sim/checkpoint.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "base/faultinject.hh"
+#include "base/json.hh"
+#include "base/jsonparse.hh"
+#include "base/logging.hh"
+#include "base/retry.hh"
+
+namespace cbws
+{
+
+namespace
+{
+
+constexpr std::uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t FnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(const std::string &text, std::uint64_t hash = FnvOffset)
+{
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= FnvPrime;
+    }
+    return hash;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * Seal a JSON object line with its own checksum: the crc member holds
+ * FNV-1a over the object text *without* that member. Verification
+ * strips the crc member back out and re-hashes.
+ */
+std::string
+sealLine(const std::string &object_text)
+{
+    const std::uint64_t crc = fnv1a(object_text);
+    std::string out = object_text;
+    out.insert(out.size() - 1, ",\"crc\":\"" + hex16(crc) + "\"");
+    return out;
+}
+
+bool
+verifySeal(const std::string &line, std::string &object_text)
+{
+    const std::string marker = ",\"crc\":\"";
+    const std::size_t at = line.rfind(marker);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t hex_at = at + marker.size();
+    // ...,"crc":"0123456789abcdef"}
+    if (line.size() != hex_at + 16 + 2 || line.back() != '}' ||
+        line[line.size() - 2] != '"')
+        return false;
+    const std::string hex = line.substr(hex_at, 16);
+    object_text = line.substr(0, at) + "}";
+    return hex == hex16(fnv1a(object_text));
+}
+
+void
+writeLifecycle(JsonWriter &w, const PrefetchLifecycle &life)
+{
+    w.beginArray();
+    w.value(life.issued);
+    w.value(life.dropped);
+    w.value(life.merged);
+    w.value(life.filled);
+    w.value(life.demandHitTimely);
+    w.value(life.demandHitLate);
+    w.value(life.evictedUnused);
+    w.value(life.residentAtEnd);
+    w.value(life.latenessCycles);
+    w.endArray();
+}
+
+bool
+readLifecycle(const JsonValue &v, PrefetchLifecycle &life)
+{
+    if (v.type != JsonValue::Type::Array || v.array.size() != 9)
+        return false;
+    std::uint64_t *fields[] = {
+        &life.issued,        &life.dropped,
+        &life.merged,        &life.filled,
+        &life.demandHitTimely, &life.demandHitLate,
+        &life.evictedUnused, &life.residentAtEnd,
+        &life.latenessCycles,
+    };
+    for (std::size_t i = 0; i < 9; ++i) {
+        if (v.array[i].type != JsonValue::Type::Uint)
+            return false;
+        *fields[i] = v.array[i].uintValue;
+    }
+    return true;
+}
+
+template <std::size_t N>
+bool
+readUintArray(const JsonValue *v, std::uint64_t (&out)[N])
+{
+    if (!v || v->type != JsonValue::Type::Array || v->array.size() != N)
+        return false;
+    for (std::size_t i = 0; i < N; ++i) {
+        if (v->array[i].type != JsonValue::Type::Uint)
+            return false;
+        out[i] = v->array[i].uintValue;
+    }
+    return true;
+}
+
+std::string
+headerLine(const Checkpoint::Header &header)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::uint64_t>(CheckpointSchemaVersion));
+    w.field("type", "header");
+    w.field("format", "cbws-checkpoint");
+    w.field("insts", header.insts);
+    w.field("seed", header.seed);
+    w.field("fingerprint", hex16(header.fingerprint));
+    w.endObject();
+    return sealLine(w.str());
+}
+
+} // anonymous namespace
+
+std::string
+checkpointCellLine(const SimResult &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::uint64_t>(CheckpointSchemaVersion));
+    w.field("type", "cell");
+    w.field("workload", r.workload);
+    w.field("prefetcher", r.prefetcher);
+    w.field("storage_bits", r.prefetcherStorageBits);
+
+    w.key("core");
+    w.beginArray();
+    w.value(r.core.cycles);
+    w.value(r.core.instructions);
+    w.value(r.core.memInstructions);
+    w.value(r.core.branches);
+    w.value(r.core.branchMispredicts);
+    w.value(r.core.loopCycles);
+    w.value(r.core.robFullStalls);
+    w.value(r.core.lsqFullStalls);
+    w.endArray();
+
+    w.key("mem");
+    w.beginArray();
+    w.value(r.mem.l1dAccesses);
+    w.value(r.mem.l1dMisses);
+    w.value(r.mem.l1iAccesses);
+    w.value(r.mem.l1iMisses);
+    w.value(r.mem.demandL2Accesses);
+    w.value(r.mem.llcDemandMisses);
+    w.value(r.mem.wrongPrefetches);
+    w.value(r.mem.prefetchesRequested);
+    w.value(r.mem.prefetchesIssued);
+    w.value(r.mem.prefetchesFiltered);
+    w.value(r.mem.prefetchesDropped);
+    w.value(r.mem.dramBytesRead);
+    w.value(r.mem.dramBytesWritten);
+    w.value(r.mem.mshrStalls);
+    w.endArray();
+
+    w.key("class_counts");
+    w.beginArray();
+    for (std::uint64_t c : r.mem.classCounts)
+        w.value(c);
+    w.endArray();
+
+    w.key("lateness_hist");
+    w.beginArray();
+    for (std::uint64_t c : r.mem.latenessHist)
+        w.value(c);
+    w.endArray();
+
+    w.key("pf_life");
+    w.beginArray();
+    for (const auto &life : r.mem.pfLife)
+        writeLifecycle(w, life);
+    w.endArray();
+
+    w.endObject();
+    return sealLine(w.str());
+}
+
+Result<SimResult>
+parseCheckpointCell(const std::string &line)
+{
+    std::string object_text;
+    if (!verifySeal(line, object_text))
+        return Error(Errc::Corrupt, "checkpoint cell checksum mismatch");
+
+    Result<JsonValue> parsed = parseJson(object_text);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue &v = parsed.value();
+
+    if (v.uintOr("schema_version", 0) != CheckpointSchemaVersion)
+        return Error(Errc::VersionMismatch,
+                     "checkpoint cell schema_version " +
+                         std::to_string(v.uintOr("schema_version", 0)) +
+                         " (expected " +
+                         std::to_string(CheckpointSchemaVersion) + ")");
+    if (v.strOr("type", "") != "cell")
+        return Error(Errc::Corrupt, "not a checkpoint cell line");
+
+    SimResult r;
+    r.workload = v.strOr("workload", "");
+    r.prefetcher = v.strOr("prefetcher", "");
+    if (r.workload.empty() || r.prefetcher.empty())
+        return Error(Errc::Corrupt, "checkpoint cell missing keys");
+    r.prefetcherStorageBits = v.uintOr("storage_bits", 0);
+
+    const JsonValue *core = v.find("core");
+    std::uint64_t core_fields[8];
+    if (!readUintArray(core, core_fields))
+        return Error(Errc::Corrupt, "checkpoint cell bad core array");
+    r.core.cycles = core_fields[0];
+    r.core.instructions = core_fields[1];
+    r.core.memInstructions = core_fields[2];
+    r.core.branches = core_fields[3];
+    r.core.branchMispredicts = core_fields[4];
+    r.core.loopCycles = core_fields[5];
+    r.core.robFullStalls = core_fields[6];
+    r.core.lsqFullStalls = core_fields[7];
+
+    const JsonValue *mem = v.find("mem");
+    std::uint64_t mem_fields[14];
+    if (!readUintArray(mem, mem_fields))
+        return Error(Errc::Corrupt, "checkpoint cell bad mem array");
+    r.mem.l1dAccesses = mem_fields[0];
+    r.mem.l1dMisses = mem_fields[1];
+    r.mem.l1iAccesses = mem_fields[2];
+    r.mem.l1iMisses = mem_fields[3];
+    r.mem.demandL2Accesses = mem_fields[4];
+    r.mem.llcDemandMisses = mem_fields[5];
+    r.mem.wrongPrefetches = mem_fields[6];
+    r.mem.prefetchesRequested = mem_fields[7];
+    r.mem.prefetchesIssued = mem_fields[8];
+    r.mem.prefetchesFiltered = mem_fields[9];
+    r.mem.prefetchesDropped = mem_fields[10];
+    r.mem.dramBytesRead = mem_fields[11];
+    r.mem.dramBytesWritten = mem_fields[12];
+    r.mem.mshrStalls = mem_fields[13];
+
+    if (!readUintArray(v.find("class_counts"), r.mem.classCounts))
+        return Error(Errc::Corrupt,
+                     "checkpoint cell bad class_counts array");
+    if (!readUintArray(v.find("lateness_hist"), r.mem.latenessHist))
+        return Error(Errc::Corrupt,
+                     "checkpoint cell bad lateness_hist array");
+
+    const JsonValue *pf_life = v.find("pf_life");
+    if (!pf_life || pf_life->type != JsonValue::Type::Array ||
+        pf_life->array.size() != NumPfSources)
+        return Error(Errc::Corrupt,
+                     "checkpoint cell bad pf_life array");
+    for (unsigned s = 0; s < NumPfSources; ++s)
+        if (!readLifecycle(pf_life->array[s], r.mem.pfLife[s]))
+            return Error(Errc::Corrupt,
+                         "checkpoint cell bad pf_life entry");
+    return r;
+}
+
+std::uint64_t
+checkpointFingerprint(const std::vector<std::string> &workloads,
+                      const std::vector<std::string> &prefetchers)
+{
+    std::uint64_t hash = FnvOffset;
+    for (const auto &w : workloads)
+        hash = fnv1a(w + "\x1f", hash);
+    hash = fnv1a("\x1e", hash);
+    for (const auto &p : prefetchers)
+        hash = fnv1a(p + "\x1f", hash);
+    return hash;
+}
+
+Checkpoint::~Checkpoint()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+Result<void>
+Checkpoint::open(const std::string &path, const Header &header)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(file_, "Checkpoint::open() called twice");
+
+    const std::string expected_header = headerLine(header);
+
+    // Load a previous run's lines, if any.
+    bool existing = false;
+    {
+        std::ifstream in(path);
+        std::string line;
+        std::size_t lineno = 0;
+        bool header_seen = false;
+        while (in && std::getline(in, line)) {
+            ++lineno;
+            if (line.empty())
+                continue;
+            existing = true;
+            if (!header_seen) {
+                // First line must be the matching header. Parse it
+                // for a precise diagnostic before the exact compare.
+                std::string object_text;
+                if (!verifySeal(line, object_text))
+                    return Error(Errc::Corrupt,
+                                 path + ": checkpoint header "
+                                        "checksum mismatch");
+                Result<JsonValue> parsed = parseJson(object_text);
+                if (!parsed.ok())
+                    return Error(Errc::Corrupt,
+                                 path + ": " +
+                                     parsed.error().message);
+                const JsonValue &v = parsed.value();
+                if (v.strOr("format", "") != "cbws-checkpoint")
+                    return Error(Errc::Corrupt,
+                                 path + ": not a cbws-checkpoint "
+                                        "file");
+                const std::uint64_t ver =
+                    v.uintOr("schema_version", 0);
+                if (ver != CheckpointSchemaVersion)
+                    return Error(
+                        Errc::VersionMismatch,
+                        path + ": checkpoint schema_version " +
+                            std::to_string(ver) + " (this build " +
+                            "reads version " +
+                            std::to_string(CheckpointSchemaVersion) +
+                            ")");
+                if (line != expected_header)
+                    return Error(
+                        Errc::InvalidArgument,
+                        path + ": checkpoint belongs to a different "
+                               "experiment (budget, seed, workload "
+                               "or scheme set differ); delete it or "
+                               "pass a fresh --checkpoint path");
+                header_seen = true;
+                continue;
+            }
+            Result<SimResult> cell = parseCheckpointCell(line);
+            if (!cell.ok()) {
+                // Torn tail from a crash mid-append, or bit rot:
+                // drop the line, keep the rest. The cell is simply
+                // re-simulated.
+                warn("%s:%zu: dropping unreadable checkpoint line "
+                     "(%s)",
+                     path.c_str(), lineno,
+                     cell.error().str().c_str());
+                continue;
+            }
+            SimResult r = std::move(cell).value();
+            CellKey key{r.workload, r.prefetcher};
+            cells_.emplace(std::move(key), std::move(r));
+        }
+    }
+    resumed_ = cells_.size();
+
+    file_ = std::fopen(path.c_str(), existing ? "ab" : "wb");
+    if (!file_)
+        return Error(Errc::IoError,
+                     path + ": cannot open checkpoint for append: " +
+                         std::strerror(errno));
+    if (!existing) {
+        const std::string line = expected_header + "\n";
+        if (std::fwrite(line.data(), 1, line.size(), file_) !=
+                line.size() ||
+            std::fflush(file_) != 0) {
+            std::fclose(file_);
+            file_ = nullptr;
+            return Error(Errc::IoError,
+                         path + ": cannot write checkpoint header: " +
+                             std::strerror(errno));
+        }
+    }
+    return Result<void>();
+}
+
+const SimResult *
+Checkpoint::find(const std::string &workload,
+                 const std::string &prefetcher) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cells_.find(CellKey{workload, prefetcher});
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+Result<void>
+Checkpoint::append(const SimResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return Error(Errc::InvalidArgument, "checkpoint not open");
+    const CellKey key{result.workload, result.prefetcher};
+    if (cells_.count(key))
+        return Result<void>(); // resumed cell: already on disk
+
+    const std::string line = checkpointCellLine(result) + "\n";
+    // Transient write errors (full disk racing cleanup, injected
+    // faults) are retried briefly; persistent failure degrades to
+    // running without the checkpoint rather than killing the sweep.
+    Result<void> wrote = retryWithBackoff(3, 1, [&]() -> Result<void> {
+        if (FaultInjector::instance().shouldFire(
+                FaultSite::CheckpointAppend))
+            return Error(Errc::FaultInjected,
+                         "injected checkpoint append failure");
+        if (std::fwrite(line.data(), 1, line.size(), file_) !=
+                line.size() ||
+            std::fflush(file_) != 0)
+            return Error(Errc::IoError,
+                         std::string("checkpoint append failed: ") +
+                             std::strerror(errno));
+        return Result<void>();
+    });
+    if (!wrote.ok())
+        return wrote;
+    cells_.emplace(key, result);
+    return Result<void>();
+}
+
+} // namespace cbws

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume for the experiment matrix.
+ *
+ * Every completed (workload, prefetcher) cell is appended to a JSONL
+ * checkpoint file as soon as it finishes: one self-checksummed line
+ * per cell, preceded by a header line binding the file to one
+ * experiment (instruction budget, seed, workload/scheme sets). A run
+ * killed mid-matrix can be restarted with the same checkpoint path;
+ * finished cells are loaded instead of re-simulated and the resumed
+ * run produces a bit-identical ExperimentMatrix (SimResult counters
+ * are all integers, so the round-trip through JSON is exact).
+ *
+ * Robustness properties:
+ *  - Appends are atomic at line granularity and flushed eagerly, so a
+ *    SIGKILL can lose at most the cell in flight.
+ *  - Every line carries an FNV-1a checksum of its own text; a torn or
+ *    corrupted tail line is dropped with a warning, not an error.
+ *  - The header records a fingerprint of the experiment; resuming
+ *    against a checkpoint from a different experiment or an
+ *    incompatible schema_version fails with a clear error instead of
+ *    silently mixing results.
+ *
+ * Format details are documented in docs/FORMATS.md.
+ */
+
+#ifndef CBWS_SIM_CHECKPOINT_HH
+#define CBWS_SIM_CHECKPOINT_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "base/result.hh"
+#include "sim/simulator.hh"
+
+namespace cbws
+{
+
+/** Schema version stamped into checkpoint header and cell lines. */
+constexpr unsigned CheckpointSchemaVersion = 1;
+
+/** Serialise one cell result as a checksummed JSONL line (no '\n'). */
+std::string checkpointCellLine(const SimResult &result);
+
+/** Parse and checksum-verify one cell line. */
+Result<SimResult> parseCheckpointCell(const std::string &line);
+
+/**
+ * One experiment's checkpoint file: load-on-open, append-per-cell.
+ * Thread-safe: cells may be appended concurrently from pool workers.
+ */
+class Checkpoint
+{
+  public:
+    /** Identifies the experiment a checkpoint belongs to. */
+    struct Header
+    {
+        std::uint64_t insts = 0;
+        std::uint64_t seed = 0;
+        /** Hash over workload and scheme names (see fingerprint()). */
+        std::uint64_t fingerprint = 0;
+    };
+
+    Checkpoint() = default;
+    ~Checkpoint();
+
+    Checkpoint(const Checkpoint &) = delete;
+    Checkpoint &operator=(const Checkpoint &) = delete;
+
+    /**
+     * Open @p path for @p header's experiment. An existing file must
+     * carry a matching header (schema, budget, seed, fingerprint) —
+     * its intact cell lines are loaded for resume and corrupt ones
+     * dropped with a warning. A missing file is created with a fresh
+     * header. After open() the file is positioned for appends.
+     */
+    Result<void> open(const std::string &path, const Header &header);
+
+    /** Result recorded for (workload, prefetcher), else nullptr. */
+    const SimResult *find(const std::string &workload,
+                          const std::string &prefetcher) const;
+
+    /**
+     * Append @p result and flush. Failures degrade gracefully: the
+     * error is returned (and the run can continue without
+     * checkpointing that cell) — already-appended lines are unharmed.
+     * Duplicate cells are ignored so resumed runs never double-write.
+     */
+    Result<void> append(const SimResult &result);
+
+    /** Cells loaded from a previous run at open() time. */
+    std::size_t resumedCells() const { return resumed_; }
+
+    bool isOpen() const { return file_ != nullptr; }
+
+  private:
+    using CellKey = std::pair<std::string, std::string>;
+
+    mutable std::mutex mutex_;
+    std::FILE *file_ = nullptr;
+    std::map<CellKey, SimResult> cells_;
+    std::size_t resumed_ = 0;
+};
+
+/** FNV-1a over the names defining an experiment's cell space. */
+std::uint64_t
+checkpointFingerprint(const std::vector<std::string> &workloads,
+                      const std::vector<std::string> &prefetchers);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_CHECKPOINT_HH

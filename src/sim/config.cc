@@ -1,11 +1,24 @@
 #include "sim/config.hh"
 
 #include "base/logging.hh"
-#include "prefetch/addon.hh"
-#include "prefetch/composite.hh"
+#include "prefetch/registry.hh"
 
 namespace cbws
 {
+
+// Every built-in scheme self-registers from its own translation unit.
+// Those TUs live in static archives and nothing else references them,
+// so pin their anchor symbols here (cbws_sim is first on the link
+// line) to keep the linker from dropping the registrations.
+CBWS_FORCE_LINK_PREFETCHER(none)
+CBWS_FORCE_LINK_PREFETCHER(stride)
+CBWS_FORCE_LINK_PREFETCHER(ghb_pc_dc)
+CBWS_FORCE_LINK_PREFETCHER(ghb_g_dc)
+CBWS_FORCE_LINK_PREFETCHER(sms)
+CBWS_FORCE_LINK_PREFETCHER(ampm)
+CBWS_FORCE_LINK_PREFETCHER(cbws)
+CBWS_FORCE_LINK_PREFETCHER(cbws_sms)
+CBWS_FORCE_LINK_PREFETCHER(cbws_ampm)
 
 const char *
 toString(PrefetcherKind kind)
@@ -51,35 +64,29 @@ extendedPrefetcherKinds()
     return kinds;
 }
 
+ParamSet
+paramSetFrom(const SystemConfig &config)
+{
+    ParamSet params;
+    params.set(config.stride);
+    params.set(config.ghb);
+    params.set(config.sms);
+    params.set(config.cbws);
+    params.set(config.ampm);
+    return params;
+}
+
 std::unique_ptr<Prefetcher>
 makePrefetcher(const SystemConfig &config)
 {
-    switch (config.prefetcher) {
-      case PrefetcherKind::None:
-        return std::make_unique<NullPrefetcher>();
-      case PrefetcherKind::Stride:
-        return std::make_unique<StridePrefetcher>(config.stride);
-      case PrefetcherKind::GhbPcDc:
-        return std::make_unique<GhbPrefetcher>(
-            GhbPrefetcher::Mode::PcDC, config.ghb);
-      case PrefetcherKind::GhbGDc:
-        return std::make_unique<GhbPrefetcher>(
-            GhbPrefetcher::Mode::GlobalDC, config.ghb);
-      case PrefetcherKind::Sms:
-        return std::make_unique<SmsPrefetcher>(config.sms);
-      case PrefetcherKind::Cbws:
-        return std::make_unique<CbwsPrefetcher>(config.cbws);
-      case PrefetcherKind::CbwsSms:
-        return std::make_unique<CbwsSmsPrefetcher>(config.cbws,
-                                                   config.sms);
-      case PrefetcherKind::Ampm:
-        return std::make_unique<AmpmPrefetcher>(config.ampm);
-      case PrefetcherKind::CbwsAmpm:
-        return std::make_unique<CbwsAddOnPrefetcher>(
-            std::make_unique<AmpmPrefetcher>(config.ampm),
-            config.cbws);
-    }
-    panic("unknown prefetcher kind");
+    // Thin compat shim: the enum maps onto the registry's canonical
+    // scheme names, so enum-based callers and string-based callers
+    // construct identical prefetchers.
+    auto result = prefetcherRegistry().create(
+        toString(config.prefetcher), paramSetFrom(config));
+    if (!result.ok())
+        panic("makePrefetcher: %s", result.error().str().c_str());
+    return std::move(result).value();
 }
 
 } // namespace cbws

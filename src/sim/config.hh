@@ -15,6 +15,7 @@
 #include "mem/params.hh"
 #include "prefetch/ampm.hh"
 #include "prefetch/ghb.hh"
+#include "prefetch/registry.hh"
 #include "prefetch/sms.hh"
 #include "prefetch/stride.hh"
 
@@ -68,7 +69,17 @@ struct SystemConfig
     AmpmParams ampm;
 };
 
-/** Instantiate the configured prefetcher. */
+/** Bundle the config's per-scheme parameter structs for the registry. */
+ParamSet paramSetFrom(const SystemConfig &config);
+
+/**
+ * Instantiate the configured prefetcher.
+ *
+ * Compat shim over the string-keyed PrefetcherRegistry: resolves the
+ * enum to its canonical scheme name and delegates to
+ * prefetcherRegistry().create(). Prefer the registry directly for new
+ * call sites.
+ */
 std::unique_ptr<Prefetcher> makePrefetcher(const SystemConfig &config);
 
 } // namespace cbws

@@ -3,11 +3,43 @@
 #include <cstdlib>
 
 #include "base/debug.hh"
+#include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "base/threadpool.hh"
+#include "sim/checkpoint.hh"
 
 namespace cbws
 {
+
+namespace
+{
+
+/**
+ * Run @p count cells at @p jobs, tolerating pool-level failures: if
+ * the parallel pass dies (e.g. an injected PoolJob fault), the cells
+ * that never completed — tracked via @p done flags the body must set
+ * — are retried serially so the matrix still finishes. The body is
+ * deterministic per cell, so the fallback changes nothing but time.
+ */
+template <typename Fn>
+void
+runCells(unsigned jobs, std::size_t count, std::vector<char> &done,
+         const char *what, Fn &&body)
+{
+    try {
+        parallelFor(jobs, count, body);
+        return;
+    } catch (const FaultInjectedError &e) {
+        warn("runMatrix: %s pool failed (%s); retrying remaining "
+             "cells serially",
+             what, e.what());
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        if (!done[i])
+            body(i);
+}
+
+} // anonymous namespace
 
 void
 ExperimentMatrix::indexKinds()
@@ -68,23 +100,58 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     const std::size_t num_workloads = workloads.size();
     const std::size_t num_kinds = kinds.size();
 
+    // Crash-safe resume: cells already recorded in the checkpoint are
+    // loaded instead of re-simulated.
+    Checkpoint checkpoint;
+    if (!options.checkpointPath.empty()) {
+        std::vector<std::string> workload_names, kind_names;
+        for (const auto &w : workloads)
+            workload_names.push_back(w->name());
+        for (PrefetcherKind k : kinds)
+            kind_names.push_back(toString(k));
+        Checkpoint::Header header;
+        header.insts = max_insts;
+        header.seed = seed;
+        header.fingerprint =
+            checkpointFingerprint(workload_names, kind_names);
+        Result<void> opened =
+            checkpoint.open(options.checkpointPath, header);
+        // A bad checkpoint is a user error (wrong path or stale
+        // file), never something to silently run over.
+        if (!opened.ok())
+            fatal("runMatrix: %s", opened.error().str().c_str());
+        // Status goes to stderr (via warn) so resumed runs keep
+        // byte-identical stdout reports — the resume acceptance
+        // check literally diffs them.
+        if (checkpoint.resumedCells())
+            warn("runMatrix: resuming, %zu of %zu cells restored "
+                 "from %s",
+                 checkpoint.resumedCells(),
+                 num_workloads * num_kinds,
+                 options.checkpointPath.c_str());
+    }
+
     // Phase 1: synthesise (or load from the trace cache) every
     // workload's trace, one cell per workload. Each trace is written
     // exactly once and only read afterwards, so the simulation phase
     // shares them without copies or locks.
     std::vector<Trace> traces(num_workloads);
-    parallelFor(jobs, num_workloads, [&](std::size_t w) {
+    std::vector<char> trace_done(num_workloads, 0);
+    runCells(jobs, num_workloads, trace_done, "trace synthesis",
+             [&](std::size_t w) {
         Trace &trace = traces[w];
         const TraceCache::Key key{workloads[w]->name(), max_insts,
                                   seed};
         if (options.traceCache &&
-            options.traceCache->load(key, trace)) {
+            options.traceCache->load(key, trace).ok()) {
+            trace_done[w] = 1;
             return;
         }
         trace.reserve(max_insts + 512);
         workloads[w]->generate(trace, params);
         if (options.traceCache)
             options.traceCache->store(key, trace);
+        trace_done[w] = 1;
     });
 
     matrix.rows.resize(num_workloads);
@@ -101,15 +168,35 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     // and predictors (the paper fast-forwards past initialisation
     // instead).
     const std::uint64_t warmup = max_insts / 4;
-    parallelFor(jobs, num_workloads * num_kinds, [&](std::size_t i) {
+    std::vector<char> cell_done(num_workloads * num_kinds, 0);
+    runCells(jobs, num_workloads * num_kinds, cell_done,
+             "simulation", [&](std::size_t i) {
         const std::size_t w = i / num_kinds;
         const std::size_t k = i % num_kinds;
+        if (checkpoint.isOpen()) {
+            const SimResult *restored = checkpoint.find(
+                matrix.rows[w].workload, toString(kinds[k]));
+            if (restored) {
+                matrix.rows[w].byPrefetcher[k] = *restored;
+                cell_done[i] = 1;
+                return;
+            }
+        }
         SystemConfig config = base_config;
         config.prefetcher = kinds[k];
         SimResult res = simulate(traces[w], config, max_insts,
                                  SimProbes(), warmup);
         res.workload = matrix.rows[w].workload;
+        if (checkpoint.isOpen()) {
+            Result<void> appended = checkpoint.append(res);
+            if (!appended.ok())
+                warn("runMatrix: cell (%s, %s) not checkpointed "
+                     "(%s); continuing without it",
+                     res.workload.c_str(), res.prefetcher.c_str(),
+                     appended.error().str().c_str());
+        }
         matrix.rows[w].byPrefetcher[k] = std::move(res);
+        cell_done[i] = 1;
     });
     return matrix;
 }

@@ -83,6 +83,16 @@ struct MatrixOptions
 
     /** Optional on-disk trace cache consulted before synthesis. */
     TraceCache *traceCache = nullptr;
+
+    /**
+     * When non-empty, append each finished cell to this crash-safe
+     * checkpoint file (sim/checkpoint.hh) and, on restart, load the
+     * recorded cells instead of re-simulating them. The resumed
+     * matrix is bit-identical to an uninterrupted run at any job
+     * count. Opening a checkpoint written by a different experiment
+     * (or schema version) is a fatal error.
+     */
+    std::string checkpointPath;
 };
 
 /**

@@ -8,10 +8,14 @@ namespace cbws
 namespace
 {
 
+/** Version stamped on every report object (docs/FORMATS.md). */
+constexpr std::uint64_t ReportSchemaVersion = 1;
+
 void
 writeResult(JsonWriter &w, const SimResult &r)
 {
     w.beginObject();
+    w.field("schema_version", ReportSchemaVersion);
     w.field("workload", r.workload);
     w.field("prefetcher", r.prefetcher);
     w.field("instructions", r.core.instructions);

@@ -17,12 +17,6 @@ class HierarchySink : public PrefetchSink
     explicit HierarchySink(Hierarchy &mem) : mem_(mem) {}
 
     void
-    issuePrefetch(LineAddr line) override
-    {
-        mem_.enqueuePrefetch(line);
-    }
-
-    void
     issuePrefetch(LineAddr line, PfSource src) override
     {
         mem_.enqueuePrefetch(line, src);
@@ -107,7 +101,9 @@ simulate(const Trace &trace, const SystemConfig &config,
         switch (rec.cls) {
           case InstClass::Load:
           case InstClass::Store:
-            prefetcher->observeCommit(make_context(rec, out), sink);
+            prefetcher->observe(
+                PrefetchEvent{PfStage::Commit, make_context(rec, out)},
+                sink);
             break;
           case InstClass::BlockBegin:
             prefetcher->blockBegin(rec.blockId, sink);
@@ -122,7 +118,9 @@ simulate(const Trace &trace, const SystemConfig &config,
     auto on_access = [&](const TraceRecord &rec,
                          const AccessOutcome &out, Cycle now) {
         (void)now;
-        prefetcher->observeAccess(make_context(rec, out), sink);
+        prefetcher->observe(
+            PrefetchEvent{PfStage::Access, make_context(rec, out)},
+            sink);
     };
 
     auto on_warmup = [&mem, &probes](Cycle now) {

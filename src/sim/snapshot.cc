@@ -1,5 +1,6 @@
 #include "sim/snapshot.hh"
 
+#include "base/faultinject.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "mem/hierarchy.hh"
@@ -10,6 +11,9 @@ namespace cbws
 
 namespace
 {
+
+/** Version stamped on every snapshot/final line (docs/FORMATS.md). */
+constexpr std::uint64_t SnapshotSchemaVersion = 1;
 
 double
 ratio(std::uint64_t num, std::uint64_t den)
@@ -90,6 +94,7 @@ SnapshotWriter::emitRecord(Cycle now)
 
     JsonWriter w;
     w.beginObject();
+    w.field("schema_version", SnapshotSchemaVersion);
     w.field("type", "snapshot");
     w.field("workload", workload_);
     w.field("prefetcher", prefetcher_);
@@ -117,16 +122,37 @@ SnapshotWriter::emitRecord(Cycle now)
     }
     w.endObject();
 
-    const std::string line = w.str() + "\n";
-    std::fwrite(line.data(), 1, line.size(), out_);
-    std::fflush(out_);
-    ++records_;
+    writeLine(w.str() + "\n");
     ++seq_;
 
     lastInsts_ = insts_;
     lastCycle_ = now;
     lastLlcMisses_ = m.llcDemandMisses;
     lastPfIssued_ = m.prefetchesIssued;
+}
+
+void
+SnapshotWriter::writeLine(const std::string &line)
+{
+    // Snapshots are diagnostics: a failing sink (full disk, injected
+    // fault) must never kill the simulation it observes. Warn once,
+    // drop the stream, and keep simulating.
+    const bool injected = FaultInjector::instance().shouldFire(
+        FaultSite::SnapshotWrite);
+    if (injected ||
+        std::fwrite(line.data(), 1, line.size(), out_) !=
+            line.size() ||
+        std::fflush(out_) != 0) {
+        warn("snapshot: write failed%s; disabling further snapshot "
+             "output",
+             injected ? " (injected fault)" : "");
+        if (owned_)
+            std::fclose(out_);
+        out_ = nullptr;
+        owned_ = false;
+        return;
+    }
+    ++records_;
 }
 
 void
@@ -137,6 +163,7 @@ SnapshotWriter::finalize(const SimResult &result)
     const PrefetchLifecycle total = result.mem.pfLifeTotal();
     JsonWriter w;
     w.beginObject();
+    w.field("schema_version", SnapshotSchemaVersion);
     w.field("type", "final");
     w.field("workload",
             result.workload.empty() ? workload_ : result.workload);
@@ -155,10 +182,7 @@ SnapshotWriter::finalize(const SimResult &result)
                                   result.mem.demandL2Accesses));
     w.endObject();
 
-    const std::string line = w.str() + "\n";
-    std::fwrite(line.data(), 1, line.size(), out_);
-    std::fflush(out_);
-    ++records_;
+    writeLine(w.str() + "\n");
 }
 
 } // namespace cbws

@@ -97,6 +97,9 @@ class SnapshotWriter
   private:
     void emitRecord(Cycle now);
 
+    /** Write + flush one JSONL line, degrading on sink failure. */
+    void writeLine(const std::string &line);
+
     FILE *out_ = nullptr;
     bool owned_ = false;
     std::uint64_t interval_ = 0;

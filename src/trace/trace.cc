@@ -119,14 +119,13 @@ Trace::validate() const
     return std::string();
 }
 
-bool
+Result<void>
 Trace::saveTo(const std::string &path) const
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        warn("cannot open trace file '%s' for writing", path.c_str());
-        return false;
-    }
+    if (!f)
+        return Error(Errc::IoError,
+                     path + ": cannot open for writing");
     TraceFileHeader hdr;
     std::memcpy(hdr.magic, TraceMagic, sizeof(hdr.magic));
     hdr.recordSize = sizeof(TraceRecord);
@@ -136,10 +135,10 @@ Trace::saveTo(const std::string &path) const
         ok = std::fwrite(records_.data(), sizeof(TraceRecord),
                          records_.size(), f) == records_.size();
     }
-    std::fclose(f);
+    ok = std::fclose(f) == 0 && ok;
     if (!ok)
-        warn("short write to trace file '%s'", path.c_str());
-    return ok;
+        return Error(Errc::IoError, path + ": short write");
+    return Result<void>();
 }
 
 namespace tracecodec
@@ -234,30 +233,28 @@ readBody(std::FILE *f, std::vector<TraceRecord> &records)
 
 } // namespace tracecodec
 
-bool
+Result<void>
 Trace::saveCompressed(const std::string &path) const
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f) {
-        warn("cannot open trace file '%s' for writing", path.c_str());
-        return false;
-    }
+    if (!f)
+        return Error(Errc::IoError,
+                     path + ": cannot open for writing");
     std::fwrite(TraceMagic2, 1, sizeof(TraceMagic2), f);
-    const bool ok = tracecodec::writeBody(f, records_);
-    std::fclose(f);
+    bool ok = tracecodec::writeBody(f, records_);
+    ok = std::fclose(f) == 0 && ok;
     if (!ok)
-        warn("short write to trace file '%s'", path.c_str());
-    return ok;
+        return Error(Errc::IoError, path + ": short write");
+    return Result<void>();
 }
 
-bool
+Result<void>
 Trace::loadFrom(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f) {
-        warn("cannot open trace file '%s' for reading", path.c_str());
-        return false;
-    }
+    if (!f)
+        return Error(Errc::IoError,
+                     path + ": cannot open for reading");
     char magic[4];
     bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic);
     if (ok && std::memcmp(magic, TraceMagic2, sizeof(magic)) == 0) {
@@ -283,11 +280,11 @@ Trace::loadFrom(const std::string &path)
     }
     std::fclose(f);
     if (!ok) {
-        warn("trace file '%s' is corrupt or incompatible",
-             path.c_str());
         records_.clear();
+        return Error(Errc::Corrupt,
+                     path + ": corrupt or incompatible trace file");
     }
-    return ok;
+    return Result<void>();
 }
 
 } // namespace cbws

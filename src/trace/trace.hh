@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/result.hh"
 #include "trace/record.hh"
 
 namespace cbws
@@ -79,24 +80,25 @@ class Trace
     std::string validate() const;
 
     /**
-     * Serialise to the CBT1 binary format (raw records). Returns
-     * false (and warns) on I/O failure.
+     * Serialise to the CBT1 binary format (raw records). IoError on
+     * open or short-write failure.
      */
-    bool saveTo(const std::string &path) const;
+    Result<void> saveTo(const std::string &path) const;
 
     /**
      * Load a trace previously written by saveTo() or
-     * saveCompressed() (the magic selects the decoder). Returns
-     * false on I/O or format error.
+     * saveCompressed() (the magic selects the decoder). IoError when
+     * the file cannot be opened, Corrupt on a bad magic, version or
+     * truncated body; the trace is left empty on failure.
      */
-    bool loadFrom(const std::string &path);
+    Result<void> loadFrom(const std::string &path);
 
     /**
      * Serialise to the CBT2 compact format: per-field delta +
      * varint encoding, typically 3-4x smaller than CBT1. Loadable
      * via loadFrom().
      */
-    bool saveCompressed(const std::string &path) const;
+    Result<void> saveCompressed(const std::string &path) const;
 
   private:
     std::vector<TraceRecord> records_;

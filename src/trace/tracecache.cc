@@ -8,6 +8,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
 
 namespace cbws
@@ -135,16 +136,23 @@ TraceCache::ensureDirectory() const
     return false;
 }
 
-bool
+Result<void>
 TraceCache::load(const Key &key, Trace &trace) const
 {
     trace.clear();
     if (!enabled())
-        return false;
-    std::FILE *f = std::fopen(pathFor(key).c_str(), "rb");
+        return Error(Errc::NotFound, "trace cache disabled");
+    const std::string path = pathFor(key);
+    if (FaultInjector::instance().shouldFire(
+            FaultSite::TraceCacheLoad)) {
+        ++misses_;
+        return Error(Errc::FaultInjected,
+                     path + ": injected trace-cache load failure");
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f) {
         ++misses_;
-        return false;
+        return Error(Errc::NotFound, path + ": not cached");
     }
 
     char magic[4];
@@ -168,21 +176,32 @@ TraceCache::load(const Key &key, Trace &trace) const
          insts == key.maxInstructions && seed == key.seed;
     ok = ok && tracecodec::readBody(f, trace.records());
     std::fclose(f);
+    if (FaultInjector::instance().shouldFire(
+            FaultSite::TraceCacheCorrupt))
+        ok = false;
     if (!ok) {
         trace.clear();
         ++misses_;
-        return false;
+        return Error(Errc::Corrupt,
+                     path + ": stale or corrupt cache entry");
     }
     ++hits_;
-    return true;
+    return Result<void>();
 }
 
-bool
+Result<void>
 TraceCache::store(const Key &key, const Trace &trace) const
 {
-    if (!enabled() || !ensureDirectory())
-        return false;
+    if (!enabled())
+        return Error(Errc::NotFound, "trace cache disabled");
+    if (!ensureDirectory())
+        return Error(Errc::IoError,
+                     dir_ + ": cannot create cache directory");
     const std::string path = pathFor(key);
+    if (FaultInjector::instance().shouldFire(
+            FaultSite::TraceCacheStore))
+        return Error(Errc::FaultInjected,
+                     path + ": injected trace-cache store failure");
     // Unique temp name per process+thread so concurrent writers of the
     // same key never interleave; rename() makes publication atomic.
     static std::atomic<unsigned> unique{0};
@@ -192,7 +211,7 @@ TraceCache::store(const Key &key, const Trace &trace) const
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
         warn("trace cache: cannot write '%s'", tmp.c_str());
-        return false;
+        return Error(Errc::IoError, tmp + ": cannot open for write");
     }
     std::fwrite(CacheMagic, 1, sizeof(CacheMagic), f);
     std::fwrite(&CacheVersion, sizeof(CacheVersion), 1, f);
@@ -208,8 +227,9 @@ TraceCache::store(const Key &key, const Trace &trace) const
     if (!ok) {
         warn("trace cache: failed to publish '%s'", path.c_str());
         std::remove(tmp.c_str());
+        return Error(Errc::IoError, path + ": publish failed");
     }
-    return ok;
+    return Result<void>();
 }
 
 } // namespace cbws

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/result.hh"
 #include "trace/trace.hh"
 
 namespace cbws
@@ -75,14 +76,17 @@ class TraceCache
     std::string pathFor(const Key &key) const;
 
     /**
-     * Load the trace cached under @p key into @p trace. Returns false
-     * — leaving @p trace empty — when disabled, absent, stale or
-     * corrupt; the caller re-synthesises (and typically store()s).
+     * Load the trace cached under @p key into @p trace. Any failure
+     * leaves @p trace empty and reports why: NotFound when the cache
+     * is disabled or the key absent, Corrupt when the file exists but
+     * is stale/truncated/garbled (the caller re-synthesises — and
+     * typically store()s — in every failure case, so each code is
+     * advisory, not fatal).
      */
-    bool load(const Key &key, Trace &trace) const;
+    Result<void> load(const Key &key, Trace &trace) const;
 
-    /** Persist @p trace under @p key (atomic). False on I/O failure. */
-    bool store(const Key &key, const Trace &trace) const;
+    /** Persist @p trace under @p key (atomic publish). */
+    Result<void> store(const Key &key, const Trace &trace) const;
 
     /** Cache effectiveness counters (cumulative, thread-safe). */
     std::uint64_t hits() const { return hits_.load(); }

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume: cell lines must round-trip
+ * bit-exactly, torn or corrupted lines must be dropped (never
+ * trusted, never fatal), mismatched experiments and schema versions
+ * must be rejected at open(), and a matrix resumed from a partial
+ * checkpoint must be bit-identical to an uninterrupted run at any
+ * job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/faultinject.hh"
+#include "sim/checkpoint.hh"
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace
+{
+
+/** FNV-1a, mirrored from the format so tests can forge sealed
+ *  lines (wrong schema version under a *valid* checksum). */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+seal(const std::string &object_text)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(object_text)));
+    std::string out = object_text;
+    out.insert(out.size() - 1,
+               std::string(",\"crc\":\"") + hex + "\"");
+    return out;
+}
+
+/** A SimResult with every serialised field holding a distinct,
+ *  recognisable value. */
+SimResult
+makeResult(std::uint64_t salt = 0)
+{
+    SimResult r;
+    r.workload = "unit-workload";
+    r.prefetcher = "CBWS+SMS";
+    r.prefetcherStorageBits = 12345 + salt;
+    r.core.cycles = 1000001 + salt;
+    r.core.instructions = 900002 + salt;
+    r.core.memInstructions = 300003 + salt;
+    r.core.branches = 100004 + salt;
+    r.core.branchMispredicts = 5005 + salt;
+    r.core.loopCycles = 600006 + salt;
+    r.core.robFullStalls = 7007 + salt;
+    r.core.lsqFullStalls = 808 + salt;
+    r.mem.l1dAccesses = 400009 + salt;
+    r.mem.l1dMisses = 30010 + salt;
+    r.mem.l1iAccesses = 500011 + salt;
+    r.mem.l1iMisses = 1212 + salt;
+    r.mem.demandL2Accesses = 31013 + salt;
+    r.mem.llcDemandMisses = 14014 + salt;
+    r.mem.wrongPrefetches = 1515 + salt;
+    r.mem.prefetchesRequested = 20016 + salt;
+    r.mem.prefetchesIssued = 18017 + salt;
+    r.mem.prefetchesFiltered = 1818 + salt;
+    r.mem.prefetchesDropped = 191 + salt;
+    r.mem.dramBytesRead = 9000020 + salt;
+    r.mem.dramBytesWritten = 2100021 + salt;
+    r.mem.mshrStalls = 2222 + salt;
+    std::uint64_t v = 31 + salt;
+    for (auto &c : r.mem.classCounts)
+        c = v++;
+    for (auto &c : r.mem.latenessHist)
+        c = v++;
+    for (auto &life : r.mem.pfLife) {
+        life.issued = v++;
+        life.dropped = v++;
+        life.merged = v++;
+        life.filled = v++;
+        life.demandHitTimely = v++;
+        life.demandHitLate = v++;
+        life.evictedUnused = v++;
+        life.residentAtEnd = v++;
+        life.latenessCycles = v++;
+    }
+    return r;
+}
+
+::testing::AssertionResult
+cellsIdentical(const SimResult &a, const SimResult &b)
+{
+    if (a.workload != b.workload)
+        return ::testing::AssertionFailure()
+               << "workload: " << a.workload << " vs " << b.workload;
+    if (a.prefetcher != b.prefetcher)
+        return ::testing::AssertionFailure()
+               << "prefetcher: " << a.prefetcher << " vs "
+               << b.prefetcher;
+    if (a.prefetcherStorageBits != b.prefetcherStorageBits)
+        return ::testing::AssertionFailure() << "storage bits differ";
+    if (std::memcmp(&a.core, &b.core, sizeof(a.core)) != 0)
+        return ::testing::AssertionFailure()
+               << a.workload << "/" << a.prefetcher
+               << ": CoreStats differ";
+    if (std::memcmp(&a.mem, &b.mem, sizeof(a.mem)) != 0)
+        return ::testing::AssertionFailure()
+               << a.workload << "/" << a.prefetcher
+               << ": HierarchyStats differ";
+    return ::testing::AssertionSuccess();
+}
+
+TEST(CheckpointCell, LineRoundTripsBitExactly)
+{
+    const SimResult original = makeResult();
+    const std::string line = checkpointCellLine(original);
+
+    Result<SimResult> parsed = parseCheckpointCell(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_TRUE(cellsIdentical(original, parsed.value()));
+
+    // The strongest form: re-serialising the parsed cell reproduces
+    // the identical line, checksum and all.
+    EXPECT_EQ(checkpointCellLine(parsed.value()), line);
+}
+
+TEST(CheckpointCell, TamperedLineFailsItsChecksum)
+{
+    std::string line = checkpointCellLine(makeResult());
+    // Flip one digit somewhere in the payload.
+    const std::size_t at = line.find("12345");
+    ASSERT_NE(at, std::string::npos);
+    line[at] = '9';
+
+    Result<SimResult> parsed = parseCheckpointCell(line);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.code(), Errc::Corrupt);
+}
+
+TEST(CheckpointCell, TruncatedLineIsCorruptNotACrash)
+{
+    const std::string line = checkpointCellLine(makeResult());
+    for (std::size_t keep : {std::size_t(0), std::size_t(1),
+                             line.size() / 2, line.size() - 1}) {
+        Result<SimResult> parsed =
+            parseCheckpointCell(line.substr(0, keep));
+        EXPECT_FALSE(parsed.ok()) << "kept " << keep << " bytes";
+        EXPECT_EQ(parsed.code(), Errc::Corrupt);
+    }
+}
+
+TEST(CheckpointCell, WrongSchemaVersionIsRejectedAsSuch)
+{
+    // Forge a line whose checksum is valid but whose schema_version
+    // is from the future: the diagnostic must say "version", not
+    // "corrupt".
+    const std::string line = checkpointCellLine(makeResult());
+    const std::string marker = ",\"crc\":\"";
+    std::string object = line.substr(0, line.rfind(marker)) + "}";
+    const std::string old = "\"schema_version\":1";
+    const std::size_t at = object.find(old);
+    ASSERT_NE(at, std::string::npos);
+    object.replace(at, old.size(), "\"schema_version\":99");
+
+    Result<SimResult> parsed = parseCheckpointCell(seal(object));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.code(), Errc::VersionMismatch);
+}
+
+TEST(CheckpointFingerprint, SensitiveToNamesAndOrder)
+{
+    const std::uint64_t base =
+        checkpointFingerprint({"a", "b"}, {"x", "y"});
+    EXPECT_NE(base, checkpointFingerprint({"a"}, {"x", "y"}));
+    EXPECT_NE(base, checkpointFingerprint({"b", "a"}, {"x", "y"}));
+    EXPECT_NE(base, checkpointFingerprint({"a", "b"}, {"x"}));
+    // The separator must keep {"ab"} and {"a","b"} apart.
+    EXPECT_NE(checkpointFingerprint({"ab"}, {}),
+              checkpointFingerprint({"a", "b"}, {}));
+    EXPECT_EQ(base, checkpointFingerprint({"a", "b"}, {"x", "y"}));
+}
+
+/** Temp directory per test. */
+class CheckpointFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/cbws-checkpoint-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        path_ = dir_ + "/matrix.ckpt";
+    }
+
+    void
+    TearDown() override
+    {
+        const std::string cmd = "rm -rf '" + dir_ + "'";
+        if (std::system(cmd.c_str()) != 0)
+            ADD_FAILURE() << "cleanup failed: " << cmd;
+        FaultInjector::instance().reset();
+    }
+
+    static Checkpoint::Header
+    header(std::uint64_t insts = 8000, std::uint64_t seed = 42)
+    {
+        Checkpoint::Header h;
+        h.insts = insts;
+        h.seed = seed;
+        h.fingerprint = checkpointFingerprint({"unit-workload"},
+                                              {"CBWS+SMS", "CBWS"});
+        return h;
+    }
+
+    std::vector<std::string>
+    readLines() const
+    {
+        std::ifstream in(path_);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    }
+
+    void
+    writeLines(const std::vector<std::string> &lines,
+               const std::string &unterminated_tail = "") const
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        for (const auto &line : lines)
+            out << line << "\n";
+        out << unterminated_tail;
+    }
+
+    std::string dir_;
+    std::string path_;
+};
+
+TEST_F(CheckpointFileTest, FreshFileThenReopenRestoresCells)
+{
+    const SimResult a = makeResult(0);
+    SimResult b = makeResult(1000);
+    b.prefetcher = "CBWS";
+    {
+        Checkpoint ckpt;
+        ASSERT_TRUE(ckpt.open(path_, header()));
+        EXPECT_EQ(ckpt.resumedCells(), 0u);
+        ASSERT_TRUE(ckpt.append(a));
+        ASSERT_TRUE(ckpt.append(b));
+        // Duplicate appends are ignored, not double-written.
+        ASSERT_TRUE(ckpt.append(a));
+    }
+    EXPECT_EQ(readLines().size(), 3u) << "header + 2 cells";
+
+    Checkpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, header()));
+    EXPECT_EQ(resumed.resumedCells(), 2u);
+    const SimResult *ra = resumed.find("unit-workload", "CBWS+SMS");
+    const SimResult *rb = resumed.find("unit-workload", "CBWS");
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_TRUE(cellsIdentical(a, *ra));
+    EXPECT_TRUE(cellsIdentical(b, *rb));
+    EXPECT_EQ(resumed.find("unit-workload", "Stride"), nullptr);
+}
+
+TEST_F(CheckpointFileTest, TornTailLineIsDroppedOnResume)
+{
+    {
+        Checkpoint ckpt;
+        ASSERT_TRUE(ckpt.open(path_, header()));
+        ASSERT_TRUE(ckpt.append(makeResult()));
+    }
+    // Simulate a SIGKILL mid-append: a second cell line cut off
+    // without its trailing bytes or newline.
+    auto lines = readLines();
+    ASSERT_EQ(lines.size(), 2u);
+    const std::string torn = lines[1].substr(0, lines[1].size() / 2);
+    writeLines(lines, torn);
+
+    Checkpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, header()));
+    EXPECT_EQ(resumed.resumedCells(), 1u)
+        << "the intact cell survives, the torn one is dropped";
+}
+
+TEST_F(CheckpointFileTest, DifferentExperimentIsRejected)
+{
+    {
+        Checkpoint ckpt;
+        ASSERT_TRUE(ckpt.open(path_, header(8000, 42)));
+    }
+    struct Case
+    {
+        const char *what;
+        Checkpoint::Header h;
+    };
+    Checkpoint::Header other_fp = header(8000, 42);
+    other_fp.fingerprint ^= 1;
+    const Case cases[] = {
+        {"different budget", header(9000, 42)},
+        {"different seed", header(8000, 43)},
+        {"different cell space", other_fp},
+    };
+    for (const auto &c : cases) {
+        Checkpoint ckpt;
+        Result<void> r = ckpt.open(path_, c.h);
+        ASSERT_FALSE(r.ok()) << c.what;
+        EXPECT_EQ(r.code(), Errc::InvalidArgument) << c.what;
+        EXPECT_NE(r.error().message.find("different experiment"),
+                  std::string::npos)
+            << c.what;
+    }
+}
+
+TEST_F(CheckpointFileTest, FutureSchemaVersionIsRejectedAsSuch)
+{
+    writeLines({seal("{\"schema_version\":99,\"type\":\"header\","
+                     "\"format\":\"cbws-checkpoint\",\"insts\":8000,"
+                     "\"seed\":42,\"fingerprint\":"
+                     "\"0000000000000000\"}")});
+    Checkpoint ckpt;
+    Result<void> r = ckpt.open(path_, header());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), Errc::VersionMismatch);
+}
+
+TEST_F(CheckpointFileTest, GarbageFileIsCorruptNotFatal)
+{
+    writeLines({"this is not a checkpoint"});
+    Checkpoint ckpt;
+    Result<void> r = ckpt.open(path_, header());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), Errc::Corrupt);
+}
+
+TEST_F(CheckpointFileTest, AppendFaultDegradesToUncheckpointedCell)
+{
+    Checkpoint ckpt;
+    ASSERT_TRUE(ckpt.open(path_, header()));
+    // Fire on every attempt: the 3-try retry loop must exhaust and
+    // report the injected failure instead of aborting the run.
+    FaultInjector::instance().arm(FaultSite::CheckpointAppend, 1.0);
+    Result<void> r = ckpt.append(makeResult());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), Errc::FaultInjected);
+    EXPECT_GE(FaultInjector::instance().hits(
+                  FaultSite::CheckpointAppend),
+              3u)
+        << "append must have retried";
+
+    // Disarm: the next append (of the same cell) succeeds — the
+    // failure was transient, the checkpoint object still works.
+    FaultInjector::instance().reset();
+    ASSERT_TRUE(ckpt.append(makeResult()));
+    EXPECT_EQ(readLines().size(), 2u);
+}
+
+/** Matrix-level resume determinism. */
+class CheckpointResumeTest : public CheckpointFileTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CheckpointFileTest::SetUp();
+        for (const char *name : {"fft-simlarge", "stencil-default"}) {
+            auto w = findWorkload(name);
+            ASSERT_NE(w, nullptr) << name;
+            workloads_.push_back(std::move(w));
+        }
+        kinds_ = {PrefetcherKind::None, PrefetcherKind::Stride,
+                  PrefetcherKind::Cbws};
+    }
+
+    ExperimentMatrix
+    run(unsigned jobs, const std::string &checkpoint = "")
+    {
+        MatrixOptions options;
+        options.jobs = jobs;
+        options.checkpointPath = checkpoint;
+        SystemConfig config;
+        return runMatrix(workloads_, kinds_, config, insts_, 42,
+                         options);
+    }
+
+    static ::testing::AssertionResult
+    matricesIdentical(const ExperimentMatrix &a,
+                      const ExperimentMatrix &b)
+    {
+        if (a.rows.size() != b.rows.size())
+            return ::testing::AssertionFailure() << "row count";
+        for (std::size_t r = 0; r < a.rows.size(); ++r) {
+            if (a.rows[r].byPrefetcher.size() !=
+                b.rows[r].byPrefetcher.size())
+                return ::testing::AssertionFailure() << "cell count";
+            for (std::size_t k = 0; k < a.rows[r].byPrefetcher.size();
+                 ++k) {
+                auto cell =
+                    cellsIdentical(a.rows[r].byPrefetcher[k],
+                                   b.rows[r].byPrefetcher[k]);
+                if (!cell)
+                    return cell;
+            }
+        }
+        return ::testing::AssertionSuccess();
+    }
+
+    std::vector<WorkloadPtr> workloads_;
+    std::vector<PrefetcherKind> kinds_;
+    static constexpr std::uint64_t insts_ = 8000;
+};
+
+TEST_F(CheckpointResumeTest, PartialCheckpointResumesBitIdentically)
+{
+    // Reference: an uninterrupted, uncheckpointed run.
+    const ExperimentMatrix reference = run(1);
+
+    // A full checkpointed run leaves header + 6 cell lines; cutting
+    // it back to 3 cells mimics a SIGKILL halfway through the
+    // matrix (the driver-level smoke test kills a real process; the
+    // unit test recreates the identical on-disk state).
+    const ExperimentMatrix full = run(1, path_);
+    EXPECT_TRUE(matricesIdentical(reference, full))
+        << "checkpointing must not perturb results";
+    auto lines = readLines();
+    ASSERT_EQ(lines.size(), 1u + 6u);
+    lines.resize(1 + 3);
+
+    for (unsigned jobs : {1u, 8u}) {
+        writeLines(lines);
+        const ExperimentMatrix resumed = run(jobs, path_);
+        EXPECT_TRUE(matricesIdentical(reference, resumed))
+            << "jobs=" << jobs;
+        EXPECT_EQ(readLines().size(), 1u + 6u)
+            << "resume must complete the file (jobs=" << jobs << ")";
+    }
+}
+
+TEST_F(CheckpointResumeTest, CompletedCheckpointSkipsAllSimulation)
+{
+    const ExperimentMatrix first = run(1, path_);
+    const auto lines = readLines();
+
+    // Resuming a finished matrix restores every cell and appends
+    // nothing new.
+    const ExperimentMatrix again = run(4, path_);
+    EXPECT_TRUE(matricesIdentical(first, again));
+    EXPECT_EQ(readLines(), lines) << "no rewrites on a no-op resume";
+}
+
+TEST_F(CheckpointResumeTest, PoolFaultFallsBackToSerialAndMatches)
+{
+    const ExperimentMatrix reference = run(1);
+
+    // One injected job failure in the parallel phase: runMatrix
+    // must catch it, finish the missing cells serially, and still
+    // produce the reference matrix.
+    FaultInjector::instance().armAt(FaultSite::PoolJob, {2});
+    const ExperimentMatrix faulted = run(4);
+    FaultInjector::instance().reset();
+    EXPECT_TRUE(matricesIdentical(reference, faulted));
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -60,7 +60,7 @@ TEST_P(PrefetcherPropertyTest, NeverIssuesCachedLines)
     class AllCachedSink : public PrefetchSink
     {
       public:
-        void issuePrefetch(LineAddr) override { ++issued; }
+        void issuePrefetch(LineAddr, PfSource) override { ++issued; }
         bool isCached(LineAddr) const override { return true; }
         unsigned issued = 0;
     } sink;

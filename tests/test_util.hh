@@ -25,9 +25,10 @@ class MockSink : public PrefetchSink
 {
   public:
     void
-    issuePrefetch(LineAddr line) override
+    issuePrefetch(LineAddr line, PfSource src) override
     {
         issued.push_back(line);
+        sources.push_back(src);
     }
 
     bool
@@ -46,6 +47,7 @@ class MockSink : public PrefetchSink
     }
 
     std::vector<LineAddr> issued;
+    std::vector<PfSource> sources;
     std::set<LineAddr> cached;
 };
 

@@ -25,7 +25,9 @@
 
 #include "base/argparse.hh"
 #include "base/debug.hh"
+#include "base/faultinject.hh"
 #include "base/table.hh"
+#include "prefetch/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/snapshot.hh"
@@ -39,15 +41,43 @@ using namespace cbws;
 namespace
 {
 
+std::string
+lowercase(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    return out;
+}
+
+/**
+ * Resolve a scheme name to its PrefetcherKind, case-insensitively
+ * (the registry's convention), across every registered scheme
+ * including the extensions.
+ */
 PrefetcherKind
 kindFromName(const std::string &name, bool &ok)
 {
     ok = true;
-    for (PrefetcherKind kind : allPrefetcherKinds())
-        if (name == toString(kind))
+    for (PrefetcherKind kind : extendedPrefetcherKinds())
+        if (lowercase(name) == lowercase(toString(kind)))
             return kind;
     ok = false;
     return PrefetcherKind::None;
+}
+
+/** `--scheme help`: the registry's schemes with descriptions. */
+void
+listSchemes()
+{
+    TextTable t;
+    t.header({"scheme", "description"});
+    for (const auto &name : prefetcherRegistry().names())
+        t.row({name, prefetcherRegistry().describe(name)});
+    std::printf("%s", t.render().c_str());
+    std::printf("\nnames are case-insensitive; 'all' runs the "
+                "paper's seven schemes\n");
 }
 
 void
@@ -185,8 +215,13 @@ main(int argc, char **argv)
     args.addOption("workload", "benchmark to run",
                    "stencil-default");
     args.addOption("prefetcher",
-                   "scheme name as in the paper's figures, or 'all'",
+                   "scheme name as in the paper's figures, or 'all' "
+                   "('help' lists the registered schemes)",
                    "CBWS+SMS");
+    args.addOption("scheme",
+                   "alias of --prefetcher (registry name, 'all', or "
+                   "'help')",
+                   "");
     args.addOption("insts", "committed-instruction budget", "120000");
     args.addOption("warmup",
                    "instructions whose statistics are discarded "
@@ -255,6 +290,27 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Deterministic fault injection for robustness testing
+    // (CBWS_FAULT / CBWS_FAULT_SEED, see base/faultinject.hh).
+    {
+        Result<void> faults =
+            FaultInjector::instance().configureFromEnv();
+        if (!faults.ok()) {
+            std::fprintf(stderr, "CBWS_FAULT: %s\n",
+                         faults.error().str().c_str());
+            return 1;
+        }
+    }
+
+    // --scheme is an alias of --prefetcher; 'help' lists schemes.
+    const std::string scheme = args.provided("scheme")
+                                   ? args.get("scheme")
+                                   : args.get("prefetcher");
+    if (scheme == "help") {
+        listSchemes();
+        return 0;
+    }
+
     const std::uint64_t insts = args.getUint("insts", 120000);
     const std::uint64_t warmup =
         args.provided("warmup") ? args.getUint("warmup", 0)
@@ -284,8 +340,12 @@ main(int argc, char **argv)
     Trace trace;
     std::string workload_name;
     if (args.provided("load-trace")) {
-        if (!trace.loadFrom(args.get("load-trace")))
+        Result<void> loaded = trace.loadFrom(args.get("load-trace"));
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "--load-trace: %s\n",
+                         loaded.error().str().c_str());
             return 1;
+        }
         workload_name = args.get("load-trace");
     } else {
         auto workload = findWorkload(args.get("workload"));
@@ -317,8 +377,12 @@ main(int argc, char **argv)
     }
 
     if (args.provided("save-trace")) {
-        if (!trace.saveTo(args.get("save-trace")))
+        Result<void> saved = trace.saveTo(args.get("save-trace"));
+        if (!saved.ok()) {
+            std::fprintf(stderr, "--save-trace: %s\n",
+                         saved.error().str().c_str());
             return 1;
+        }
         if (!args.getFlag("csv")) {
             std::printf("saved %zu records to %s\n", trace.size(),
                         args.get("save-trace").c_str());
@@ -327,17 +391,18 @@ main(int argc, char **argv)
 
     // Select the schemes.
     std::vector<PrefetcherKind> kinds;
-    if (args.get("prefetcher") == "all") {
+    if (scheme == "all") {
         kinds = allPrefetcherKinds();
     } else {
         bool ok = false;
-        kinds.push_back(kindFromName(args.get("prefetcher"), ok));
+        kinds.push_back(kindFromName(scheme, ok));
         if (!ok) {
             std::fprintf(stderr, "unknown prefetcher '%s'; one of:",
-                         args.get("prefetcher").c_str());
-            for (PrefetcherKind kind : allPrefetcherKinds())
-                std::fprintf(stderr, " '%s'", toString(kind));
-            std::fprintf(stderr, " or 'all'\n");
+                         scheme.c_str());
+            for (const auto &name : prefetcherRegistry().names())
+                std::fprintf(stderr, " '%s'", name.c_str());
+            std::fprintf(stderr,
+                         " or 'all' ('help' lists details)\n");
             return 1;
         }
     }

@@ -146,8 +146,12 @@ main(int argc, char **argv)
 
     Trace trace;
     if (args.provided("load")) {
-        if (!trace.loadFrom(args.get("load")))
+        Result<void> loaded = trace.loadFrom(args.get("load"));
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "--load: %s\n",
+                         loaded.error().str().c_str());
             return 1;
+        }
         std::printf("loaded %s\n\n", args.get("load").c_str());
     } else if (args.provided("workload")) {
         auto workload = findWorkload(args.get("workload"));
@@ -169,8 +173,12 @@ main(int argc, char **argv)
     }
 
     if (args.provided("save")) {
-        if (!trace.saveTo(args.get("save")))
+        Result<void> saved = trace.saveTo(args.get("save"));
+        if (!saved.ok()) {
+            std::fprintf(stderr, "--save: %s\n",
+                         saved.error().str().c_str());
             return 1;
+        }
         std::printf("saved to %s\n\n", args.get("save").c_str());
     }
 
