@@ -7,6 +7,7 @@
 #include "base/argparse.hh"
 #include "base/faultinject.hh"
 #include "base/threadpool.hh"
+#include "mem/dram/backend.hh"
 #include "workloads/registry.hh"
 
 namespace cbws
@@ -20,7 +21,8 @@ namespace
 /** Resolved by init(); defaulted from the environment otherwise. */
 unsigned g_jobs = 0; // 0 = let runMatrix resolve CBWS_JOBS
 TraceCache g_trace_cache = TraceCache::fromEnv();
-std::string g_checkpoint; // empty = checkpointing off
+std::string g_checkpoint;      // empty = checkpointing off
+std::string g_dram = "fixed";  // DRAM timing backend
 
 } // anonymous namespace
 
@@ -41,6 +43,10 @@ init(int argc, char **argv)
                      "crash-safe checkpoint file: finished matrix "
                      "cells are appended there and a restarted run "
                      "resumes instead of recomputing them");
+    parser.addOption("dram",
+                     "DRAM timing backend: 'fixed' (paper's flat "
+                     "latency, default) or 'ddr' (cycle-level banked "
+                     "model)");
     if (!parser.parse(argc, argv))
         std::exit(1);
     if (parser.helpRequested())
@@ -72,6 +78,16 @@ init(int argc, char **argv)
     }
     if (parser.provided("checkpoint"))
         g_checkpoint = parser.get("checkpoint");
+    if (parser.provided("dram")) {
+        g_dram = parser.get("dram");
+        if (!dramBackendRegistry().contains(g_dram)) {
+            std::fprintf(stderr,
+                         "--dram: unknown backend '%s' (see "
+                         "cbws-sim --dram help)\n",
+                         g_dram.c_str());
+            std::exit(1);
+        }
+    }
 }
 
 MatrixOptions
@@ -102,12 +118,19 @@ banner(const std::string &title, const std::string &paper_ref,
                 "=============================\n\n");
 }
 
+SystemConfig
+systemConfig()
+{
+    SystemConfig config; // Table II defaults
+    config.mem.dramBackend = g_dram;
+    return config;
+}
+
 ExperimentMatrix
 fullMatrix(std::uint64_t insts)
 {
-    SystemConfig config; // Table II defaults
-    return runMatrix(allWorkloads(), allPrefetcherKinds(), config,
-                     insts, 42, matrixOptions());
+    return runMatrix(allWorkloads(), allPrefetcherKinds(),
+                     systemConfig(), insts, 42, matrixOptions());
 }
 
 std::string

@@ -24,6 +24,7 @@ namespace bench
  *                     env; "0"/"off" disables)
  *   --checkpoint=FILE crash-safe checkpoint: finished cells are
  *                     appended; a restarted run resumes from them
+ *   --dram=NAME       DRAM timing backend (fixed | ddr)
  *   --help            print usage and exit
  *
  * init() also arms the deterministic fault-injection harness from the
@@ -37,6 +38,9 @@ void init(int argc, char **argv);
 
 /** The runMatrix options resolved by init() (or the env defaults). */
 MatrixOptions matrixOptions();
+
+/** Table II system config with the --dram selection applied. */
+SystemConfig systemConfig();
 
 /** Print the standard bench banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref,

@@ -7,14 +7,17 @@
  * Usage:
  *   prefetcher_shootout                 # the 15 MI benchmarks
  *   prefetcher_shootout nw sgemm-medium # specific benchmarks
+ *   prefetcher_shootout --dram=ddr nw   # cycle-level DRAM model
  *   CBWS_BENCH_INSTS=200000 prefetcher_shootout   # bigger runs
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "base/table.hh"
+#include "mem/dram/backend.hh"
 #include "sim/experiment.hh"
 #include "workloads/registry.hh"
 
@@ -23,28 +26,39 @@ using namespace cbws;
 int
 main(int argc, char **argv)
 {
+    std::string dram = "fixed";
     std::vector<WorkloadPtr> workloads;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i) {
-            auto w = findWorkload(argv[i]);
-            if (!w) {
-                std::fprintf(stderr, "unknown benchmark '%s'\n",
-                             argv[i]);
-                return 1;
-            }
-            workloads.push_back(std::move(w));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--dram=", 7) == 0) {
+            dram = argv[i] + 7;
+            continue;
         }
-    } else {
+        auto w = findWorkload(argv[i]);
+        if (!w) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         argv[i]);
+            return 1;
+        }
+        workloads.push_back(std::move(w));
+    }
+    if (workloads.empty())
         workloads = memoryIntensiveWorkloads();
+    if (!dramBackendRegistry().contains(dram)) {
+        std::fprintf(stderr,
+                     "unknown DRAM backend '%s' (see cbws-sim "
+                     "--dram help)\n",
+                     dram.c_str());
+        return 1;
     }
 
     const std::uint64_t insts = benchInstructionBudget(100000);
-    std::printf("running %zu benchmark(s) x 7 prefetchers, "
-                "%llu instructions each...\n\n",
-                workloads.size(),
+    std::printf("running %zu benchmark(s) x 7 prefetchers over "
+                "'%s' DRAM, %llu instructions each...\n\n",
+                workloads.size(), dram.c_str(),
                 static_cast<unsigned long long>(insts));
 
     SystemConfig config;
+    config.mem.dramBackend = dram;
     auto matrix = runMatrix(workloads, allPrefetcherKinds(), config,
                             insts);
 
@@ -71,6 +85,22 @@ main(int argc, char **argv)
         mpki_table.row(cells);
     }
     std::printf("%s\n", mpki_table.render().c_str());
+
+    // The banked model exposes row-buffer locality per scheme; the
+    // flat model has no rows, so skip the table there.
+    if (dram != "fixed") {
+        TextTable hit_table;
+        header[0] = "benchmark (row-hit %)";
+        hit_table.header(header);
+        for (const auto &row : matrix.rows) {
+            std::vector<std::string> cells = {row.workload};
+            for (const auto &res : row.byPrefetcher)
+                cells.push_back(TextTable::num(
+                    100.0 * res.mem.dram.rowHitRate(), 1));
+            hit_table.row(cells);
+        }
+        std::printf("%s\n", hit_table.render().c_str());
+    }
 
     // Per-benchmark winner summary.
     std::printf("winners by IPC:\n");

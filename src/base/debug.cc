@@ -24,6 +24,7 @@ constexpr NamedFlag kFlags[] = {
     {"Prefetch", Flag::Prefetch}, {"CBWS", Flag::CBWS},
     {"SMS", Flag::SMS},           {"Core", Flag::Core},
     {"Sim", Flag::Sim},           {"Snapshot", Flag::Snapshot},
+    {"DRAM", Flag::DRAM},
 };
 
 } // anonymous namespace

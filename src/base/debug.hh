@@ -41,6 +41,7 @@ enum class Flag : std::uint32_t
     Core     = 1u << 5, ///< commit/stall/redirect activity in the cores
     Sim      = 1u << 6, ///< run-level milestones (warmup, finalize)
     Snapshot = 1u << 7, ///< periodic stats snapshot emission
+    DRAM     = 1u << 8, ///< DRAM backend scheduling and write drains
 };
 
 /** Global trace state. Single-threaded by design (like gem5's). */

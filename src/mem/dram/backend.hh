@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Pluggable main-memory timing backends.
+ *
+ * The hierarchy used to hard-code one flat formula (dramLatency plus
+ * an optional global issue throttle). That made prefetch timeliness
+ * and bandwidth contention — the effects the paper's Fig. 10-13
+ * coverage/accuracy analysis hinges on — invisible below the L2.
+ * A DramBackend answers the only question the hierarchy asks of main
+ * memory ("a fill request reaches the controller at cycle T; when is
+ * its data back at the L2?") while modelling whatever it likes
+ * internally: the `fixed` backend reproduces the legacy behaviour
+ * bit-for-bit, the `ddr` backend models channels/ranks/banks with
+ * open-page row buffers, DDR timing constraints, read/write queues
+ * and an FR-FCFS-style scheduler that deprioritises prefetch-sourced
+ * requests under queue pressure.
+ *
+ * Backends register by name in a string-keyed registry (mirroring
+ * PrefetcherRegistry) from their own translation units; consumers
+ * select one via HierarchyParams::dramBackend ("fixed" is the
+ * default) or the `cbws-sim --dram <backend>` flag.
+ *
+ * Contract required of every backend:
+ *  - Deterministic: completion cycles are a pure function of the
+ *    request sequence (no wall clock, no randomness), so matrix
+ *    results stay bit-identical across --jobs and resume.
+ *  - Near-monotone arrivals: the hierarchy issues requests in
+ *    simulation order, but arrival stamps may regress by a few cycles
+ *    (prefetch issue vs. demand paths add different upstream
+ *    latencies). Backends must tolerate that.
+ *  - Responses per bank/stream are monotone: a later request to the
+ *    same internal resource never completes before an earlier one.
+ */
+
+#ifndef CBWS_MEM_DRAM_BACKEND_HH
+#define CBWS_MEM_DRAM_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/result.hh"
+#include "base/types.hh"
+
+namespace cbws
+{
+
+struct HierarchyParams;
+
+/** One fill request as seen by the memory controller. */
+struct DramRequest
+{
+    LineAddr line = 0;
+    /** Cycle the request reaches the controller. */
+    Cycle arrival = 0;
+    /** The fill was initiated by a prefetcher (deprioritisable). */
+    bool isPrefetch = false;
+    /** Lifecycle attribution of prefetch-initiated fills. */
+    PfSource src = PfSource::Unknown;
+};
+
+/** Counters every backend maintains (zeros where not modelled). */
+struct DramStats
+{
+    std::uint64_t reads = 0;  ///< fill requests serviced
+    std::uint64_t writes = 0; ///< writebacks accepted
+
+    // Row-buffer outcome of each serviced column access.
+    std::uint64_t rowHits = 0;   ///< open row matched
+    std::uint64_t rowMisses = 0; ///< conflicting row was open
+    std::uint64_t rowClosed = 0; ///< bank had no open row
+
+    std::uint64_t activates = 0;     ///< ACT commands issued
+    std::uint64_t fawStalls = 0;     ///< ACTs delayed by tFAW
+    std::uint64_t refreshStalls = 0; ///< requests delayed by refresh
+
+    /** Prefetch reads deferred by the bandwidth-aware throttle. */
+    std::uint64_t prefetchesDeferred = 0;
+    /** Total cycles deferred prefetches waited out. */
+    std::uint64_t deferralCycles = 0;
+
+    std::uint64_t readQueueFullStalls = 0; ///< admissions blocked
+    std::uint64_t writeDrains = 0;         ///< drain bursts entered
+
+    /** Data-bus busy cycles (utilisation = busy / elapsed). */
+    std::uint64_t busBusyCycles = 0;
+
+    // Queue-depth-at-arrival accumulators (averages = sum / reads).
+    std::uint64_t readQueueDepthSum = 0;
+    std::uint64_t writeQueueDepthSum = 0;
+
+    /** Per-bank row-buffer outcomes (empty for flat backends). */
+    std::vector<std::uint64_t> bankRowHits;
+    std::vector<std::uint64_t> bankRowMisses;
+
+    /** Row hits per column access ([0,1]; 0 when nothing serviced). */
+    double
+    rowHitRate() const
+    {
+        const std::uint64_t total = rowHits + rowMisses + rowClosed;
+        return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double
+    avgReadQueueDepth() const
+    {
+        return reads ? static_cast<double>(readQueueDepthSum) /
+                           static_cast<double>(reads)
+                     : 0.0;
+    }
+
+    double
+    avgWriteQueueDepth() const
+    {
+        return writes ? static_cast<double>(writeQueueDepthSum) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+
+    /** Exact equality (determinism assertions in tests). */
+    bool
+    operator==(const DramStats &o) const
+    {
+        return reads == o.reads && writes == o.writes &&
+               rowHits == o.rowHits && rowMisses == o.rowMisses &&
+               rowClosed == o.rowClosed &&
+               activates == o.activates &&
+               fawStalls == o.fawStalls &&
+               refreshStalls == o.refreshStalls &&
+               prefetchesDeferred == o.prefetchesDeferred &&
+               deferralCycles == o.deferralCycles &&
+               readQueueFullStalls == o.readQueueFullStalls &&
+               writeDrains == o.writeDrains &&
+               busBusyCycles == o.busBusyCycles &&
+               readQueueDepthSum == o.readQueueDepthSum &&
+               writeQueueDepthSum == o.writeQueueDepthSum &&
+               bankRowHits == o.bankRowHits &&
+               bankRowMisses == o.bankRowMisses;
+    }
+
+    bool operator!=(const DramStats &o) const { return !(*this == o); }
+};
+
+/**
+ * A main-memory timing model. One instance per Hierarchy (per
+ * simulation cell), so implementations need no thread safety.
+ */
+class DramBackend
+{
+  public:
+    virtual ~DramBackend() = default;
+
+    /** Registry name this instance was created under. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Service a fill request; returns the cycle the line is available
+     * at the L2. Must be >= req.arrival and deterministic.
+     */
+    virtual Cycle read(const DramRequest &req) = 0;
+
+    /**
+     * Accept a writeback leaving the L2 at @p arrival. Writes are
+     * fire-and-forget for the hierarchy (a store buffer is assumed);
+     * backends may queue them and steal read bandwidth to drain.
+     */
+    virtual void write(LineAddr line, Cycle arrival) = 0;
+
+    /** Reads still outstanding at @p now (snapshot gauge). */
+    virtual unsigned readQueueDepth(Cycle now) const
+    {
+        (void)now;
+        return 0;
+    }
+
+    /** Writebacks buffered at @p now (snapshot gauge). */
+    virtual unsigned writeQueueDepth(Cycle now) const
+    {
+        (void)now;
+        return 0;
+    }
+
+    const DramStats &stats() const { return stats_; }
+
+    /** Zero the counters; timing state is preserved (warm-up). */
+    virtual void resetStats() { stats_ = DramStats(); }
+
+  protected:
+    DramStats stats_;
+};
+
+/**
+ * String-keyed backend registry, mirroring PrefetcherRegistry: each
+ * backend registers a factory from its own translation unit, lookup
+ * is case-insensitive, and duplicates warn instead of replacing.
+ * Fully inline for the same archive-layout reasons (see
+ * prefetch/registry.hh).
+ */
+class DramBackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<DramBackend>(
+        const HierarchyParams &params)>;
+
+    bool
+    add(const std::string &name, const std::string &description,
+        Factory factory)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = entries_.emplace(
+            canon(name),
+            Entry{name, description, std::move(factory)});
+        (void)it;
+        if (!inserted)
+            warn("dram backend registry: duplicate registration of "
+                 "'%s' ignored",
+                 name.c_str());
+        return inserted;
+    }
+
+    /** Instantiate the backend registered under @p name
+     *  (case-insensitive). NotFound lists the registered names. */
+    Result<std::unique_ptr<DramBackend>>
+    create(const std::string &name,
+           const HierarchyParams &params) const
+    {
+        Factory factory;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(canon(name));
+            if (it != entries_.end())
+                factory = it->second.factory;
+        }
+        if (!factory) {
+            std::string known;
+            for (const auto &n : names())
+                known += (known.empty() ? "" : ", ") + n;
+            return Error(Errc::NotFound,
+                         "no DRAM backend registered as '" + name +
+                             "' (registered: " + known + ")");
+        }
+        return factory(params);
+    }
+
+    bool
+    contains(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.count(canon(name)) != 0;
+    }
+
+    /** Canonical names, sorted (stable `--dram help` output). */
+    std::vector<std::string>
+    names() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto &entry : entries_)
+            out.push_back(entry.second.name);
+        return out; // map order == sorted canonical order
+    }
+
+    /** Registered description of @p name (empty when unknown). */
+    std::string
+    describe(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(canon(name));
+        return it == entries_.end() ? std::string()
+                                    : it->second.description;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name; ///< canonical display form
+        std::string description;
+        Factory factory;
+    };
+
+    static std::string
+    canon(const std::string &name)
+    {
+        std::string out;
+        out.reserve(name.size());
+        for (char c : name)
+            out.push_back(c >= 'A' && c <= 'Z'
+                              ? static_cast<char>(c - 'A' + 'a')
+                              : c);
+        return out;
+    }
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_; ///< canon(name) -> entry
+};
+
+/** The process-wide registry (safe across static initialisers). */
+inline DramBackendRegistry &
+dramBackendRegistry()
+{
+    static DramBackendRegistry registry;
+    return registry;
+}
+
+/**
+ * Self-registration from a backend's translation unit:
+ *
+ *   CBWS_REGISTER_DRAM_BACKEND(fixed, "fixed", "flat latency",
+ *       [](const HierarchyParams &p) {
+ *           return std::make_unique<FixedDramBackend>(p);
+ *       })
+ *
+ * @p tag is a C identifier naming the linker anchor.
+ */
+#define CBWS_REGISTER_DRAM_BACKEND(tag, name, description, ...)        \
+    extern "C" char cbwsDramBackendAnchor_##tag;                       \
+    char cbwsDramBackendAnchor_##tag = 0;                              \
+    namespace {                                                        \
+    const bool cbwsDramBackendReg_##tag [[maybe_unused]] =             \
+        ::cbws::dramBackendRegistry().add(name, description,           \
+                                          __VA_ARGS__);                \
+    }
+
+/**
+ * Pin a backend's registration TU into the link (static-archive
+ * caveat; see prefetch/registry.hh). Lives in an always-linked TU of
+ * the consumer — hierarchy.cc pins the built-ins.
+ */
+#define CBWS_FORCE_LINK_DRAM_BACKEND(tag)                              \
+    extern "C" char cbwsDramBackendAnchor_##tag;                       \
+    namespace {                                                        \
+    [[gnu::used, maybe_unused]] const char                             \
+        *const cbwsDramBackendPin_##tag =                              \
+            &cbwsDramBackendAnchor_##tag;                              \
+    }
+
+} // namespace cbws
+
+#endif // CBWS_MEM_DRAM_BACKEND_HH

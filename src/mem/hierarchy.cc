@@ -33,6 +33,11 @@ className(DemandClass cls)
 
 } // anonymous namespace
 
+// The built-in backends live in their own TUs inside a static
+// archive; pin them into any link that uses the hierarchy.
+CBWS_FORCE_LINK_DRAM_BACKEND(fixed)
+CBWS_FORCE_LINK_DRAM_BACKEND(ddr)
+
 Hierarchy::Hierarchy(const HierarchyParams &params)
     : params_(params),
       l1d_(params.l1d, 0x11d),
@@ -42,6 +47,11 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
       l1iMshr_(params.l1i.mshrs),
       l2Mshr_(params.l2.mshrs)
 {
+    auto backend =
+        dramBackendRegistry().create(params.dramBackend, params);
+    if (!backend.ok())
+        panic("hierarchy: %s", backend.error().str().c_str());
+    dram_ = std::move(backend).value();
 }
 
 void
@@ -114,12 +124,16 @@ Hierarchy::drainL2(Cycle now)
                                     victim.line);
                 }
             }
-            if (victim.dirty)
+            if (victim.dirty) {
                 stats_.dramBytesWritten += LineBytes;
+                dram_->write(victim.line, now);
+            }
             // Inclusive L2: evictions invalidate the L1 copies.
             Cache::Victim l1v = l1d_.invalidate(victim.line);
-            if (l1v.valid && l1v.dirty)
+            if (l1v.valid && l1v.dirty) {
                 stats_.dramBytesWritten += LineBytes;
+                dram_->write(l1v.line, now);
+            }
             l1i_.invalidate(victim.line);
             DPRINTF(Cache, "L2 evict line=%#llx%s",
                     static_cast<unsigned long long>(victim.line),
@@ -137,25 +151,17 @@ Hierarchy::drainL1(Cycle now)
             l1d_.setDirty(e.line);
         if (victim.valid && victim.dirty) {
             // Writeback into the (inclusive) L2.
-            if (l2_.contains(victim.line))
+            if (l2_.contains(victim.line)) {
                 l2_.setDirty(victim.line);
-            else
+            } else {
                 stats_.dramBytesWritten += LineBytes;
+                dram_->write(victim.line, now);
+            }
         }
     });
     l1iMshr_.drain(now, [this, now](const MshrFile::Entry &e) {
         l1i_.insert(e.line, now, false);
     });
-}
-
-Cycle
-Hierarchy::dramFillReady(Cycle t)
-{
-    if (params_.dramMinInterval == 0)
-        return t + params_.dramLatency;
-    const Cycle start = std::max(t, nextDramFree_);
-    nextDramFree_ = start + params_.dramMinInterval;
-    return start + params_.dramLatency;
 }
 
 void
@@ -181,8 +187,9 @@ Hierarchy::issuePrefetches(Cycle now)
             params_.l2.mshrs) {
             break; // leave room for demand misses; retry next cycle
         }
-        const Cycle ready =
-            dramFillReady(now + params_.l2.latency);
+        const Cycle ready = dram_->read(
+            {req.line, now + params_.l2.latency,
+             /*isPrefetch=*/true, req.src});
         MshrFile::Entry &e =
             l2Mshr_.allocate(req.line, ready,
                              /*is_prefetch=*/true, /*is_write=*/false);
@@ -300,7 +307,9 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
                 static_cast<unsigned long long>(line));
         return 0;
     }
-    const Cycle ready = dramFillReady(t_l2 + params_.l2.latency);
+    const Cycle ready = dram_->read(
+        {line, t_l2 + params_.l2.latency,
+         /*isPrefetch=*/false, PfSource::Unknown});
     l2Mshr_.allocate(line, ready, /*is_prefetch=*/false, is_write);
     if (is_data)
         ++stats_.llcDemandMisses;

@@ -1,8 +1,9 @@
 /**
  * @file
- * Two-level inclusive cache hierarchy over a fixed-latency DRAM, with a
- * prefetch-into-L2 path and the per-demand-access timeliness/accuracy
- * classification of the paper's Fig. 13.
+ * Two-level inclusive cache hierarchy over a pluggable DRAM timing
+ * backend (mem/dram/backend.hh), with a prefetch-into-L2 path and the
+ * per-demand-access timeliness/accuracy classification of the paper's
+ * Fig. 13.
  *
  * Timing model: latency composition. A demand access resolves, at issue
  * time, to the cycle its data becomes available, by walking L1 -> L2 ->
@@ -20,10 +21,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_set>
 
 #include "base/tracesink.hh"
 #include "mem/cache.hh"
+#include "mem/dram/backend.hh"
 #include "mem/mshr.hh"
 #include "mem/params.hh"
 
@@ -116,6 +119,18 @@ struct PrefetchLifecycle
                       : 0.0;
     }
 
+    bool
+    operator==(const PrefetchLifecycle &o) const
+    {
+        return issued == o.issued && dropped == o.dropped &&
+               merged == o.merged && filled == o.filled &&
+               demandHitTimely == o.demandHitTimely &&
+               demandHitLate == o.demandHitLate &&
+               evictedUnused == o.evictedUnused &&
+               residentAtEnd == o.residentAtEnd &&
+               latenessCycles == o.latenessCycles;
+    }
+
     void
     add(const PrefetchLifecycle &o)
     {
@@ -153,6 +168,14 @@ struct HierarchyStats
     std::uint64_t dramBytesWritten = 0;
     std::uint64_t mshrStalls = 0;
 
+    /**
+     * Counters of the DRAM timing backend (mem/dram/backend.hh).
+     * Kept live by the Hierarchy (mirrored from the backend on every
+     * stats read), so reports/snapshots/checkpoints see them like any
+     * other hierarchy counter.
+     */
+    DramStats dram;
+
     /** Per-source prefetch lifecycle accounting. */
     PrefetchLifecycle pfLife[NumPfSources];
     /**
@@ -176,6 +199,43 @@ struct HierarchyStats
         for (const auto &life : pfLife)
             total.add(life);
         return total;
+    }
+
+    /** Exact memberwise equality (the struct holds vectors now, so
+     *  memcmp no longer works; tests assert determinism with this). */
+    bool
+    operator==(const HierarchyStats &o) const
+    {
+        for (int c = 0; c < static_cast<int>(DemandClass::NumClasses);
+             ++c)
+            if (classCounts[c] != o.classCounts[c])
+                return false;
+        for (unsigned b = 0; b < LatenessBuckets; ++b)
+            if (latenessHist[b] != o.latenessHist[b])
+                return false;
+        for (unsigned s = 0; s < NumPfSources; ++s)
+            if (!(pfLife[s] == o.pfLife[s]))
+                return false;
+        return l1dAccesses == o.l1dAccesses &&
+               l1dMisses == o.l1dMisses &&
+               l1iAccesses == o.l1iAccesses &&
+               l1iMisses == o.l1iMisses &&
+               demandL2Accesses == o.demandL2Accesses &&
+               llcDemandMisses == o.llcDemandMisses &&
+               wrongPrefetches == o.wrongPrefetches &&
+               prefetchesRequested == o.prefetchesRequested &&
+               prefetchesIssued == o.prefetchesIssued &&
+               prefetchesFiltered == o.prefetchesFiltered &&
+               prefetchesDropped == o.prefetchesDropped &&
+               dramBytesRead == o.dramBytesRead &&
+               dramBytesWritten == o.dramBytesWritten &&
+               mshrStalls == o.mshrStalls && dram == o.dram;
+    }
+
+    bool
+    operator!=(const HierarchyStats &o) const
+    {
+        return !(*this == o);
     }
 };
 
@@ -228,12 +288,26 @@ class Hierarchy
      */
     void finalize();
 
-    /** Zero the statistics (cache/MSHR state is preserved) — used at
-     *  the end of the warm-up window. */
-    void resetStats() { stats_ = HierarchyStats(); }
+    /** Zero the statistics (cache/MSHR/DRAM timing state is
+     *  preserved) — used at the end of the warm-up window. */
+    void
+    resetStats()
+    {
+        stats_ = HierarchyStats();
+        dram_->resetStats();
+    }
 
-    const HierarchyStats &stats() const { return stats_; }
+    const HierarchyStats &
+    stats() const
+    {
+        stats_.dram = dram_->stats();
+        return stats_;
+    }
+
     const HierarchyParams &params() const { return params_; }
+
+    /** The main-memory timing backend this hierarchy runs over. */
+    const DramBackend &dram() const { return *dram_; }
 
     /**
      * Attach a timeline-event sink (Chrome trace export); nullptr
@@ -266,12 +340,6 @@ class Hierarchy
     void drainL2(Cycle now);
     void drainL1(Cycle now);
     void issuePrefetches(Cycle now);
-
-    /**
-     * Completion cycle of a DRAM access requested at @p t, honouring
-     * the bandwidth throttle (dramMinInterval) when enabled.
-     */
-    Cycle dramFillReady(Cycle t);
     bool prefetchQueued(LineAddr line) const;
 
     /** One tagged entry of the prefetch request queue. */
@@ -306,9 +374,10 @@ class Hierarchy
      * deque scan answered in O(queue depth).
      */
     std::unordered_set<LineAddr> queuedLines_;
-    HierarchyStats stats_;
-    /** Next cycle the DRAM accepts a request (bandwidth model). */
-    Cycle nextDramFree_ = 0;
+    /** Mutable so stats() can mirror the backend counters in. */
+    mutable HierarchyStats stats_;
+    /** Main-memory timing model (selected by params.dramBackend). */
+    std::unique_ptr<DramBackend> dram_;
     /** Id assigned to the next tracked prefetch request. */
     std::uint64_t nextPfId_ = 1;
     /** Guards against double-counting in repeated finalize() calls. */

@@ -197,6 +197,28 @@ checkpointCellLine(const SimResult &r)
         writeLifecycle(w, life);
     w.endArray();
 
+    // DRAM backend counters (per-bank vectors are diagnostics and
+    // intentionally not checkpointed; they reset to zero on resume).
+    w.field("dram_backend", r.dramBackend);
+    w.key("dram");
+    w.beginArray();
+    w.value(r.mem.dram.reads);
+    w.value(r.mem.dram.writes);
+    w.value(r.mem.dram.rowHits);
+    w.value(r.mem.dram.rowMisses);
+    w.value(r.mem.dram.rowClosed);
+    w.value(r.mem.dram.activates);
+    w.value(r.mem.dram.fawStalls);
+    w.value(r.mem.dram.refreshStalls);
+    w.value(r.mem.dram.prefetchesDeferred);
+    w.value(r.mem.dram.deferralCycles);
+    w.value(r.mem.dram.readQueueFullStalls);
+    w.value(r.mem.dram.writeDrains);
+    w.value(r.mem.dram.busBusyCycles);
+    w.value(r.mem.dram.readQueueDepthSum);
+    w.value(r.mem.dram.writeQueueDepthSum);
+    w.endArray();
+
     w.endObject();
     return sealLine(w.str());
 }
@@ -277,12 +299,33 @@ parseCheckpointCell(const std::string &line)
         if (!readLifecycle(pf_life->array[s], r.mem.pfLife[s]))
             return Error(Errc::Corrupt,
                          "checkpoint cell bad pf_life entry");
+
+    r.dramBackend = v.strOr("dram_backend", "fixed");
+    std::uint64_t dram_fields[15];
+    if (!readUintArray(v.find("dram"), dram_fields))
+        return Error(Errc::Corrupt, "checkpoint cell bad dram array");
+    r.mem.dram.reads = dram_fields[0];
+    r.mem.dram.writes = dram_fields[1];
+    r.mem.dram.rowHits = dram_fields[2];
+    r.mem.dram.rowMisses = dram_fields[3];
+    r.mem.dram.rowClosed = dram_fields[4];
+    r.mem.dram.activates = dram_fields[5];
+    r.mem.dram.fawStalls = dram_fields[6];
+    r.mem.dram.refreshStalls = dram_fields[7];
+    r.mem.dram.prefetchesDeferred = dram_fields[8];
+    r.mem.dram.deferralCycles = dram_fields[9];
+    r.mem.dram.readQueueFullStalls = dram_fields[10];
+    r.mem.dram.writeDrains = dram_fields[11];
+    r.mem.dram.busBusyCycles = dram_fields[12];
+    r.mem.dram.readQueueDepthSum = dram_fields[13];
+    r.mem.dram.writeQueueDepthSum = dram_fields[14];
     return r;
 }
 
 std::uint64_t
 checkpointFingerprint(const std::vector<std::string> &workloads,
-                      const std::vector<std::string> &prefetchers)
+                      const std::vector<std::string> &prefetchers,
+                      const std::string &config_tag)
 {
     std::uint64_t hash = FnvOffset;
     for (const auto &w : workloads)
@@ -290,6 +333,8 @@ checkpointFingerprint(const std::vector<std::string> &workloads,
     hash = fnv1a("\x1e", hash);
     for (const auto &p : prefetchers)
         hash = fnv1a(p + "\x1f", hash);
+    if (!config_tag.empty())
+        hash = fnv1a("\x1e" + config_tag, hash);
     return hash;
 }
 

@@ -39,8 +39,9 @@
 namespace cbws
 {
 
-/** Schema version stamped into checkpoint header and cell lines. */
-constexpr unsigned CheckpointSchemaVersion = 1;
+/** Schema version stamped into checkpoint header and cell lines.
+ *  v2: cells carry the DRAM backend name and its counters. */
+constexpr unsigned CheckpointSchemaVersion = 2;
 
 /** Serialise one cell result as a checksummed JSONL line (no '\n'). */
 std::string checkpointCellLine(const SimResult &result);
@@ -105,10 +106,15 @@ class Checkpoint
     std::size_t resumed_ = 0;
 };
 
-/** FNV-1a over the names defining an experiment's cell space. */
+/**
+ * FNV-1a over the names defining an experiment's cell space, plus an
+ * optional configuration tag (e.g. the DRAM backend name) so results
+ * produced under different timing models can never cross-resume.
+ */
 std::uint64_t
 checkpointFingerprint(const std::vector<std::string> &workloads,
-                      const std::vector<std::string> &prefetchers);
+                      const std::vector<std::string> &prefetchers,
+                      const std::string &config_tag = std::string());
 
 } // namespace cbws
 

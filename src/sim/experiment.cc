@@ -112,8 +112,11 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         Checkpoint::Header header;
         header.insts = max_insts;
         header.seed = seed;
+        // The DRAM backend changes every completion cycle, so
+        // checkpoints from different backends must never cross-resume.
         header.fingerprint =
-            checkpointFingerprint(workload_names, kind_names);
+            checkpointFingerprint(workload_names, kind_names,
+                                  base_config.mem.dramBackend);
         Result<void> opened =
             checkpoint.open(options.checkpointPath, header);
         // A bad checkpoint is a user error (wrong path or stale

@@ -8,8 +8,9 @@ namespace cbws
 namespace
 {
 
-/** Version stamped on every report object (docs/FORMATS.md). */
-constexpr std::uint64_t ReportSchemaVersion = 1;
+/** Version stamped on every report object (docs/FORMATS.md).
+ *  v2: dram section gained backend/timing/queue/deferral fields. */
+constexpr std::uint64_t ReportSchemaVersion = 2;
 
 void
 writeResult(JsonWriter &w, const SimResult &r)
@@ -58,8 +59,28 @@ writeResult(JsonWriter &w, const SimResult &r)
 
     w.key("dram");
     w.beginObject();
+    w.field("backend", r.dramBackend);
     w.field("bytes_read", r.mem.dramBytesRead);
     w.field("bytes_written", r.mem.dramBytesWritten);
+    w.field("reads", r.mem.dram.reads);
+    w.field("writes", r.mem.dram.writes);
+    w.field("row_hit_rate", r.mem.dram.rowHitRate());
+    w.field("row_hits", r.mem.dram.rowHits);
+    w.field("row_misses", r.mem.dram.rowMisses);
+    w.field("row_closed", r.mem.dram.rowClosed);
+    w.field("avg_read_queue_depth", r.mem.dram.avgReadQueueDepth());
+    w.field("avg_write_queue_depth",
+            r.mem.dram.avgWriteQueueDepth());
+    w.field("deferred_prefetches", r.mem.dram.prefetchesDeferred);
+    w.field("deferral_cycles", r.mem.dram.deferralCycles);
+    w.field("faw_stalls", r.mem.dram.fawStalls);
+    w.field("refresh_stalls", r.mem.dram.refreshStalls);
+    w.field("write_drains", r.mem.dram.writeDrains);
+    w.field("bus_utilisation",
+            r.core.cycles
+                ? static_cast<double>(r.mem.dram.busBusyCycles) /
+                      static_cast<double>(r.core.cycles)
+                : 0.0);
     w.endObject();
     w.endObject();
 }

@@ -131,6 +131,7 @@ simulate(const Trace &trace, const SystemConfig &config,
 
     SimResult result;
     result.prefetcher = prefetcher->name();
+    result.dramBackend = mem.dram().name();
     if (config.coreModel == CoreModel::InOrder) {
         InOrderCore inorder(config.core, mem);
         inorder.setTraceSink(probes.trace);

@@ -24,6 +24,8 @@ struct SimResult
 {
     std::string workload;
     std::string prefetcher;
+    /** DRAM backend the run used (registry name; "fixed" default). */
+    std::string dramBackend = "fixed";
     CoreStats core;
     HierarchyStats mem;
     std::uint64_t prefetcherStorageBits = 0;

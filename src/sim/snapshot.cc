@@ -12,8 +12,9 @@ namespace cbws
 namespace
 {
 
-/** Version stamped on every snapshot/final line (docs/FORMATS.md). */
-constexpr std::uint64_t SnapshotSchemaVersion = 1;
+/** Version stamped on every snapshot/final line (docs/FORMATS.md).
+ *  v2: added the dram_* gauge fields. */
+constexpr std::uint64_t SnapshotSchemaVersion = 2;
 
 double
 ratio(std::uint64_t num, std::uint64_t den)
@@ -110,6 +111,14 @@ SnapshotWriter::emitRecord(Cycle now)
     w.field("l1d_miss_rate", ratio(m.l1dMisses, m.l1dAccesses));
     w.field("l2_miss_rate",
             ratio(m.llcDemandMisses, m.demandL2Accesses));
+    w.field("dram_row_hit_rate", m.dram.rowHitRate());
+    w.field("dram_read_q_depth",
+            static_cast<std::uint64_t>(
+                mem_->dram().readQueueDepth(now)));
+    w.field("dram_write_q_depth",
+            static_cast<std::uint64_t>(
+                mem_->dram().writeQueueDepth(now)));
+    w.field("dram_deferred_prefetches", m.dram.prefetchesDeferred);
     if (gauges_.occupancy) {
         w.field("cbws_occupancy", gauges_.occupancy());
         if (gauges_.capacity)
@@ -180,6 +189,10 @@ SnapshotWriter::finalize(const SimResult &result)
             ratio(result.mem.l1dMisses, result.mem.l1dAccesses));
     w.field("l2_miss_rate", ratio(result.mem.llcDemandMisses,
                                   result.mem.demandL2Accesses));
+    w.field("dram_backend", result.dramBackend);
+    w.field("dram_row_hit_rate", result.mem.dram.rowHitRate());
+    w.field("dram_deferred_prefetches",
+            result.mem.dram.prefetchesDeferred);
     w.endObject();
 
     writeLine(w.str() + "\n");

@@ -99,6 +99,22 @@ makeResult(std::uint64_t salt = 0)
         life.residentAtEnd = v++;
         life.latenessCycles = v++;
     }
+    r.dramBackend = "ddr";
+    r.mem.dram.reads = v++;
+    r.mem.dram.writes = v++;
+    r.mem.dram.rowHits = v++;
+    r.mem.dram.rowMisses = v++;
+    r.mem.dram.rowClosed = v++;
+    r.mem.dram.activates = v++;
+    r.mem.dram.fawStalls = v++;
+    r.mem.dram.refreshStalls = v++;
+    r.mem.dram.prefetchesDeferred = v++;
+    r.mem.dram.deferralCycles = v++;
+    r.mem.dram.readQueueFullStalls = v++;
+    r.mem.dram.writeDrains = v++;
+    r.mem.dram.busBusyCycles = v++;
+    r.mem.dram.readQueueDepthSum = v++;
+    r.mem.dram.writeQueueDepthSum = v++;
     return r;
 }
 
@@ -118,10 +134,14 @@ cellsIdentical(const SimResult &a, const SimResult &b)
         return ::testing::AssertionFailure()
                << a.workload << "/" << a.prefetcher
                << ": CoreStats differ";
-    if (std::memcmp(&a.mem, &b.mem, sizeof(a.mem)) != 0)
+    if (a.mem != b.mem)
         return ::testing::AssertionFailure()
                << a.workload << "/" << a.prefetcher
                << ": HierarchyStats differ";
+    if (a.dramBackend != b.dramBackend)
+        return ::testing::AssertionFailure()
+               << "dram backend: " << a.dramBackend << " vs "
+               << b.dramBackend;
     return ::testing::AssertionSuccess();
 }
 
@@ -172,7 +192,9 @@ TEST(CheckpointCell, WrongSchemaVersionIsRejectedAsSuch)
     const std::string line = checkpointCellLine(makeResult());
     const std::string marker = ",\"crc\":\"";
     std::string object = line.substr(0, line.rfind(marker)) + "}";
-    const std::string old = "\"schema_version\":1";
+    const std::string old =
+        "\"schema_version\":" +
+        std::to_string(CheckpointSchemaVersion);
     const std::size_t at = object.find(old);
     ASSERT_NE(at, std::string::npos);
     object.replace(at, old.size(), "\"schema_version\":99");

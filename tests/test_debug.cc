@@ -99,7 +99,7 @@ TEST_F(DebugTest, SetFlagsRejectsUnknownNameKeepingEarlierFlags)
 TEST_F(DebugTest, FlagNamesCoverEveryFlag)
 {
     const auto names = debug::flagNames();
-    ASSERT_EQ(names.size(), 8u);
+    ASSERT_EQ(names.size(), 9u);
     for (const auto &name : names)
         EXPECT_TRUE(debug::setFlags(name)) << name;
 }

@@ -51,7 +51,7 @@ cellsIdentical(const SimResult &a, const SimResult &b)
         return ::testing::AssertionFailure()
                << a.workload << "/" << a.prefetcher
                << ": CoreStats differ";
-    if (std::memcmp(&a.mem, &b.mem, sizeof(a.mem)) != 0)
+    if (a.mem != b.mem)
         return ::testing::AssertionFailure()
                << a.workload << "/" << a.prefetcher
                << ": HierarchyStats differ";

@@ -27,6 +27,7 @@
 #include "base/debug.hh"
 #include "base/faultinject.hh"
 #include "base/table.hh"
+#include "mem/dram/backend.hh"
 #include "prefetch/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
@@ -80,6 +81,19 @@ listSchemes()
                 "paper's seven schemes\n");
 }
 
+/** `--dram help`: the registered DRAM timing backends. */
+void
+listDramBackends()
+{
+    TextTable t;
+    t.header({"backend", "description"});
+    for (const auto &name : dramBackendRegistry().names())
+        t.row({name, dramBackendRegistry().describe(name)});
+    std::printf("%s", t.render().c_str());
+    std::printf("\nnames are case-insensitive; the default is "
+                "'fixed'\n");
+}
+
 void
 listWorkloads()
 {
@@ -114,9 +128,18 @@ applyOverrides(const ArgParser &args, SystemConfig &config)
         config.mem.l2.sizeBytes =
             args.getUint("l2-kb", 2048) * 1024;
     }
+    if (args.provided("dram"))
+        config.mem.dramBackend = args.get("dram");
     if (args.provided("dram-latency")) {
         config.mem.dramLatency =
             args.getUint("dram-latency", 300);
+    }
+    if (args.provided("dram-min-interval")) {
+        config.mem.dramMinInterval =
+            args.getUint("dram-min-interval", 0);
+    }
+    if (args.provided("dram-tburst")) {
+        config.mem.ddr.tBURST = args.getUint("dram-tburst", 8);
     }
     if (args.provided("l1d-mshrs")) {
         config.mem.l1d.mshrs = static_cast<unsigned>(
@@ -248,7 +271,18 @@ main(int argc, char **argv)
     args.addFlag("cbws-train-misses-only",
                  "CBWS tracks only L1 misses inside blocks");
     args.addOption("l2-kb", "L2 capacity in KB", "");
+    args.addOption("dram",
+                   "DRAM timing backend ('help' lists them)",
+                   "fixed");
     args.addOption("dram-latency", "memory latency in cycles", "");
+    args.addOption("dram-min-interval",
+                   "DEPRECATED flat throttle: min cycles between "
+                   "DRAM issues (fixed backend only)",
+                   "");
+    args.addOption("dram-tburst",
+                   "ddr backend data-bus cycles per 64 B line "
+                   "(bandwidth = 64/tBURST B/cycle)",
+                   "");
     args.addOption("l1d-mshrs", "L1D MSHR count", "");
     args.addOption("rob", "reorder-buffer entries", "");
     args.addOption("stats-file",
@@ -309,6 +343,17 @@ main(int argc, char **argv)
     if (scheme == "help") {
         listSchemes();
         return 0;
+    }
+    if (args.get("dram") == "help") {
+        listDramBackends();
+        return 0;
+    }
+    if (!dramBackendRegistry().contains(args.get("dram"))) {
+        std::fprintf(stderr,
+                     "--dram: unknown backend '%s' (try --dram "
+                     "help)\n",
+                     args.get("dram").c_str());
+        return 1;
     }
 
     const std::uint64_t insts = args.getUint("insts", 120000);
