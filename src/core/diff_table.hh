@@ -66,7 +66,11 @@ class HistoryShiftRegister
         std::uint64_t concat = 0;
         unsigned shift = 0;
         for (std::uint16_t h : history_) {
-            concat |= static_cast<std::uint64_t>(h) << shift;
+            // Histories deeper than the 64-bit accumulator wrap
+            // around it: the fold below only needs a stable mix of
+            // every hash, not a lossless concatenation, and the
+            // explicit mask keeps the shift in range.
+            concat |= static_cast<std::uint64_t>(h) << (shift & 63u);
             shift += hashBits_;
         }
         std::uint64_t folded = 0;

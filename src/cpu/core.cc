@@ -1,8 +1,6 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_map>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
@@ -12,8 +10,6 @@ namespace cbws
 
 namespace
 {
-
-constexpr Cycle Never = ~Cycle(0);
 
 /** Execution latency of a non-memory instruction class. */
 Cycle
@@ -31,9 +27,422 @@ execLatency(const CoreParams &p, InstClass cls)
 
 } // anonymous namespace
 
-OooCore::OooCore(const CoreParams &params, Hierarchy &mem)
-    : params_(params), mem_(mem), bp_(params.branchPred)
+OooCore::OooCore(const CoreParams &params, Hierarchy &mem,
+                 unsigned core_id)
+    : params_(params), mem_(mem), bp_(params.branchPred),
+      coreId_(core_id)
 {
+    const std::string prefix =
+        core_id == 0 ? "core" : "core" + std::to_string(core_id);
+    commitLabel_ = prefix + ".commit";
+    robLabel_ = prefix + ".rob";
+}
+
+OooCore::RobEntry &
+OooCore::robAt(std::size_t offset)
+{
+    return rob_[(robHead_ + offset) % params_.robSize];
+}
+
+const OooCore::RobEntry &
+OooCore::robAt(std::size_t offset) const
+{
+    return rob_[(robHead_ + offset) % params_.robSize];
+}
+
+bool
+OooCore::producerReady(std::uint64_t seq, Cycle now) const
+{
+    if (seq == NoProducer || seq < headSeq_)
+        return true; // architectural, or producer already committed
+    const RobEntry &p = rob_[(robHead_ + (seq - headSeq_)) %
+                             params_.robSize];
+    return p.issued && p.readyAt <= now;
+}
+
+void
+OooCore::noteStore(LineAddr line)
+{
+    ++pendingStoreLines_[line];
+}
+
+void
+OooCore::retireStore(LineAddr line)
+{
+    auto it = pendingStoreLines_.find(line);
+    if (it != pendingStoreLines_.end() && --it->second == 0)
+        pendingStoreLines_.erase(it);
+}
+
+void
+OooCore::begin(const Trace &trace, std::uint64_t max_insts,
+               const CommitHook &on_commit, const AccessHook &on_access,
+               std::uint64_t warmup_insts,
+               const std::function<void(Cycle)> &on_warmup)
+{
+    runTrace_ = &trace;
+    maxInsts_ = max_insts;
+    warmupInsts_ = warmup_insts;
+    onCommit_ = on_commit;
+    onAccess_ = on_access;
+    onWarmup_ = on_warmup;
+    stats_ = CoreStats();
+    warmSnapshot_ = CoreStats();
+    warmed_ = warmup_insts == 0;
+    done_ = false;
+    rob_.assign(params_.robSize, RobEntry());
+    robHead_ = 0;
+    robCount_ = 0;
+    fetchQueue_.clear();
+    for (auto &p : regProducer_)
+        p = NoProducer;
+    headSeq_ = 0;
+    traceIdx_ = 0;
+    fetchAllowedAt_ = 0;
+    lastFetchLine_ = ~LineAddr(0);
+    ldqCount_ = 0;
+    stqCount_ = 0;
+    pendingStoreLines_.clear();
+    fetchInBlock_ = false;
+    lastCommittedInBlock_ = false;
+    firstUnissued_ = 0;
+    lastCycleInBlock_ = false;
+    cycleLimit_ = max_insts * 300 + 100000;
+}
+
+unsigned
+OooCore::commitStage(Cycle now)
+{
+    // ---- Commit (in order, up to width) ----
+    unsigned committed = 0;
+    while (robCount_ > 0 && committed < params_.width &&
+           stats_.instructions < maxInsts_) {
+        RobEntry &head = robAt(0);
+        if (!head.issued || head.readyAt > now)
+            break;
+        if (head.rec.cls == InstClass::Store) {
+            // Stores write the memory system at commit, in program
+            // order; they never stall the core.
+            head.mem = mem_.store(head.rec.effAddr, now, coreId_);
+            if (onAccess_)
+                onAccess_(head.rec, head.mem, now);
+            retireStore(head.rec.line());
+            --stqCount_;
+            ++stats_.memInstructions;
+        } else if (head.rec.cls == InstClass::Load) {
+            --ldqCount_;
+            ++stats_.memInstructions;
+        } else if (head.rec.cls == InstClass::Branch) {
+            ++stats_.branches;
+            if (head.mispredicted)
+                ++stats_.branchMispredicts;
+        }
+        if (onCommit_)
+            onCommit_(head.rec, head.mem, now);
+        DPRINTF(Core, "commit seq=%llu pc=%#llx cls=%d",
+                static_cast<unsigned long long>(headSeq_),
+                static_cast<unsigned long long>(head.rec.pc),
+                static_cast<int>(head.rec.cls));
+        lastCommittedInBlock_ = head.inBlock;
+        robHead_ = (robHead_ + 1) % params_.robSize;
+        --robCount_;
+        ++headSeq_;
+        if (firstUnissued_ > 0)
+            --firstUnissued_;
+        ++stats_.instructions;
+        ++committed;
+        if (!warmed_ && stats_.instructions >= warmupInsts_) {
+            warmed_ = true;
+            warmSnapshot_ = stats_;
+            warmSnapshot_.cycles = now;
+            if (onWarmup_)
+                onWarmup_(now);
+        }
+    }
+    return committed;
+}
+
+unsigned
+OooCore::issueStage(Cycle now)
+{
+    // ---- Issue / execute ----
+    unsigned fu_used = 0;
+    unsigned mem_ports_used = 0;
+    while (firstUnissued_ < robCount_ && robAt(firstUnissued_).issued)
+        ++firstUnissued_;
+    const std::size_t scan_end = std::min<std::size_t>(
+        robCount_, firstUnissued_ + params_.issueWindow);
+    for (std::size_t i = firstUnissued_;
+         i < scan_end && fu_used < params_.numFUs; ++i) {
+        RobEntry &e = robAt(i);
+        if (e.issued)
+            continue;
+        if (!producerReady(e.src1Seq, now) ||
+            !producerReady(e.src2Seq, now)) {
+            continue;
+        }
+
+        if (e.rec.cls == InstClass::Load) {
+            if (mem_ports_used >= params_.memPortsPerCycle)
+                continue;
+            // Store-to-load forwarding: an older, uncommitted store
+            // to the same line supplies the data. The backward ROB
+            // scan only runs when the line counter says some
+            // in-flight store touches this line.
+            bool forwarded = false;
+            bool wait_for_store = false;
+            const LineAddr line = e.rec.line();
+            if (pendingStoreLines_.count(line)) {
+                for (std::size_t j = i; j-- > 0;) {
+                    const RobEntry &older = robAt(j);
+                    if (older.rec.cls != InstClass::Store ||
+                        older.rec.line() != line) {
+                        continue;
+                    }
+                    if (!older.issued) {
+                        wait_for_store = true;
+                    } else {
+                        forwarded = true;
+                        e.readyAt = std::max(now, older.readyAt) + 1;
+                    }
+                    break;
+                }
+            }
+            if (wait_for_store)
+                continue;
+            if (forwarded) {
+                e.mem.ok = true;
+                e.mem.l1Hit = true;
+                e.mem.readyAt = e.readyAt;
+            } else {
+                AccessOutcome out =
+                    mem_.load(e.rec.effAddr, now, coreId_);
+                if (!out.ok)
+                    continue; // MSHR back-pressure: retry next cycle
+                e.mem = out;
+                e.readyAt = out.readyAt;
+                if (onAccess_)
+                    onAccess_(e.rec, out, now);
+            }
+            ++mem_ports_used;
+        } else if (e.rec.cls == InstClass::Store) {
+            // Address/data become ready; the write happens at commit.
+            e.readyAt = now + 1;
+        } else if (e.rec.cls == InstClass::Branch) {
+            e.readyAt = now + 1;
+            if (e.mispredicted) {
+                fetchAllowedAt_ =
+                    e.readyAt + params_.mispredictPenalty;
+                DPRINTF(Core, "mispredict pc=%#llx resolved; "
+                        "fetch resumes at %llu",
+                        static_cast<unsigned long long>(e.rec.pc),
+                        static_cast<unsigned long long>(
+                            fetchAllowedAt_));
+                if (trace_ && trace_->wants(now)) {
+                    trace_->instant("core", "mispredict",
+                                    TraceTrack::Core, now, e.rec.pc);
+                }
+            }
+        } else {
+            e.readyAt = now + execLatency(params_, e.rec.cls);
+        }
+        e.issued = true;
+        ++fu_used;
+    }
+    return fu_used;
+}
+
+unsigned
+OooCore::dispatchStage(Cycle now)
+{
+    // ---- Dispatch (fetch queue -> ROB) ----
+    unsigned dispatched = 0;
+    while (!fetchQueue_.empty() && dispatched < params_.width) {
+        if (robCount_ >= params_.robSize) {
+            ++stats_.robFullStalls;
+            if (trace_ && trace_->wants(now)) {
+                trace_->instant("core", "rob-full", TraceTrack::Core,
+                                now, robCount_);
+            }
+            break;
+        }
+        RobEntry &fe = fetchQueue_.front();
+        if (fe.rec.cls == InstClass::Load) {
+            if (ldqCount_ >= params_.ldqSize) {
+                ++stats_.lsqFullStalls;
+                break;
+            }
+            ++ldqCount_;
+        } else if (fe.rec.cls == InstClass::Store) {
+            if (stqCount_ >= params_.stqSize) {
+                ++stats_.lsqFullStalls;
+                break;
+            }
+            ++stqCount_;
+            noteStore(fe.rec.line());
+        }
+        RobEntry &slot = rob_[(robHead_ + robCount_) %
+                              params_.robSize];
+        slot = fe;
+        // Rename: capture in-flight producers, then claim the
+        // destination register.
+        slot.src1Seq = slot.rec.src1 != InvalidReg
+                           ? regProducer_[slot.rec.src1]
+                           : NoProducer;
+        slot.src2Seq = slot.rec.src2 != InvalidReg
+                           ? regProducer_[slot.rec.src2]
+                           : NoProducer;
+        if (slot.rec.dest != InvalidReg)
+            regProducer_[slot.rec.dest] = headSeq_ + robCount_;
+        if (isBlockMarker(slot.rec.cls) ||
+            slot.rec.cls == InstClass::Nop) {
+            // Markers are architectural no-ops: complete immediately
+            // without consuming a functional unit.
+            slot.issued = true;
+            slot.readyAt = now;
+        }
+        ++robCount_;
+        fetchQueue_.pop_front();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+unsigned
+OooCore::fetchStage(Cycle now)
+{
+    // ---- Fetch ----
+    unsigned fetched = 0;
+    const Trace &trace = *runTrace_;
+    while (fetched < params_.width &&
+           fetchQueue_.size() < params_.fetchQueueSize &&
+           traceIdx_ < trace.size() && now >= fetchAllowedAt_) {
+        const TraceRecord &rec = trace[traceIdx_];
+        const LineAddr fetch_line = lineOf(rec.pc);
+        if (fetch_line != lastFetchLine_) {
+            AccessOutcome out = mem_.fetch(rec.pc, now, coreId_);
+            if (!out.ok)
+                break;
+            lastFetchLine_ = fetch_line;
+            if (!out.l1Hit) {
+                // I-cache miss: this group still enters the pipeline,
+                // but fetch stalls until the fill.
+                fetchAllowedAt_ = out.readyAt;
+            }
+        }
+
+        RobEntry e;
+        e.rec = rec;
+        if (rec.cls == InstClass::BlockBegin)
+            fetchInBlock_ = true;
+        e.inBlock = fetchInBlock_ || rec.cls == InstClass::BlockEnd;
+        if (rec.cls == InstClass::BlockEnd)
+            fetchInBlock_ = false;
+
+        ++traceIdx_;
+        ++fetched;
+        if (rec.cls == InstClass::Branch) {
+            auto result = bp_.predictAndTrain(rec.pc, rec.taken,
+                                              rec.effAddr);
+            e.mispredicted = result.mispredict();
+            fetchQueue_.push_back(e);
+            if (e.mispredicted) {
+                // Fetch resumes once the branch executes (set at
+                // issue time).
+                fetchAllowedAt_ = Never;
+                break;
+            }
+            if (rec.taken) {
+                // Taken branch ends the fetch group and redirects the
+                // fetch line.
+                lastFetchLine_ = ~LineAddr(0);
+                break;
+            }
+        } else {
+            fetchQueue_.push_back(e);
+        }
+    }
+    return fetched;
+}
+
+bool
+OooCore::step(Cycle now)
+{
+    const unsigned committed = commitStage(now);
+    if (trace_ && committed > 0 && trace_->wants(now)) {
+        trace_->counter(commitLabel_.c_str(), now, committed);
+        trace_->counter(robLabel_.c_str(), now, robCount_);
+    }
+
+    if (stats_.instructions >= maxInsts_) {
+        done_ = true;
+        return committed > 0;
+    }
+    if (traceIdx_ >= runTrace_->size() && robCount_ == 0 &&
+        fetchQueue_.empty()) {
+        done_ = true;
+        return committed > 0;
+    }
+
+    const unsigned fu_used = issueStage(now);
+    const unsigned dispatched = dispatchStage(now);
+    const unsigned fetched = fetchStage(now);
+
+    // ---- Cycle accounting ----
+    bool cycle_in_block;
+    if (robCount_ > 0)
+        cycle_in_block = robAt(0).inBlock;
+    else if (!fetchQueue_.empty())
+        cycle_in_block = fetchQueue_.front().inBlock;
+    else
+        cycle_in_block = lastCommittedInBlock_;
+    lastCycleInBlock_ = cycle_in_block;
+    if (cycle_in_block)
+        ++stats_.loopCycles;
+
+    return committed > 0 || fu_used > 0 || dispatched > 0 ||
+           fetched > 0;
+}
+
+Cycle
+OooCore::nextLocalEvent(Cycle now) const
+{
+    Cycle next = Never;
+    for (std::size_t i = 0; i < robCount_; ++i) {
+        const RobEntry &e = robAt(i);
+        if (e.issued && e.readyAt > now && e.readyAt < next)
+            next = e.readyAt;
+    }
+    if (fetchAllowedAt_ != Never && fetchAllowedAt_ > now &&
+        fetchAllowedAt_ < next) {
+        next = fetchAllowedAt_;
+    }
+    return next;
+}
+
+void
+OooCore::addSkippedCycles(Cycle skipped)
+{
+    if (lastCycleInBlock_)
+        stats_.loopCycles += skipped;
+}
+
+CoreStats
+OooCore::finish(Cycle end)
+{
+    stats_.cycles = end;
+    if (warmupInsts_ > 0 && warmed_) {
+        stats_.cycles -= warmSnapshot_.cycles;
+        stats_.instructions -= warmSnapshot_.instructions;
+        stats_.memInstructions -= warmSnapshot_.memInstructions;
+        stats_.branches -= warmSnapshot_.branches;
+        stats_.branchMispredicts -= warmSnapshot_.branchMispredicts;
+        stats_.loopCycles -= warmSnapshot_.loopCycles;
+        stats_.robFullStalls -= warmSnapshot_.robFullStalls;
+        stats_.lsqFullStalls -= warmSnapshot_.lsqFullStalls;
+    }
+    runTrace_ = nullptr;
+    return stats_;
 }
 
 CoreStats
@@ -42,331 +451,15 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
              std::uint64_t warmup_insts,
              const std::function<void(Cycle)> &on_warmup)
 {
-    CoreStats stats;
-    CoreStats warm_snapshot;
-    bool warmed = warmup_insts == 0;
+    begin(trace, max_insts, on_commit, on_access, warmup_insts,
+          on_warmup);
 
-    // ROB as a ring buffer so entry offsets stay stable across pops.
-    std::vector<RobEntry> rob(params_.robSize);
-    std::size_t rob_head = 0;
-    std::size_t rob_count = 0;
-    auto rob_at = [&](std::size_t offset) -> RobEntry & {
-        return rob[(rob_head + offset) % params_.robSize];
-    };
-
-    std::deque<RobEntry> fetch_queue;
-
-    // Register renaming: the sequence number of the latest dispatched
-    // producer of each architectural register. A consumer captures its
-    // producers at dispatch and waits only on them — register reuse
-    // (WAR/WAW) never stalls.
-    constexpr std::uint64_t NoProducer = ~std::uint64_t(0);
-    std::uint64_t reg_producer[NumArchRegs];
-    for (auto &p : reg_producer)
-        p = NoProducer;
-    std::uint64_t head_seq = 0; // sequence number of rob_at(0)
-
-    auto producer_ready = [&](std::uint64_t seq, Cycle now) {
-        if (seq == NoProducer || seq < head_seq)
-            return true; // architectural, or producer already committed
-        const RobEntry &p = rob[(rob_head + (seq - head_seq)) %
-                                params_.robSize];
-        return p.issued && p.readyAt <= now;
-    };
-
-    std::size_t trace_idx = 0;
     Cycle now = 0;
-    Cycle fetch_allowed_at = 0;
-    LineAddr last_fetch_line = ~LineAddr(0);
-    unsigned ldq_count = 0;
-    unsigned stq_count = 0;
-    // Count of in-flight (dispatched, uncommitted) stores per line:
-    // lets the store-to-load forwarding check skip its O(ROB)
-    // backward scan for the common load with no matching store —
-    // without changing which loads forward (the scan still decides).
-    std::unordered_map<LineAddr, unsigned> pending_store_lines;
-    auto note_store = [&](LineAddr line) {
-        ++pending_store_lines[line];
-    };
-    auto retire_store = [&](LineAddr line) {
-        auto it = pending_store_lines.find(line);
-        if (it != pending_store_lines.end() && --it->second == 0)
-            pending_store_lines.erase(it);
-    };
-    bool fetch_in_block = false;
-    bool last_committed_in_block = false;
-    // First offset in the ROB that may hold an unissued entry; issue
-    // never needs to look before it.
-    std::size_t first_unissued = 0;
-
-    const Cycle cycle_limit = max_insts * 300 + 100000;
-
     while (true) {
         mem_.tick(now);
-
-        // ---- Commit (in order, up to width) ----
-        unsigned committed = 0;
-        while (rob_count > 0 && committed < params_.width &&
-               stats.instructions < max_insts) {
-            RobEntry &head = rob_at(0);
-            if (!head.issued || head.readyAt > now)
-                break;
-            if (head.rec.cls == InstClass::Store) {
-                // Stores write the memory system at commit, in program
-                // order; they never stall the core.
-                head.mem = mem_.store(head.rec.effAddr, now);
-                if (on_access)
-                    on_access(head.rec, head.mem, now);
-                retire_store(head.rec.line());
-                --stq_count;
-                ++stats.memInstructions;
-            } else if (head.rec.cls == InstClass::Load) {
-                --ldq_count;
-                ++stats.memInstructions;
-            } else if (head.rec.cls == InstClass::Branch) {
-                ++stats.branches;
-                if (head.mispredicted)
-                    ++stats.branchMispredicts;
-            }
-            if (on_commit)
-                on_commit(head.rec, head.mem, now);
-            DPRINTF(Core, "commit seq=%llu pc=%#llx cls=%d",
-                    static_cast<unsigned long long>(head_seq),
-                    static_cast<unsigned long long>(head.rec.pc),
-                    static_cast<int>(head.rec.cls));
-            last_committed_in_block = head.inBlock;
-            rob_head = (rob_head + 1) % params_.robSize;
-            --rob_count;
-            ++head_seq;
-            if (first_unissued > 0)
-                --first_unissued;
-            ++stats.instructions;
-            ++committed;
-            if (!warmed && stats.instructions >= warmup_insts) {
-                warmed = true;
-                warm_snapshot = stats;
-                warm_snapshot.cycles = now;
-                if (on_warmup)
-                    on_warmup(now);
-            }
-        }
-        if (trace_ && committed > 0 && trace_->wants(now)) {
-            trace_->counter("core.commit", now, committed);
-            trace_->counter("core.rob", now, rob_count);
-        }
-
-        if (stats.instructions >= max_insts)
+        const bool worked = step(now);
+        if (done_)
             break;
-        if (trace_idx >= trace.size() && rob_count == 0 &&
-            fetch_queue.empty()) {
-            break;
-        }
-
-        // ---- Issue / execute ----
-        unsigned fu_used = 0;
-        unsigned mem_ports_used = 0;
-        bool mem_retry_pending = false;
-        while (first_unissued < rob_count &&
-               rob_at(first_unissued).issued) {
-            ++first_unissued;
-        }
-        const std::size_t scan_end = std::min<std::size_t>(
-            rob_count, first_unissued + params_.issueWindow);
-        for (std::size_t i = first_unissued;
-             i < scan_end && fu_used < params_.numFUs; ++i) {
-            RobEntry &e = rob_at(i);
-            if (e.issued)
-                continue;
-            if (!producer_ready(e.src1Seq, now) ||
-                !producer_ready(e.src2Seq, now)) {
-                continue;
-            }
-
-            if (e.rec.cls == InstClass::Load) {
-                if (mem_ports_used >= params_.memPortsPerCycle)
-                    continue;
-                // Store-to-load forwarding: an older, uncommitted
-                // store to the same line supplies the data. The
-                // backward ROB scan only runs when the line counter
-                // says some in-flight store touches this line.
-                bool forwarded = false;
-                bool wait_for_store = false;
-                const LineAddr line = e.rec.line();
-                if (pending_store_lines.count(line)) {
-                    for (std::size_t j = i; j-- > 0;) {
-                        const RobEntry &older = rob_at(j);
-                        if (older.rec.cls != InstClass::Store ||
-                            older.rec.line() != line) {
-                            continue;
-                        }
-                        if (!older.issued) {
-                            wait_for_store = true;
-                        } else {
-                            forwarded = true;
-                            e.readyAt =
-                                std::max(now, older.readyAt) + 1;
-                        }
-                        break;
-                    }
-                }
-                if (wait_for_store)
-                    continue;
-                if (forwarded) {
-                    e.mem.ok = true;
-                    e.mem.l1Hit = true;
-                    e.mem.readyAt = e.readyAt;
-                } else {
-                    AccessOutcome out = mem_.load(e.rec.effAddr, now);
-                    if (!out.ok) {
-                        mem_retry_pending = true;
-                        continue; // MSHR back-pressure: retry
-                    }
-                    e.mem = out;
-                    e.readyAt = out.readyAt;
-                    if (on_access)
-                        on_access(e.rec, out, now);
-                }
-                ++mem_ports_used;
-            } else if (e.rec.cls == InstClass::Store) {
-                // Address/data become ready; the write happens at
-                // commit.
-                e.readyAt = now + 1;
-            } else if (e.rec.cls == InstClass::Branch) {
-                e.readyAt = now + 1;
-                if (e.mispredicted) {
-                    fetch_allowed_at =
-                        e.readyAt + params_.mispredictPenalty;
-                    DPRINTF(Core, "mispredict pc=%#llx resolved; "
-                            "fetch resumes at %llu",
-                            static_cast<unsigned long long>(e.rec.pc),
-                            static_cast<unsigned long long>(
-                                fetch_allowed_at));
-                    if (trace_ && trace_->wants(now)) {
-                        trace_->instant("core", "mispredict",
-                                        TraceTrack::Core, now,
-                                        e.rec.pc);
-                    }
-                }
-            } else {
-                e.readyAt = now + execLatency(params_, e.rec.cls);
-            }
-            e.issued = true;
-            ++fu_used;
-        }
-
-        // ---- Dispatch (fetch queue -> ROB) ----
-        unsigned dispatched = 0;
-        while (!fetch_queue.empty() && dispatched < params_.width) {
-            if (rob_count >= params_.robSize) {
-                ++stats.robFullStalls;
-                if (trace_ && trace_->wants(now)) {
-                    trace_->instant("core", "rob-full",
-                                    TraceTrack::Core, now, rob_count);
-                }
-                break;
-            }
-            RobEntry &fe = fetch_queue.front();
-            if (fe.rec.cls == InstClass::Load) {
-                if (ldq_count >= params_.ldqSize) {
-                    ++stats.lsqFullStalls;
-                    break;
-                }
-                ++ldq_count;
-            } else if (fe.rec.cls == InstClass::Store) {
-                if (stq_count >= params_.stqSize) {
-                    ++stats.lsqFullStalls;
-                    break;
-                }
-                ++stq_count;
-                note_store(fe.rec.line());
-            }
-            RobEntry &slot = rob[(rob_head + rob_count) %
-                                 params_.robSize];
-            slot = fe;
-            // Rename: capture in-flight producers, then claim the
-            // destination register.
-            slot.src1Seq = slot.rec.src1 != InvalidReg
-                               ? reg_producer[slot.rec.src1]
-                               : NoProducer;
-            slot.src2Seq = slot.rec.src2 != InvalidReg
-                               ? reg_producer[slot.rec.src2]
-                               : NoProducer;
-            if (slot.rec.dest != InvalidReg)
-                reg_producer[slot.rec.dest] = head_seq + rob_count;
-            if (isBlockMarker(slot.rec.cls) ||
-                slot.rec.cls == InstClass::Nop) {
-                // Markers are architectural no-ops: complete
-                // immediately without consuming a functional unit.
-                slot.issued = true;
-                slot.readyAt = now;
-            }
-            ++rob_count;
-            fetch_queue.pop_front();
-            ++dispatched;
-        }
-
-        // ---- Fetch ----
-        unsigned fetched = 0;
-        while (fetched < params_.width &&
-               fetch_queue.size() < params_.fetchQueueSize &&
-               trace_idx < trace.size() && now >= fetch_allowed_at) {
-            const TraceRecord &rec = trace[trace_idx];
-            const LineAddr fetch_line = lineOf(rec.pc);
-            if (fetch_line != last_fetch_line) {
-                AccessOutcome out = mem_.fetch(rec.pc, now);
-                if (!out.ok)
-                    break;
-                last_fetch_line = fetch_line;
-                if (!out.l1Hit) {
-                    // I-cache miss: this group still enters the
-                    // pipeline, but fetch stalls until the fill.
-                    fetch_allowed_at = out.readyAt;
-                }
-            }
-
-            RobEntry e;
-            e.rec = rec;
-            if (rec.cls == InstClass::BlockBegin)
-                fetch_in_block = true;
-            e.inBlock = fetch_in_block ||
-                        rec.cls == InstClass::BlockEnd;
-            if (rec.cls == InstClass::BlockEnd)
-                fetch_in_block = false;
-
-            ++trace_idx;
-            ++fetched;
-            if (rec.cls == InstClass::Branch) {
-                auto result = bp_.predictAndTrain(rec.pc, rec.taken,
-                                                  rec.effAddr);
-                e.mispredicted = result.mispredict();
-                fetch_queue.push_back(e);
-                if (e.mispredicted) {
-                    // Fetch resumes once the branch executes (set at
-                    // issue time).
-                    fetch_allowed_at = Never;
-                    break;
-                }
-                if (rec.taken) {
-                    // Taken branch ends the fetch group and redirects
-                    // the fetch line.
-                    last_fetch_line = ~LineAddr(0);
-                    break;
-                }
-            } else {
-                fetch_queue.push_back(e);
-            }
-        }
-
-        // ---- Cycle accounting ----
-        bool cycle_in_block;
-        if (rob_count > 0)
-            cycle_in_block = rob_at(0).inBlock;
-        else if (!fetch_queue.empty())
-            cycle_in_block = fetch_queue.front().inBlock;
-        else
-            cycle_in_block = last_committed_in_block;
-        if (cycle_in_block)
-            ++stats.loopCycles;
 
         // ---- Idle fast-forward ----
         // When nothing moved this cycle, the earliest state change is
@@ -377,51 +470,29 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
         // (A failed memory retry does not inhibit the skip: the retry
         // can only succeed once an MSHR drains, and nextEventCycle()
         // includes exactly those fills.)
-        (void)mem_retry_pending;
-        if (committed == 0 && fu_used == 0 && dispatched == 0 &&
-            fetched == 0 && !mem_.prefetchWorkPending()) {
+        if (!worked && !mem_.prefetchWorkPending()) {
             Cycle next_event = mem_.nextEventCycle();
-            for (std::size_t i = 0; i < rob_count; ++i) {
-                const RobEntry &e = rob_at(i);
-                if (e.issued && e.readyAt > now &&
-                    e.readyAt < next_event) {
-                    next_event = e.readyAt;
-                }
-            }
-            if (fetch_allowed_at != Never && fetch_allowed_at > now &&
-                fetch_allowed_at < next_event) {
-                next_event = fetch_allowed_at;
-            }
+            const Cycle local = nextLocalEvent(now);
+            if (local < next_event)
+                next_event = local;
             if (next_event != Never && next_event > now + 1) {
                 const Cycle skipped = next_event - now - 1;
-                if (cycle_in_block)
-                    stats.loopCycles += skipped;
+                addSkippedCycles(skipped);
                 now += skipped;
             }
         }
 
         ++now;
-        if (now > cycle_limit) {
+        if (now > cycleLimit_) {
             warn("core: cycle limit reached (%llu cycles, %llu insts); "
                  "possible livelock",
                  static_cast<unsigned long long>(now),
-                 static_cast<unsigned long long>(stats.instructions));
+                 static_cast<unsigned long long>(stats_.instructions));
             break;
         }
     }
 
-    stats.cycles = now;
-    if (warmup_insts > 0 && warmed) {
-        stats.cycles -= warm_snapshot.cycles;
-        stats.instructions -= warm_snapshot.instructions;
-        stats.memInstructions -= warm_snapshot.memInstructions;
-        stats.branches -= warm_snapshot.branches;
-        stats.branchMispredicts -= warm_snapshot.branchMispredicts;
-        stats.loopCycles -= warm_snapshot.loopCycles;
-        stats.robFullStalls -= warm_snapshot.robFullStalls;
-        stats.lsqFullStalls -= warm_snapshot.lsqFullStalls;
-    }
-    return stats;
+    return finish(now);
 }
 
 } // namespace cbws

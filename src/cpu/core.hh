@@ -18,13 +18,23 @@
  * *committed* memory operations are handed to the prefetcher in
  * program order, exactly as the paper requires ("the prefetcher
  * obtains the address sequence from the in-order commit stage").
+ *
+ * The core exposes two driving modes over the same pipeline:
+ * run() owns the cycle loop for a single core (the historic API),
+ * while begin()/step()/finish() let an external lockstep driver
+ * interleave several cores cycle by cycle over a shared hierarchy
+ * (sim/simulator.cc's multi-core mode). run() is implemented on top
+ * of the step API, so both modes execute identical pipeline code.
  */
 
 #ifndef CBWS_CPU_CORE_HH
 #define CBWS_CPU_CORE_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cpu/branch_pred.hh"
@@ -104,7 +114,14 @@ class OooCore
      */
     using AccessHook = CommitHook;
 
-    OooCore(const CoreParams &params, Hierarchy &mem);
+    /**
+     * @param core_id index of this core in a multi-core system; every
+     *        memory access is tagged with it (private L1 selection and
+     *        interference attribution in the shared hierarchy). 0 for
+     *        the historic single-core system.
+     */
+    OooCore(const CoreParams &params, Hierarchy &mem,
+            unsigned core_id = 0);
 
     /**
      * Simulate @p trace until @p max_insts instructions commit or the
@@ -122,6 +139,64 @@ class OooCore
                   std::uint64_t warmup_insts = 0,
                   const std::function<void(Cycle)> &on_warmup =
                       nullptr);
+
+    /**
+     * @name Steppable per-cycle API
+     * A lockstep multi-core driver calls begin() once, then step()
+     * every cycle until done(), then finish(). The driver owns the
+     * global clock and the hierarchy tick; step() performs one
+     * cycle's worth of commit/issue/dispatch/fetch for this core
+     * only. run() is this sequence plus the single-core idle
+     * fast-forward.
+     */
+    ///@{
+
+    /** Arm the pipeline for a run (resets all per-run state). */
+    void begin(const Trace &trace, std::uint64_t max_insts,
+               const CommitHook &on_commit = nullptr,
+               const AccessHook &on_access = nullptr,
+               std::uint64_t warmup_insts = 0,
+               const std::function<void(Cycle)> &on_warmup = nullptr);
+
+    /**
+     * Advance this core's pipeline through global cycle @p now. The
+     * caller must have ticked the shared hierarchy to @p now first.
+     * @return true when any stage made progress this cycle (used by
+     *         the driver's idle fast-forward).
+     */
+    bool step(Cycle now);
+
+    /** True once the run's end condition was reached by step(). */
+    bool done() const { return done_; }
+
+    /**
+     * Earliest core-local future event (an issued instruction
+     * completing or the post-mispredict fetch restart); a huge
+     * sentinel when none is pending. Combined with the hierarchy's
+     * nextEventCycle() to bound idle fast-forwards.
+     */
+    Cycle nextLocalEvent(Cycle now) const;
+
+    /**
+     * Account @p skipped idle cycles jumped over by the driver's
+     * fast-forward (extends the annotated-block cycle attribution of
+     * the last stepped cycle).
+     */
+    void addSkippedCycles(Cycle skipped);
+
+    /** Close the run at cycle @p end and return the (warmup-adjusted)
+     *  statistics. */
+    CoreStats finish(Cycle end);
+
+    /** Instructions committed so far in the current run. */
+    std::uint64_t committedInsts() const { return stats_.instructions; }
+
+    /** Livelock guard for the current run's cycle count. */
+    Cycle cycleLimit() const { return cycleLimit_; }
+
+    unsigned coreId() const { return coreId_; }
+
+    ///@}
 
     const TournamentBP &branchPredictor() const { return bp_; }
 
@@ -147,10 +222,71 @@ class OooCore
         bool inBlock = false; ///< fetched inside an annotated block
     };
 
+    static constexpr Cycle Never = ~Cycle(0);
+    static constexpr std::uint64_t NoProducer = ~std::uint64_t(0);
+
+    RobEntry &robAt(std::size_t offset);
+    const RobEntry &robAt(std::size_t offset) const;
+    bool producerReady(std::uint64_t seq, Cycle now) const;
+    void noteStore(LineAddr line);
+    void retireStore(LineAddr line);
+
+    unsigned commitStage(Cycle now);
+    unsigned issueStage(Cycle now);
+    unsigned dispatchStage(Cycle now);
+    unsigned fetchStage(Cycle now);
+
     CoreParams params_;
     Hierarchy &mem_;
     TournamentBP bp_;
     TraceSink *trace_ = nullptr;
+    unsigned coreId_ = 0;
+    /** Counter-track labels ("core.commit" on core 0, "coreN.commit"
+     *  otherwise, so single-core traces are unchanged). */
+    std::string commitLabel_;
+    std::string robLabel_;
+
+    // ---- Per-run pipeline state (valid between begin/finish) ----
+    const Trace *runTrace_ = nullptr;
+    std::uint64_t maxInsts_ = 0;
+    std::uint64_t warmupInsts_ = 0;
+    CommitHook onCommit_;
+    AccessHook onAccess_;
+    std::function<void(Cycle)> onWarmup_;
+    CoreStats stats_;
+    CoreStats warmSnapshot_;
+    bool warmed_ = true;
+    bool done_ = false;
+    /** ROB as a ring buffer so entry offsets stay stable across
+     *  pops. */
+    std::vector<RobEntry> rob_;
+    std::size_t robHead_ = 0;
+    std::size_t robCount_ = 0;
+    std::deque<RobEntry> fetchQueue_;
+    /** Register renaming: the sequence number of the latest
+     *  dispatched producer of each architectural register. */
+    std::uint64_t regProducer_[NumArchRegs];
+    std::uint64_t headSeq_ = 0; ///< sequence number of robAt(0)
+    std::size_t traceIdx_ = 0;
+    Cycle fetchAllowedAt_ = 0;
+    LineAddr lastFetchLine_ = ~LineAddr(0);
+    unsigned ldqCount_ = 0;
+    unsigned stqCount_ = 0;
+    /** Count of in-flight (dispatched, uncommitted) stores per line:
+     *  lets the store-to-load forwarding check skip its O(ROB)
+     *  backward scan for the common load with no matching store —
+     *  without changing which loads forward (the scan still
+     *  decides). */
+    std::unordered_map<LineAddr, unsigned> pendingStoreLines_;
+    bool fetchInBlock_ = false;
+    bool lastCommittedInBlock_ = false;
+    /** First offset in the ROB that may hold an unissued entry; issue
+     *  never needs to look before it. */
+    std::size_t firstUnissued_ = 0;
+    /** Whether the last stepped cycle was attributed to an annotated
+     *  block (extends to skipped idle cycles). */
+    bool lastCycleInBlock_ = false;
+    Cycle cycleLimit_ = 0;
 };
 
 } // namespace cbws

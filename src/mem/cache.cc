@@ -83,7 +83,8 @@ Cache::prefetchSource(LineAddr line) const
 }
 
 Cache::Victim
-Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src)
+Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src,
+              std::uint8_t owner)
 {
     Set &set = setFor(line);
 
@@ -118,6 +119,7 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src)
         victim.prefetched = victim_way->prefetched;
         victim.usedAfterPrefetch = victim_way->usedAfterPrefetch;
         victim.pfSource = victim_way->pfSource;
+        victim.ownerCore = victim_way->ownerCore;
     }
 
     victim_way->line = line;
@@ -126,6 +128,7 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src)
     victim_way->prefetched = prefetched;
     victim_way->usedAfterPrefetch = false;
     victim_way->pfSource = prefetched ? src : PfSource::Unknown;
+    victim_way->ownerCore = owner;
     victim_way->lastTouch = now;
     return victim;
 }
@@ -141,6 +144,7 @@ Cache::invalidate(LineAddr line)
         victim.prefetched = way->prefetched;
         victim.usedAfterPrefetch = way->usedAfterPrefetch;
         victim.pfSource = way->pfSource;
+        victim.ownerCore = way->ownerCore;
         way->valid = false;
         way->dirty = false;
         way->line = NoLine;
@@ -173,6 +177,20 @@ Cache::countUnusedPrefetchedBySource(std::uint64_t *counts) const
         for (const auto &way : set)
             if (way.valid && way.prefetched && !way.usedAfterPrefetch)
                 ++counts[static_cast<unsigned>(way.pfSource)];
+}
+
+void
+Cache::countResidentByOwner(std::uint64_t *counts,
+                            unsigned num_cores) const
+{
+    for (const auto &set : sets_)
+        for (const auto &way : set)
+            if (way.valid) {
+                unsigned owner = way.ownerCore;
+                if (owner >= num_cores)
+                    owner = num_cores - 1;
+                ++counts[owner];
+            }
 }
 
 } // namespace cbws

@@ -40,6 +40,8 @@ class Cache
         bool prefetched = false;
         bool usedAfterPrefetch = false;
         PfSource pfSource = PfSource::Unknown;
+        /** Core whose fill installed the evicted line. */
+        std::uint8_t ownerCore = 0;
     };
 
     explicit Cache(const CacheParams &params,
@@ -70,10 +72,14 @@ class Cache
      * @param prefetched marks the fill as prefetcher-initiated.
      * @param src the prefetcher component that requested the fill
      *        (lifecycle attribution; meaningful only when prefetched).
+     * @param owner the core whose demand or prefetch initiated the
+     *        fill (shared-L2 occupancy attribution; 0 in single-core
+     *        systems).
      * @return the victim (valid == false when an invalid way was used).
      */
     Victim insert(LineAddr line, Cycle now, bool prefetched,
-                  PfSource src = PfSource::Unknown);
+                  PfSource src = PfSource::Unknown,
+                  std::uint8_t owner = 0);
 
     /**
      * Source tag of the prefetch that filled @p line (Unknown when the
@@ -100,6 +106,14 @@ class Cache
      */
     void countUnusedPrefetchedBySource(std::uint64_t *counts) const;
 
+    /**
+     * Shared-cache occupancy attribution: adds the number of resident
+     * lines installed by each owner core into @p counts (an array of
+     * at least @p num_cores elements; larger owner tags are clamped).
+     */
+    void countResidentByOwner(std::uint64_t *counts,
+                              unsigned num_cores) const;
+
     std::uint64_t numSets() const { return sets_.size(); }
 
   private:
@@ -121,6 +135,8 @@ class Cache
         bool prefetched = false;
         bool usedAfterPrefetch = false;
         PfSource pfSource = PfSource::Unknown;
+        /** Core whose fill installed the line (0 in single-core). */
+        std::uint8_t ownerCore = 0;
     };
 
     using Set = std::vector<Way>;

@@ -40,18 +40,83 @@ CBWS_FORCE_LINK_DRAM_BACKEND(ddr)
 
 Hierarchy::Hierarchy(const HierarchyParams &params)
     : params_(params),
-      l1d_(params.l1d, 0x11d),
-      l1i_(params.l1i, 0x111),
       l2_(params.l2, 0x122),
-      l1dMshr_(params.l1d.mshrs),
-      l1iMshr_(params.l1i.mshrs),
       l2Mshr_(params.l2.mshrs)
 {
+    fatal_if(params_.numCores == 0, "hierarchy: numCores must be >= 1");
+    fatal_if(params_.numCores > 1 && params_.l2Banks == 0,
+             "hierarchy: l2Banks must be >= 1 for multicore");
+    // Core 0 keeps the historic replacement seeds so a one-core
+    // hierarchy is bit-identical to the original single-core model.
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        l1d_.emplace_back(params_.l1d, 0x11d + c);
+        l1i_.emplace_back(params_.l1i, 0x111 + c);
+        l1dMshr_.emplace_back(params_.l1d.mshrs);
+        l1iMshr_.emplace_back(params_.l1i.mshrs);
+    }
+    if (params_.numCores > 1) {
+        bankBusyUntil_.assign(params_.l2Banks, 0);
+        stats_.perCore.resize(params_.numCores);
+    }
     auto backend =
         dramBackendRegistry().create(params.dramBackend, params);
     if (!backend.ok())
         panic("hierarchy: %s", backend.error().str().c_str());
     dram_ = std::move(backend).value();
+}
+
+Cycle
+Hierarchy::arbitrateL2(LineAddr line, Cycle t)
+{
+    if (bankBusyUntil_.empty())
+        return t;
+    Cycle &busy = bankBusyUntil_[line % bankBusyUntil_.size()];
+    Cycle start = t;
+    if (busy > start) {
+        start = busy;
+        ++stats_.l2BankConflicts;
+    }
+    busy = start + 1;
+    return start;
+}
+
+void
+Hierarchy::recordPollutionEviction(LineAddr victim, unsigned aggressor)
+{
+    if (params_.numCores <= 1 || params_.pollutionFilterEntries == 0)
+        return;
+    // Bound the filter FIFO-style. Stale FIFO entries (already erased
+    // on a pollution hit) just fall out without touching the map.
+    while (pollutionFifo_.size() >= params_.pollutionFilterEntries) {
+        pollutionMap_.erase(pollutionFifo_.front());
+        pollutionFifo_.pop_front();
+    }
+    auto [it, inserted] = pollutionMap_.emplace(
+        victim, static_cast<std::uint8_t>(aggressor));
+    if (inserted)
+        pollutionFifo_.push_back(victim);
+    else
+        it->second = static_cast<std::uint8_t>(aggressor);
+}
+
+void
+Hierarchy::attributePollution(LineAddr line, unsigned core)
+{
+    if (pollutionMap_.empty())
+        return;
+    auto it = pollutionMap_.find(line);
+    if (it == pollutionMap_.end())
+        return;
+    const unsigned aggressor = it->second;
+    pollutionMap_.erase(it);
+    if (aggressor == core)
+        return; // a core thrashing itself is not interference
+    ++stats_.crossCorePollutionMisses;
+    stats_.perCore[core].pollutionVictimMisses++;
+    stats_.perCore[aggressor].pollutionCausedMisses++;
+    DPRINTF(Prefetch,
+            "pollution miss line=%#llx victim-core=%u aggressor=%u",
+            static_cast<unsigned long long>(line), core, aggressor);
 }
 
 void
@@ -93,12 +158,13 @@ Hierarchy::drainL2(Cycle now)
                     e.demanded ? " (late: demand waited)" : "");
         }
         Cache::Victim victim =
-            l2_.insert(e.line, now, prefetched, e.pfSource);
+            l2_.insert(e.line, now, prefetched, e.pfSource, e.core);
         if (prefetched && params_.prefetchToL1) {
-            // Ablation: fill the L1D as well (evictions write back
-            // into the inclusive L2, which now holds the line).
+            // Ablation: fill the requesting core's L1D as well
+            // (evictions write back into the inclusive L2, which now
+            // holds the line).
             Cache::Victim l1v =
-                l1d_.insert(e.line, now, true, e.pfSource);
+                l1d_[e.core].insert(e.line, now, true, e.pfSource);
             if (l1v.valid && l1v.dirty)
                 l2_.setDirty(l1v.line);
         }
@@ -128,13 +194,20 @@ Hierarchy::drainL2(Cycle now)
                 stats_.dramBytesWritten += LineBytes;
                 dram_->write(victim.line, now);
             }
-            // Inclusive L2: evictions invalidate the L1 copies.
-            Cache::Victim l1v = l1d_.invalidate(victim.line);
-            if (l1v.valid && l1v.dirty) {
-                stats_.dramBytesWritten += LineBytes;
-                dram_->write(l1v.line, now);
+            // A prefetch fill displacing another core's line is the
+            // pollution event the interference accounting tracks.
+            if (prefetched)
+                recordPollutionEviction(victim.line, e.core);
+            // Inclusive L2: evictions invalidate every core's L1
+            // copies.
+            for (unsigned c = 0; c < l1d_.size(); ++c) {
+                Cache::Victim l1v = l1d_[c].invalidate(victim.line);
+                if (l1v.valid && l1v.dirty) {
+                    stats_.dramBytesWritten += LineBytes;
+                    dram_->write(l1v.line, now);
+                }
+                l1i_[c].invalidate(victim.line);
             }
-            l1i_.invalidate(victim.line);
             DPRINTF(Cache, "L2 evict line=%#llx%s",
                     static_cast<unsigned long long>(victim.line),
                     victim.dirty ? " (writeback)" : "");
@@ -145,23 +218,27 @@ Hierarchy::drainL2(Cycle now)
 void
 Hierarchy::drainL1(Cycle now)
 {
-    l1dMshr_.drain(now, [this, now](const MshrFile::Entry &e) {
-        Cache::Victim victim = l1d_.insert(e.line, now, false);
-        if (e.isWrite)
-            l1d_.setDirty(e.line);
-        if (victim.valid && victim.dirty) {
-            // Writeback into the (inclusive) L2.
-            if (l2_.contains(victim.line)) {
-                l2_.setDirty(victim.line);
-            } else {
-                stats_.dramBytesWritten += LineBytes;
-                dram_->write(victim.line, now);
+    for (unsigned c = 0; c < l1dMshr_.size(); ++c) {
+        l1dMshr_[c].drain(now, [this, now, c](
+                                   const MshrFile::Entry &e) {
+            Cache::Victim victim = l1d_[c].insert(e.line, now, false);
+            if (e.isWrite)
+                l1d_[c].setDirty(e.line);
+            if (victim.valid && victim.dirty) {
+                // Writeback into the (inclusive) L2.
+                if (l2_.contains(victim.line)) {
+                    l2_.setDirty(victim.line);
+                } else {
+                    stats_.dramBytesWritten += LineBytes;
+                    dram_->write(victim.line, now);
+                }
             }
-        }
-    });
-    l1iMshr_.drain(now, [this, now](const MshrFile::Entry &e) {
-        l1i_.insert(e.line, now, false);
-    });
+        });
+        l1iMshr_[c].drain(now, [this, now, c](
+                                   const MshrFile::Entry &e) {
+            l1i_[c].insert(e.line, now, false);
+        });
+    }
 }
 
 void
@@ -187,16 +264,22 @@ Hierarchy::issuePrefetches(Cycle now)
             params_.l2.mshrs) {
             break; // leave room for demand misses; retry next cycle
         }
+        // Prefetch issues contend for the shared-L2 banks like
+        // demands (no-op in single-core runs).
+        const Cycle t_bank = arbitrateL2(req.line, now);
         const Cycle ready = dram_->read(
-            {req.line, now + params_.l2.latency,
+            {req.line, t_bank + params_.l2.latency,
              /*isPrefetch=*/true, req.src});
         MshrFile::Entry &e =
             l2Mshr_.allocate(req.line, ready,
                              /*is_prefetch=*/true, /*is_write=*/false);
         e.pfSource = req.src;
         e.pfId = req.id;
+        e.core = req.core;
         stats_.dramBytesRead += LineBytes;
         ++stats_.prefetchesIssued;
+        if (!stats_.perCore.empty())
+            ++stats_.perCore[req.core].prefetchesIssued;
         ++issued;
         DPRINTF(Prefetch, "issue line=%#llx src=%s id=%llu readyAt=%llu",
                 static_cast<unsigned long long>(req.line),
@@ -257,11 +340,16 @@ Hierarchy::mergeQueuedPrefetch(LineAddr line, Cycle now)
 
 Cycle
 Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
-                          bool is_data, DemandClass &cls, bool &stall)
+                          bool is_data, unsigned core,
+                          DemandClass &cls, bool &stall)
 {
     stall = false;
-    if (is_data)
+    t_l2 = arbitrateL2(line, t_l2);
+    if (is_data) {
         ++stats_.demandL2Accesses;
+        if (!stats_.perCore.empty())
+            ++stats_.perCore[core].demandL2Accesses;
+    }
 
     // Hit in the L2 arrays?
     const bool was_unused_prefetch = l2_.isUnusedPrefetch(line);
@@ -310,27 +398,41 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
     const Cycle ready = dram_->read(
         {line, t_l2 + params_.l2.latency,
          /*isPrefetch=*/false, PfSource::Unknown});
-    l2Mshr_.allocate(line, ready, /*is_prefetch=*/false, is_write);
-    if (is_data)
+    MshrFile::Entry &e =
+        l2Mshr_.allocate(line, ready, /*is_prefetch=*/false, is_write);
+    e.core = static_cast<std::uint8_t>(core);
+    if (is_data) {
         ++stats_.llcDemandMisses;
+        if (!stats_.perCore.empty()) {
+            ++stats_.perCore[core].llcDemandMisses;
+            attributePollution(line, core);
+        }
+    }
     stats_.dramBytesRead += LineBytes;
     return ready;
 }
 
 AccessOutcome
 Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
-                        bool is_data, bool can_stall)
+                        bool is_data, bool can_stall, unsigned core)
 {
     tick(now);
 
-    Cache &l1 = is_data ? l1d_ : l1i_;
-    MshrFile &l1m = is_data ? l1dMshr_ : l1iMshr_;
+    Cache &l1 = is_data ? l1d_[core] : l1i_[core];
+    MshrFile &l1m = is_data ? l1dMshr_[core] : l1iMshr_[core];
     const CacheParams &l1p = is_data ? params_.l1d : params_.l1i;
+    CoreMemStats *cstats =
+        stats_.perCore.empty() ? nullptr : &stats_.perCore[core];
 
-    if (is_data)
+    if (is_data) {
         ++stats_.l1dAccesses;
-    else
+        if (cstats)
+            ++cstats->l1dAccesses;
+    } else {
         ++stats_.l1iAccesses;
+        if (cstats)
+            ++cstats->l1iAccesses;
+    }
 
     AccessOutcome out;
     if (l1.access(line, now, is_write)) {
@@ -338,10 +440,15 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
         out.readyAt = now + l1p.latency;
         return out;
     }
-    if (is_data)
+    if (is_data) {
         ++stats_.l1dMisses;
-    else
+        if (cstats)
+            ++cstats->l1dMisses;
+    } else {
         ++stats_.l1iMisses;
+        if (cstats)
+            ++cstats->l1iMisses;
+    }
 
     // Merge into an in-flight L1 fill: the L2-level classification
     // already happened when the primary miss went out.
@@ -360,9 +467,17 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
             if (is_data) {
                 --stats_.l1dMisses;
                 --stats_.l1dAccesses;
+                if (cstats) {
+                    --cstats->l1dMisses;
+                    --cstats->l1dAccesses;
+                }
             } else {
                 --stats_.l1iMisses;
                 --stats_.l1iAccesses;
+                if (cstats) {
+                    --cstats->l1iMisses;
+                    --cstats->l1iAccesses;
+                }
             }
             return out;
         }
@@ -371,7 +486,7 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
         bool stall = false;
         DemandClass cls = DemandClass::None;
         Cycle ready = l2DemandAccess(line, now + l1p.latency, is_write,
-                                     is_data, cls, stall);
+                                     is_data, core, cls, stall);
         if (!stall && is_data && cls != DemandClass::None)
             ++stats_.classCounts[static_cast<int>(cls)];
         out.readyAt = stall ? now + l1p.latency : ready;
@@ -381,8 +496,9 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
 
     bool stall = false;
     DemandClass cls = DemandClass::None;
-    const Cycle l2_ready = l2DemandAccess(line, now + l1p.latency,
-                                          is_write, is_data, cls, stall);
+    const Cycle l2_ready =
+        l2DemandAccess(line, now + l1p.latency, is_write, is_data,
+                       core, cls, stall);
     if (stall) {
         if (can_stall) {
             ++stats_.mshrStalls;
@@ -393,9 +509,18 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
                 --stats_.demandL2Accesses;
                 --stats_.l1dMisses;
                 --stats_.l1dAccesses;
+                if (cstats) {
+                    --cstats->demandL2Accesses;
+                    --cstats->l1dMisses;
+                    --cstats->l1dAccesses;
+                }
             } else {
                 --stats_.l1iMisses;
                 --stats_.l1iAccesses;
+                if (cstats) {
+                    --cstats->l1iMisses;
+                    --cstats->l1iAccesses;
+                }
             }
             return out;
         }
@@ -425,30 +550,32 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
 }
 
 AccessOutcome
-Hierarchy::load(Addr addr, Cycle now)
+Hierarchy::load(Addr addr, Cycle now, unsigned core)
 {
     return demandAccess(lineOf(addr), now, /*is_write=*/false,
-                        /*is_data=*/true, /*can_stall=*/true);
+                        /*is_data=*/true, /*can_stall=*/true, core);
 }
 
 AccessOutcome
-Hierarchy::store(Addr addr, Cycle now)
+Hierarchy::store(Addr addr, Cycle now, unsigned core)
 {
     return demandAccess(lineOf(addr), now, /*is_write=*/true,
-                        /*is_data=*/true, /*can_stall=*/false);
+                        /*is_data=*/true, /*can_stall=*/false, core);
 }
 
 AccessOutcome
-Hierarchy::fetch(Addr pc, Cycle now)
+Hierarchy::fetch(Addr pc, Cycle now, unsigned core)
 {
     return demandAccess(lineOf(pc), now, /*is_write=*/false,
-                        /*is_data=*/false, /*can_stall=*/true);
+                        /*is_data=*/false, /*can_stall=*/true, core);
 }
 
 void
-Hierarchy::enqueuePrefetch(LineAddr line, PfSource src)
+Hierarchy::enqueuePrefetch(LineAddr line, PfSource src, unsigned core)
 {
     ++stats_.prefetchesRequested;
+    if (!stats_.perCore.empty())
+        ++stats_.perCore[core].prefetchesRequested;
     auto &life = stats_.pfLife[static_cast<unsigned>(src)];
     ++life.issued;
     const std::uint64_t id = nextPfId_++;
@@ -476,7 +603,8 @@ Hierarchy::enqueuePrefetch(LineAddr line, PfSource src)
             static_cast<unsigned long long>(line), toString(src),
             static_cast<unsigned long long>(id));
     queuedLines_.insert(line);
-    prefetchQueue_.push_back(QueuedPrefetch{line, src, id});
+    prefetchQueue_.push_back(
+        QueuedPrefetch{line, src, id, static_cast<std::uint8_t>(core)});
 }
 
 bool
@@ -486,19 +614,21 @@ Hierarchy::isCachedOrInFlightL2(LineAddr line) const
 }
 
 bool
-Hierarchy::isCachedL1D(LineAddr line) const
+Hierarchy::isCachedL1D(LineAddr line, unsigned core) const
 {
-    return l1d_.contains(line);
+    return l1d_[core].contains(line);
 }
 
 Cycle
 Hierarchy::nextEventCycle() const
 {
     Cycle next = l2Mshr_.nextReady();
-    if (l1dMshr_.nextReady() < next)
-        next = l1dMshr_.nextReady();
-    if (l1iMshr_.nextReady() < next)
-        next = l1iMshr_.nextReady();
+    for (unsigned c = 0; c < l1dMshr_.size(); ++c) {
+        if (l1dMshr_[c].nextReady() < next)
+            next = l1dMshr_[c].nextReady();
+        if (l1iMshr_[c].nextReady() < next)
+            next = l1iMshr_[c].nextReady();
+    }
     return next;
 }
 
@@ -550,6 +680,15 @@ Hierarchy::finalize()
     }
     prefetchQueue_.clear();
     queuedLines_.clear();
+
+    // Shared-L2 occupancy attribution by owner core.
+    if (!stats_.perCore.empty()) {
+        std::vector<std::uint64_t> owned(stats_.perCore.size(), 0);
+        l2_.countResidentByOwner(owned.data(),
+                                 static_cast<unsigned>(owned.size()));
+        for (unsigned c = 0; c < stats_.perCore.size(); ++c)
+            stats_.perCore[c].l2ResidentLines = owned[c];
+    }
 
     DPRINTF(Sim, "hierarchy finalized: %llu wrong prefetches",
             static_cast<unsigned long long>(stats_.wrongPrefetches));

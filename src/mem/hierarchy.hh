@@ -22,7 +22,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "base/tracesink.hh"
 #include "mem/cache.hh"
@@ -146,6 +148,53 @@ struct PrefetchLifecycle
     }
 };
 
+/**
+ * Per-core slice of the hierarchy statistics; only populated when the
+ * hierarchy simulates more than one core (HierarchyStats::perCore is
+ * empty in single-core runs, keeping them bit-identical to the
+ * original single-core model).
+ */
+struct CoreMemStats
+{
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t demandL2Accesses = 0;
+    /** Primary demand misses in the shared LLC by this core. */
+    std::uint64_t llcDemandMisses = 0;
+    std::uint64_t prefetchesRequested = 0;
+    std::uint64_t prefetchesIssued = 0;
+    /**
+     * Demand misses this core took on lines another core's prefetch
+     * evicted (this core is the pollution *victim*).
+     */
+    std::uint64_t pollutionVictimMisses = 0;
+    /**
+     * Demand misses this core's prefetches inflicted on other cores
+     * (this core is the pollution *aggressor*).
+     */
+    std::uint64_t pollutionCausedMisses = 0;
+    /** Shared-L2 lines owned by this core at finalize(). */
+    std::uint64_t l2ResidentLines = 0;
+
+    bool
+    operator==(const CoreMemStats &o) const
+    {
+        return l1dAccesses == o.l1dAccesses &&
+               l1dMisses == o.l1dMisses &&
+               l1iAccesses == o.l1iAccesses &&
+               l1iMisses == o.l1iMisses &&
+               demandL2Accesses == o.demandL2Accesses &&
+               llcDemandMisses == o.llcDemandMisses &&
+               prefetchesRequested == o.prefetchesRequested &&
+               prefetchesIssued == o.prefetchesIssued &&
+               pollutionVictimMisses == o.pollutionVictimMisses &&
+               pollutionCausedMisses == o.pollutionCausedMisses &&
+               l2ResidentLines == o.l2ResidentLines;
+    }
+};
+
 /** Aggregate statistics of the hierarchy. */
 struct HierarchyStats
 {
@@ -167,6 +216,20 @@ struct HierarchyStats
     std::uint64_t dramBytesRead = 0;
     std::uint64_t dramBytesWritten = 0;
     std::uint64_t mshrStalls = 0;
+    /**
+     * Demand misses whose line a *different* core's prefetch evicted
+     * from the shared L2 (cross-core prefetch pollution). Always 0
+     * in single-core runs.
+     */
+    std::uint64_t crossCorePollutionMisses = 0;
+    /**
+     * Shared-L2 accesses delayed by bank arbitration (another core's
+     * same-cycle access held the bank). Always 0 in single-core runs,
+     * where the arbiter is bypassed.
+     */
+    std::uint64_t l2BankConflicts = 0;
+    /** Per-core slices; empty unless numCores > 1. */
+    std::vector<CoreMemStats> perCore;
 
     /**
      * Counters of the DRAM timing backend (mem/dram/backend.hh).
@@ -229,7 +292,10 @@ struct HierarchyStats
                prefetchesDropped == o.prefetchesDropped &&
                dramBytesRead == o.dramBytesRead &&
                dramBytesWritten == o.dramBytesWritten &&
-               mshrStalls == o.mshrStalls && dram == o.dram;
+               mshrStalls == o.mshrStalls &&
+               crossCorePollutionMisses == o.crossCorePollutionMisses &&
+               l2BankConflicts == o.l2BankConflicts &&
+               perCore == o.perCore && dram == o.dram;
     }
 
     bool
@@ -254,33 +320,35 @@ class Hierarchy
      */
     void tick(Cycle now);
 
-    /** Demand load from the core at cycle @p now. */
-    AccessOutcome load(Addr addr, Cycle now);
+    /** Demand load from core @p core at cycle @p now. */
+    AccessOutcome load(Addr addr, Cycle now, unsigned core = 0);
 
     /**
      * Demand store (write-allocate, writeback). Stores never stall the
      * core in this model: if no MSHR is free the miss is counted but
      * the fill is skipped.
      */
-    AccessOutcome store(Addr addr, Cycle now);
+    AccessOutcome store(Addr addr, Cycle now, unsigned core = 0);
 
-    /** Instruction fetch through the L1I. */
-    AccessOutcome fetch(Addr pc, Cycle now);
+    /** Instruction fetch through core @p core's L1I. */
+    AccessOutcome fetch(Addr pc, Cycle now, unsigned core = 0);
 
     /**
      * Queue a prefetch request for @p line (issued to the L2 by
      * tick(), bandwidth- and MSHR-permitting). Oldest requests are
      * dropped on overflow. @p src attributes the request's lifecycle
-     * to the prefetcher component that generated it.
+     * to the prefetcher component that generated it; @p core to the
+     * core whose private prefetcher instance requested it.
      */
     void enqueuePrefetch(LineAddr line,
-                         PfSource src = PfSource::Unknown);
+                         PfSource src = PfSource::Unknown,
+                         unsigned core = 0);
 
     /** True when @p line is in the L2 or already being fetched. */
     bool isCachedOrInFlightL2(LineAddr line) const;
 
-    /** True when @p line is resident in the L1D. */
-    bool isCachedL1D(LineAddr line) const;
+    /** True when @p line is resident in core @p core's L1D. */
+    bool isCachedL1D(LineAddr line, unsigned core = 0) const;
 
     /**
      * End-of-run accounting: resident prefetched-but-unused lines are
@@ -294,6 +362,8 @@ class Hierarchy
     resetStats()
     {
         stats_ = HierarchyStats();
+        if (params_.numCores > 1)
+            stats_.perCore.resize(params_.numCores);
         dram_->resetStats();
     }
 
@@ -331,16 +401,40 @@ class Hierarchy
   private:
     /** Access the L2 on behalf of a data-side L1 miss. */
     Cycle l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
-                         bool is_data, DemandClass &cls, bool &stall);
+                         bool is_data, unsigned core,
+                         DemandClass &cls, bool &stall);
 
     /** Common L1 + L2 demand path for loads, stores and fetches. */
     AccessOutcome demandAccess(LineAddr line, Cycle now, bool is_write,
-                               bool is_data, bool can_stall);
+                               bool is_data, bool can_stall,
+                               unsigned core);
 
     void drainL2(Cycle now);
     void drainL1(Cycle now);
     void issuePrefetches(Cycle now);
     bool prefetchQueued(LineAddr line) const;
+
+    /**
+     * Banked shared-L2 arbitration: returns the cycle the access to
+     * @p line actually enters the L2 (>= @p t). Each bank accepts one
+     * access per cycle; a busy bank delays the access and counts a
+     * conflict. Bypassed (returns @p t) in single-core runs.
+     */
+    Cycle arbitrateL2(LineAddr line, Cycle t);
+
+    /**
+     * Remember that @p aggressor's prefetch fill evicted the valid
+     * line @p victim from the shared L2 (multicore only; the filter
+     * is bounded at params.pollutionFilterEntries).
+     */
+    void recordPollutionEviction(LineAddr victim, unsigned aggressor);
+
+    /**
+     * Attribute a primary demand L2 miss by @p core on @p line: if a
+     * different core's prefetch recently evicted the line, count it
+     * as cross-core pollution against the aggressor.
+     */
+    void attributePollution(LineAddr line, unsigned core);
 
     /** One tagged entry of the prefetch request queue. */
     struct QueuedPrefetch
@@ -348,6 +442,7 @@ class Hierarchy
         LineAddr line = 0;
         PfSource src = PfSource::Unknown;
         std::uint64_t id = 0;
+        std::uint8_t core = 0;
     };
 
     /**
@@ -360,12 +455,30 @@ class Hierarchy
     void recordLateness(PfSource src, Cycle lateness);
 
     HierarchyParams params_;
-    Cache l1d_;
-    Cache l1i_;
+    /**
+     * Private L1s, one per core (index = core id). Single-core runs
+     * hold exactly one of each, built with the original seeds, so the
+     * one-core hierarchy is structurally identical to the historic
+     * single-core model.
+     */
+    std::vector<Cache> l1d_;
+    std::vector<Cache> l1i_;
     Cache l2_;
-    MshrFile l1dMshr_;
-    MshrFile l1iMshr_;
+    std::vector<MshrFile> l1dMshr_;
+    std::vector<MshrFile> l1iMshr_;
     MshrFile l2Mshr_;
+    /**
+     * Cycle up to which each shared-L2 bank is busy; sized l2Banks
+     * when numCores > 1, empty (arbiter bypassed) otherwise.
+     */
+    std::vector<Cycle> bankBusyUntil_;
+    /**
+     * Bounded pollution filter: shared-L2 lines recently evicted by a
+     * prefetch fill, mapped to the aggressor core. FIFO-bounded at
+     * params.pollutionFilterEntries; empty in single-core runs.
+     */
+    std::unordered_map<LineAddr, std::uint8_t> pollutionMap_;
+    std::deque<LineAddr> pollutionFifo_;
     std::deque<QueuedPrefetch> prefetchQueue_;
     /**
      * Lines currently in prefetchQueue_ (which never holds

@@ -43,6 +43,8 @@ class MshrFile
         std::uint64_t pfId = 0;
         /** Cycle the first demand merged in (lateness accounting). */
         Cycle firstDemandAt = 0;
+        /** Requesting core (fill ownership; 0 in single-core). */
+        std::uint8_t core = 0;
     };
 
     explicit MshrFile(unsigned capacity) : entries_(capacity) {}

@@ -102,6 +102,27 @@ struct HierarchyParams
     CacheParams l1i{"L1I", 32 * 1024, 2, 2, 4, ReplPolicy::LRU};
     CacheParams l2{"L2", 2 * 1024 * 1024, 8, 30, 32, ReplPolicy::LRU};
     /**
+     * Simulated cores sharing this hierarchy. Each core owns a private
+     * L1I/L1D (and their MSHR files); the L2, the prefetch queue and
+     * the DRAM backend are shared. 1 preserves the paper's single-core
+     * system bit-for-bit (no banking, no interference accounting).
+     */
+    unsigned numCores = 1;
+    /**
+     * Shared-L2 banks arbitrating concurrent accesses when
+     * numCores > 1: each bank accepts one access per cycle, later
+     * same-cycle accesses to a busy bank queue behind it. Single-core
+     * runs bypass the arbiter entirely.
+     */
+    unsigned l2Banks = 4;
+    /**
+     * Entries of the prefetch-pollution filter that remembers lines
+     * recently evicted by prefetch fills (per owner core) so demand
+     * misses on them can be attributed as cross-core pollution.
+     * Only allocated when numCores > 1.
+     */
+    unsigned pollutionFilterEntries = 4096;
+    /**
      * Main-memory timing backend (mem/dram/backend.hh registry
      * name). "fixed" reproduces the paper's flat-latency model
      * bit-for-bit; "ddr" is the cycle-level banked model.

@@ -177,7 +177,46 @@ checkpointCellLine(const SimResult &r)
     w.value(r.mem.dramBytesRead);
     w.value(r.mem.dramBytesWritten);
     w.value(r.mem.mshrStalls);
+    w.value(r.mem.crossCorePollutionMisses);
+    w.value(r.mem.l2BankConflicts);
     w.endArray();
+
+    if (r.cores > 1) {
+        w.field("cores", static_cast<std::uint64_t>(r.cores));
+        w.key("per_core");
+        w.beginArray();
+        for (const auto &slice : r.perCore) {
+            w.beginObject();
+            w.field("workload", slice.workload);
+            w.key("core");
+            w.beginArray();
+            w.value(slice.core.cycles);
+            w.value(slice.core.instructions);
+            w.value(slice.core.memInstructions);
+            w.value(slice.core.branches);
+            w.value(slice.core.branchMispredicts);
+            w.value(slice.core.loopCycles);
+            w.value(slice.core.robFullStalls);
+            w.value(slice.core.lsqFullStalls);
+            w.endArray();
+            w.key("mem");
+            w.beginArray();
+            w.value(slice.mem.l1dAccesses);
+            w.value(slice.mem.l1dMisses);
+            w.value(slice.mem.l1iAccesses);
+            w.value(slice.mem.l1iMisses);
+            w.value(slice.mem.demandL2Accesses);
+            w.value(slice.mem.llcDemandMisses);
+            w.value(slice.mem.prefetchesRequested);
+            w.value(slice.mem.prefetchesIssued);
+            w.value(slice.mem.pollutionVictimMisses);
+            w.value(slice.mem.pollutionCausedMisses);
+            w.value(slice.mem.l2ResidentLines);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    }
 
     w.key("class_counts");
     w.beginArray();
@@ -265,7 +304,7 @@ parseCheckpointCell(const std::string &line)
     r.core.lsqFullStalls = core_fields[7];
 
     const JsonValue *mem = v.find("mem");
-    std::uint64_t mem_fields[14];
+    std::uint64_t mem_fields[16];
     if (!readUintArray(mem, mem_fields))
         return Error(Errc::Corrupt, "checkpoint cell bad mem array");
     r.mem.l1dAccesses = mem_fields[0];
@@ -282,6 +321,54 @@ parseCheckpointCell(const std::string &line)
     r.mem.dramBytesRead = mem_fields[11];
     r.mem.dramBytesWritten = mem_fields[12];
     r.mem.mshrStalls = mem_fields[13];
+    r.mem.crossCorePollutionMisses = mem_fields[14];
+    r.mem.l2BankConflicts = mem_fields[15];
+
+    r.cores = static_cast<unsigned>(v.uintOr("cores", 1));
+    if (r.cores > 1) {
+        const JsonValue *per_core = v.find("per_core");
+        if (!per_core || per_core->type != JsonValue::Type::Array ||
+            per_core->array.size() != r.cores)
+            return Error(Errc::Corrupt,
+                         "checkpoint cell bad per_core array");
+        r.mem.perCore.resize(r.cores);
+        r.perCore.resize(r.cores);
+        for (unsigned c = 0; c < r.cores; ++c) {
+            const JsonValue &pc = per_core->array[c];
+            CoreSliceResult &slice = r.perCore[c];
+            slice.workload = pc.strOr("workload", "");
+            std::uint64_t cf[8];
+            if (!readUintArray(pc.find("core"), cf))
+                return Error(Errc::Corrupt,
+                             "checkpoint cell bad per_core core "
+                             "array");
+            slice.core.cycles = cf[0];
+            slice.core.instructions = cf[1];
+            slice.core.memInstructions = cf[2];
+            slice.core.branches = cf[3];
+            slice.core.branchMispredicts = cf[4];
+            slice.core.loopCycles = cf[5];
+            slice.core.robFullStalls = cf[6];
+            slice.core.lsqFullStalls = cf[7];
+            std::uint64_t mf[11];
+            if (!readUintArray(pc.find("mem"), mf))
+                return Error(Errc::Corrupt,
+                             "checkpoint cell bad per_core mem "
+                             "array");
+            slice.mem.l1dAccesses = mf[0];
+            slice.mem.l1dMisses = mf[1];
+            slice.mem.l1iAccesses = mf[2];
+            slice.mem.l1iMisses = mf[3];
+            slice.mem.demandL2Accesses = mf[4];
+            slice.mem.llcDemandMisses = mf[5];
+            slice.mem.prefetchesRequested = mf[6];
+            slice.mem.prefetchesIssued = mf[7];
+            slice.mem.pollutionVictimMisses = mf[8];
+            slice.mem.pollutionCausedMisses = mf[9];
+            slice.mem.l2ResidentLines = mf[10];
+            r.mem.perCore[c] = slice.mem;
+        }
+    }
 
     if (!readUintArray(v.find("class_counts"), r.mem.classCounts))
         return Error(Errc::Corrupt,

@@ -40,8 +40,12 @@ namespace cbws
 {
 
 /** Schema version stamped into checkpoint header and cell lines.
- *  v2: cells carry the DRAM backend name and its counters. */
-constexpr unsigned CheckpointSchemaVersion = 2;
+ *  v2: cells carry the DRAM backend name and its counters.
+ *  v3: the mem array grew the cross-core interference counters
+ *  (cross_core_pollution_misses, l2_bank_conflicts) and multi-core
+ *  cells carry "cores" + a "per_core" array. v2 files are rejected on
+ *  open (their cells are simply re-simulated from a fresh path). */
+constexpr unsigned CheckpointSchemaVersion = 3;
 
 /** Serialise one cell result as a checksummed JSONL line (no '\n'). */
 std::string checkpointCellLine(const SimResult &result);

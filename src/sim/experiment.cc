@@ -112,11 +112,15 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         Checkpoint::Header header;
         header.insts = max_insts;
         header.seed = seed;
-        // The DRAM backend changes every completion cycle, so
-        // checkpoints from different backends must never cross-resume.
-        header.fingerprint =
-            checkpointFingerprint(workload_names, kind_names,
-                                  base_config.mem.dramBackend);
+        // The DRAM backend changes every completion cycle, and the
+        // core count changes every counter, so checkpoints from
+        // different backends or core counts must never cross-resume.
+        std::string config_tag = base_config.mem.dramBackend;
+        if (base_config.mem.numCores > 1)
+            config_tag += "+cores" +
+                          std::to_string(base_config.mem.numCores);
+        header.fingerprint = checkpointFingerprint(
+            workload_names, kind_names, config_tag);
         Result<void> opened =
             checkpoint.open(options.checkpointPath, header);
         // A bad checkpoint is a user error (wrong path or stale
@@ -187,8 +191,20 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         }
         SystemConfig config = base_config;
         config.prefetcher = kinds[k];
-        SimResult res = simulate(traces[w], config, max_insts,
-                                 SimProbes(), warmup);
+        SimResult res;
+        if (config.mem.numCores > 1) {
+            // Rate mode: every core replays its own copy of the same
+            // workload trace, contending for the shared L2/DRAM.
+            const std::vector<const Trace *> core_traces(
+                config.mem.numCores, &traces[w]);
+            const std::vector<std::string> core_names(
+                config.mem.numCores, matrix.rows[w].workload);
+            res = simulateMulti(core_traces, core_names, config,
+                                max_insts, SimProbes(), warmup);
+        } else {
+            res = simulate(traces[w], config, max_insts, SimProbes(),
+                           warmup);
+        }
         res.workload = matrix.rows[w].workload;
         if (checkpoint.isOpen()) {
             Result<void> appended = checkpoint.append(res);

@@ -98,6 +98,12 @@ struct MatrixOptions
 /**
  * Run the matrix: @p workloads x the seven prefetcher kinds.
  * @param max_insts per-run committed-instruction budget.
+ *
+ * When base_config.mem.numCores > 1 each cell becomes a rate-mode
+ * multi-core run (every core replays its own copy of the workload's
+ * trace through the shared L2/DRAM via simulateMulti); checkpoints
+ * carry the core count in their fingerprint so single- and multi-core
+ * matrices can never cross-resume.
  */
 ExperimentMatrix
 runMatrix(const std::vector<WorkloadPtr> &workloads,

@@ -9,14 +9,21 @@ namespace
 {
 
 /** Version stamped on every report object (docs/FORMATS.md).
- *  v2: dram section gained backend/timing/queue/deferral fields. */
+ *  v2: dram section gained backend/timing/queue/deferral fields.
+ *  v3: multi-core runs only — adds "cores", a "per_core" array and an
+ *  "interference" section; single-core reports stay v2 byte-for-byte
+ *  (the CI golden diff depends on this). */
 constexpr std::uint64_t ReportSchemaVersion = 2;
+constexpr std::uint64_t ReportSchemaVersionMulticore = 3;
 
 void
 writeResult(JsonWriter &w, const SimResult &r)
 {
     w.beginObject();
-    w.field("schema_version", ReportSchemaVersion);
+    w.field("schema_version", r.cores > 1 ? ReportSchemaVersionMulticore
+                                          : ReportSchemaVersion);
+    if (r.cores > 1)
+        w.field("cores", static_cast<std::uint64_t>(r.cores));
     w.field("workload", r.workload);
     w.field("prefetcher", r.prefetcher);
     w.field("instructions", r.core.instructions);
@@ -82,6 +89,40 @@ writeResult(JsonWriter &w, const SimResult &r)
                       static_cast<double>(r.core.cycles)
                 : 0.0);
     w.endObject();
+
+    if (r.cores > 1) {
+        w.key("per_core");
+        w.beginArray();
+        for (const auto &slice : r.perCore) {
+            w.beginObject();
+            w.field("workload", slice.workload);
+            w.field("instructions", slice.core.instructions);
+            w.field("cycles", slice.core.cycles);
+            w.field("ipc", slice.ipc());
+            w.field("mpki", slice.mpki());
+            w.field("l1d_accesses", slice.mem.l1dAccesses);
+            w.field("l1d_misses", slice.mem.l1dMisses);
+            w.field("llc_demand_accesses", slice.mem.demandL2Accesses);
+            w.field("llc_demand_misses", slice.mem.llcDemandMisses);
+            w.field("prefetches_requested",
+                    slice.mem.prefetchesRequested);
+            w.field("prefetches_issued", slice.mem.prefetchesIssued);
+            w.field("pollution_victim_misses",
+                    slice.mem.pollutionVictimMisses);
+            w.field("pollution_caused_misses",
+                    slice.mem.pollutionCausedMisses);
+            w.field("l2_resident_lines", slice.mem.l2ResidentLines);
+            w.endObject();
+        }
+        w.endArray();
+
+        w.key("interference");
+        w.beginObject();
+        w.field("cross_core_pollution_misses",
+                r.mem.crossCorePollutionMisses);
+        w.field("l2_bank_conflicts", r.mem.l2BankConflicts);
+        w.endObject();
+    }
     w.endObject();
 }
 

@@ -1,5 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
+#include "base/logging.hh"
 #include "cpu/inorder.hh"
 #include "prefetch/composite.hh"
 #include "sim/snapshot.hh"
@@ -14,12 +17,15 @@ namespace
 class HierarchySink : public PrefetchSink
 {
   public:
-    explicit HierarchySink(Hierarchy &mem) : mem_(mem) {}
+    explicit HierarchySink(Hierarchy &mem, unsigned core = 0)
+        : mem_(mem), core_(core)
+    {
+    }
 
     void
     issuePrefetch(LineAddr line, PfSource src) override
     {
-        mem_.enqueuePrefetch(line, src);
+        mem_.enqueuePrefetch(line, src, core_);
     }
 
     bool
@@ -30,7 +36,19 @@ class HierarchySink : public PrefetchSink
 
   private:
     Hierarchy &mem_;
+    unsigned core_;
 };
+
+/** The CBWS component of a prefetcher, if it has one. */
+CbwsPrefetcher *
+cbwsComponent(Prefetcher *prefetcher)
+{
+    if (auto *p = dynamic_cast<CbwsPrefetcher *>(prefetcher))
+        return p;
+    if (auto *c = dynamic_cast<CbwsSmsPrefetcher *>(prefetcher))
+        return &c->cbws();
+    return nullptr;
+}
 
 } // anonymous namespace
 
@@ -43,12 +61,7 @@ simulate(const Trace &trace, const SystemConfig &config,
     auto prefetcher = makePrefetcher(config);
     HierarchySink sink(mem);
 
-    CbwsPrefetcher *cbws_pf = nullptr;
-    if (auto *p = dynamic_cast<CbwsPrefetcher *>(prefetcher.get()))
-        cbws_pf = p;
-    else if (auto *c =
-                 dynamic_cast<CbwsSmsPrefetcher *>(prefetcher.get()))
-        cbws_pf = &c->cbws();
+    CbwsPrefetcher *cbws_pf = cbwsComponent(prefetcher.get());
 
     if (probes.differentials && cbws_pf)
         cbws_pf->setDifferentialProbe(probes.differentials);
@@ -147,6 +160,244 @@ simulate(const Trace &trace, const SystemConfig &config,
     mem.finalize();
     result.mem = mem.stats();
     result.prefetcherStorageBits = prefetcher->storageBits();
+    if (probes.snapshot)
+        probes.snapshot->finalize(result);
+    return result;
+}
+
+SimResult
+simulateMulti(const std::vector<const Trace *> &traces,
+              const std::vector<std::string> &workload_names,
+              const SystemConfig &config, std::uint64_t max_insts,
+              const SimProbes &probes, std::uint64_t warmup_insts)
+{
+    fatal_if(traces.empty(), "simulateMulti: no traces");
+    fatal_if(workload_names.size() != traces.size(),
+             "simulateMulti: %zu traces but %zu workload names",
+             traces.size(), workload_names.size());
+    fatal_if(config.coreModel == CoreModel::InOrder,
+             "simulateMulti: multi-core requires the out-of-order "
+             "core model");
+
+    const unsigned n = static_cast<unsigned>(traces.size());
+    if (n == 1) {
+        // One core: take the historic single-core path so the result
+        // is bit-identical to pre-multicore builds.
+        SystemConfig one = config;
+        one.mem.numCores = 1;
+        SimResult result = simulate(*traces[0], one, max_insts, probes,
+                                    warmup_insts);
+        result.workload = workload_names[0];
+        return result;
+    }
+
+    SystemConfig cfg = config;
+    cfg.mem.numCores = n;
+    Hierarchy mem(cfg.mem);
+    if (probes.trace)
+        mem.setTraceSink(probes.trace);
+
+    // Private prefetcher instance and core-tagged sink per core.
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    std::vector<std::unique_ptr<HierarchySink>> sinks;
+    for (unsigned c = 0; c < n; ++c) {
+        prefetchers.push_back(makePrefetcher(cfg));
+        sinks.push_back(std::make_unique<HierarchySink>(mem, c));
+    }
+
+    // Observability probes attach to core 0's prefetcher (snapshots
+    // report whole-hierarchy counters either way).
+    CbwsPrefetcher *cbws0 = cbwsComponent(prefetchers[0].get());
+    if (probes.differentials && cbws0)
+        cbws0->setDifferentialProbe(probes.differentials);
+    if (probes.snapshot) {
+        probes.snapshot->setCores(n);
+        probes.snapshot->begin(prefetchers[0]->name(), mem);
+        if (cbws0) {
+            SnapshotWriter::CbwsGauges gauges;
+            gauges.occupancy = [cbws0] {
+                return static_cast<std::uint64_t>(
+                    cbws0->table().occupancy());
+            };
+            gauges.capacity = [cbws0] {
+                return static_cast<std::uint64_t>(
+                    cbws0->table().capacity());
+            };
+            gauges.tableHits = [cbws0] {
+                return cbws0->schemeStats().tableHits;
+            };
+            gauges.tableMisses = [cbws0] {
+                return cbws0->schemeStats().tableMisses;
+            };
+            probes.snapshot->setCbwsGauges(std::move(gauges));
+        } else {
+            probes.snapshot->setCbwsGauges(
+                SnapshotWriter::CbwsGauges());
+        }
+    }
+
+    auto make_context = [](const TraceRecord &rec,
+                           const AccessOutcome &out) {
+        PrefetchContext ctx;
+        ctx.pc = rec.pc;
+        ctx.addr = rec.effAddr;
+        ctx.line = rec.line();
+        ctx.isWrite = rec.cls == InstClass::Store;
+        ctx.l1Hit = out.l1Hit;
+        ctx.l2Miss = out.cls == DemandClass::Shorter ||
+                     out.cls == DemandClass::NonTimely ||
+                     out.cls == DemandClass::Missing;
+        return ctx;
+    };
+
+    // The shared hierarchy resets its statistics when the *last* core
+    // crosses its warmup boundary (per-core windows are subtracted
+    // individually by each core's finish()).
+    unsigned warmups_pending = warmup_insts > 0 ? n : 0;
+    std::vector<bool> warmup_crossed(n, false);
+    auto cross_warmup = [&](unsigned c, Cycle now) {
+        if (warmups_pending == 0 || warmup_crossed[c])
+            return;
+        warmup_crossed[c] = true;
+        if (--warmups_pending == 0) {
+            mem.resetStats();
+            if (probes.snapshot)
+                probes.snapshot->onWarmupBoundary(now);
+        }
+    };
+
+    std::vector<std::unique_ptr<OooCore>> cores;
+    for (unsigned c = 0; c < n; ++c) {
+        cores.push_back(
+            std::make_unique<OooCore>(cfg.core, mem, c));
+        cores[c]->setTraceSink(probes.trace);
+        Prefetcher *pf = prefetchers[c].get();
+        PrefetchSink *sink = sinks[c].get();
+        auto on_commit = [&, c, pf, sink](const TraceRecord &rec,
+                                          const AccessOutcome &out,
+                                          Cycle now) {
+            if (c == 0 && probes.snapshot)
+                probes.snapshot->onCommit(now);
+            switch (rec.cls) {
+              case InstClass::Load:
+              case InstClass::Store:
+                pf->observe(PrefetchEvent{PfStage::Commit,
+                                          make_context(rec, out)},
+                            *sink);
+                break;
+              case InstClass::BlockBegin:
+                pf->blockBegin(rec.blockId, *sink);
+                break;
+              case InstClass::BlockEnd:
+                pf->blockEnd(rec.blockId, *sink);
+                break;
+              default:
+                break;
+            }
+        };
+        auto on_access = [pf, sink, make_context](
+                             const TraceRecord &rec,
+                             const AccessOutcome &out, Cycle now) {
+            (void)now;
+            pf->observe(PrefetchEvent{PfStage::Access,
+                                      make_context(rec, out)},
+                        *sink);
+        };
+        auto on_warmup = [&cross_warmup, c](Cycle now) {
+            cross_warmup(c, now);
+        };
+        cores[c]->begin(*traces[c], max_insts, on_commit, on_access,
+                        warmup_insts, on_warmup);
+    }
+
+    // ---- Lockstep cycle driver ----
+    // All cores step through the same global cycle, core 0 first, so
+    // shared-L2 bank arbitration and prefetch-queue interleaving are
+    // deterministic. Idle cycles fast-forward only when *every* core
+    // is stalled and no prefetch work is pending.
+    constexpr Cycle Never = ~Cycle(0);
+    Cycle now = 0;
+    const Cycle cycle_limit = cores[0]->cycleLimit();
+    std::vector<Cycle> end_cycle(n, 0);
+    std::vector<bool> finished(n, false);
+    unsigned running = n;
+    while (running > 0) {
+        mem.tick(now);
+        bool worked = false;
+        for (unsigned c = 0; c < n; ++c) {
+            if (finished[c])
+                continue;
+            worked = cores[c]->step(now) || worked;
+            if (cores[c]->done()) {
+                finished[c] = true;
+                end_cycle[c] = now;
+                --running;
+                // A trace that ends before its warmup boundary still
+                // releases the shared reset.
+                cross_warmup(c, now);
+            }
+        }
+        if (running == 0)
+            break;
+        if (!worked && !mem.prefetchWorkPending()) {
+            Cycle next_event = mem.nextEventCycle();
+            for (unsigned c = 0; c < n; ++c) {
+                if (finished[c])
+                    continue;
+                const Cycle local = cores[c]->nextLocalEvent(now);
+                if (local < next_event)
+                    next_event = local;
+            }
+            if (next_event != Never && next_event > now + 1) {
+                const Cycle skipped = next_event - now - 1;
+                for (unsigned c = 0; c < n; ++c)
+                    if (!finished[c])
+                        cores[c]->addSkippedCycles(skipped);
+                now += skipped;
+            }
+        }
+        ++now;
+        if (now > cycle_limit) {
+            warn("simulateMulti: cycle limit reached (%llu cycles); "
+                 "possible livelock",
+                 static_cast<unsigned long long>(now));
+            break;
+        }
+    }
+
+    mem.finalize();
+
+    SimResult result;
+    result.cores = n;
+    result.prefetcher = prefetchers[0]->name();
+    result.dramBackend = mem.dram().name();
+    result.mem = mem.stats();
+    result.prefetcherStorageBits = prefetchers[0]->storageBits();
+    result.perCore.resize(n);
+    for (unsigned c = 0; c < n; ++c) {
+        CoreSliceResult &slice = result.perCore[c];
+        slice.workload = workload_names[c];
+        slice.core =
+            cores[c]->finish(finished[c] ? end_cycle[c] : now);
+        if (c < result.mem.perCore.size())
+            slice.mem = result.mem.perCore[c];
+        // Aggregate: instructions and event counts sum across cores;
+        // the run lasts as long as its slowest core.
+        result.core.instructions += slice.core.instructions;
+        result.core.memInstructions += slice.core.memInstructions;
+        result.core.branches += slice.core.branches;
+        result.core.branchMispredicts += slice.core.branchMispredicts;
+        result.core.loopCycles += slice.core.loopCycles;
+        result.core.robFullStalls += slice.core.robFullStalls;
+        result.core.lsqFullStalls += slice.core.lsqFullStalls;
+        result.core.cycles =
+            std::max(result.core.cycles, slice.core.cycles);
+        if (c == 0) {
+            result.workload = slice.workload;
+        } else {
+            result.workload += "+" + slice.workload;
+        }
+    }
     if (probes.snapshot)
         probes.snapshot->finalize(result);
     return result;

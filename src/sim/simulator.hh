@@ -9,6 +9,7 @@
 #define CBWS_SIM_SIMULATOR_HH
 
 #include <string>
+#include <vector>
 
 #include "base/stats.hh"
 #include "cpu/core.hh"
@@ -19,6 +20,27 @@
 namespace cbws
 {
 
+/** Per-core slice of a multi-core simulation run. */
+struct CoreSliceResult
+{
+    /** Workload trace this core executed. */
+    std::string workload;
+    CoreStats core;
+    CoreMemStats mem;
+
+    double ipc() const { return core.ipc(); }
+
+    /** This core's misses-per-kilo-instruction in the shared LLC. */
+    double
+    mpki() const
+    {
+        return core.instructions
+                   ? 1000.0 * static_cast<double>(mem.llcDemandMisses) /
+                     static_cast<double>(core.instructions)
+                   : 0.0;
+    }
+};
+
 /** Everything measured by one simulation run. */
 struct SimResult
 {
@@ -26,8 +48,14 @@ struct SimResult
     std::string prefetcher;
     /** DRAM backend the run used (registry name; "fixed" default). */
     std::string dramBackend = "fixed";
+    /** Cores simulated (1 = the paper's single-core system). */
+    unsigned cores = 1;
     CoreStats core;
     HierarchyStats mem;
+    /** Per-core slices; empty unless cores > 1. In multi-core runs
+     *  `core` holds the aggregate (instructions summed, cycles =
+     *  slowest core) and `workload` joins the per-core names. */
+    std::vector<CoreSliceResult> perCore;
     std::uint64_t prefetcherStorageBits = 0;
 
     double ipc() const { return core.ipc(); }
@@ -111,6 +139,26 @@ SimResult simulateWorkload(const Workload &workload,
                            const WorkloadParams &params,
                            const SimProbes &probes = SimProbes(),
                            std::uint64_t warmup_insts = 0);
+
+/**
+ * Multi-core run: one core per entry of @p traces (with the matching
+ * display name in @p workload_names), all sharing the L2 + DRAM
+ * backend of one Hierarchy, each with a private prefetcher instance.
+ * Cores are stepped in lockstep, core 0 first each cycle, so results
+ * are deterministic. config.mem.numCores is overridden to
+ * traces.size(). With a single trace this degenerates to simulate()
+ * (bit-identical to the single-core path). Requires the out-of-order
+ * core model.
+ *
+ * @param warmup_insts per-core warmup window; the shared hierarchy
+ *        statistics reset when the *last* core crosses its boundary.
+ */
+SimResult simulateMulti(const std::vector<const Trace *> &traces,
+                        const std::vector<std::string> &workload_names,
+                        const SystemConfig &config,
+                        std::uint64_t max_insts,
+                        const SimProbes &probes = SimProbes(),
+                        std::uint64_t warmup_insts = 0);
 
 } // namespace cbws
 

@@ -13,8 +13,11 @@ namespace
 {
 
 /** Version stamped on every snapshot/final line (docs/FORMATS.md).
- *  v2: added the dram_* gauge fields. */
+ *  v2: added the dram_* gauge fields.
+ *  v3: multi-core runs only — adds "cores" plus per-core and
+ *  interference fields; single-core runs keep emitting v2 unchanged. */
 constexpr std::uint64_t SnapshotSchemaVersion = 2;
+constexpr std::uint64_t SnapshotSchemaVersionMulticore = 3;
 
 double
 ratio(std::uint64_t num, std::uint64_t den)
@@ -95,8 +98,12 @@ SnapshotWriter::emitRecord(Cycle now)
 
     JsonWriter w;
     w.beginObject();
-    w.field("schema_version", SnapshotSchemaVersion);
+    w.field("schema_version", cores_ > 1
+                                  ? SnapshotSchemaVersionMulticore
+                                  : SnapshotSchemaVersion);
     w.field("type", "snapshot");
+    if (cores_ > 1)
+        w.field("cores", static_cast<std::uint64_t>(cores_));
     w.field("workload", workload_);
     w.field("prefetcher", prefetcher_);
     w.field("seq", seq_);
@@ -119,6 +126,16 @@ SnapshotWriter::emitRecord(Cycle now)
             static_cast<std::uint64_t>(
                 mem_->dram().writeQueueDepth(now)));
     w.field("dram_deferred_prefetches", m.dram.prefetchesDeferred);
+    if (cores_ > 1 && !m.perCore.empty()) {
+        w.field("cross_core_pollution_misses",
+                m.crossCorePollutionMisses);
+        w.field("l2_bank_conflicts", m.l2BankConflicts);
+        w.key("per_core_llc_misses");
+        w.beginArray();
+        for (const auto &pc : m.perCore)
+            w.value(pc.llcDemandMisses);
+        w.endArray();
+    }
     if (gauges_.occupancy) {
         w.field("cbws_occupancy", gauges_.occupancy());
         if (gauges_.capacity)
@@ -172,8 +189,12 @@ SnapshotWriter::finalize(const SimResult &result)
     const PrefetchLifecycle total = result.mem.pfLifeTotal();
     JsonWriter w;
     w.beginObject();
-    w.field("schema_version", SnapshotSchemaVersion);
+    w.field("schema_version", result.cores > 1
+                                  ? SnapshotSchemaVersionMulticore
+                                  : SnapshotSchemaVersion);
     w.field("type", "final");
+    if (result.cores > 1)
+        w.field("cores", static_cast<std::uint64_t>(result.cores));
     w.field("workload",
             result.workload.empty() ? workload_ : result.workload);
     w.field("prefetcher", result.prefetcher);
@@ -193,6 +214,22 @@ SnapshotWriter::finalize(const SimResult &result)
     w.field("dram_row_hit_rate", result.mem.dram.rowHitRate());
     w.field("dram_deferred_prefetches",
             result.mem.dram.prefetchesDeferred);
+    if (result.cores > 1) {
+        w.field("cross_core_pollution_misses",
+                result.mem.crossCorePollutionMisses);
+        w.field("l2_bank_conflicts", result.mem.l2BankConflicts);
+        w.key("per_core");
+        w.beginArray();
+        for (const auto &slice : result.perCore) {
+            w.beginObject();
+            w.field("workload", slice.workload);
+            w.field("ipc", slice.ipc());
+            w.field("mpki", slice.mpki());
+            w.field("llc_demand_misses", slice.mem.llcDemandMisses);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 
     writeLine(w.str() + "\n");

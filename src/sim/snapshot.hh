@@ -74,6 +74,13 @@ class SnapshotWriter
      *  gauges sampled into every record. */
     void setCbwsGauges(CbwsGauges gauges) { gauges_ = std::move(gauges); }
 
+    /**
+     * Cores of the next run. With more than one core, records carry
+     * schema v3's "cores" and per-core fields; at 1 (the default) the
+     * v2 single-core format is emitted unchanged.
+     */
+    void setCores(unsigned cores) { cores_ = cores; }
+
     /** One committed instruction at @p now; emits on interval. */
     void
     onCommit(Cycle now)
@@ -104,6 +111,7 @@ class SnapshotWriter
     bool owned_ = false;
     std::uint64_t interval_ = 0;
     CbwsGauges gauges_;
+    unsigned cores_ = 1;
 
     const Hierarchy *mem_ = nullptr;
     std::string workload_;

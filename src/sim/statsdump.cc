@@ -157,6 +157,40 @@ dumpStats(std::ostream &out, const SimResult &r)
            "bytes fetched from memory");
     d.line("dram.bytesWritten", r.mem.dramBytesWritten,
            "writeback bytes to memory");
+
+    // Multi-core runs only: the interference counters and one group
+    // per core. Single-core dumps are unchanged byte-for-byte.
+    if (r.cores > 1) {
+        d.line("sys.cores", static_cast<std::uint64_t>(r.cores),
+               "cores sharing the L2 and DRAM");
+        d.line("l2.crossCorePollutionMisses",
+               r.mem.crossCorePollutionMisses,
+               "demand misses on lines evicted by another core's "
+               "prefetch");
+        d.line("l2.bankConflicts", r.mem.l2BankConflicts,
+               "L2 accesses delayed by bank arbitration");
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const CoreSliceResult &slice = r.perCore[c];
+            const std::string p =
+                "core" + std::to_string(c) + ".";
+            d.line(p + "workloadIpc", slice.ipc(),
+                   "committed IPC of " + slice.workload);
+            d.line(p + "mpki", slice.mpki(),
+                   "LLC demand misses per kilo-instruction");
+            d.line(p + "llcDemandMisses",
+                   slice.mem.llcDemandMisses,
+                   "primary demand misses from this core");
+            d.line(p + "pollutionVictimMisses",
+                   slice.mem.pollutionVictimMisses,
+                   "this core's misses caused by others' prefetches");
+            d.line(p + "pollutionCausedMisses",
+                   slice.mem.pollutionCausedMisses,
+                   "other cores' misses this core's prefetches "
+                   "caused");
+            d.line(p + "l2ResidentLines", slice.mem.l2ResidentLines,
+                   "L2 lines owned by this core at the end");
+        }
+    }
     out << "---------- End Simulation Statistics   ----------\n";
 }
 

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Multi-core simulation: single-core equivalence, lockstep
+ * determinism at any matrix job count, per-core/aggregate counter
+ * reconciliation, cross-core pollution attribution, and the v3
+ * report/checkpoint schemas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workloads/registry.hh"
+
+namespace cbws
+{
+namespace
+{
+
+constexpr std::uint64_t kInsts = 8000;
+
+Trace
+makeTrace(const std::string &workload, std::uint64_t insts = kInsts)
+{
+    auto w = findWorkload(workload);
+    EXPECT_NE(w, nullptr) << workload;
+    WorkloadParams params;
+    params.maxInstructions = insts;
+    Trace t;
+    w->generate(t, params);
+    return t;
+}
+
+/** Shared-L2-stressing config: a small L2 and the paper's best
+ *  prefetcher, so cross-core interference shows at test budgets. */
+SystemConfig
+contendedConfig(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.prefetcher = PrefetcherKind::CbwsSms;
+    cfg.mem.numCores = cores;
+    cfg.mem.l2.sizeBytes = 64 * 1024;
+    return cfg;
+}
+
+SimResult
+runMix(unsigned cores, const std::vector<std::string> &mix,
+       const std::vector<Trace> &traces,
+       std::uint64_t warmup = kInsts / 4)
+{
+    std::vector<const Trace *> core_traces;
+    std::vector<std::string> core_names;
+    for (unsigned c = 0; c < cores; ++c) {
+        core_traces.push_back(&traces[c % traces.size()]);
+        core_names.push_back(mix[c % mix.size()]);
+    }
+    return simulateMulti(core_traces, core_names,
+                         contendedConfig(cores), kInsts, SimProbes(),
+                         warmup);
+}
+
+TEST(Multicore, SingleCoreMatchesSimulate)
+{
+    const Trace t = makeTrace("stencil-default");
+    SystemConfig cfg = contendedConfig(1);
+
+    SimResult single =
+        simulate(t, cfg, kInsts, SimProbes(), kInsts / 4);
+    single.workload = "stencil-default";
+
+    SimResult multi = simulateMulti({&t}, {"stencil-default"}, cfg,
+                                    kInsts, SimProbes(), kInsts / 4);
+
+    // Byte-identical reports — the CI golden diff rests on this.
+    EXPECT_EQ(toJson(single), toJson(multi));
+    EXPECT_EQ(multi.cores, 1u);
+    EXPECT_TRUE(multi.perCore.empty());
+    EXPECT_TRUE(multi.mem.perCore.empty());
+}
+
+TEST(Multicore, DeterministicAcrossRuns)
+{
+    const std::vector<std::string> mix = {"stencil-default", "nw"};
+    const std::vector<Trace> traces = {makeTrace(mix[0]),
+                                       makeTrace(mix[1])};
+    const SimResult a = runMix(2, mix, traces);
+    const SimResult b = runMix(2, mix, traces);
+    EXPECT_EQ(toJson(a), toJson(b));
+    EXPECT_EQ(a.mem, b.mem);
+}
+
+TEST(Multicore, MatrixDeterministicAcrossJobCounts)
+{
+    // Same seed and --cores=2 must give byte-identical reports at
+    // any worker count: multi-core cells still write preassigned
+    // slots and share only read-only traces.
+    std::vector<WorkloadPtr> ws;
+    for (const char *name : {"stencil-default", "nw"})
+        ws.push_back(findWorkload(name));
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::None, PrefetcherKind::CbwsSms};
+    SystemConfig cfg = contendedConfig(2);
+
+    MatrixOptions serial;
+    serial.jobs = 1;
+    MatrixOptions wide;
+    wide.jobs = 4;
+    const auto m1 = runMatrix(ws, kinds, cfg, kInsts, 42, serial);
+    const auto m4 = runMatrix(ws, kinds, cfg, kInsts, 42, wide);
+
+    ASSERT_EQ(m1.rows.size(), m4.rows.size());
+    for (std::size_t r = 0; r < m1.rows.size(); ++r) {
+        ASSERT_EQ(m1.rows[r].byPrefetcher.size(),
+                  m4.rows[r].byPrefetcher.size());
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const SimResult &a = m1.rows[r].byPrefetcher[k];
+            const SimResult &b = m4.rows[r].byPrefetcher[k];
+            EXPECT_EQ(toJson(a), toJson(b))
+                << m1.rows[r].workload << " / " << toString(kinds[k]);
+            EXPECT_EQ(a.cores, 2u);
+        }
+    }
+}
+
+TEST(Multicore, PerCoreCountersReconcileWithAggregate)
+{
+    // Property: every shared-L2 aggregate counter is exactly the sum
+    // of its per-core attributions (no access is lost or
+    // double-counted by the ownership tracking).
+    const std::vector<std::string> mix = {"radix-simlarge",
+                                          "lbm-long"};
+    const std::vector<Trace> traces = {makeTrace(mix[0]),
+                                       makeTrace(mix[1])};
+    for (unsigned cores : {2u, 3u, 4u}) {
+        const SimResult r = runMix(cores, mix, traces);
+        ASSERT_EQ(r.mem.perCore.size(), cores);
+        ASSERT_EQ(r.perCore.size(), cores);
+
+        std::uint64_t insts = 0, l1d_acc = 0, l1d_miss = 0;
+        std::uint64_t l2_acc = 0, l2_miss = 0, pf_req = 0;
+        std::uint64_t pf_issued = 0, victims = 0, caused = 0;
+        std::uint64_t resident = 0;
+        for (const auto &pc : r.mem.perCore) {
+            l1d_acc += pc.l1dAccesses;
+            l1d_miss += pc.l1dMisses;
+            l2_acc += pc.demandL2Accesses;
+            l2_miss += pc.llcDemandMisses;
+            pf_req += pc.prefetchesRequested;
+            pf_issued += pc.prefetchesIssued;
+            victims += pc.pollutionVictimMisses;
+            caused += pc.pollutionCausedMisses;
+            resident += pc.l2ResidentLines;
+        }
+        for (const auto &slice : r.perCore)
+            insts += slice.core.instructions;
+
+        EXPECT_EQ(insts, r.core.instructions) << cores;
+        EXPECT_EQ(l1d_acc, r.mem.l1dAccesses) << cores;
+        EXPECT_EQ(l1d_miss, r.mem.l1dMisses) << cores;
+        EXPECT_EQ(l2_acc, r.mem.demandL2Accesses) << cores;
+        EXPECT_EQ(l2_miss, r.mem.llcDemandMisses) << cores;
+        EXPECT_EQ(pf_req, r.mem.prefetchesRequested) << cores;
+        EXPECT_EQ(pf_issued, r.mem.prefetchesIssued) << cores;
+        // Every attributed pollution miss has exactly one victim and
+        // one (distinct) aggressor core.
+        EXPECT_EQ(victims, r.mem.crossCorePollutionMisses) << cores;
+        EXPECT_EQ(caused, r.mem.crossCorePollutionMisses) << cores;
+        // Owned resident lines can never exceed the L2's capacity.
+        const SystemConfig cfg = contendedConfig(cores);
+        EXPECT_LE(resident, cfg.mem.l2.sizeBytes / LineBytes)
+            << cores;
+        // Per-core MPKI recomposes the aggregate MPKI.
+        double weighted = 0.0;
+        for (const auto &slice : r.perCore)
+            weighted += slice.mpki() *
+                        static_cast<double>(slice.core.instructions);
+        EXPECT_NEAR(weighted / static_cast<double>(insts), r.mpki(),
+                    1e-9)
+            << cores;
+    }
+}
+
+TEST(Multicore, FourCoreContentionAttributesPollution)
+{
+    const std::vector<std::string> mix = {"radix-simlarge",
+                                          "lbm-long"};
+    const std::vector<Trace> traces = {makeTrace(mix[0]),
+                                       makeTrace(mix[1])};
+    const SimResult r = runMix(4, mix, traces);
+
+    EXPECT_GT(r.mem.crossCorePollutionMisses, 0u);
+    EXPECT_GT(r.mem.l2BankConflicts, 0u);
+
+    // The v3 report carries the interference section.
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"cores\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"per_core\":["), std::string::npos);
+    EXPECT_NE(json.find("\"interference\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"cross_core_pollution_misses\":"),
+              std::string::npos);
+}
+
+TEST(Multicore, SingleCoreReportStaysV2)
+{
+    const Trace t = makeTrace("stencil-default");
+    const SimResult r = simulate(t, contendedConfig(1), kInsts,
+                                 SimProbes(), kInsts / 4);
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+    EXPECT_EQ(json.find("\"cores\""), std::string::npos);
+    EXPECT_EQ(json.find("\"per_core\""), std::string::npos);
+    EXPECT_EQ(json.find("\"interference\""), std::string::npos);
+}
+
+TEST(Multicore, CheckpointRoundTripsMulticoreCells)
+{
+    const std::vector<std::string> mix = {"stencil-default", "nw"};
+    const std::vector<Trace> traces = {makeTrace(mix[0]),
+                                       makeTrace(mix[1])};
+    const SimResult r = runMix(2, mix, traces);
+
+    Result<SimResult> back =
+        parseCheckpointCell(checkpointCellLine(r));
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    EXPECT_EQ(back.value().cores, r.cores);
+    EXPECT_EQ(back.value().mem, r.mem);
+    ASSERT_EQ(back.value().perCore.size(), r.perCore.size());
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        EXPECT_EQ(back.value().perCore[c].workload,
+                  r.perCore[c].workload);
+        EXPECT_EQ(back.value().perCore[c].core.cycles,
+                  r.perCore[c].core.cycles);
+        EXPECT_EQ(back.value().perCore[c].core.instructions,
+                  r.perCore[c].core.instructions);
+        EXPECT_EQ(back.value().perCore[c].mem,
+                  r.perCore[c].mem);
+    }
+    // The resumed cell re-serialises byte-identically — resumed
+    // matrix reports cannot drift.
+    EXPECT_EQ(checkpointCellLine(back.value()), checkpointCellLine(r));
+    EXPECT_EQ(toJson(back.value()), toJson(r));
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -128,6 +128,10 @@ applyOverrides(const ArgParser &args, SystemConfig &config)
         config.mem.l2.sizeBytes =
             args.getUint("l2-kb", 2048) * 1024;
     }
+    if (args.provided("l2-banks")) {
+        config.mem.l2Banks = static_cast<unsigned>(
+            args.getUint("l2-banks", 4));
+    }
     if (args.provided("dram"))
         config.mem.dramBackend = args.get("dram");
     if (args.provided("dram-latency")) {
@@ -161,6 +165,19 @@ applyCoreModel(const ArgParser &args, SystemConfig &config)
 void
 printHuman(const SimResult &r)
 {
+    // Aggregate loopCycles sums every core's count while cycles is
+    // the slowest core's, so re-derive the fraction over the summed
+    // per-core cycles for multi-core runs.
+    double loop_fraction = r.core.loopFraction();
+    if (r.cores > 1) {
+        std::uint64_t total_cycles = 0;
+        for (const auto &s : r.perCore)
+            total_cycles += s.core.cycles;
+        loop_fraction =
+            total_cycles ? static_cast<double>(r.core.loopCycles) /
+                               static_cast<double>(total_cycles)
+                         : 0.0;
+    }
     std::printf("%-12s ipc=%.4f cycles=%llu insts=%llu mpki=%.2f "
                 "l1d-miss%%=%.1f\n",
                 r.prefetcher.c_str(), r.ipc(),
@@ -192,9 +209,34 @@ printHuman(const SimResult &r)
                     r.mem.prefetchesDropped),
                 r.mem.dramBytesRead / 1e6,
                 r.mem.dramBytesWritten / 1e6,
-                100 * r.core.loopFraction(),
+                100 * loop_fraction,
                 static_cast<unsigned long long>(
                     r.core.branchMispredicts));
+    if (r.cores > 1) {
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const CoreSliceResult &s = r.perCore[c];
+            std::printf(
+                "             core%zu %-12s ipc=%.4f mpki=%.2f "
+                "llc-miss=%llu pollution(victim=%llu caused=%llu) "
+                "l2-lines=%llu\n",
+                c, s.workload.c_str(), s.ipc(), s.mpki(),
+                static_cast<unsigned long long>(
+                    s.mem.llcDemandMisses),
+                static_cast<unsigned long long>(
+                    s.mem.pollutionVictimMisses),
+                static_cast<unsigned long long>(
+                    s.mem.pollutionCausedMisses),
+                static_cast<unsigned long long>(
+                    s.mem.l2ResidentLines));
+        }
+        std::printf("             interference: "
+                    "cross-core-pollution=%llu "
+                    "l2-bank-conflicts=%llu\n",
+                    static_cast<unsigned long long>(
+                        r.mem.crossCorePollutionMisses),
+                    static_cast<unsigned long long>(
+                        r.mem.l2BankConflicts));
+    }
 }
 
 void
@@ -263,6 +305,17 @@ main(int argc, char **argv)
     args.addFlag("stats", "gem5-style full statistics dump");
     args.addFlag("inorder",
                  "use the scalar in-order core model (extension)");
+    args.addOption("cores",
+                   "cores sharing the L2 and DRAM (multi-core mode "
+                   "when > 1)",
+                   "1");
+    args.addOption("core-workloads",
+                   "comma-separated per-core benchmarks, assigned "
+                   "round-robin when fewer than --cores (default: "
+                   "--workload on every core)",
+                   "");
+    args.addOption("l2-banks",
+                   "L2 banks arbitrating multi-core accesses", "");
     args.addOption("cbws-table-entries",
                    "CBWS differential table entries", "");
     args.addOption("cbws-max-members",
@@ -361,6 +414,34 @@ main(int argc, char **argv)
         args.provided("warmup") ? args.getUint("warmup", 0)
                                 : insts / 4;
 
+    // Multi-core mode: cache line owners are tracked in a byte, and
+    // trace/save flags operate on the one single-core trace.
+    const unsigned num_cores =
+        static_cast<unsigned>(args.getUint("cores", 1));
+    if (num_cores == 0 || num_cores > 255) {
+        std::fprintf(stderr, "--cores: need 1..255\n");
+        return 1;
+    }
+    if (num_cores > 1) {
+        if (args.getFlag("inorder")) {
+            std::fprintf(stderr,
+                         "--cores > 1 needs the out-of-order core "
+                         "model (drop --inorder)\n");
+            return 1;
+        }
+        if (args.provided("load-trace") ||
+            args.provided("save-trace") ||
+            args.getFlag("auto-annotate")) {
+            std::fprintf(stderr,
+                         "--load-trace/--save-trace/--auto-annotate "
+                         "apply to single-core runs only\n");
+            return 1;
+        }
+    } else if (args.provided("core-workloads")) {
+        std::fprintf(stderr, "--core-workloads needs --cores > 1\n");
+        return 1;
+    }
+
     if (args.provided("debug-flags")) {
         const std::string csv = args.get("debug-flags");
         if (csv == "help") {
@@ -381,10 +462,63 @@ main(int argc, char **argv)
                              : ~Cycle(0));
     }
 
-    // Obtain the trace: load, or synthesise from a workload.
+    // Obtain the trace(s): load, or synthesise from workloads.
     Trace trace;
     std::string workload_name;
-    if (args.provided("load-trace")) {
+    std::vector<std::string> core_names;    // multi-core only
+    std::vector<Trace> core_storage;        // one per distinct name
+    std::vector<const Trace *> core_traces; // one per core
+    if (num_cores > 1) {
+        std::vector<std::string> requested;
+        std::string cur;
+        for (char ch : args.get("core-workloads")) {
+            if (ch == ',') {
+                if (!cur.empty())
+                    requested.push_back(cur);
+                cur.clear();
+            } else {
+                cur += ch;
+            }
+        }
+        if (!cur.empty())
+            requested.push_back(cur);
+        if (requested.empty())
+            requested.push_back(args.get("workload"));
+        // Round-robin the requested list over the cores, then
+        // synthesise each distinct workload exactly once.
+        std::vector<std::string> uniq;
+        std::vector<std::size_t> trace_of(num_cores);
+        for (unsigned c = 0; c < num_cores; ++c) {
+            const std::string &name =
+                requested[c % requested.size()];
+            core_names.push_back(name);
+            std::size_t u = 0;
+            while (u < uniq.size() && uniq[u] != name)
+                ++u;
+            if (u == uniq.size())
+                uniq.push_back(name);
+            trace_of[c] = u;
+        }
+        core_storage.resize(uniq.size());
+        for (std::size_t u = 0; u < uniq.size(); ++u) {
+            auto workload = findWorkload(uniq[u]);
+            if (!workload) {
+                std::fprintf(stderr,
+                             "unknown benchmark '%s' (use --list)\n",
+                             uniq[u].c_str());
+                return 1;
+            }
+            WorkloadParams params;
+            params.maxInstructions = insts;
+            params.seed = args.getUint("seed", 42);
+            workload->generate(core_storage[u], params);
+        }
+        for (unsigned c = 0; c < num_cores; ++c)
+            core_traces.push_back(&core_storage[trace_of[c]]);
+        workload_name = core_names[0];
+        for (unsigned c = 1; c < num_cores; ++c)
+            workload_name += "+" + core_names[c];
+    } else if (args.provided("load-trace")) {
         Result<void> loaded = trace.loadFrom(args.get("load-trace"));
         if (!loaded.ok()) {
             std::fprintf(stderr, "--load-trace: %s\n",
@@ -455,11 +589,20 @@ main(int argc, char **argv)
     const bool quiet = args.getFlag("csv") || args.getFlag("json");
     if (args.getFlag("csv"))
         printCsvHeader();
-    else if (!quiet)
-        std::printf("%s: %zu records, %llu insts (%llu warmup)\n\n",
-                    workload_name.c_str(), trace.size(),
-                    static_cast<unsigned long long>(insts),
-                    static_cast<unsigned long long>(warmup));
+    else if (!quiet) {
+        if (num_cores > 1)
+            std::printf("%s: %u cores, %llu insts/core "
+                        "(%llu warmup)\n\n",
+                        workload_name.c_str(), num_cores,
+                        static_cast<unsigned long long>(insts),
+                        static_cast<unsigned long long>(warmup));
+        else
+            std::printf("%s: %zu records, %llu insts "
+                        "(%llu warmup)\n\n",
+                        workload_name.c_str(), trace.size(),
+                        static_cast<unsigned long long>(insts),
+                        static_cast<unsigned long long>(warmup));
+    }
 
     // Observability attachments shared by the runs.
     std::unique_ptr<SnapshotWriter> snapshot;
@@ -511,7 +654,14 @@ main(int argc, char **argv)
         SimProbes probes;
         probes.snapshot = snapshot.get();
         probes.trace = chrome.get();
-        SimResult r = simulate(trace, config, insts, probes, warmup);
+        SimResult r;
+        if (num_cores > 1) {
+            config.mem.numCores = num_cores;
+            r = simulateMulti(core_traces, core_names, config,
+                              insts, probes, warmup);
+        } else {
+            r = simulate(trace, config, insts, probes, warmup);
+        }
         r.workload = workload_name;
         if (stats_file.is_open())
             dumpStats(stats_file, r);
