@@ -6,6 +6,7 @@
 
 #include "base/argparse.hh"
 #include "base/faultinject.hh"
+#include "base/profiler.hh"
 #include "base/threadpool.hh"
 #include "mem/dram/backend.hh"
 #include "workloads/registry.hh"
@@ -23,6 +24,29 @@ unsigned g_jobs = 0; // 0 = let runMatrix resolve CBWS_JOBS
 TraceCache g_trace_cache = TraceCache::fromEnv();
 std::string g_checkpoint;      // empty = checkpointing off
 std::string g_dram = "fixed";  // DRAM timing backend
+bool g_progress = false;       // live stderr progress line
+std::string g_profile_json = "BENCH_profile.json";
+
+/**
+ * atexit hook: benches never return through a common function, so the
+ * profile report is rendered when the process winds down. The table
+ * goes to stderr — every bench's stdout is golden-diffed by CI.
+ */
+void
+writeProfileAtExit()
+{
+    if (!prof::enabled())
+        return;
+    const prof::Report report = prof::report();
+    std::fputs(prof::renderTable(report).c_str(), stderr);
+    if (!prof::writeJsonFile(g_profile_json, report)) {
+        std::fprintf(stderr, "profile: cannot write '%s'\n",
+                     g_profile_json.c_str());
+    } else {
+        std::fprintf(stderr, "profile written to %s\n",
+                     g_profile_json.c_str());
+    }
+}
 
 } // anonymous namespace
 
@@ -47,6 +71,16 @@ init(int argc, char **argv)
                      "DRAM timing backend: 'fixed' (paper's flat "
                      "latency, default) or 'ddr' (cycle-level banked "
                      "model)");
+    parser.addFlag("profile",
+                   "host-side self-profiler: phase/worker breakdown "
+                   "on stderr at exit + BENCH_profile.json (also "
+                   "honours CBWS_PROFILE=1)");
+    parser.addOption("profile-json",
+                     "profile artifact destination (implies "
+                     "--profile; default BENCH_profile.json)");
+    parser.addFlag("progress",
+                   "live matrix progress line on stderr (also "
+                   "honours CBWS_PROGRESS=1); stdout is unchanged");
     if (!parser.parse(argc, argv))
         std::exit(1);
     if (parser.helpRequested())
@@ -88,6 +122,14 @@ init(int argc, char **argv)
             std::exit(1);
         }
     }
+    g_progress = parser.getFlag("progress");
+    if (parser.provided("profile-json"))
+        g_profile_json = parser.get("profile-json");
+    if (parser.getFlag("profile") || parser.provided("profile-json"))
+        prof::enable();
+    prof::enableFromEnv();
+    if (prof::enabled())
+        std::atexit(writeProfileAtExit);
 }
 
 MatrixOptions
@@ -98,6 +140,7 @@ matrixOptions()
     if (g_trace_cache.enabled())
         options.traceCache = &g_trace_cache;
     options.checkpointPath = g_checkpoint;
+    options.progress = g_progress;
     return options;
 }
 

@@ -25,6 +25,12 @@ namespace bench
  *   --checkpoint=FILE crash-safe checkpoint: finished cells are
  *                     appended; a restarted run resumes from them
  *   --dram=NAME       DRAM timing backend (fixed | ddr)
+ *   --profile         host-side self-profiler: phase/worker breakdown
+ *                     on stderr at exit plus a BENCH_profile.json
+ *                     artifact (also honours CBWS_PROFILE=1)
+ *   --profile-json=F  profile artifact destination (implies --profile)
+ *   --progress        live matrix progress line on stderr (also
+ *                     honours CBWS_PROGRESS=1); stdout is unchanged
  *   --help            print usage and exit
  *
  * init() also arms the deterministic fault-injection harness from the

@@ -4,7 +4,9 @@
  * serially and with the configured worker count, reports simulated
  * (committed) instructions per wall-clock second for both, and checks
  * the two result sets are bit-identical. Machine-readable results go
- * to BENCH_sim_throughput.json for CI trend tracking.
+ * to BENCH_sim_throughput.json for CI trend tracking, stamped with
+ * build provenance; run with --profile to embed the host-side
+ * per-phase breakdown explaining where the wall time went.
  *
  * The serial leg always runs with jobs=1; the parallel leg uses
  * --jobs / CBWS_JOBS, falling back to the hardware thread count. When
@@ -16,7 +18,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "base/json.hh"
+#include "base/profiler.hh"
 #include "base/threadpool.hh"
+#include "base/version.hh"
 #include "common.hh"
 #include "workloads/registry.hh"
 
@@ -145,29 +150,42 @@ main(int argc, char **argv)
     std::printf("\nspeedup: %.2fx   results identical: %s\n", speedup,
                 identical ? "yes" : "NO (determinism bug!)");
 
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", "sim_throughput");
+    w.key("provenance");
+    writeProvenance(w);
+    w.field("instructions_per_run", insts);
+    w.field("cells", static_cast<std::uint64_t>(cells));
+    w.field("simulated_instructions", sim_insts);
+    w.key("serial");
+    w.beginObject();
+    w.field("jobs", static_cast<std::uint64_t>(1));
+    w.field("seconds", serial_s);
+    w.field("instructions_per_second", serial_ips);
+    w.endObject();
+    w.key("parallel");
+    w.beginObject();
+    w.field("jobs", static_cast<std::uint64_t>(parallel_jobs));
+    w.field("seconds", parallel_s);
+    w.field("instructions_per_second", parallel_ips);
+    w.endObject();
+    w.field("speedup", speedup);
+    w.field("identical", identical);
+    w.field("trace_cache",
+            opts.traceCache ? opts.traceCache->directory() : "");
+    if (prof::enabled()) {
+        // Run with --profile: embed the host-side phase/worker
+        // breakdown covering both timed legs, so the trend artifact
+        // explains *where* the wall time went, not just how much.
+        w.key("profile");
+        prof::writeJson(w, prof::report());
+    }
+    w.endObject();
+
     std::FILE *json = std::fopen("BENCH_sim_throughput.json", "w");
     if (json) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"bench\": \"sim_throughput\",\n"
-            "  \"instructions_per_run\": %llu,\n"
-            "  \"cells\": %zu,\n"
-            "  \"simulated_instructions\": %llu,\n"
-            "  \"serial\": {\"jobs\": 1, \"seconds\": %.4f, "
-            "\"instructions_per_second\": %.0f},\n"
-            "  \"parallel\": {\"jobs\": %u, \"seconds\": %.4f, "
-            "\"instructions_per_second\": %.0f},\n"
-            "  \"speedup\": %.4f,\n"
-            "  \"identical\": %s,\n"
-            "  \"trace_cache\": \"%s\"\n"
-            "}\n",
-            static_cast<unsigned long long>(insts), cells,
-            static_cast<unsigned long long>(sim_insts), serial_s,
-            serial_ips, parallel_jobs, parallel_s, parallel_ips,
-            speedup, identical ? "true" : "false",
-            opts.traceCache ? opts.traceCache->directory().c_str()
-                            : "");
+        std::fprintf(json, "%s\n", w.str().c_str());
         std::fclose(json);
         std::printf("wrote BENCH_sim_throughput.json\n");
     } else {

@@ -9,6 +9,7 @@
 #define CBWS_BASE_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -18,7 +19,13 @@ namespace cbws
 {
 
 /**
- * Running mean / min / max / count summary of a stream of samples.
+ * Running mean / variance / min / max / count summary of a stream of
+ * samples.
+ *
+ * The sum uses Kahan compensated summation and the mean/variance use
+ * Welford's online update, so billions of small samples added to a
+ * large running total do not silently lose precision the way a naive
+ * `sum_ += value` accumulator does on long runs.
  */
 class RunningStat
 {
@@ -27,16 +34,33 @@ class RunningStat
     sample(double value)
     {
         ++count_;
-        sum_ += value;
+        // Kahan: recover the low-order bits the naive add drops.
+        const double y = value - comp_;
+        const double t = sum_ + y;
+        comp_ = (t - sum_) - y;
+        sum_ = t;
+        // Welford: numerically stable running mean / M2.
+        const double delta = value - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (value - mean_);
         min_ = std::min(min_, value);
         max_ = std::max(max_, value);
     }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance (Welford's M2 / n). */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
 
     void
     reset()
@@ -47,13 +71,18 @@ class RunningStat
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double comp_ = 0.0; ///< Kahan compensation term
+    double mean_ = 0.0;
+    double m2_ = 0.0;   ///< Welford sum of squared deviations
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /**
- * Fixed-width bucketed histogram over [0, buckets*bucketWidth), with
- * overflow samples accumulated in the last bucket.
+ * Fixed-width bucketed histogram over [0, buckets*bucketWidth).
+ * Overflow samples still accumulate in the last bucket (so total()
+ * and cdfAt() see every sample), but the overflow weight is tracked
+ * explicitly rather than vanishing into that bucket silently.
  */
 class Histogram
 {
@@ -69,15 +98,33 @@ class Histogram
         std::size_t idx = value <= 0.0
             ? 0
             : static_cast<std::size_t>(value / bucketWidth_);
-        if (idx >= counts_.size())
+        if (idx >= counts_.size()) {
             idx = counts_.size() - 1;
+            overflow_ += weight;
+        }
         counts_[idx] += weight;
         total_ += weight;
     }
 
     std::uint64_t bucket(std::size_t idx) const { return counts_.at(idx); }
     std::size_t numBuckets() const { return counts_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
     std::uint64_t total() const { return total_; }
+
+    /** Weight of samples beyond the last bucket's upper edge. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Fold another histogram of identical shape into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        const std::size_t n =
+            std::min(counts_.size(), other.counts_.size());
+        for (std::size_t i = 0; i < n; ++i)
+            counts_[i] += other.counts_[i];
+        total_ += other.total_;
+        overflow_ += other.overflow_;
+    }
 
     /** Fraction of all samples at or below bucket @p idx. */
     double
@@ -95,6 +142,7 @@ class Histogram
     std::vector<std::uint64_t> counts_;
     double bucketWidth_;
     std::uint64_t total_ = 0;
+    std::uint64_t overflow_ = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "base/threadpool.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 #include "base/faultinject.hh"
@@ -8,13 +9,26 @@
 namespace cbws
 {
 
+namespace
+{
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // anonymous namespace
+
 ThreadPool::ThreadPool(unsigned workers)
 {
     if (workers <= 1)
         return; // inline mode
+    workerStats_.resize(workers);
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -26,6 +40,13 @@ ThreadPool::~ThreadPool()
     wake_.notify_all();
     for (auto &t : threads_)
         t.join();
+    if (prof::enabled()) {
+        bool observed = false;
+        for (const auto &w : workerStats_)
+            observed = observed || w.jobs > 0;
+        if (observed)
+            prof::addPoolStats(workerStats_, jobMicros_);
+    }
 }
 
 void
@@ -44,23 +65,46 @@ ThreadPool::runTask(std::function<void()> &task)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    using clock = std::chrono::steady_clock;
+    prof::WorkerTotals &stats = workerStats_[index];
     while (true) {
+        // Sampled once per iteration; profiling can only ever switch
+        // from off to on, so at worst one job goes untimed.
+        const bool timed = prof::enabled();
         std::function<void()> task;
         {
+            const auto t0 = timed ? clock::now() : clock::time_point();
             std::unique_lock<std::mutex> lock(mutex_);
+            const auto t1 = timed ? clock::now() : clock::time_point();
             wake_.wait(lock, [this] {
                 return shutdown_ || !queue_.empty();
             });
+            if (timed) {
+                const auto t2 = clock::now();
+                stats.lockWaitSeconds += secondsBetween(t0, t1);
+                stats.queueWaitSeconds += secondsBetween(t1, t2);
+            }
             if (queue_.empty())
                 return; // shutdown with nothing left to do
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        const auto b0 = timed ? clock::now() : clock::time_point();
         runTask(task);
+        const auto b1 = timed ? clock::now() : clock::time_point();
         {
+            const auto l0 = timed ? clock::now() : clock::time_point();
             std::unique_lock<std::mutex> lock(mutex_);
+            if (timed) {
+                stats.lockWaitSeconds +=
+                    secondsBetween(l0, clock::now());
+                const double busy = secondsBetween(b0, b1);
+                stats.busySeconds += busy;
+                ++stats.jobs;
+                jobMicros_.sample(busy * 1e6);
+            }
             if (--inFlight_ == 0)
                 idle_.notify_all();
         }

@@ -31,6 +31,9 @@
 #include <thread>
 #include <vector>
 
+#include "base/profiler.hh"
+#include "base/stats.hh"
+
 namespace cbws
 {
 
@@ -76,7 +79,7 @@ class ThreadPool
     static unsigned hardwareJobs();
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
     void runTask(std::function<void()> &task);
 
     std::vector<std::thread> threads_;
@@ -87,6 +90,15 @@ class ThreadPool
     std::size_t inFlight_ = 0;       ///< queued + currently running
     std::exception_ptr firstError_;  ///< first task exception
     bool shutdown_ = false;
+
+    /**
+     * Self-profiling (recorded only while prof::enabled()): each
+     * worker splits its time into busy / queue-wait / lock-wait and
+     * job durations feed a shared histogram (guarded by mutex_).
+     * The destructor folds the totals into the global profiler.
+     */
+    std::vector<prof::WorkerTotals> workerStats_;
+    Histogram jobMicros_{64, 50.0};
 };
 
 /**

@@ -28,6 +28,7 @@ enum class TraceTrack : unsigned
     Core = 0,     ///< commit/stall/redirect activity
     Cache = 1,    ///< demand accesses and fills
     Prefetch = 2, ///< prefetch lifecycle events
+    Host = 3,     ///< host-side self-profiler phases (wall time)
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "base/metrics.hh"
 #include "prefetch/registry.hh"
 
 namespace cbws
@@ -181,6 +182,43 @@ CbwsPrefetcher::storageBits() const
         (params_.tagBits + static_cast<std::uint64_t>(
             params_.maxVectorMembers) * params_.strideBits);
     return curr + last + diffs + hist + table;
+}
+
+void
+CbwsPrefetcher::exportMetrics(MetricsRegistry &reg,
+                              const std::string &prefix) const
+{
+    const std::string p = prefix + ".cbws.";
+    reg.addScalar(p + "blocksCompleted", stats_.blocksCompleted,
+                  "BLOCK_END markers processed");
+    reg.addScalar(p + "blocksTruncated", stats_.blocksTruncated,
+                  "blocks whose working set exceeded capacity");
+    reg.addScalar(p + "tableHits", stats_.tableHits,
+                  "prediction lookups that hit the table");
+    reg.addScalar(p + "tableMisses", stats_.tableMisses,
+                  "prediction lookups that missed");
+    reg.addFormula(
+        p + "tableHitRate",
+        stats_.tableHits + stats_.tableMisses
+            ? static_cast<double>(stats_.tableHits) /
+                  static_cast<double>(stats_.tableHits +
+                                      stats_.tableMisses)
+            : 0.0,
+        "tableHits / (tableHits + tableMisses)",
+        "fraction of lookups served by the differential table");
+    reg.addScalar(p + "linesPredicted", stats_.linesPredicted,
+                  "lines emitted as predictions");
+    reg.addScalar(p + "accessesTracked", stats_.accessesTracked,
+                  "in-block accesses recorded into working sets");
+    reg.addScalar(p + "accessesOutsideBlock",
+                  stats_.accessesOutsideBlock,
+                  "committed accesses seen outside any block");
+    reg.addScalar(p + "tableOccupancy",
+                  static_cast<std::uint64_t>(table_.occupancy()),
+                  "differential-table entries in use");
+    reg.addScalar(p + "tableCapacity",
+                  static_cast<std::uint64_t>(table_.capacity()),
+                  "differential-table entry capacity");
 }
 
 CBWS_REGISTER_PREFETCHER(cbws, "CBWS",

@@ -89,6 +89,9 @@ class CbwsPrefetcher : public Prefetcher
     std::uint64_t storageBits() const override;
     std::string name() const override { return "CBWS"; }
 
+    void exportMetrics(MetricsRegistry &reg,
+                       const std::string &prefix) const override;
+
     const CbwsSchemeStats &schemeStats() const { return stats_; }
     const CbwsParams &params() const { return params_; }
 

@@ -4,6 +4,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
 
 namespace cbws
 {
@@ -453,6 +454,11 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
 {
     begin(trace, max_insts, on_commit, on_access, warmup_insts,
           on_warmup);
+
+    // One scope for the whole replay loop: core-side work (fetch,
+    // rename, scheduling, commit) lands in Decode; the memory-system
+    // phases nest inside and claim their own exclusive time.
+    PROF_SCOPE(prof::Phase::Decode);
 
     Cycle now = 0;
     while (true) {

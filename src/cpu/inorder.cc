@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/profiler.hh"
+
 namespace cbws
 {
 
@@ -17,6 +19,10 @@ InOrderCore::run(const Trace &trace, std::uint64_t max_insts,
                  std::uint64_t warmup_insts,
                  const std::function<void(Cycle)> &on_warmup)
 {
+    // Whole replay loop: core-side work lands in Decode, the nested
+    // memory-system phases claim their own exclusive time.
+    PROF_SCOPE(prof::Phase::Decode);
+
     CoreStats stats;
     CoreStats warm_snapshot;
     bool warmed = warmup_insts == 0;

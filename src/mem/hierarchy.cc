@@ -4,6 +4,7 @@
 
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
 
 namespace cbws
 {
@@ -301,6 +302,33 @@ Hierarchy::tick(Cycle now)
 {
     if (__builtin_expect(debug::state.anyEnabled, 0))
         debug::setCycle(now);
+    if (__builtin_expect(prof::enabled(), 0)) {
+        // Profiled path only: tick() runs every simulated cycle, so
+        // the scope cost stays off the default path entirely. Only
+        // bracket ticks where a fill actually completes (nextReady
+        // due); in-flight-but-not-ready ticks early-out inside
+        // drain() in a few ns, which a ~35 ns timed scope would
+        // swamp — and those account for ~98% of all ticks.
+        bool fill_work = l2Mshr_.nextReady() <= now;
+        for (std::size_t c = 0; !fill_work && c < l1dMshr_.size();
+             ++c) {
+            fill_work = l1dMshr_[c].nextReady() <= now ||
+                        l1iMshr_[c].nextReady() <= now;
+        }
+        if (fill_work) {
+            PROF_SCOPE_SAMPLED(prof::Phase::Dram, 3);
+            drainL2(now);
+            drainL1(now);
+        } else {
+            drainL2(now);
+            drainL1(now);
+        }
+        if (!prefetchQueue_.empty()) {
+            PROF_SCOPE_SAMPLED(prof::Phase::PfIssue, 3);
+            issuePrefetches(now);
+        }
+        return;
+    }
     drainL2(now);
     drainL1(now);
     if (!prefetchQueue_.empty())
@@ -483,6 +511,7 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
         }
         // Non-stalling requester (stores): account the L2 access for
         // MPKI purposes but skip the fill.
+        PROF_SCOPE_SAMPLED(prof::Phase::CacheLookup, 3);
         bool stall = false;
         DemandClass cls = DemandClass::None;
         Cycle ready = l2DemandAccess(line, now + l1p.latency, is_write,
@@ -494,6 +523,12 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
         return out;
     }
 
+    // The timed scope brackets only the primary-miss path (L2 arrays
+    // + DRAM timing + MSHR allocate): L1 hits, secondary-miss merges
+    // and MSHR-full retries are each a handful of ns and fire per
+    // replayed access, so a ~35 ns scope around them would measure
+    // mostly itself (their time reports under the caller's phase).
+    PROF_SCOPE_SAMPLED(prof::Phase::CacheLookup, 3);
     bool stall = false;
     DemandClass cls = DemandClass::None;
     const Cycle l2_ready =

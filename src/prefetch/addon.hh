@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "base/metrics.hh"
 #include "core/cbws_prefetcher.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -41,6 +42,17 @@ class CbwsAddOnPrefetcher : public Prefetcher
 
     std::uint64_t storageBits() const override;
     std::string name() const override;
+
+    void
+    exportMetrics(MetricsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        cbws_.exportMetrics(reg, prefix);
+        base_->exportMetrics(reg, prefix);
+        reg.addScalar(prefix + ".suppressedBaseIssues", suppressed_,
+                      "base-prefetcher issues muted by a confident "
+                      "CBWS");
+    }
 
     CbwsPrefetcher &cbws() { return cbws_; }
     Prefetcher &base() { return *base_; }

@@ -14,6 +14,7 @@
 #ifndef CBWS_PREFETCH_COMPOSITE_HH
 #define CBWS_PREFETCH_COMPOSITE_HH
 
+#include "base/metrics.hh"
 #include "core/cbws_prefetcher.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/sms.hh"
@@ -39,6 +40,16 @@ class CbwsSmsPrefetcher : public Prefetcher
 
     std::uint64_t storageBits() const override;
     std::string name() const override { return "CBWS+SMS"; }
+
+    void
+    exportMetrics(MetricsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        cbws_.exportMetrics(reg, prefix);
+        sms_.exportMetrics(reg, prefix);
+        reg.addScalar(prefix + ".suppressedSmsIssues", suppressed_,
+                      "SMS issues muted because CBWS covered the block");
+    }
 
     CbwsPrefetcher &cbws() { return cbws_; }
     SmsPrefetcher &sms() { return sms_; }

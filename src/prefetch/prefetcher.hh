@@ -21,6 +21,8 @@
 namespace cbws
 {
 
+class MetricsRegistry;
+
 /** One committed memory access, as seen by a prefetcher. */
 struct PrefetchContext
 {
@@ -146,6 +148,20 @@ class Prefetcher
 
     /** Human-readable scheme name. */
     virtual std::string name() const = 0;
+
+    /**
+     * Register scheme-internal counters (table occupancy, training
+     * hits, ...) into @p reg under dotted paths below @p prefix
+     * (e.g. "pf.scheme"). The default exports nothing; composite
+     * schemes should delegate to their components. Called once at the
+     * end of a run, so implementations need not be cheap.
+     */
+    virtual void
+    exportMetrics(MetricsRegistry &reg, const std::string &prefix) const
+    {
+        (void)reg;
+        (void)prefix;
+    }
 };
 
 /**

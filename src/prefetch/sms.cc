@@ -1,7 +1,10 @@
 #include "prefetch/sms.hh"
 
+#include <algorithm>
+
 #include "base/debug.hh"
 #include "base/logging.hh"
+#include "base/metrics.hh"
 #include "prefetch/registry.hh"
 
 namespace cbws
@@ -173,6 +176,28 @@ SmsPrefetcher::storageBits() const
         (pattern_bits + params_.pcBits + params_.offsetBits) *
         params_.phtEntries;
     return agt + filter + pht;
+}
+
+void
+SmsPrefetcher::exportMetrics(MetricsRegistry &reg,
+                             const std::string &prefix) const
+{
+    const std::string p = prefix + ".sms.";
+    reg.addScalar(p + "agtOccupancy", agt_.size(),
+                  "active-generation-table entries in use");
+    reg.addScalar(p + "agtCapacity", params_.agtEntries,
+                  "active-generation-table entry capacity");
+    reg.addScalar(p + "filterOccupancy", filter_.size(),
+                  "filter-table entries in use");
+    reg.addScalar(p + "filterCapacity", params_.filterEntries,
+                  "filter-table entry capacity");
+    const std::size_t pht_valid = static_cast<std::size_t>(
+        std::count_if(pht_.begin(), pht_.end(),
+                      [](const PhtEntry &e) { return e.valid; }));
+    reg.addScalar(p + "phtOccupancy", pht_valid,
+                  "pattern-history-table entries in use");
+    reg.addScalar(p + "phtCapacity", params_.phtEntries,
+                  "pattern-history-table entry capacity");
 }
 
 CBWS_REGISTER_PREFETCHER(sms, "SMS",

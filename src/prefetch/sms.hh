@@ -67,6 +67,9 @@ class SmsPrefetcher : public Prefetcher
     std::uint64_t storageBits() const override;
     std::string name() const override { return "SMS"; }
 
+    void exportMetrics(MetricsRegistry &reg,
+                       const std::string &prefix) const override;
+
     /** Lines per region (pattern width). */
     unsigned linesPerRegion() const { return linesPerRegion_; }
 

@@ -8,7 +8,9 @@
 #include "base/json.hh"
 #include "base/jsonparse.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "base/retry.hh"
+#include "base/version.hh"
 
 namespace cbws
 {
@@ -131,6 +133,28 @@ headerLine(const Checkpoint::Header &header)
     w.field("insts", header.insts);
     w.field("seed", header.seed);
     w.field("fingerprint", hex16(header.fingerprint));
+    w.endObject();
+    return sealLine(w.str());
+}
+
+/**
+ * Sealed informational record stamping which build wrote the file.
+ * Readers skip it silently (it is never part of resume state), so a
+ * checkpoint written by one build resumes fine under another — the
+ * header fingerprint, not the provenance, decides compatibility.
+ */
+std::string
+provenanceLine()
+{
+    const BuildInfo &info = buildInfo();
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::uint64_t>(CheckpointSchemaVersion));
+    w.field("type", "provenance");
+    w.field("git_sha", info.gitSha);
+    w.field("compiler", info.compiler);
+    w.field("build_type", info.buildType);
     w.endObject();
     return sealLine(w.str());
 }
@@ -434,6 +458,7 @@ Checkpoint::~Checkpoint()
 Result<void>
 Checkpoint::open(const std::string &path, const Header &header)
 {
+    PROF_SCOPE(prof::Phase::CheckpointIO);
     std::lock_guard<std::mutex> lock(mutex_);
     panic_if(file_, "Checkpoint::open() called twice");
 
@@ -489,6 +514,11 @@ Checkpoint::open(const std::string &path, const Header &header)
                 header_seen = true;
                 continue;
             }
+            // Informational build stamp, not resume state.
+            if (line.find("\"type\":\"provenance\"") !=
+                std::string::npos) {
+                continue;
+            }
             Result<SimResult> cell = parseCheckpointCell(line);
             if (!cell.ok()) {
                 // Torn tail from a crash mid-append, or bit rot:
@@ -513,7 +543,11 @@ Checkpoint::open(const std::string &path, const Header &header)
                      path + ": cannot open checkpoint for append: " +
                          std::strerror(errno));
     if (!existing) {
-        const std::string line = expected_header + "\n";
+        // Header then provenance, both written raw: routing the
+        // provenance through append() would advance fault-injection
+        // site counts and shift deterministic injection schedules.
+        const std::string line =
+            expected_header + "\n" + provenanceLine() + "\n";
         if (std::fwrite(line.data(), 1, line.size(), file_) !=
                 line.size() ||
             std::fflush(file_) != 0) {
@@ -539,6 +573,7 @@ Checkpoint::find(const std::string &workload,
 Result<void>
 Checkpoint::append(const SimResult &result)
 {
+    PROF_SCOPE(prof::Phase::CheckpointIO);
     std::lock_guard<std::mutex> lock(mutex_);
     if (!file_)
         return Error(Errc::InvalidArgument, "checkpoint not open");

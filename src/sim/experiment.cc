@@ -5,6 +5,8 @@
 #include "base/debug.hh"
 #include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
+#include "base/progress.hh"
 #include "base/threadpool.hh"
 #include "sim/checkpoint.hh"
 
@@ -93,6 +95,9 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         jobs = 1;
     }
 
+    const bool progress =
+        options.progress || ProgressMeter::enabledFromEnv();
+
     WorkloadParams params;
     params.maxInstructions = max_insts;
     params.seed = seed;
@@ -144,22 +149,31 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     // shares them without copies or locks.
     std::vector<Trace> traces(num_workloads);
     std::vector<char> trace_done(num_workloads, 0);
-    runCells(jobs, num_workloads, trace_done, "trace synthesis",
-             [&](std::size_t w) {
-        Trace &trace = traces[w];
-        const TraceCache::Key key{workloads[w]->name(), max_insts,
-                                  seed};
-        if (options.traceCache &&
-            options.traceCache->load(key, trace).ok()) {
+    {
+        ProgressMeter meter("trace synthesis", num_workloads,
+                            progress);
+        runCells(jobs, num_workloads, trace_done, "trace synthesis",
+                 [&](std::size_t w) {
+            Trace &trace = traces[w];
+            const TraceCache::Key key{workloads[w]->name(), max_insts,
+                                      seed};
+            if (options.traceCache &&
+                options.traceCache->load(key, trace).ok()) {
+                trace_done[w] = 1;
+                meter.advance(true);
+                return;
+            }
+            {
+                PROF_SCOPE(prof::Phase::TraceSynthesis);
+                trace.reserve(max_insts + 512);
+                workloads[w]->generate(trace, params);
+            }
+            if (options.traceCache)
+                options.traceCache->store(key, trace);
             trace_done[w] = 1;
-            return;
-        }
-        trace.reserve(max_insts + 512);
-        workloads[w]->generate(trace, params);
-        if (options.traceCache)
-            options.traceCache->store(key, trace);
-        trace_done[w] = 1;
-    });
+            meter.advance(false);
+        });
+    }
 
     matrix.rows.resize(num_workloads);
     for (std::size_t w = 0; w < num_workloads; ++w) {
@@ -176,6 +190,8 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     // instead).
     const std::uint64_t warmup = max_insts / 4;
     std::vector<char> cell_done(num_workloads * num_kinds, 0);
+    ProgressMeter meter("simulation", num_workloads * num_kinds,
+                        progress);
     runCells(jobs, num_workloads * num_kinds, cell_done,
              "simulation", [&](std::size_t i) {
         const std::size_t w = i / num_kinds;
@@ -186,6 +202,7 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
             if (restored) {
                 matrix.rows[w].byPrefetcher[k] = *restored;
                 cell_done[i] = 1;
+                meter.advance(true);
                 return;
             }
         }
@@ -216,7 +233,9 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         }
         matrix.rows[w].byPrefetcher[k] = std::move(res);
         cell_done[i] = 1;
+        meter.advance(false);
     });
+    meter.finish();
     return matrix;
 }
 

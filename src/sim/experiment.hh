@@ -93,6 +93,13 @@ struct MatrixOptions
      * (or schema version) is a fatal error.
      */
     std::string checkpointPath;
+
+    /**
+     * Emit a live progress line on stderr (cells done/total,
+     * cells/sec, ETA, cache/checkpoint restores) for each matrix
+     * phase. Never touches stdout, so reports stay byte-identical.
+     */
+    bool progress = false;
 };
 
 /**

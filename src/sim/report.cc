@@ -1,6 +1,8 @@
 #include "sim/report.hh"
 
 #include "base/json.hh"
+#include "base/version.hh"
+#include "sim/simmetrics.hh"
 
 namespace cbws
 {
@@ -17,7 +19,8 @@ constexpr std::uint64_t ReportSchemaVersion = 2;
 constexpr std::uint64_t ReportSchemaVersionMulticore = 3;
 
 void
-writeResult(JsonWriter &w, const SimResult &r)
+writeResult(JsonWriter &w, const SimResult &r,
+            const ReportOptions &options)
 {
     w.beginObject();
     w.field("schema_version", r.cores > 1 ? ReportSchemaVersionMulticore
@@ -123,26 +126,38 @@ writeResult(JsonWriter &w, const SimResult &r)
         w.field("l2_bank_conflicts", r.mem.l2BankConflicts);
         w.endObject();
     }
+
+    // Additive, opt-in sections only — with both options off the
+    // v2/v3 object above is byte-identical to previous releases.
+    if (options.provenance) {
+        w.key("provenance");
+        writeProvenance(w);
+    }
+    if (options.metrics) {
+        w.key("metrics");
+        simMetrics(r).writeJson(w);
+    }
     w.endObject();
 }
 
 } // anonymous namespace
 
 std::string
-toJson(const SimResult &result)
+toJson(const SimResult &result, const ReportOptions &options)
 {
     JsonWriter w;
-    writeResult(w, result);
+    writeResult(w, result, options);
     return w.str();
 }
 
 std::string
-toJson(const std::vector<SimResult> &results)
+toJson(const std::vector<SimResult> &results,
+       const ReportOptions &options)
 {
     JsonWriter w;
     w.beginArray();
     for (const auto &r : results)
-        writeResult(w, r);
+        writeResult(w, r, options);
     w.endArray();
     return w.str();
 }

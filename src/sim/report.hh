@@ -15,11 +15,31 @@
 namespace cbws
 {
 
+/**
+ * Additive report extensions (docs/FORMATS.md). Both default off so
+ * the v2/v3 objects stay byte-identical to every previous release —
+ * the CI golden diff depends on that.
+ */
+struct ReportOptions
+{
+    /** Append a `provenance` object (git SHA, compiler, build type). */
+    bool provenance = false;
+
+    /**
+     * Append a `metrics` object rendered from the metrics registry
+     * (sim/simmetrics.hh): every statsdump counter plus the
+     * JSON-only vectors, keyed by dotted path.
+     */
+    bool metrics = false;
+};
+
 /** Serialise one result to a JSON object string. */
-std::string toJson(const SimResult &result);
+std::string toJson(const SimResult &result,
+                   const ReportOptions &options = ReportOptions());
 
 /** Serialise a batch of results to a JSON array string. */
-std::string toJson(const std::vector<SimResult> &results);
+std::string toJson(const std::vector<SimResult> &results,
+                   const ReportOptions &options = ReportOptions());
 
 } // namespace cbws
 

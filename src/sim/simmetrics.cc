@@ -1,0 +1,208 @@
+#include "sim/simmetrics.hh"
+
+namespace cbws
+{
+
+MetricsRegistry
+simMetrics(const SimResult &r)
+{
+    MetricsRegistry reg;
+
+    reg.addScalar("sim.instructions", r.core.instructions,
+                  "committed instructions (markers included)");
+    reg.addScalar("sim.cycles", r.core.cycles, "simulated cycles");
+    reg.addFormula("sim.ipc", r.ipc(),
+                   "sim.instructions / sim.cycles", "committed IPC");
+
+    reg.addScalar("core.memInstructions", r.core.memInstructions,
+                  "committed loads + stores");
+    reg.addScalar("core.branches", r.core.branches,
+                  "committed branches");
+    reg.addScalar("core.branchMispredicts", r.core.branchMispredicts,
+                  "direction or target mispredictions");
+    reg.addScalar("core.loopCycles", r.core.loopCycles,
+                  "cycles attributed to annotated blocks");
+    reg.addFormula("core.loopFraction", r.core.loopFraction(),
+                   "core.loopCycles / sim.cycles",
+                   "fraction of runtime in tight loops (Fig. 1)");
+    reg.addScalar("core.robFullStalls", r.core.robFullStalls,
+                  "dispatch stalls on a full ROB");
+    reg.addScalar("core.lsqFullStalls", r.core.lsqFullStalls,
+                  "dispatch stalls on a full LDQ/STQ");
+
+    reg.addScalar("l1d.accesses", r.mem.l1dAccesses,
+                  "demand accesses");
+    reg.addScalar("l1d.misses", r.mem.l1dMisses, "demand misses");
+    reg.addScalar("l1i.accesses", r.mem.l1iAccesses,
+                  "fetch accesses");
+    reg.addScalar("l1i.misses", r.mem.l1iMisses, "fetch misses");
+    reg.addScalar("l2.demandAccesses", r.mem.demandL2Accesses,
+                  "data-side demand accesses reaching the L2");
+    reg.addScalar("l2.demandMisses", r.mem.llcDemandMisses,
+                  "primary demand misses (drives Fig. 12 MPKI)");
+    reg.addFormula("l2.mpki", r.mpki(),
+                   "1000 * l2.demandMisses / sim.instructions",
+                   "LLC misses per kilo-instruction");
+    reg.addScalar("l2.mshrStalls", r.mem.mshrStalls,
+                  "accesses rejected by a full MSHR file");
+
+    reg.addScalar("pf.requested", r.mem.prefetchesRequested,
+                  "prefetch requests from the prefetcher");
+    reg.addScalar("pf.issued", r.mem.prefetchesIssued,
+                  "prefetches issued to memory");
+    reg.addScalar("pf.filtered", r.mem.prefetchesFiltered,
+                  "requests dropped as cached/in-flight");
+    reg.addScalar("pf.dropped", r.mem.prefetchesDropped,
+                  "requests lost to queue overflow");
+    reg.addScalar("pf.wrong", r.mem.wrongPrefetches,
+                  "prefetched lines never used (Fig. 13 'wrong')");
+    reg.addFormula("pf.timelyFraction",
+                   r.classFraction(DemandClass::Timely),
+                   "class[timely] / l2.demandAccesses",
+                   "demand L2 accesses served by a completed "
+                   "prefetch");
+    reg.addFormula("pf.shorterFraction",
+                   r.classFraction(DemandClass::Shorter),
+                   "class[shorter] / l2.demandAccesses",
+                   "demand L2 accesses merged into in-flight "
+                   "prefetches");
+    reg.addFormula("pf.nonTimelyFraction",
+                   r.classFraction(DemandClass::NonTimely),
+                   "class[nonTimely] / l2.demandAccesses",
+                   "demand beat the queued prefetch");
+    reg.addFormula("pf.missingFraction",
+                   r.classFraction(DemandClass::Missing),
+                   "class[missing] / l2.demandAccesses",
+                   "demand misses with no prefetch help");
+    reg.addScalar("pf.storageBits", r.prefetcherStorageBits,
+                  "hardware budget of the scheme (Table III)");
+
+    // Per-source lifecycle accounting: one group per prefetcher
+    // component that issued at least one request this run.
+    for (unsigned s = 0; s < NumPfSources; ++s) {
+        const PrefetchLifecycle &life = r.mem.pfLife[s];
+        if (life.issued == 0 && life.filled == 0)
+            continue;
+        const std::string p =
+            std::string("pf.") + toString(static_cast<PfSource>(s));
+        reg.addScalar(p + ".issued", life.issued,
+                      "requests tagged by this component");
+        reg.addScalar(p + ".merged", life.merged,
+                      "subsumed by a resident/in-flight copy or a "
+                      "demand");
+        reg.addScalar(p + ".dropped", life.dropped,
+                      "lost to queue overflow / end of run");
+        reg.addScalar(p + ".filled", life.filled,
+                      "lines this component brought into the L2");
+        reg.addScalar(p + ".demandHitTimely", life.demandHitTimely,
+                      "fills demanded after arriving (fully hidden)");
+        reg.addScalar(p + ".demandHitLate", life.demandHitLate,
+                      "fills demanded while still in flight");
+        reg.addScalar(p + ".evictedUnused", life.evictedUnused,
+                      "fills evicted without a demand hit "
+                      "(pollution)");
+        reg.addScalar(p + ".residentAtEnd", life.residentAtEnd,
+                      "unused fills still resident at the end");
+        reg.addFormula(p + ".accuracy", life.accuracy(),
+                       "(demandHitTimely + demandHitLate) / filled",
+                       "demand-hit fraction of filled lines");
+        reg.addFormula(p + ".lateFraction", life.lateFraction(),
+                       "demandHitLate / (demandHitTimely + "
+                       "demandHitLate)",
+                       "useful fills that arrived after the demand");
+        reg.addFormula(p + ".pollutionRate", life.pollutionRate(),
+                       "evictedUnused / filled",
+                       "filled lines that only polluted the cache");
+        reg.addScalar(p + ".latenessCycles", life.latenessCycles,
+                      "total cycles demands waited on late fills");
+    }
+    {
+        // Coverage: fraction of would-be LLC misses removed by
+        // prefetching (timely hits over timely hits + actual misses).
+        const PrefetchLifecycle total = r.mem.pfLifeTotal();
+        const std::uint64_t covered = total.demandHitTimely;
+        const std::uint64_t coverage_den =
+            covered + r.mem.llcDemandMisses;
+        reg.addFormula("pf.accuracy", total.accuracy(),
+                       "(demandHitTimely + demandHitLate) / filled",
+                       "all sources: demand-hit fraction of fills");
+        reg.addFormula(
+            "pf.coverage",
+            coverage_den ? static_cast<double>(covered) /
+                               static_cast<double>(coverage_den)
+                         : 0.0,
+            "demandHitTimely / (demandHitTimely + l2.demandMisses)",
+            "misses removed by completed prefetches");
+        reg.addFormula("pf.lateFraction", total.lateFraction(),
+                       "demandHitLate / (demandHitTimely + "
+                       "demandHitLate)",
+                       "all sources: useful fills arriving late");
+        reg.addFormula("pf.pollutionRate", total.pollutionRate(),
+                       "evictedUnused / filled",
+                       "all sources: fills that only polluted");
+    }
+
+    reg.addScalar("dram.bytesRead", r.mem.dramBytesRead,
+                  "bytes fetched from memory");
+    reg.addScalar("dram.bytesWritten", r.mem.dramBytesWritten,
+                  "writeback bytes to memory");
+
+    // Multi-core runs only: the interference counters and one group
+    // per core. Single-core dumps are unchanged byte-for-byte.
+    if (r.cores > 1) {
+        reg.addScalar("sys.cores",
+                      static_cast<std::uint64_t>(r.cores),
+                      "cores sharing the L2 and DRAM");
+        reg.addScalar("l2.crossCorePollutionMisses",
+                      r.mem.crossCorePollutionMisses,
+                      "demand misses on lines evicted by another "
+                      "core's prefetch");
+        reg.addScalar("l2.bankConflicts", r.mem.l2BankConflicts,
+                      "L2 accesses delayed by bank arbitration");
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const CoreSliceResult &slice = r.perCore[c];
+            const std::string p = "core" + std::to_string(c) + ".";
+            reg.addFormula(p + "workloadIpc", slice.ipc(),
+                           "instructions / cycles",
+                           "committed IPC of " + slice.workload);
+            reg.addFormula(p + "mpki", slice.mpki(),
+                           "1000 * llcDemandMisses / instructions",
+                           "LLC demand misses per kilo-instruction");
+            reg.addScalar(p + "llcDemandMisses",
+                          slice.mem.llcDemandMisses,
+                          "primary demand misses from this core");
+            reg.addScalar(p + "pollutionVictimMisses",
+                          slice.mem.pollutionVictimMisses,
+                          "this core's misses caused by others' "
+                          "prefetches");
+            reg.addScalar(p + "pollutionCausedMisses",
+                          slice.mem.pollutionCausedMisses,
+                          "other cores' misses this core's "
+                          "prefetches caused");
+            reg.addScalar(p + "l2ResidentLines",
+                          slice.mem.l2ResidentLines,
+                          "L2 lines owned by this core at the end");
+        }
+    }
+
+    // JSON-only extras (Vector kind never renders in the text dump):
+    // the raw demand-classification counts and the fill-lateness
+    // histogram, until now reachable only through the report schema.
+    reg.addVector(
+        "l2.classCounts",
+        std::vector<std::uint64_t>(
+            r.mem.classCounts,
+            r.mem.classCounts +
+                static_cast<int>(DemandClass::NumClasses)),
+        "demand classification counts (per DemandClass)");
+    reg.addVector(
+        "pf.latenessHist",
+        std::vector<std::uint64_t>(
+            r.mem.latenessHist, r.mem.latenessHist + LatenessBuckets),
+        "fill lateness: bucket 0 timely, b>=1 waited [2^(b-1),2^b) "
+        "cycles");
+
+    return reg;
+}
+
+} // namespace cbws

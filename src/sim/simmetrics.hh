@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The simulation-result metrics registry: every counter and derived
+ * ratio a finished run exposes, registered once under hierarchical
+ * dotted paths. sim/statsdump.cc renders its text format from this
+ * registry (byte-identical to the historical hand-written dump), the
+ * report writer renders the optional `metrics` JSON section from it,
+ * and the Chrome-trace exporter dumps its counters from it — one
+ * registration site instead of a serializer per surface.
+ *
+ * Naming convention (docs/OBSERVABILITY.md): lower camelCase leaves
+ * under dot-separated component groups — `sim.*` run totals,
+ * `core.*` / `coreN.*` pipeline counters, `l1d.* l1i.* l2.*` cache
+ * levels, `pf.*` prefetching (with `pf.<source>.*` per-component
+ * lifecycle groups), `dram.*` memory, `sys.*` whole-system facts.
+ */
+
+#ifndef CBWS_SIM_SIMMETRICS_HH
+#define CBWS_SIM_SIMMETRICS_HH
+
+#include "base/metrics.hh"
+#include "sim/simulator.hh"
+
+namespace cbws
+{
+
+/**
+ * Build the full registry for a finished run. Scalar/Real/Formula
+ * entries mirror the statsdump line set exactly (same order, names,
+ * descriptions); Vector entries (demand classification counts, the
+ * prefetch lateness histogram) are JSON-only extras.
+ */
+MetricsRegistry simMetrics(const SimResult &result);
+
+} // namespace cbws
+
+#endif // CBWS_SIM_SIMMETRICS_HH

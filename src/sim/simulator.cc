@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "cpu/inorder.hh"
 #include "prefetch/composite.hh"
 #include "sim/snapshot.hh"
@@ -111,19 +112,28 @@ simulate(const Trace &trace, const SystemConfig &config,
                          const AccessOutcome &out, Cycle now) {
         if (probes.snapshot)
             probes.snapshot->onCommit(now);
+        // The scope sits inside the dispatch so commits that never
+        // reach the prefetcher (plain ALU/branch retires, i.e. most
+        // of the stream) pay nothing while profiling.
         switch (rec.cls) {
           case InstClass::Load:
-          case InstClass::Store:
+          case InstClass::Store: {
+            PROF_SCOPE_SAMPLED(prof::Phase::PfObserve, 15);
             prefetcher->observe(
                 PrefetchEvent{PfStage::Commit, make_context(rec, out)},
                 sink);
             break;
-          case InstClass::BlockBegin:
+          }
+          case InstClass::BlockBegin: {
+            PROF_SCOPE(prof::Phase::PfObserve);
             prefetcher->blockBegin(rec.blockId, sink);
             break;
-          case InstClass::BlockEnd:
+          }
+          case InstClass::BlockEnd: {
+            PROF_SCOPE(prof::Phase::PfObserve);
             prefetcher->blockEnd(rec.blockId, sink);
             break;
+          }
           default:
             break;
         }
@@ -131,6 +141,7 @@ simulate(const Trace &trace, const SystemConfig &config,
     auto on_access = [&](const TraceRecord &rec,
                          const AccessOutcome &out, Cycle now) {
         (void)now;
+        PROF_SCOPE_SAMPLED(prof::Phase::PfObserve, 15);
         prefetcher->observe(
             PrefetchEvent{PfStage::Access, make_context(rec, out)},
             sink);
@@ -160,6 +171,8 @@ simulate(const Trace &trace, const SystemConfig &config,
     mem.finalize();
     result.mem = mem.stats();
     result.prefetcherStorageBits = prefetcher->storageBits();
+    if (probes.schemeMetrics)
+        prefetcher->exportMetrics(*probes.schemeMetrics, "pf.scheme");
     if (probes.snapshot)
         probes.snapshot->finalize(result);
     return result;
@@ -278,19 +291,27 @@ simulateMulti(const std::vector<const Trace *> &traces,
                                           Cycle now) {
             if (c == 0 && probes.snapshot)
                 probes.snapshot->onCommit(now);
+            // Scope inside the dispatch: non-memory retires skip it
+            // (see the single-core hook above).
             switch (rec.cls) {
               case InstClass::Load:
-              case InstClass::Store:
+              case InstClass::Store: {
+                PROF_SCOPE_SAMPLED(prof::Phase::PfObserve, 15);
                 pf->observe(PrefetchEvent{PfStage::Commit,
                                           make_context(rec, out)},
                             *sink);
                 break;
-              case InstClass::BlockBegin:
+              }
+              case InstClass::BlockBegin: {
+                PROF_SCOPE(prof::Phase::PfObserve);
                 pf->blockBegin(rec.blockId, *sink);
                 break;
-              case InstClass::BlockEnd:
+              }
+              case InstClass::BlockEnd: {
+                PROF_SCOPE(prof::Phase::PfObserve);
                 pf->blockEnd(rec.blockId, *sink);
                 break;
+              }
               default:
                 break;
             }
@@ -299,6 +320,7 @@ simulateMulti(const std::vector<const Trace *> &traces,
                              const TraceRecord &rec,
                              const AccessOutcome &out, Cycle now) {
             (void)now;
+            PROF_SCOPE_SAMPLED(prof::Phase::PfObserve, 15);
             pf->observe(PrefetchEvent{PfStage::Access,
                                       make_context(rec, out)},
                         *sink);
@@ -398,6 +420,13 @@ simulateMulti(const std::vector<const Trace *> &traces,
             result.workload += "+" + slice.workload;
         }
     }
+    if (probes.schemeMetrics) {
+        for (unsigned c = 0; c < n; ++c) {
+            prefetchers[c]->exportMetrics(
+                *probes.schemeMetrics,
+                "core" + std::to_string(c) + ".pf.scheme");
+        }
+    }
     if (probes.snapshot)
         probes.snapshot->finalize(result);
     return result;
@@ -410,7 +439,10 @@ simulateWorkload(const Workload &workload, const SystemConfig &config,
 {
     Trace trace;
     trace.reserve(params.maxInstructions + 512);
-    workload.generate(trace, params);
+    {
+        PROF_SCOPE(prof::Phase::TraceSynthesis);
+        workload.generate(trace, params);
+    }
     SimResult result = simulate(trace, config, params.maxInstructions,
                                 probes, warmup_insts);
     result.workload = workload.name();

@@ -100,6 +100,7 @@ struct SimResult
     }
 };
 
+class MetricsRegistry;
 class SnapshotWriter;
 class TraceSink;
 
@@ -116,6 +117,15 @@ struct SimProbes
     /** Timeline-event sink (e.g., the Chrome trace exporter);
      *  attached to the hierarchy and the core for the run. */
     TraceSink *trace = nullptr;
+
+    /**
+     * When set, the run's prefetcher(s) register their scheme-internal
+     * gauges here at the end of the run, under "pf.scheme" (multi-core
+     * runs use "coreN.pf.scheme" per instance). Scheme gauges live
+     * outside SimResult on purpose: they never enter the checkpoint or
+     * report serialisation, so enabling them cannot perturb goldens.
+     */
+    MetricsRegistry *schemeMetrics = nullptr;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include "base/faultinject.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "mem/hierarchy.hh"
 #include "sim/simulator.hh"
 
@@ -89,6 +90,7 @@ SnapshotWriter::emitRecord(Cycle now)
 {
     if (!out_ || !mem_)
         return;
+    PROF_SCOPE(prof::Phase::SnapshotIO);
     const HierarchyStats &m = mem_->stats();
     const Cycle cycles = now - baseCycle_;
     const std::uint64_t w_insts = insts_ - lastInsts_;
@@ -186,6 +188,7 @@ SnapshotWriter::finalize(const SimResult &result)
 {
     if (!out_)
         return;
+    PROF_SCOPE(prof::Phase::SnapshotIO);
     const PrefetchLifecycle total = result.mem.pfLifeTotal();
     JsonWriter w;
     w.beginObject();

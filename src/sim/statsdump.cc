@@ -1,196 +1,22 @@
 #include "sim/statsdump.hh"
 
-#include <iomanip>
+#include "sim/simmetrics.hh"
 
 namespace cbws
 {
 
-namespace
-{
-
-class Dumper
-{
-  public:
-    explicit Dumper(std::ostream &out) : out_(out) {}
-
-    void
-    line(const std::string &name, std::uint64_t value,
-         const std::string &desc)
-    {
-        out_ << std::left << std::setw(40) << name << std::right
-             << std::setw(16) << value << "  # " << desc << "\n";
-    }
-
-    void
-    line(const std::string &name, double value,
-         const std::string &desc)
-    {
-        out_ << std::left << std::setw(40) << name << std::right
-             << std::setw(16) << std::fixed << std::setprecision(6)
-             << value << "  # " << desc << "\n";
-    }
-
-  private:
-    std::ostream &out_;
-};
-
-} // anonymous namespace
-
 void
 dumpStats(std::ostream &out, const SimResult &r)
 {
-    Dumper d(out);
+    // Everything between the banner lines renders from the metrics
+    // registry — statsdump no longer owns a serializer of its own.
+    // MetricsRegistry::dumpText emits the historical line format
+    // byte-for-byte (Vector/Histogram entries are JSON-only).
+    const MetricsRegistry reg = simMetrics(r);
     out << "---------- Begin Simulation Statistics ----------\n";
     out << "# workload: " << r.workload
         << "  prefetcher: " << r.prefetcher << "\n";
-
-    d.line("sim.instructions", r.core.instructions,
-           "committed instructions (markers included)");
-    d.line("sim.cycles", r.core.cycles, "simulated cycles");
-    d.line("sim.ipc", r.ipc(), "committed IPC");
-
-    d.line("core.memInstructions", r.core.memInstructions,
-           "committed loads + stores");
-    d.line("core.branches", r.core.branches, "committed branches");
-    d.line("core.branchMispredicts", r.core.branchMispredicts,
-           "direction or target mispredictions");
-    d.line("core.loopCycles", r.core.loopCycles,
-           "cycles attributed to annotated blocks");
-    d.line("core.loopFraction", r.core.loopFraction(),
-           "fraction of runtime in tight loops (Fig. 1)");
-    d.line("core.robFullStalls", r.core.robFullStalls,
-           "dispatch stalls on a full ROB");
-    d.line("core.lsqFullStalls", r.core.lsqFullStalls,
-           "dispatch stalls on a full LDQ/STQ");
-
-    d.line("l1d.accesses", r.mem.l1dAccesses, "demand accesses");
-    d.line("l1d.misses", r.mem.l1dMisses, "demand misses");
-    d.line("l1i.accesses", r.mem.l1iAccesses, "fetch accesses");
-    d.line("l1i.misses", r.mem.l1iMisses, "fetch misses");
-    d.line("l2.demandAccesses", r.mem.demandL2Accesses,
-           "data-side demand accesses reaching the L2");
-    d.line("l2.demandMisses", r.mem.llcDemandMisses,
-           "primary demand misses (drives Fig. 12 MPKI)");
-    d.line("l2.mpki", r.mpki(), "LLC misses per kilo-instruction");
-    d.line("l2.mshrStalls", r.mem.mshrStalls,
-           "accesses rejected by a full MSHR file");
-
-    d.line("pf.requested", r.mem.prefetchesRequested,
-           "prefetch requests from the prefetcher");
-    d.line("pf.issued", r.mem.prefetchesIssued,
-           "prefetches issued to memory");
-    d.line("pf.filtered", r.mem.prefetchesFiltered,
-           "requests dropped as cached/in-flight");
-    d.line("pf.dropped", r.mem.prefetchesDropped,
-           "requests lost to queue overflow");
-    d.line("pf.wrong", r.mem.wrongPrefetches,
-           "prefetched lines never used (Fig. 13 'wrong')");
-    d.line("pf.timelyFraction",
-           r.classFraction(DemandClass::Timely),
-           "demand L2 accesses served by a completed prefetch");
-    d.line("pf.shorterFraction",
-           r.classFraction(DemandClass::Shorter),
-           "demand L2 accesses merged into in-flight prefetches");
-    d.line("pf.nonTimelyFraction",
-           r.classFraction(DemandClass::NonTimely),
-           "demand beat the queued prefetch");
-    d.line("pf.missingFraction",
-           r.classFraction(DemandClass::Missing),
-           "demand misses with no prefetch help");
-    d.line("pf.storageBits", r.prefetcherStorageBits,
-           "hardware budget of the scheme (Table III)");
-
-    // Per-source lifecycle accounting: one group per prefetcher
-    // component that issued at least one request this run.
-    for (unsigned s = 0; s < NumPfSources; ++s) {
-        const PrefetchLifecycle &life = r.mem.pfLife[s];
-        if (life.issued == 0 && life.filled == 0)
-            continue;
-        const std::string p =
-            std::string("pf.") + toString(static_cast<PfSource>(s));
-        d.line(p + ".issued", life.issued,
-               "requests tagged by this component");
-        d.line(p + ".merged", life.merged,
-               "subsumed by a resident/in-flight copy or a demand");
-        d.line(p + ".dropped", life.dropped,
-               "lost to queue overflow / end of run");
-        d.line(p + ".filled", life.filled,
-               "lines this component brought into the L2");
-        d.line(p + ".demandHitTimely", life.demandHitTimely,
-               "fills demanded after arriving (fully hidden)");
-        d.line(p + ".demandHitLate", life.demandHitLate,
-               "fills demanded while still in flight");
-        d.line(p + ".evictedUnused", life.evictedUnused,
-               "fills evicted without a demand hit (pollution)");
-        d.line(p + ".residentAtEnd", life.residentAtEnd,
-               "unused fills still resident at the end");
-        d.line(p + ".accuracy", life.accuracy(),
-               "demand-hit fraction of filled lines");
-        d.line(p + ".lateFraction", life.lateFraction(),
-               "useful fills that arrived after the demand");
-        d.line(p + ".pollutionRate", life.pollutionRate(),
-               "filled lines that only polluted the cache");
-        d.line(p + ".latenessCycles", life.latenessCycles,
-               "total cycles demands waited on late fills");
-    }
-    {
-        // Coverage: fraction of would-be LLC misses removed by
-        // prefetching (timely hits over timely hits + actual misses).
-        const PrefetchLifecycle total = r.mem.pfLifeTotal();
-        const std::uint64_t covered = total.demandHitTimely;
-        const std::uint64_t coverage_den =
-            covered + r.mem.llcDemandMisses;
-        d.line("pf.accuracy", total.accuracy(),
-               "all sources: demand-hit fraction of fills");
-        d.line("pf.coverage",
-               coverage_den ? static_cast<double>(covered) /
-                                  static_cast<double>(coverage_den)
-                            : 0.0,
-               "misses removed by completed prefetches");
-        d.line("pf.lateFraction", total.lateFraction(),
-               "all sources: useful fills arriving late");
-        d.line("pf.pollutionRate", total.pollutionRate(),
-               "all sources: fills that only polluted");
-    }
-
-    d.line("dram.bytesRead", r.mem.dramBytesRead,
-           "bytes fetched from memory");
-    d.line("dram.bytesWritten", r.mem.dramBytesWritten,
-           "writeback bytes to memory");
-
-    // Multi-core runs only: the interference counters and one group
-    // per core. Single-core dumps are unchanged byte-for-byte.
-    if (r.cores > 1) {
-        d.line("sys.cores", static_cast<std::uint64_t>(r.cores),
-               "cores sharing the L2 and DRAM");
-        d.line("l2.crossCorePollutionMisses",
-               r.mem.crossCorePollutionMisses,
-               "demand misses on lines evicted by another core's "
-               "prefetch");
-        d.line("l2.bankConflicts", r.mem.l2BankConflicts,
-               "L2 accesses delayed by bank arbitration");
-        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
-            const CoreSliceResult &slice = r.perCore[c];
-            const std::string p =
-                "core" + std::to_string(c) + ".";
-            d.line(p + "workloadIpc", slice.ipc(),
-                   "committed IPC of " + slice.workload);
-            d.line(p + "mpki", slice.mpki(),
-                   "LLC demand misses per kilo-instruction");
-            d.line(p + "llcDemandMisses",
-                   slice.mem.llcDemandMisses,
-                   "primary demand misses from this core");
-            d.line(p + "pollutionVictimMisses",
-                   slice.mem.pollutionVictimMisses,
-                   "this core's misses caused by others' prefetches");
-            d.line(p + "pollutionCausedMisses",
-                   slice.mem.pollutionCausedMisses,
-                   "other cores' misses this core's prefetches "
-                   "caused");
-            d.line(p + "l2ResidentLines", slice.mem.l2ResidentLines,
-                   "L2 lines owned by this core at the end");
-        }
-    }
+    reg.dumpText(out);
     out << "---------- End Simulation Statistics   ----------\n";
 }
 

@@ -3,6 +3,8 @@
 #include <cinttypes>
 
 #include "base/logging.hh"
+#include "base/metrics.hh"
+#include "base/profiler.hh"
 
 namespace cbws
 {
@@ -21,10 +23,16 @@ trackName(TraceTrack track)
         return "cache";
       case TraceTrack::Prefetch:
         return "prefetch";
+      case TraceTrack::Host:
+        return "host";
       default:
         return "other";
     }
 }
+
+/** Synthetic process id of the host-time track: keeps wall-clock
+ *  spans visually separate from the simulated-cycle tracks. */
+constexpr int HostPid = 2;
 
 } // anonymous namespace
 
@@ -129,6 +137,119 @@ ChromeTraceWriter::counter(const char *name, Cycle ts,
                  "}}",
                  name, static_cast<std::uint64_t>(ts),
                  static_cast<std::uint64_t>(value));
+}
+
+void
+ChromeTraceWriter::writeHostPhases(const prof::Report &report)
+{
+    if (!out_ || !report.enabled)
+        return;
+    // Host process metadata (emitted lazily so traces without a
+    // profiler report keep their historical bytes).
+    std::fprintf(out_,
+                 ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                 "\"name\":\"process_name\","
+                 "\"args\":{\"name\":\"cbws-host\"}}",
+                 HostPid);
+    std::fprintf(out_,
+                 ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                 "\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"host phases\"}}",
+                 HostPid);
+    // The profiler aggregates per phase, so true interleaving is gone;
+    // back-to-back spans (in wall-clock us) convey the split instead.
+    double cursor_us = 0.0;
+    for (unsigned i = 0; i < prof::NumPhases; ++i) {
+        const double sec = report.phaseSeconds[i];
+        if (sec <= 0.0)
+            continue;
+        if (!admit())
+            return;
+        std::fprintf(out_,
+                     ",\n{\"ph\":\"X\",\"pid\":%d,\"tid\":0,"
+                     "\"cat\":\"host\",\"name\":\"%s\",\"ts\":%.0f,"
+                     "\"dur\":%.0f,\"args\":{\"entries\":%" PRIu64
+                     ",\"seconds\":%.6f}}",
+                     HostPid,
+                     prof::toString(static_cast<prof::Phase>(i)),
+                     cursor_us, sec * 1e6,
+                     report.phaseEntries[i], sec);
+        cursor_us += sec * 1e6;
+    }
+    // One thread row per pool worker: busy vs queue-wait vs lock-wait
+    // as back-to-back spans, same convention as the phase row.
+    for (std::size_t w = 0; w < report.workers.size(); ++w) {
+        const prof::WorkerTotals &t = report.workers[w];
+        if (t.jobs == 0)
+            continue;
+        const int tid = static_cast<int>(w) + 1;
+        std::fprintf(out_,
+                     ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"worker %zu\"}}",
+                     HostPid, tid, w);
+        struct Span
+        {
+            const char *name;
+            double seconds;
+        };
+        const Span spans[] = {
+            {"busy", t.busySeconds},
+            {"queue_wait", t.queueWaitSeconds},
+            {"lock_wait", t.lockWaitSeconds},
+        };
+        double w_cursor_us = 0.0;
+        for (const Span &s : spans) {
+            if (s.seconds <= 0.0)
+                continue;
+            if (!admit())
+                return;
+            std::fprintf(out_,
+                         ",\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                         "\"cat\":\"host\",\"name\":\"%s\","
+                         "\"ts\":%.0f,\"dur\":%.0f,"
+                         "\"args\":{\"jobs\":%" PRIu64
+                         ",\"seconds\":%.6f}}",
+                         HostPid, tid, s.name, w_cursor_us,
+                         s.seconds * 1e6, t.jobs, s.seconds);
+            w_cursor_us += s.seconds * 1e6;
+        }
+    }
+}
+
+void
+ChromeTraceWriter::writeMetricCounters(const MetricsRegistry &reg,
+                                       Cycle ts)
+{
+    if (!out_)
+        return;
+    for (const auto &m : reg.metrics()) {
+        switch (m.kind) {
+          case MetricsRegistry::Kind::Scalar:
+            if (!admit())
+                return;
+            std::fprintf(out_,
+                         ",\n{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                         "\"ts\":%" PRIu64
+                         ",\"args\":{\"value\":%" PRIu64 "}}",
+                         m.path.c_str(),
+                         static_cast<std::uint64_t>(ts), m.uintValue);
+            break;
+          case MetricsRegistry::Kind::Real:
+          case MetricsRegistry::Kind::Formula:
+            if (!admit())
+                return;
+            std::fprintf(out_,
+                         ",\n{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                         "\"ts\":%" PRIu64
+                         ",\"args\":{\"value\":%.6g}}",
+                         m.path.c_str(),
+                         static_cast<std::uint64_t>(ts), m.realValue);
+            break;
+          default:
+            break; // Vector/Histogram have no counter rendering
+        }
+    }
 }
 
 void

@@ -23,6 +23,13 @@
 namespace cbws
 {
 
+class MetricsRegistry;
+
+namespace prof
+{
+struct Report;
+} // namespace prof
+
 /**
  * TraceSink writing Chrome trace-event JSON. Event producers
  * (hierarchy, cores) must check wants() before building events — it
@@ -60,6 +67,24 @@ class ChromeTraceWriter : public TraceSink
                  Cycle ts, std::uint64_t arg = 0) override;
     void counter(const char *name, Cycle ts,
                  std::uint64_t value) override;
+
+    /**
+     * Merge the host-side self-profiler report (base/profiler.hh) into
+     * the trace as a separate "cbws-host" process: one span per phase
+     * with non-zero time, laid out back-to-back in wall-clock
+     * microseconds (the profiler aggregates, so relative order — not
+     * true interleaving — is what the track conveys). Call once,
+     * before close(). Host events ignore the cycle window but still
+     * count against the event cap.
+     */
+    void writeHostPhases(const prof::Report &report);
+
+    /**
+     * Dump every Scalar/Real/Formula metric of @p reg as a Chrome
+     * counter sample at cycle @p ts — an end-of-run registry snapshot
+     * viewers can pivot on. Vector/Histogram kinds are skipped.
+     */
+    void writeMetricCounters(const MetricsRegistry &reg, Cycle ts);
 
     /** Write the JSON footer and close the file (idempotent). */
     void close();

@@ -10,6 +10,7 @@
 
 #include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/profiler.hh"
 
 namespace cbws
 {
@@ -142,6 +143,7 @@ TraceCache::load(const Key &key, Trace &trace) const
     trace.clear();
     if (!enabled())
         return Error(Errc::NotFound, "trace cache disabled");
+    PROF_SCOPE(prof::Phase::TraceCacheIO);
     const std::string path = pathFor(key);
     if (FaultInjector::instance().shouldFire(
             FaultSite::TraceCacheLoad)) {
@@ -194,6 +196,7 @@ TraceCache::store(const Key &key, const Trace &trace) const
 {
     if (!enabled())
         return Error(Errc::NotFound, "trace cache disabled");
+    PROF_SCOPE(prof::Phase::TraceCacheIO);
     if (!ensureDirectory())
         return Error(Errc::IoError,
                      dir_ + ": cannot create cache directory");

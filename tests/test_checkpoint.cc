@@ -289,7 +289,8 @@ TEST_F(CheckpointFileTest, FreshFileThenReopenRestoresCells)
         // Duplicate appends are ignored, not double-written.
         ASSERT_TRUE(ckpt.append(a));
     }
-    EXPECT_EQ(readLines().size(), 3u) << "header + 2 cells";
+    EXPECT_EQ(readLines().size(), 4u)
+        << "header + provenance + 2 cells";
 
     Checkpoint resumed;
     ASSERT_TRUE(resumed.open(path_, header()));
@@ -313,8 +314,8 @@ TEST_F(CheckpointFileTest, TornTailLineIsDroppedOnResume)
     // Simulate a SIGKILL mid-append: a second cell line cut off
     // without its trailing bytes or newline.
     auto lines = readLines();
-    ASSERT_EQ(lines.size(), 2u);
-    const std::string torn = lines[1].substr(0, lines[1].size() / 2);
+    ASSERT_EQ(lines.size(), 3u) << "header + provenance + 1 cell";
+    const std::string torn = lines[2].substr(0, lines[2].size() / 2);
     writeLines(lines, torn);
 
     Checkpoint resumed;
@@ -392,7 +393,8 @@ TEST_F(CheckpointFileTest, AppendFaultDegradesToUncheckpointedCell)
     // failure was transient, the checkpoint object still works.
     FaultInjector::instance().reset();
     ASSERT_TRUE(ckpt.append(makeResult()));
-    EXPECT_EQ(readLines().size(), 2u);
+    EXPECT_EQ(readLines().size(), 3u)
+        << "header + provenance + the recovered cell";
 }
 
 /** Matrix-level resume determinism. */
@@ -455,23 +457,23 @@ TEST_F(CheckpointResumeTest, PartialCheckpointResumesBitIdentically)
     // Reference: an uninterrupted, uncheckpointed run.
     const ExperimentMatrix reference = run(1);
 
-    // A full checkpointed run leaves header + 6 cell lines; cutting
-    // it back to 3 cells mimics a SIGKILL halfway through the
+    // A full checkpointed run leaves header + provenance + 6 cell
+    // lines; cutting it back to 3 cells mimics a SIGKILL halfway through the
     // matrix (the driver-level smoke test kills a real process; the
     // unit test recreates the identical on-disk state).
     const ExperimentMatrix full = run(1, path_);
     EXPECT_TRUE(matricesIdentical(reference, full))
         << "checkpointing must not perturb results";
     auto lines = readLines();
-    ASSERT_EQ(lines.size(), 1u + 6u);
-    lines.resize(1 + 3);
+    ASSERT_EQ(lines.size(), 2u + 6u);
+    lines.resize(2 + 3);
 
     for (unsigned jobs : {1u, 8u}) {
         writeLines(lines);
         const ExperimentMatrix resumed = run(jobs, path_);
         EXPECT_TRUE(matricesIdentical(reference, resumed))
             << "jobs=" << jobs;
-        EXPECT_EQ(readLines().size(), 1u + 6u)
+        EXPECT_EQ(readLines().size(), 2u + 6u)
             << "resume must complete the file (jobs=" << jobs << ")";
     }
 }

@@ -448,8 +448,8 @@ TEST_F(DdrMatrixTest, PartialCheckpointResumesByteIdentically)
     const ExperimentMatrix full = run(1, path);
     EXPECT_TRUE(matricesIdentical(reference, full));
 
-    // Truncate to header + 1 cell: the on-disk state a SIGKILL
-    // after the first completed cell leaves behind.
+    // Truncate to header + provenance + 1 cell: the on-disk state
+    // a SIGKILL after the first completed cell leaves behind.
     std::vector<std::string> lines;
     {
         std::ifstream in(path);
@@ -457,10 +457,11 @@ TEST_F(DdrMatrixTest, PartialCheckpointResumesByteIdentically)
         while (std::getline(in, line))
             lines.push_back(line);
     }
-    ASSERT_EQ(lines.size(), 1u + 4u);
+    ASSERT_EQ(lines.size(), 2u + 4u);
     {
         std::ofstream out(path, std::ios::trunc);
-        out << lines[0] << "\n" << lines[1] << "\n";
+        out << lines[0] << "\n" << lines[1] << "\n"
+            << lines[2] << "\n";
     }
 
     for (unsigned jobs : {1u, 8u}) {
@@ -470,7 +471,8 @@ TEST_F(DdrMatrixTest, PartialCheckpointResumesByteIdentically)
         EXPECT_TRUE(matricesIdentical(reference, resumed))
             << "jobs=" << jobs;
         std::ofstream out(path, std::ios::trunc);
-        out << lines[0] << "\n" << lines[1] << "\n";
+        out << lines[0] << "\n" << lines[1] << "\n"
+            << lines[2] << "\n";
     }
 }
 

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests of the host-side self-profiler (base/profiler.hh): the
+ * disabled path must be near-free, the enabled path's per-phase
+ * exclusive times must partition the profiled wall window, nesting
+ * must charge inner scopes exclusively, and pool-worker stats must
+ * fold into the report at pool teardown.
+ *
+ * Timing assertions are skipped under sanitizers — instrumentation
+ * multiplies the cost of exactly the code paths under test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/jsonparse.hh"
+#include "base/profiler.hh"
+#include "base/threadpool.hh"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CBWS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CBWS_SANITIZED 1
+#endif
+#endif
+#ifndef CBWS_SANITIZED
+#define CBWS_SANITIZED 0
+#endif
+
+namespace cbws
+{
+namespace
+{
+
+/** Busy-wait for @p seconds of wall time (sleep would not accrue
+ *  meaningfully distinct TSC deltas under coarse schedulers). */
+void
+spinFor(double seconds)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    volatile std::uint64_t sink = 0;
+    while (std::chrono::steady_clock::now() < until)
+        sink = sink + 1;
+}
+
+/** Every test starts and ends with the profiler off and empty. */
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { prof::resetForTest(); }
+    void TearDown() override { prof::resetForTest(); }
+};
+
+TEST_F(ProfilerTest, DisabledByDefaultAndReportSaysSo)
+{
+    EXPECT_FALSE(prof::enabled());
+    {
+        PROF_SCOPE(prof::Phase::Decode); // must be a no-op
+        PROF_SCOPE(prof::Phase::Dram);
+    }
+    const prof::Report rep = prof::report();
+    EXPECT_FALSE(rep.enabled);
+    for (unsigned p = 0; p < prof::NumPhases; ++p) {
+        EXPECT_EQ(rep.phaseEntries[p], 0u);
+        EXPECT_EQ(rep.phaseSeconds[p], 0.0);
+    }
+}
+
+TEST_F(ProfilerTest, DisabledScopeCostIsNegligible)
+{
+#if CBWS_SANITIZED
+    GTEST_SKIP() << "timing bounds do not hold under sanitizers";
+#endif
+    ASSERT_FALSE(prof::enabled());
+
+    // Representative work chunk: a few hundred ns of arithmetic, the
+    // scale of one hierarchy tick. One predicted branch on top of it
+    // must stay in the noise. Min-of-N suppresses scheduler jitter.
+    constexpr int kIters = 20000;
+    constexpr int kInner = 256;
+    constexpr int kRepeats = 7;
+    auto work = [](volatile std::uint64_t &acc) {
+        std::uint64_t x = acc + 0x9E3779B97F4A7C15ull;
+        for (int i = 0; i < kInner; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        acc = x;
+    };
+    auto timeLoop = [&](bool scoped) {
+        double best = 1e30;
+        for (int r = 0; r < kRepeats; ++r) {
+            volatile std::uint64_t acc = 1;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kIters; ++i) {
+                if (scoped) {
+                    PROF_SCOPE(prof::Phase::Decode);
+                    work(acc);
+                } else {
+                    work(acc);
+                }
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            best = std::min(
+                best, std::chrono::duration<double>(t1 - t0).count());
+        }
+        return best;
+    };
+
+    const double plain = timeLoop(false);
+    const double scoped = timeLoop(true);
+    const double per_scope_ns =
+        (scoped - plain) / static_cast<double>(kIters) * 1e9;
+    // Either bound proves "negligible": under 2% relative overhead on
+    // tick-sized work, or under 3 ns absolute per disabled scope.
+    EXPECT_TRUE(scoped <= plain * 1.02 || per_scope_ns < 3.0)
+        << "disabled PROF_SCOPE costs " << per_scope_ns
+        << " ns (plain " << plain << " s, scoped " << scoped << " s)";
+}
+
+TEST_F(ProfilerTest, PhasesPartitionTheWallWindow)
+{
+    prof::enable();
+    {
+        PROF_SCOPE(prof::Phase::TraceSynthesis);
+        spinFor(0.02);
+    }
+    {
+        PROF_SCOPE(prof::Phase::Decode);
+        spinFor(0.02);
+    }
+    const prof::Report rep = prof::report();
+    ASSERT_TRUE(rep.enabled);
+    EXPECT_GT(rep.wallSeconds, 0.03);
+    // Acceptance criterion: the per-phase exclusive times of the main
+    // thread sum to its wall time within 10% (unattributed time lands
+    // in Phase::Other, so the partition is exact up to calibration).
+    EXPECT_NEAR(rep.mainThreadSeconds, rep.wallSeconds,
+                0.1 * rep.wallSeconds);
+    const unsigned ts =
+        static_cast<unsigned>(prof::Phase::TraceSynthesis);
+    const unsigned de = static_cast<unsigned>(prof::Phase::Decode);
+    EXPECT_EQ(rep.phaseEntries[ts], 1u);
+    EXPECT_EQ(rep.phaseEntries[de], 1u);
+    EXPECT_GT(rep.phaseSeconds[ts], 0.01);
+    EXPECT_GT(rep.phaseSeconds[de], 0.01);
+}
+
+TEST_F(ProfilerTest, NestedScopesChargeTheInnerPhaseExclusively)
+{
+    prof::enable();
+    {
+        PROF_SCOPE(prof::Phase::Decode);
+        spinFor(0.005);
+        {
+            PROF_SCOPE(prof::Phase::Dram);
+            spinFor(0.02);
+        }
+        spinFor(0.005);
+    }
+    const prof::Report rep = prof::report();
+    const double decode =
+        rep.phaseSeconds[static_cast<unsigned>(prof::Phase::Decode)];
+    const double dram =
+        rep.phaseSeconds[static_cast<unsigned>(prof::Phase::Dram)];
+    // The 20 ms inner window must be attributed to Dram, not Decode:
+    // Decode keeps only its ~10 ms of exclusive time.
+    EXPECT_GT(dram, 0.015);
+    EXPECT_LT(decode, dram);
+    EXPECT_GT(decode, 0.005);
+}
+
+TEST_F(ProfilerTest, SampledScopesExtrapolateAndStayZeroSum)
+{
+#if CBWS_SANITIZED
+    GTEST_SKIP() << "timing bounds do not hold under sanitizers";
+#endif
+    prof::enable();
+    // 64 identical work chunks; with mask 3 only one in four is
+    // timed, the rest are merely counted. Inline extrapolation must
+    // still attribute roughly all 64 chunks to the phase, stolen
+    // zero-sum from the enclosing phase (Other here).
+    constexpr int kChunks = 64;
+    constexpr double kChunkSec = 0.0005;
+    for (int i = 0; i < kChunks; ++i) {
+        PROF_SCOPE_SAMPLED(prof::Phase::PfObserve, 3);
+        spinFor(kChunkSec);
+    }
+    const prof::Report rep = prof::report();
+    const unsigned p = static_cast<unsigned>(prof::Phase::PfObserve);
+    EXPECT_EQ(rep.phaseEntries[p],
+              static_cast<std::uint64_t>(kChunks));
+    const double expect = kChunks * kChunkSec;
+    EXPECT_NEAR(rep.phaseSeconds[p], expect, 0.35 * expect);
+    // Zero-sum: the thread's phases still partition the window.
+    EXPECT_NEAR(rep.mainThreadSeconds, rep.wallSeconds,
+                0.10 * rep.wallSeconds);
+}
+
+TEST_F(ProfilerTest, EnableIsIdempotentAndSticky)
+{
+    prof::enable();
+    ASSERT_TRUE(prof::enabled());
+    const auto t0 = std::chrono::steady_clock::now();
+    spinFor(0.005);
+    prof::enable(); // must not re-anchor the calibration epoch
+    const prof::Report rep = prof::report();
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    EXPECT_GE(rep.wallSeconds, elapsed * 0.5);
+}
+
+TEST_F(ProfilerTest, PoolWorkerStatsFoldInAtTeardown)
+{
+    prof::enable();
+    {
+        ThreadPool pool(2);
+        ASSERT_EQ(pool.workers(), 2u);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([] { spinFor(0.002); });
+        pool.wait();
+    } // ~ThreadPool folds worker stats into the profiler registry
+    const prof::Report rep = prof::report();
+    ASSERT_EQ(rep.poolsObserved, 1u);
+    ASSERT_EQ(rep.workers.size(), 2u);
+    std::uint64_t jobs = 0;
+    double busy = 0.0;
+    for (const auto &w : rep.workers) {
+        jobs += w.jobs;
+        busy += w.busySeconds;
+    }
+    EXPECT_EQ(jobs, 8u);
+    EXPECT_GT(busy, 0.008);
+    EXPECT_EQ(rep.jobMicros.total(), 8u);
+}
+
+TEST_F(ProfilerTest, DisabledPoolRecordsNothing)
+{
+    ASSERT_FALSE(prof::enabled());
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 4; ++i)
+            pool.submit([] {});
+        pool.wait();
+    }
+    prof::enable(); // report() returns data only when enabled
+    const prof::Report rep = prof::report();
+    EXPECT_EQ(rep.poolsObserved, 0u);
+    EXPECT_TRUE(rep.workers.empty());
+}
+
+TEST_F(ProfilerTest, WriteJsonFileEmitsProvenanceStampedArtifact)
+{
+    prof::enable();
+    {
+        PROF_SCOPE(prof::Phase::CacheLookup);
+        spinFor(0.002);
+    }
+    const std::string path =
+        testing::TempDir() + "cbws_profile_test.json";
+    ASSERT_TRUE(prof::writeJsonFile(path, prof::report()));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Result<JsonValue> doc = parseJson(buf.str());
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+    EXPECT_EQ(doc.value().strOr("format"), "cbws-profile");
+    EXPECT_EQ(doc.value().uintOr("schema_version"), 1u);
+    const JsonValue *prov = doc.value().find("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_FALSE(prov->strOr("git_sha").empty());
+    EXPECT_FALSE(prov->strOr("compiler").empty());
+    const JsonValue *profile = doc.value().find("profile");
+    ASSERT_NE(profile, nullptr);
+    const JsonValue *phases = profile->find("phases");
+    ASSERT_NE(phases, nullptr);
+    const JsonValue *cache = phases->find("cache_lookup");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->uintOr("entries"), 1u);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace cbws

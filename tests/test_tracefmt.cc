@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests of the Chrome trace-event exporter (sim/tracefmt.hh): the
+ * emitted JSON must parse, spans on one thread row must be well
+ * nested, a deterministic event sequence must stay byte-identical to
+ * the checked-in golden file, and a host-profiler report merged via
+ * writeHostPhases must round-trip (names, durations, entry counts)
+ * through a JSON parse.
+ *
+ * Regenerate the golden after an intentional format change with:
+ *   CBWS_UPDATE_GOLDEN=1 ./build/tests/cbws_tests \
+ *       --gtest_filter='*GoldenFile*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/jsonparse.hh"
+#include "base/metrics.hh"
+#include "base/profiler.hh"
+#include "sim/tracefmt.hh"
+
+namespace cbws
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** A synthetic profiler report with fixed, easy-to-check numbers. */
+prof::Report
+syntheticReport()
+{
+    prof::Report rep;
+    rep.enabled = true;
+    rep.wallSeconds = 0.05;
+    rep.phaseSeconds[static_cast<unsigned>(prof::Phase::Decode)] =
+        0.02;
+    rep.phaseEntries[static_cast<unsigned>(prof::Phase::Decode)] = 3;
+    rep.phaseSeconds[static_cast<unsigned>(prof::Phase::Dram)] =
+        0.005;
+    rep.phaseEntries[static_cast<unsigned>(prof::Phase::Dram)] = 7;
+    prof::WorkerTotals w0;
+    w0.busySeconds = 0.01;
+    w0.queueWaitSeconds = 0.002;
+    w0.jobs = 4;
+    rep.workers.push_back(w0);
+    rep.poolsObserved = 1;
+    return rep;
+}
+
+/** Emit the deterministic event sequence the golden test pins. */
+void
+writeSmallTrace(const std::string &path)
+{
+    ChromeTraceWriter w(path, 0, 1000);
+    ASSERT_TRUE(w.ok());
+    w.complete("cache", "l1d_miss", TraceTrack::Cache, 10, 40, 0x1000);
+    w.complete("core", "loop_body", TraceTrack::Core, 10, 100, 0x400);
+    w.instant("prefetch", "pf_issue", TraceTrack::Prefetch, 25,
+              0x1040);
+    w.counter("mshr_occupancy", 50, 3);
+    MetricsRegistry reg;
+    reg.addScalar("l1d.misses", 12, "demand misses");
+    reg.addReal("sim.ipc", 0.5, "instructions per cycle");
+    reg.addVector("skipped.vector", {1, 2}, "no counter rendering");
+    w.writeMetricCounters(reg, 999);
+    w.writeHostPhases(syntheticReport());
+    w.close();
+}
+
+/** Every "X"/"i"/"C"/"M" event from a parsed trace document. */
+const std::vector<JsonValue> &
+events(const JsonValue &root)
+{
+    const JsonValue *ev = root.find("traceEvents");
+    EXPECT_NE(ev, nullptr);
+    EXPECT_TRUE(ev->isArray());
+    return ev->array;
+}
+
+TEST(ChromeTrace, EmitsParseableSchemaValidJson)
+{
+    const std::string path =
+        testing::TempDir() + "cbws_trace_schema.json";
+    writeSmallTrace(path);
+    Result<JsonValue> doc = parseJson(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+    const JsonValue &root = doc.value();
+    EXPECT_EQ(root.strOr("displayTimeUnit"), "ms");
+
+    bool saw_complete = false, saw_instant = false;
+    bool saw_counter = false, saw_meta = false;
+    for (const JsonValue &e : events(root)) {
+        ASSERT_TRUE(e.isObject());
+        const std::string ph = e.strOr("ph");
+        ASSERT_FALSE(ph.empty());
+        ASSERT_NE(e.find("pid"), nullptr);
+        if (ph == "X") {
+            saw_complete = true;
+            ASSERT_NE(e.find("ts"), nullptr);
+            ASSERT_NE(e.find("dur"), nullptr);
+            EXPECT_FALSE(e.strOr("name").empty());
+        } else if (ph == "i") {
+            saw_instant = true;
+            ASSERT_NE(e.find("ts"), nullptr);
+        } else if (ph == "C") {
+            saw_counter = true;
+            ASSERT_NE(e.find("args"), nullptr);
+        } else if (ph == "M") {
+            saw_meta = true;
+        }
+    }
+    EXPECT_TRUE(saw_complete);
+    EXPECT_TRUE(saw_instant);
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_meta);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, SpansAreWellNestedPerThreadRow)
+{
+    const std::string path =
+        testing::TempDir() + "cbws_trace_nesting.json";
+    writeSmallTrace(path);
+    Result<JsonValue> doc = parseJson(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+
+    // Chrome's model: on one (pid, tid) row, two "X" spans must be
+    // disjoint or properly contained — partial overlap renders as
+    // garbage. Collect spans per row and check every pair.
+    struct Span
+    {
+        double ts, end;
+    };
+    std::vector<std::pair<std::pair<std::uint64_t, std::uint64_t>,
+                          Span>>
+        spans;
+    for (const JsonValue &e : events(doc.value())) {
+        if (e.strOr("ph") != "X")
+            continue;
+        const JsonValue *ts = e.find("ts");
+        const JsonValue *dur = e.find("dur");
+        ASSERT_NE(ts, nullptr);
+        ASSERT_NE(dur, nullptr);
+        spans.push_back({{e.uintOr("pid"), e.uintOr("tid")},
+                         {ts->number, ts->number + dur->number}});
+    }
+    ASSERT_GE(spans.size(), 4u);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        for (std::size_t j = i + 1; j < spans.size(); ++j) {
+            if (spans[i].first != spans[j].first)
+                continue;
+            const Span &a = spans[i].second;
+            const Span &b = spans[j].second;
+            const bool disjoint = a.end <= b.ts || b.end <= a.ts;
+            const bool nested =
+                (a.ts <= b.ts && b.end <= a.end) ||
+                (b.ts <= a.ts && a.end <= b.end);
+            EXPECT_TRUE(disjoint || nested)
+                << "spans [" << a.ts << "," << a.end << ") and ["
+                << b.ts << "," << b.end << ") partially overlap";
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, HostPhasesRoundTripThroughTheTrace)
+{
+    const std::string path =
+        testing::TempDir() + "cbws_trace_host.json";
+    {
+        ChromeTraceWriter w(path, 0, 100);
+        ASSERT_TRUE(w.ok());
+        w.writeHostPhases(syntheticReport());
+        w.close();
+    }
+    Result<JsonValue> doc = parseJson(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+
+    // The host track lives in its own synthetic process (pid 2), with
+    // phases on tid 0 laid back-to-back in wall-clock microseconds.
+    std::vector<const JsonValue *> host;
+    bool named_host_process = false;
+    for (const JsonValue &e : events(doc.value())) {
+        if (e.uintOr("pid") != 2)
+            continue;
+        if (e.strOr("ph") == "M" && e.strOr("name") == "process_name") {
+            const JsonValue *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            named_host_process = args->strOr("name") == "cbws-host";
+        }
+        if (e.strOr("ph") == "X" && e.uintOr("tid") == 0)
+            host.push_back(&e);
+    }
+    EXPECT_TRUE(named_host_process);
+    ASSERT_EQ(host.size(), 2u); // decode + dram have non-zero time
+
+    EXPECT_EQ(host[0]->strOr("name"),
+              prof::toString(prof::Phase::Decode));
+    EXPECT_EQ(host[0]->uintOr("ts"), 0u);
+    EXPECT_EQ(host[0]->uintOr("dur"), 20000u); // 0.02 s in us
+    const JsonValue *args0 = host[0]->find("args");
+    ASSERT_NE(args0, nullptr);
+    EXPECT_EQ(args0->uintOr("entries"), 3u);
+
+    EXPECT_EQ(host[1]->strOr("name"),
+              prof::toString(prof::Phase::Dram));
+    EXPECT_EQ(host[1]->uintOr("ts"), 20000u); // after decode's span
+    EXPECT_EQ(host[1]->uintOr("dur"), 5000u);
+    const JsonValue *args1 = host[1]->find("args");
+    ASSERT_NE(args1, nullptr);
+    EXPECT_EQ(args1->uintOr("entries"), 7u);
+
+    // Worker 0's busy/queue-wait spans land on tid 1.
+    std::vector<const JsonValue *> worker;
+    for (const JsonValue &e : events(doc.value()))
+        if (e.uintOr("pid") == 2 && e.uintOr("tid") == 1 &&
+            e.strOr("ph") == "X")
+            worker.push_back(&e);
+    ASSERT_EQ(worker.size(), 2u);
+    EXPECT_EQ(worker[0]->strOr("name"), "busy");
+    EXPECT_EQ(worker[0]->uintOr("dur"), 10000u);
+    const JsonValue *wargs = worker[0]->find("args");
+    ASSERT_NE(wargs, nullptr);
+    EXPECT_EQ(wargs->uintOr("jobs"), 4u);
+    EXPECT_EQ(worker[1]->strOr("name"), "queue_wait");
+    EXPECT_EQ(worker[1]->uintOr("dur"), 2000u);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, DisabledReportAddsNoHostEvents)
+{
+    const std::string path =
+        testing::TempDir() + "cbws_trace_nohost.json";
+    {
+        ChromeTraceWriter w(path, 0, 100);
+        ASSERT_TRUE(w.ok());
+        prof::Report rep; // enabled == false
+        w.writeHostPhases(rep);
+        EXPECT_EQ(w.eventsWritten(), 0u);
+        w.close();
+    }
+    Result<JsonValue> doc = parseJson(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+    for (const JsonValue &e : events(doc.value()))
+        EXPECT_NE(e.uintOr("pid"), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, EventCapKeepsJsonValid)
+{
+    const std::string path =
+        testing::TempDir() + "cbws_trace_capped.json";
+    {
+        ChromeTraceWriter w(path, 0, 1000, 3);
+        ASSERT_TRUE(w.ok());
+        for (int i = 0; i < 10; ++i)
+            w.counter("ctr", static_cast<Cycle>(i), i);
+        EXPECT_EQ(w.eventsWritten(), 3u);
+        EXPECT_FALSE(w.wants(500)); // capped -> producers stop early
+        w.close();
+    }
+    Result<JsonValue> doc = parseJson(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().str();
+    std::size_t counters = 0;
+    for (const JsonValue &e : events(doc.value()))
+        if (e.strOr("ph") == "C")
+            ++counters;
+    EXPECT_EQ(counters, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, GoldenFileStaysByteIdentical)
+{
+    const std::string golden =
+        std::string(CBWS_TESTS_DIR) + "/golden/chrome_trace_small.json";
+    const std::string path =
+        testing::TempDir() + "cbws_trace_golden.json";
+    writeSmallTrace(path);
+    const std::string produced = slurp(path);
+    ASSERT_FALSE(produced.empty());
+
+    if (std::getenv("CBWS_UPDATE_GOLDEN")) {
+        std::ofstream out(golden, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden;
+        out << produced;
+        std::remove(path.c_str());
+        GTEST_SKIP() << "golden regenerated at " << golden;
+    }
+
+    const std::string expected = slurp(golden);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden " << golden
+        << " (regenerate with CBWS_UPDATE_GOLDEN=1)";
+    EXPECT_EQ(produced, expected)
+        << "trace format drifted; if intentional, regenerate with "
+           "CBWS_UPDATE_GOLDEN=1";
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace cbws

@@ -26,11 +26,14 @@
 #include "base/argparse.hh"
 #include "base/debug.hh"
 #include "base/faultinject.hh"
+#include "base/metrics.hh"
+#include "base/profiler.hh"
 #include "base/table.hh"
 #include "mem/dram/backend.hh"
 #include "prefetch/registry.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/simmetrics.hh"
 #include "sim/snapshot.hh"
 #include "sim/statsdump.hh"
 #include "sim/tracefmt.hh"
@@ -367,6 +370,21 @@ main(int argc, char **argv)
                    "");
     args.addOption("trace-max-events",
                    "Chrome trace event cap", "500000");
+    args.addFlag("profile",
+                 "host-side self-profiler: attribute the simulator's "
+                 "own wall time to phases and print the breakdown "
+                 "(also honours CBWS_PROFILE=1)");
+    args.addOption("profile-json",
+                   "profile artifact destination (implies --profile)",
+                   "BENCH_profile.json");
+    args.addFlag("provenance",
+                 "stamp the --json report with build provenance "
+                 "(git SHA, compiler, build type)");
+    args.addFlag("metrics",
+                 "export the hierarchical metrics registry: a "
+                 "'metrics' section in --json reports, scheme gauges "
+                 "after the human summary, and counter samples in "
+                 "--chrome-trace output");
 
     if (!args.parse(argc, argv))
         return 1;
@@ -376,6 +394,12 @@ main(int argc, char **argv)
         listWorkloads();
         return 0;
     }
+
+    // Start the self-profiler before any profiled work (trace
+    // synthesis is a phase) so the calibration window covers it.
+    if (args.getFlag("profile") || args.provided("profile-json"))
+        prof::enable();
+    prof::enableFromEnv();
 
     // Deterministic fault injection for robustness testing
     // (CBWS_FAULT / CBWS_FAULT_SEED, see base/faultinject.hh).
@@ -511,6 +535,7 @@ main(int argc, char **argv)
             WorkloadParams params;
             params.maxInstructions = insts;
             params.seed = args.getUint("seed", 42);
+            PROF_SCOPE(prof::Phase::TraceSynthesis);
             workload->generate(core_storage[u], params);
         }
         for (unsigned c = 0; c < num_cores; ++c)
@@ -537,7 +562,10 @@ main(int argc, char **argv)
         WorkloadParams params;
         params.maxInstructions = insts;
         params.seed = args.getUint("seed", 42);
-        workload->generate(trace, params);
+        {
+            PROF_SCOPE(prof::Phase::TraceSynthesis);
+            workload->generate(trace, params);
+        }
         workload_name = workload->name();
     }
 
@@ -645,15 +673,22 @@ main(int argc, char **argv)
         }
     }
 
+    ReportOptions report_options;
+    report_options.provenance = args.getFlag("provenance");
+    report_options.metrics = args.getFlag("metrics");
+
     std::vector<SimResult> results;
     for (PrefetcherKind kind : kinds) {
         SystemConfig config;
         config.prefetcher = kind;
         applyOverrides(args, config);
         applyCoreModel(args, config);
+        MetricsRegistry scheme_metrics;
         SimProbes probes;
         probes.snapshot = snapshot.get();
         probes.trace = chrome.get();
+        if (args.getFlag("metrics"))
+            probes.schemeMetrics = &scheme_metrics;
         SimResult r;
         if (num_cores > 1) {
             config.mem.numCores = num_cores;
@@ -665,18 +700,53 @@ main(int argc, char **argv)
         r.workload = workload_name;
         if (stats_file.is_open())
             dumpStats(stats_file, r);
-        if (args.getFlag("json"))
+        if (chrome && args.getFlag("metrics")) {
+            chrome->writeMetricCounters(simMetrics(r),
+                                        r.core.cycles);
+            chrome->writeMetricCounters(scheme_metrics,
+                                        r.core.cycles);
+        }
+        if (args.getFlag("json")) {
             results.push_back(std::move(r));
-        else if (args.getFlag("csv"))
+        } else if (args.getFlag("csv")) {
             printCsv(r);
-        else if (args.getFlag("stats"))
+        } else if (args.getFlag("stats")) {
             dumpStats(std::cout, r);
-        else
+        } else {
             printHuman(r);
+            if (args.getFlag("metrics") && !scheme_metrics.empty()) {
+                std::printf("\nscheme metrics:\n");
+                scheme_metrics.dumpText(std::cout);
+            }
+        }
+    }
+    // Merge host-profiler time into the Chrome trace before the
+    // footer is written.
+    prof::Report profile_report;
+    if (prof::enabled()) {
+        profile_report = prof::report();
+        if (chrome)
+            chrome->writeHostPhases(profile_report);
     }
     if (chrome)
         chrome->close();
     if (args.getFlag("json"))
-        std::printf("%s\n", toJson(results).c_str());
+        std::printf("%s\n", toJson(results, report_options).c_str());
+    if (prof::enabled()) {
+        // Keep machine-readable stdout (csv/json) clean: the table
+        // goes to stderr there, stdout otherwise.
+        const std::string table = prof::renderTable(profile_report);
+        std::fputs(table.c_str(), quiet ? stderr : stdout);
+        const std::string profile_path = args.get("profile-json");
+        if (!prof::writeJsonFile(profile_path, profile_report)) {
+            std::fprintf(stderr,
+                         "--profile: cannot write '%s'\n",
+                         profile_path.c_str());
+            return 1;
+        }
+        if (!quiet)
+            std::printf("profile written to %s\n",
+                        profile_path.c_str());
+    }
     return 0;
 }
