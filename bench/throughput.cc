@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "base/json.hh"
 #include "base/profiler.hh"
@@ -131,6 +132,32 @@ main(int argc, char **argv)
     std::printf("serial    jobs=1    %8.2f s   %12.0f inst/s\n",
                 serial_s, serial_ips);
 
+    const unsigned hardware_threads =
+        std::thread::hardware_concurrency();
+
+    // Fixed jobs=2 scaling leg: a stable point for the CI scaling
+    // gate, independent of how many threads the runner happens to
+    // have. Skipped on single-threaded hosts, where "scaling" would
+    // only measure oversubscription.
+    bool ran_jobs2 = false;
+    double jobs2_s = 0.0, jobs2_ips = 0.0;
+    bool jobs2_identical = true;
+    if (hardware_threads >= 2) {
+        MatrixOptions jobs2_opts = opts;
+        jobs2_opts.jobs = 2;
+        t0 = std::chrono::steady_clock::now();
+        const ExperimentMatrix jobs2 = runMatrix(
+            workloads, kinds, config, insts, 42, jobs2_opts);
+        t1 = std::chrono::steady_clock::now();
+        jobs2_s = seconds(t0, t1);
+        jobs2_ips = jobs2_s > 0
+            ? static_cast<double>(sim_insts) / jobs2_s : 0;
+        ran_jobs2 = true;
+        jobs2_identical = identicalResults(serial, jobs2);
+        std::printf("scaling   jobs=2    %8.2f s   %12.0f inst/s\n",
+                    jobs2_s, jobs2_ips);
+    }
+
     MatrixOptions parallel_opts = opts;
     parallel_opts.jobs = parallel_jobs;
     t0 = std::chrono::steady_clock::now();
@@ -146,7 +173,12 @@ main(int argc, char **argv)
 
     const double speedup =
         parallel_s > 0 ? serial_s / parallel_s : 0;
-    const bool identical = identicalResults(serial, parallel);
+    const double jobs2_speedup =
+        ran_jobs2 && jobs2_s > 0 ? serial_s / jobs2_s : 0;
+    const bool identical =
+        identicalResults(serial, parallel) && jobs2_identical;
+    if (ran_jobs2)
+        std::printf("\njobs=2 speedup: %.2fx", jobs2_speedup);
     std::printf("\nspeedup: %.2fx   results identical: %s\n", speedup,
                 identical ? "yes" : "NO (determinism bug!)");
 
@@ -158,12 +190,23 @@ main(int argc, char **argv)
     w.field("instructions_per_run", insts);
     w.field("cells", static_cast<std::uint64_t>(cells));
     w.field("simulated_instructions", sim_insts);
+    w.field("hardware_threads",
+            static_cast<std::uint64_t>(hardware_threads));
     w.key("serial");
     w.beginObject();
     w.field("jobs", static_cast<std::uint64_t>(1));
     w.field("seconds", serial_s);
     w.field("instructions_per_second", serial_ips);
     w.endObject();
+    if (ran_jobs2) {
+        w.key("jobs2");
+        w.beginObject();
+        w.field("jobs", static_cast<std::uint64_t>(2));
+        w.field("seconds", jobs2_s);
+        w.field("instructions_per_second", jobs2_ips);
+        w.field("speedup", jobs2_speedup);
+        w.endObject();
+    }
     w.key("parallel");
     w.beginObject();
     w.field("jobs", static_cast<std::uint64_t>(parallel_jobs));
@@ -176,10 +219,27 @@ main(int argc, char **argv)
             opts.traceCache ? opts.traceCache->directory() : "");
     if (prof::enabled()) {
         // Run with --profile: embed the host-side phase/worker
-        // breakdown covering both timed legs, so the trend artifact
+        // breakdown covering all timed legs, so the trend artifact
         // explains *where* the wall time went, not just how much.
+        const prof::Report rep = prof::report();
         w.key("profile");
-        prof::writeJson(w, prof::report());
+        prof::writeJson(w, rep);
+        // Derived per-phase throughput: simulated instructions per
+        // exclusive second spent in each phase, over every timed leg.
+        // "How fast would the simulator be if only this phase
+        // existed" — the inverse directly ranks optimization targets.
+        const unsigned legs = 2u + (ran_jobs2 ? 1u : 0u);
+        const double total_insts =
+            static_cast<double>(sim_insts) * legs;
+        w.key("phase_instructions_per_second");
+        w.beginObject();
+        for (unsigned p = 0; p < prof::NumPhases; ++p) {
+            if (rep.phaseSeconds[p] <= 0.0)
+                continue;
+            w.field(prof::toString(static_cast<prof::Phase>(p)),
+                    total_insts / rep.phaseSeconds[p]);
+        }
+        w.endObject();
     }
     w.endObject();
 

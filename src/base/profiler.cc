@@ -48,6 +48,8 @@ toString(Phase phase)
         return "checkpoint_io";
       case Phase::TraceCacheIO:
         return "trace_cache_io";
+      case Phase::DecodeBatch:
+        return "decode_batch";
       default:
         return "invalid";
     }
@@ -77,6 +79,8 @@ describe(Phase phase)
         return "checkpoint append (seal, write, flush)";
       case Phase::TraceCacheIO:
         return "on-disk trace cache load/store";
+      case Phase::DecodeBatch:
+        return "SoA batch pre-decode of trace records";
       default:
         return "";
     }

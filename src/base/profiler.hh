@@ -64,6 +64,7 @@ enum class Phase : unsigned
     SnapshotIO,     ///< JSONL stats-snapshot serialisation + write
     CheckpointIO,   ///< checkpoint open/append (seal, write, flush)
     TraceCacheIO,   ///< on-disk trace-cache load/store
+    DecodeBatch,    ///< SoA batch pre-decode of trace records
     NumPhases
 };
 

@@ -63,6 +63,14 @@ ProgressMeter::advance(bool restored)
 }
 
 void
+ProgressMeter::addInstructions(std::uint64_t count)
+{
+    if (!enabled_)
+        return;
+    instructions_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
 ProgressMeter::finish()
 {
     if (!enabled_ || finished_)
@@ -91,28 +99,41 @@ ProgressMeter::render(bool final)
     const std::size_t done = done_.load(std::memory_order_relaxed);
     const std::size_t restored =
         restored_.load(std::memory_order_relaxed);
+    const std::uint64_t insts =
+        instructions_.load(std::memory_order_relaxed);
     const double elapsed =
         std::chrono::duration<double>(now - start_).count();
     const double rate = elapsed > 0.0
         ? static_cast<double>(done) / elapsed
         : 0.0;
+    const double ips = elapsed > 0.0
+        ? static_cast<double>(insts) / elapsed
+        : 0.0;
     const std::size_t left = total_ > done ? total_ - done : 0;
     const double eta =
         rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
 
+    // Live aggregate simulation speed across every worker; only
+    // shown once some cell has reported committed instructions.
+    char ips_part[48] = "";
+    if (insts > 0) {
+        std::snprintf(ips_part, sizeof(ips_part), "  %.2fM inst/s",
+                      ips / 1e6);
+    }
+
     char line[256];
     if (final) {
         std::snprintf(line, sizeof(line),
-                      "[%s] %zu/%zu cells in %.1fs (%.2f cells/s, "
+                      "[%s] %zu/%zu cells in %.1fs (%.2f cells/s%s, "
                       "%zu restored from cache/checkpoint)",
                       label_.c_str(), done, total_, elapsed, rate,
-                      restored);
+                      ips_part, restored);
     } else {
         std::snprintf(line, sizeof(line),
-                      "[%s] %zu/%zu cells  %.2f cells/s  ETA %.0fs  "
-                      "restored %zu",
-                      label_.c_str(), done, total_, rate, eta,
-                      restored);
+                      "[%s] %zu/%zu cells  %.2f cells/s%s  "
+                      "ETA %.0fs  restored %zu",
+                      label_.c_str(), done, total_, rate, ips_part,
+                      eta, restored);
     }
 
     std::lock_guard<std::mutex> lock(renderMutex_);

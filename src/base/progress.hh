@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -46,6 +47,13 @@ class ProgressMeter
      */
     void advance(bool restored = false);
 
+    /**
+     * Account @p count simulated instructions to this phase; the
+     * progress line then carries a live aggregate insts/sec across
+     * all workers. Thread-safe; cells report once, at completion.
+     */
+    void addInstructions(std::uint64_t count);
+
     /** Force the summary line out (idempotent; ~ calls it). */
     void finish();
 
@@ -62,6 +70,7 @@ class ProgressMeter
     bool finished_ = false;
     std::atomic<std::size_t> done_{0};
     std::atomic<std::size_t> restored_{0};
+    std::atomic<std::uint64_t> instructions_{0};
     std::chrono::steady_clock::time_point start_;
     std::mutex renderMutex_;
     std::chrono::steady_clock::time_point lastRender_;

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Runtime simulation-speed toggles.
+ *
+ * Every optimization gated here is required to be architecturally
+ * invisible: flipping a toggle changes wall-clock time only, never a
+ * simulated statistic or a serialised output. The toggles exist so the
+ * bit-identity claim is *testable* — tests/test_replay_opt.cc runs the
+ * same matrix cell with each toggle on and off and memcmp's the
+ * results — and so a future miscompare can be bisected to one
+ * optimization from the command line without a rebuild.
+ *
+ * Environment overrides (read once, at first use):
+ *  - CBWS_BATCH_DECODE=0  disable the SoA batch pre-decode of traces
+ *  - CBWS_SKIP_AHEAD=0    disable the idle-cycle fast-forward
+ */
+
+#ifndef CBWS_BASE_TUNING_HH
+#define CBWS_BASE_TUNING_HH
+
+namespace cbws
+{
+
+/** Process-wide speed toggles (mutable for tests). */
+struct Tuning
+{
+    /** Pre-decode traces into SoA replay buffers (trace/decoded.hh)
+     *  and replay from them, instead of re-deriving renaming and
+     *  block membership per record. */
+    bool batchDecode = true;
+
+    /** Fast-forward idle cycles to the next scheduled event in the
+     *  single-core and lockstep multi-core drivers. */
+    bool skipAhead = true;
+
+    /** The singleton, initialised from the environment on first
+     *  call. Tests may flip fields directly; production code only
+     *  reads them. */
+    static Tuning &get();
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_TUNING_HH

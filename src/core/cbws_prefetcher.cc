@@ -1,5 +1,7 @@
 #include "core/cbws_prefetcher.hh"
 
+#include <algorithm>
+
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "base/metrics.hh"
@@ -118,9 +120,11 @@ CbwsPrefetcher::blockEnd(BlockId id, PrefetchSink &sink)
         history_[k].push(currDiff_[k].hashBits(params_.hashBits));
     }
 
-    // 2. Shift the last-blocks CBWS buffer.
-    for (unsigned k = params_.numSteps; k-- > 1;)
-        prev_[k] = prev_[k - 1];
+    // 2. Shift the last-blocks CBWS buffer. Rotating the slots moves
+    //    each vector's storage instead of deep-copying it; the oldest
+    //    slot lands at prev_[0] and is overwritten (reusing its
+    //    capacity) with the just-completed CBWS.
+    std::rotate(prev_.begin(), prev_.end() - 1, prev_.end());
     prev_[0] = currCbws_;
 
     // 3. Predict: for each step k, a hit on the (new) history tag

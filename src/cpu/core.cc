@@ -1,10 +1,12 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "base/debug.hh"
 #include "base/logging.hh"
 #include "base/profiler.hh"
+#include "base/tuning.hh"
 
 namespace cbws
 {
@@ -39,40 +41,50 @@ OooCore::OooCore(const CoreParams &params, Hierarchy &mem,
     robLabel_ = prefix + ".rob";
 }
 
-OooCore::RobEntry &
-OooCore::robAt(std::size_t offset)
-{
-    return rob_[(robHead_ + offset) % params_.robSize];
-}
-
-const OooCore::RobEntry &
-OooCore::robAt(std::size_t offset) const
-{
-    return rob_[(robHead_ + offset) % params_.robSize];
-}
-
-bool
-OooCore::producerReady(std::uint64_t seq, Cycle now) const
-{
-    if (seq == NoProducer || seq < headSeq_)
-        return true; // architectural, or producer already committed
-    const RobEntry &p = rob_[(robHead_ + (seq - headSeq_)) %
-                             params_.robSize];
-    return p.issued && p.readyAt <= now;
-}
-
 void
 OooCore::noteStore(LineAddr line)
 {
-    ++pendingStoreLines_[line];
+    ++storeLineFilter_[storeFilterBucket(line)];
 }
 
 void
 OooCore::retireStore(LineAddr line)
 {
-    auto it = pendingStoreLines_.find(line);
-    if (it != pendingStoreLines_.end() && --it->second == 0)
-        pendingStoreLines_.erase(it);
+    --storeLineFilter_[storeFilterBucket(line)];
+}
+
+void
+OooCore::pushEvent(Cycle at)
+{
+    events_.push_back(at);
+    std::push_heap(events_.begin(), events_.end(),
+                   std::greater<Cycle>());
+}
+
+std::size_t
+OooCore::appendUnissued(std::size_t begin, std::size_t len,
+                        std::size_t n)
+{
+    std::uint32_t *out = scanBuf_.data();
+    const std::size_t end = begin + len;
+    std::size_t w = begin >> 6;
+    std::uint64_t word =
+        unissued_[w] & (~std::uint64_t(0) << (begin & 63));
+    for (;;) {
+        const std::size_t base = w << 6;
+        std::uint64_t m = word;
+        if (end - base < 64)
+            m &= (std::uint64_t(1) << (end - base)) - 1;
+        while (m) {
+            out[n++] = static_cast<std::uint32_t>(
+                base + __builtin_ctzll(m));
+            m &= m - 1;
+        }
+        if (base + 64 >= end)
+            break;
+        word = unissued_[++w];
+    }
+    return n;
 }
 
 void
@@ -81,7 +93,12 @@ OooCore::begin(const Trace &trace, std::uint64_t max_insts,
                std::uint64_t warmup_insts,
                const std::function<void(Cycle)> &on_warmup)
 {
-    runTrace_ = &trace;
+    static_assert(DecodedTrace::NoProd == NoProducer,
+                  "pre-decoded producer sentinel must match the core's");
+    records_ = trace.records().data();
+    traceSize_ = trace.size();
+    decoded_ =
+        Tuning::get().batchDecode ? &trace.ensureDecoded() : nullptr;
     maxInsts_ = max_insts;
     warmupInsts_ = warmup_insts;
     onCommit_ = on_commit;
@@ -92,9 +109,15 @@ OooCore::begin(const Trace &trace, std::uint64_t max_insts,
     warmed_ = warmup_insts == 0;
     done_ = false;
     rob_.assign(params_.robSize, RobEntry());
+    readyAt_.assign(params_.robSize, 0);
+    earliestIssue_.assign(params_.robSize, 0);
+    unissued_.assign((params_.robSize + 63) / 64, 0);
+    scanBuf_.assign(params_.robSize, 0);
     robHead_ = 0;
     robCount_ = 0;
-    fetchQueue_.clear();
+    fetchQueue_.assign(params_.fetchQueueSize, FetchEntry());
+    fqHead_ = 0;
+    fqCount_ = 0;
     for (auto &p : regProducer_)
         p = NoProducer;
     headSeq_ = 0;
@@ -103,11 +126,15 @@ OooCore::begin(const Trace &trace, std::uint64_t max_insts,
     lastFetchLine_ = ~LineAddr(0);
     ldqCount_ = 0;
     stqCount_ = 0;
-    pendingStoreLines_.clear();
+    std::fill(std::begin(storeLineFilter_), std::end(storeLineFilter_),
+              std::uint8_t(0));
     fetchInBlock_ = false;
     lastCommittedInBlock_ = false;
     firstUnissued_ = 0;
+    events_.clear();
     lastCycleInBlock_ = false;
+    cycleRobFullStalls_ = 0;
+    cycleLsqFullStalls_ = 0;
     cycleLimit_ = max_insts * 300 + 100000;
 }
 
@@ -118,34 +145,37 @@ OooCore::commitStage(Cycle now)
     unsigned committed = 0;
     while (robCount_ > 0 && committed < params_.width &&
            stats_.instructions < maxInsts_) {
-        RobEntry &head = robAt(0);
-        if (!head.issued || head.readyAt > now)
+        RobEntry &head = rob_[robHead_];
+        if (isUnissued(robHead_) || readyAt_[robHead_] > now)
             break;
-        if (head.rec.cls == InstClass::Store) {
+        const TraceRecord &rec = records_[head.idx];
+        if (rec.cls == InstClass::Store) {
             // Stores write the memory system at commit, in program
             // order; they never stall the core.
-            head.mem = mem_.store(head.rec.effAddr, now, coreId_);
+            head.mem = mem_.store(rec.effAddr, now, coreId_);
             if (onAccess_)
-                onAccess_(head.rec, head.mem, now);
-            retireStore(head.rec.line());
+                onAccess_(rec, head.mem, now);
+            retireStore(decoded_ ? decoded_->effLine[head.idx]
+                                 : rec.line());
             --stqCount_;
             ++stats_.memInstructions;
-        } else if (head.rec.cls == InstClass::Load) {
+        } else if (rec.cls == InstClass::Load) {
             --ldqCount_;
             ++stats_.memInstructions;
-        } else if (head.rec.cls == InstClass::Branch) {
+        } else if (rec.cls == InstClass::Branch) {
             ++stats_.branches;
             if (head.mispredicted)
                 ++stats_.branchMispredicts;
         }
-        if (onCommit_)
-            onCommit_(head.rec, head.mem, now);
+        if (onCommit_ && (commitHookMask_ & classBit(rec.cls)))
+            onCommit_(rec, head.mem, now);
         DPRINTF(Core, "commit seq=%llu pc=%#llx cls=%d",
                 static_cast<unsigned long long>(headSeq_),
-                static_cast<unsigned long long>(head.rec.pc),
-                static_cast<int>(head.rec.cls));
+                static_cast<unsigned long long>(rec.pc),
+                static_cast<int>(rec.cls));
         lastCommittedInBlock_ = head.inBlock;
-        robHead_ = (robHead_ + 1) % params_.robSize;
+        if (++robHead_ == params_.robSize)
+            robHead_ = 0;
         --robCount_;
         ++headSeq_;
         if (firstUnissued_ > 0)
@@ -169,21 +199,68 @@ OooCore::issueStage(Cycle now)
     // ---- Issue / execute ----
     unsigned fu_used = 0;
     unsigned mem_ports_used = 0;
-    while (firstUnissued_ < robCount_ && robAt(firstUnissued_).issued)
+    const std::size_t rob_size = params_.robSize;
+    while (firstUnissued_ < robCount_ &&
+           !isUnissued(physIndex(firstUnissued_))) {
         ++firstUnissued_;
-    const std::size_t scan_end = std::min<std::size_t>(
-        robCount_, firstUnissued_ + params_.issueWindow);
-    for (std::size_t i = firstUnissued_;
-         i < scan_end && fu_used < params_.numFUs; ++i) {
-        RobEntry &e = robAt(i);
-        if (e.issued)
-            continue;
-        if (!producerReady(e.src1Seq, now) ||
-            !producerReady(e.src2Seq, now)) {
-            continue;
+    }
+    if (firstUnissued_ >= robCount_)
+        return 0;
+    // Collect the window's unissued slots in age order (up to two
+    // linear bitmask segments around the ring's wrap point); the scan
+    // then touches only real candidates, and blocked ones cost a
+    // single earliestIssue_ compare.
+    const std::size_t scan_len = std::min<std::size_t>(
+        robCount_ - firstUnissued_, params_.issueWindow);
+    const std::size_t phys_start = physIndex(firstUnissued_);
+    const std::size_t seg = std::min(scan_len, rob_size - phys_start);
+    std::size_t num_cand = appendUnissued(phys_start, seg, 0);
+    if (seg < scan_len)
+        num_cand = appendUnissued(0, scan_len - seg, num_cand);
+
+    for (std::size_t c = 0; c < num_cand; ++c) {
+        const std::uint32_t p = scanBuf_[c];
+        if (fu_used >= params_.numFUs)
+            break;
+        if (earliestIssue_[p] > now)
+            continue; // known-blocked until then; one compare
+        RobEntry &e = rob_[p];
+        {
+            // Dependence check; on failure remember the soundest
+            // wake-up bound the issued producers imply.
+            Cycle bound = 0;
+            bool blocked = false;
+            for (const std::uint32_t seq : {e.src1Seq, e.src2Seq}) {
+                if (seq == NoProducer || seq < headSeq_)
+                    continue;
+                std::size_t pp = robHead_ +
+                    static_cast<std::size_t>(seq - headSeq_);
+                if (pp >= rob_size)
+                    pp -= rob_size;
+                if (isUnissued(pp)) {
+                    blocked = true;
+                    // The producer's own issue bound propagates: it
+                    // cannot complete before issuing (>= 1 cycle
+                    // latency), so this entry cannot issue before
+                    // bound+1. earliestIssue_ values are sound lower
+                    // bounds by induction, and a stale (low) bound
+                    // only costs an extra re-check.
+                    if (earliestIssue_[pp] + 1 > bound)
+                        bound = earliestIssue_[pp] + 1;
+                } else if (readyAt_[pp] > now) {
+                    blocked = true;
+                    if (readyAt_[pp] > bound)
+                        bound = readyAt_[pp];
+                }
+            }
+            if (blocked) {
+                earliestIssue_[p] = bound;
+                continue;
+            }
         }
 
-        if (e.rec.cls == InstClass::Load) {
+        const TraceRecord &rec = records_[e.idx];
+        if (rec.cls == InstClass::Load) {
             if (mem_ports_used >= params_.memPortsPerCycle)
                 continue;
             // Store-to-load forwarding: an older, uncommitted store
@@ -192,19 +269,27 @@ OooCore::issueStage(Cycle now)
             // in-flight store touches this line.
             bool forwarded = false;
             bool wait_for_store = false;
-            const LineAddr line = e.rec.line();
-            if (pendingStoreLines_.count(line)) {
+            Cycle fwd_ready = 0;
+            const LineAddr line =
+                decoded_ ? decoded_->effLine[e.idx] : rec.line();
+            if (storeLineFilter_[storeFilterBucket(line)]) {
+                std::size_t jp = p;
+                const std::size_t i = p >= robHead_
+                    ? p - robHead_
+                    : p + rob_size - robHead_;
                 for (std::size_t j = i; j-- > 0;) {
-                    const RobEntry &older = robAt(j);
-                    if (older.rec.cls != InstClass::Store ||
-                        older.rec.line() != line) {
+                    jp = (jp == 0 ? rob_size : jp) - 1;
+                    const RobEntry &older = rob_[jp];
+                    const TraceRecord &orec = records_[older.idx];
+                    if (orec.cls != InstClass::Store ||
+                        lineOf(orec.effAddr) != line) {
                         continue;
                     }
-                    if (!older.issued) {
+                    if (isUnissued(jp)) {
                         wait_for_store = true;
                     } else {
                         forwarded = true;
-                        e.readyAt = std::max(now, older.readyAt) + 1;
+                        fwd_ready = std::max(now, readyAt_[jp]) + 1;
                     }
                     break;
                 }
@@ -214,41 +299,47 @@ OooCore::issueStage(Cycle now)
             if (forwarded) {
                 e.mem.ok = true;
                 e.mem.l1Hit = true;
-                e.mem.readyAt = e.readyAt;
+                e.mem.readyAt = fwd_ready;
+                readyAt_[p] = fwd_ready;
             } else {
                 AccessOutcome out =
-                    mem_.load(e.rec.effAddr, now, coreId_);
+                    mem_.load(rec.effAddr, now, coreId_);
                 if (!out.ok)
                     continue; // MSHR back-pressure: retry next cycle
                 e.mem = out;
-                e.readyAt = out.readyAt;
+                readyAt_[p] = out.readyAt;
                 if (onAccess_)
-                    onAccess_(e.rec, out, now);
+                    onAccess_(rec, out, now);
             }
             ++mem_ports_used;
-        } else if (e.rec.cls == InstClass::Store) {
+        } else if (rec.cls == InstClass::Store) {
             // Address/data become ready; the write happens at commit.
-            e.readyAt = now + 1;
-        } else if (e.rec.cls == InstClass::Branch) {
-            e.readyAt = now + 1;
+            readyAt_[p] = now + 1;
+        } else if (rec.cls == InstClass::Branch) {
+            readyAt_[p] = now + 1;
             if (e.mispredicted) {
                 fetchAllowedAt_ =
-                    e.readyAt + params_.mispredictPenalty;
+                    readyAt_[p] + params_.mispredictPenalty;
                 DPRINTF(Core, "mispredict pc=%#llx resolved; "
                         "fetch resumes at %llu",
-                        static_cast<unsigned long long>(e.rec.pc),
+                        static_cast<unsigned long long>(rec.pc),
                         static_cast<unsigned long long>(
                             fetchAllowedAt_));
                 if (trace_ && trace_->wants(now)) {
                     trace_->instant("core", "mispredict",
-                                    TraceTrack::Core, now, e.rec.pc);
+                                    TraceTrack::Core, now, rec.pc);
                 }
             }
         } else {
-            e.readyAt = now + execLatency(params_, e.rec.cls);
+            readyAt_[p] = now + execLatency(params_, rec.cls);
         }
-        e.issued = true;
+        clearUnissued(p);
         ++fu_used;
+        // Completions due in <= 1 cycle are never queried from the
+        // future (issuing counts as progress, so no skip starts this
+        // cycle); everything else enters the wake-up heap.
+        if (readyAt_[p] > now + 1)
+            pushEvent(readyAt_[p]);
     }
     return fu_used;
 }
@@ -258,7 +349,7 @@ OooCore::dispatchStage(Cycle now)
 {
     // ---- Dispatch (fetch queue -> ROB) ----
     unsigned dispatched = 0;
-    while (!fetchQueue_.empty() && dispatched < params_.width) {
+    while (fqCount_ > 0 && dispatched < params_.width) {
         if (robCount_ >= params_.robSize) {
             ++stats_.robFullStalls;
             if (trace_ && trace_->wants(now)) {
@@ -267,43 +358,62 @@ OooCore::dispatchStage(Cycle now)
             }
             break;
         }
-        RobEntry &fe = fetchQueue_.front();
-        if (fe.rec.cls == InstClass::Load) {
+        const FetchEntry &fe = fetchQueue_[fqHead_];
+        const TraceRecord &rec = records_[fe.idx];
+        if (rec.cls == InstClass::Load) {
             if (ldqCount_ >= params_.ldqSize) {
                 ++stats_.lsqFullStalls;
                 break;
             }
             ++ldqCount_;
-        } else if (fe.rec.cls == InstClass::Store) {
+        } else if (rec.cls == InstClass::Store) {
             if (stqCount_ >= params_.stqSize) {
                 ++stats_.lsqFullStalls;
                 break;
             }
             ++stqCount_;
-            noteStore(fe.rec.line());
+            noteStore(decoded_ ? decoded_->effLine[fe.idx]
+                               : rec.line());
         }
-        RobEntry &slot = rob_[(robHead_ + robCount_) %
-                              params_.robSize];
-        slot = fe;
-        // Rename: capture in-flight producers, then claim the
-        // destination register.
-        slot.src1Seq = slot.rec.src1 != InvalidReg
-                           ? regProducer_[slot.rec.src1]
-                           : NoProducer;
-        slot.src2Seq = slot.rec.src2 != InvalidReg
-                           ? regProducer_[slot.rec.src2]
-                           : NoProducer;
-        if (slot.rec.dest != InvalidReg)
-            regProducer_[slot.rec.dest] = headSeq_ + robCount_;
-        if (isBlockMarker(slot.rec.cls) ||
-            slot.rec.cls == InstClass::Nop) {
+        const std::size_t phys = physIndex(robCount_);
+        RobEntry &slot = rob_[phys];
+        slot = RobEntry();
+        slot.idx = fe.idx;
+        slot.mispredicted = fe.mispredicted;
+        slot.inBlock = fe.inBlock;
+        earliestIssue_[phys] = 0;
+        if (decoded_) {
+            // Rename result precomputed by the SoA decode (the
+            // producer's trace index is its sequence number;
+            // DecodedTrace::NoProd and NoProducer are the same
+            // sentinel, so the values copy straight through).
+            slot.src1Seq = decoded_->src1Prod[fe.idx];
+            slot.src2Seq = decoded_->src2Prod[fe.idx];
+        } else {
+            // Rename: capture in-flight producers, then claim the
+            // destination register.
+            slot.src1Seq = rec.src1 != InvalidReg
+                               ? regProducer_[rec.src1]
+                               : NoProducer;
+            slot.src2Seq = rec.src2 != InvalidReg
+                               ? regProducer_[rec.src2]
+                               : NoProducer;
+            if (rec.dest != InvalidReg)
+                regProducer_[rec.dest] = static_cast<std::uint32_t>(
+                    headSeq_ + robCount_);
+        }
+        if (isBlockMarker(rec.cls) || rec.cls == InstClass::Nop) {
             // Markers are architectural no-ops: complete immediately
-            // without consuming a functional unit.
-            slot.issued = true;
-            slot.readyAt = now;
+            // without consuming a functional unit (the unissued bit
+            // is never set, so the scan skips them for free).
+            readyAt_[phys] = now;
+        } else {
+            setUnissued(phys);
         }
         ++robCount_;
-        fetchQueue_.pop_front();
+        if (++fqHead_ == fetchQueue_.size())
+            fqHead_ = 0;
+        --fqCount_;
         ++dispatched;
     }
     return dispatched;
@@ -314,12 +424,19 @@ OooCore::fetchStage(Cycle now)
 {
     // ---- Fetch ----
     unsigned fetched = 0;
-    const Trace &trace = *runTrace_;
-    while (fetched < params_.width &&
-           fetchQueue_.size() < params_.fetchQueueSize &&
-           traceIdx_ < trace.size() && now >= fetchAllowedAt_) {
-        const TraceRecord &rec = trace[traceIdx_];
-        const LineAddr fetch_line = lineOf(rec.pc);
+    const std::size_t fq_cap = fetchQueue_.size();
+    auto push_fetch = [this, fq_cap](const FetchEntry &e) {
+        std::size_t pos = fqHead_ + fqCount_;
+        if (pos >= fq_cap)
+            pos -= fq_cap;
+        fetchQueue_[pos] = e;
+        ++fqCount_;
+    };
+    while (fetched < params_.width && fqCount_ < fq_cap &&
+           traceIdx_ < traceSize_ && now >= fetchAllowedAt_) {
+        const TraceRecord &rec = records_[traceIdx_];
+        const LineAddr fetch_line =
+            decoded_ ? decoded_->pcLine[traceIdx_] : lineOf(rec.pc);
         if (fetch_line != lastFetchLine_) {
             AccessOutcome out = mem_.fetch(rec.pc, now, coreId_);
             if (!out.ok)
@@ -332,13 +449,19 @@ OooCore::fetchStage(Cycle now)
             }
         }
 
-        RobEntry e;
-        e.rec = rec;
-        if (rec.cls == InstClass::BlockBegin)
-            fetchInBlock_ = true;
-        e.inBlock = fetchInBlock_ || rec.cls == InstClass::BlockEnd;
-        if (rec.cls == InstClass::BlockEnd)
-            fetchInBlock_ = false;
+        FetchEntry e;
+        e.idx = static_cast<std::uint32_t>(traceIdx_);
+        if (decoded_) {
+            e.inBlock = (decoded_->flags[traceIdx_] &
+                         DecodedTrace::InBlock) != 0;
+        } else {
+            if (rec.cls == InstClass::BlockBegin)
+                fetchInBlock_ = true;
+            e.inBlock =
+                fetchInBlock_ || rec.cls == InstClass::BlockEnd;
+            if (rec.cls == InstClass::BlockEnd)
+                fetchInBlock_ = false;
+        }
 
         ++traceIdx_;
         ++fetched;
@@ -346,7 +469,7 @@ OooCore::fetchStage(Cycle now)
             auto result = bp_.predictAndTrain(rec.pc, rec.taken,
                                               rec.effAddr);
             e.mispredicted = result.mispredict();
-            fetchQueue_.push_back(e);
+            push_fetch(e);
             if (e.mispredicted) {
                 // Fetch resumes once the branch executes (set at
                 // issue time).
@@ -360,7 +483,7 @@ OooCore::fetchStage(Cycle now)
                 break;
             }
         } else {
-            fetchQueue_.push_back(e);
+            push_fetch(e);
         }
     }
     return fetched;
@@ -369,6 +492,8 @@ OooCore::fetchStage(Cycle now)
 bool
 OooCore::step(Cycle now)
 {
+    const std::uint64_t rob_stalls0 = stats_.robFullStalls;
+    const std::uint64_t lsq_stalls0 = stats_.lsqFullStalls;
     const unsigned committed = commitStage(now);
     if (trace_ && committed > 0 && trace_->wants(now)) {
         trace_->counter(commitLabel_.c_str(), now, committed);
@@ -379,8 +504,7 @@ OooCore::step(Cycle now)
         done_ = true;
         return committed > 0;
     }
-    if (traceIdx_ >= runTrace_->size() && robCount_ == 0 &&
-        fetchQueue_.empty()) {
+    if (traceIdx_ >= traceSize_ && robCount_ == 0 && fqCount_ == 0) {
         done_ = true;
         return committed > 0;
     }
@@ -392,14 +516,17 @@ OooCore::step(Cycle now)
     // ---- Cycle accounting ----
     bool cycle_in_block;
     if (robCount_ > 0)
-        cycle_in_block = robAt(0).inBlock;
-    else if (!fetchQueue_.empty())
-        cycle_in_block = fetchQueue_.front().inBlock;
+        cycle_in_block = rob_[robHead_].inBlock;
+    else if (fqCount_ > 0)
+        cycle_in_block = fetchQueue_[fqHead_].inBlock;
     else
         cycle_in_block = lastCommittedInBlock_;
     lastCycleInBlock_ = cycle_in_block;
     if (cycle_in_block)
         ++stats_.loopCycles;
+
+    cycleRobFullStalls_ = stats_.robFullStalls - rob_stalls0;
+    cycleLsqFullStalls_ = stats_.lsqFullStalls - lsq_stalls0;
 
     return committed > 0 || fu_used > 0 || dispatched > 0 ||
            fetched > 0;
@@ -408,12 +535,14 @@ OooCore::step(Cycle now)
 Cycle
 OooCore::nextLocalEvent(Cycle now) const
 {
-    Cycle next = Never;
-    for (std::size_t i = 0; i < robCount_; ++i) {
-        const RobEntry &e = robAt(i);
-        if (e.issued && e.readyAt > now && e.readyAt < next)
-            next = e.readyAt;
+    // Lazily drop wake-ups that are already in the past (their
+    // instruction completed, possibly committed, cycles ago).
+    while (!events_.empty() && events_.front() <= now) {
+        std::pop_heap(events_.begin(), events_.end(),
+                      std::greater<Cycle>());
+        events_.pop_back();
     }
+    Cycle next = events_.empty() ? Never : events_.front();
     if (fetchAllowedAt_ != Never && fetchAllowedAt_ > now &&
         fetchAllowedAt_ < next) {
         next = fetchAllowedAt_;
@@ -426,6 +555,11 @@ OooCore::addSkippedCycles(Cycle skipped)
 {
     if (lastCycleInBlock_)
         stats_.loopCycles += skipped;
+    // The skipped cycles are exact repeats of the last stepped cycle
+    // (the skip precondition is that nothing moved), so they would
+    // have re-hit the same full-ROB / full-LSQ dispatch stalls.
+    stats_.robFullStalls += cycleRobFullStalls_ * skipped;
+    stats_.lsqFullStalls += cycleLsqFullStalls_ * skipped;
 }
 
 CoreStats
@@ -442,7 +576,9 @@ OooCore::finish(Cycle end)
         stats_.robFullStalls -= warmSnapshot_.robFullStalls;
         stats_.lsqFullStalls -= warmSnapshot_.lsqFullStalls;
     }
-    runTrace_ = nullptr;
+    records_ = nullptr;
+    traceSize_ = 0;
+    decoded_ = nullptr;
     return stats_;
 }
 
@@ -460,9 +596,11 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
     // phases nest inside and claim their own exclusive time.
     PROF_SCOPE(prof::Phase::Decode);
 
+    const bool skip_ahead = Tuning::get().skipAhead;
     Cycle now = 0;
     while (true) {
         mem_.tick(now);
+        const std::uint64_t mshr_stalls0 = mem_.stats().mshrStalls;
         const bool worked = step(now);
         if (done_)
             break;
@@ -475,8 +613,10 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
         // because no pipeline stage had work to do in between).
         // (A failed memory retry does not inhibit the skip: the retry
         // can only succeed once an MSHR drains, and nextEventCycle()
-        // includes exactly those fills.)
-        if (!worked && !mem_.prefetchWorkPending()) {
+        // includes exactly those fills. Each skipped cycle would have
+        // repeated this cycle's failed retries verbatim, so their
+        // stall counts are replayed below.)
+        if (skip_ahead && !worked && !mem_.prefetchWorkPending()) {
             Cycle next_event = mem_.nextEventCycle();
             const Cycle local = nextLocalEvent(now);
             if (local < next_event)
@@ -484,6 +624,9 @@ OooCore::run(const Trace &trace, std::uint64_t max_insts,
             if (next_event != Never && next_event > now + 1) {
                 const Cycle skipped = next_event - now - 1;
                 addSkippedCycles(skipped);
+                mem_.addSkippedMshrStalls(
+                    (mem_.stats().mshrStalls - mshr_stalls0) *
+                    skipped);
                 now += skipped;
             }
         }

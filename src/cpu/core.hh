@@ -25,20 +25,32 @@
  * interleave several cores cycle by cycle over a shared hierarchy
  * (sim/simulator.cc's multi-core mode). run() is implemented on top
  * of the step API, so both modes execute identical pipeline code.
+ *
+ * Replay-speed machinery (all architecturally invisible; see
+ * PERFORMANCE.md):
+ *  - ROB entries hold a trace *index* instead of a record copy; a
+ *    record's sequence number equals its trace index because every
+ *    record dispatches exactly once, in program order.
+ *  - When the trace carries a SoA pre-decode (trace/decoded.hh,
+ *    gated by CBWS_BATCH_DECODE), dispatch reads precomputed source
+ *    producers and block membership instead of re-deriving them.
+ *  - Issued completion times feed a min-heap so nextLocalEvent() is
+ *    O(log n) instead of an O(ROB) scan per idle query.
+ *  - All ring-buffer walks use wrap-around index arithmetic; the
+ *    hot loops contain no division.
  */
 
 #ifndef CBWS_CPU_CORE_HH
 #define CBWS_CPU_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cpu/branch_pred.hh"
 #include "mem/hierarchy.hh"
+#include "trace/decoded.hh"
 #include "trace/trace.hh"
 
 namespace cbws
@@ -140,6 +152,24 @@ class OooCore
                   const std::function<void(Cycle)> &on_warmup =
                       nullptr);
 
+    /** Bit for @p cls in a commit-hook class mask. */
+    static constexpr std::uint32_t
+    classBit(InstClass cls)
+    {
+        return 1u << static_cast<unsigned>(cls);
+    }
+
+    /**
+     * Restrict the commit hook to instruction classes whose classBit()
+     * is set in @p mask (default: all classes). Callers whose hook
+     * ignores plain ALU/branch retires — i.e. the common
+     * prefetcher-training hook — set a Load/Store/marker mask so the
+     * bulk of the commit stream skips the std::function dispatch
+     * entirely. Purely a speed knob: the hook's *behaviour* for masked
+     * classes must already be a no-op.
+     */
+    void setCommitHookMask(std::uint32_t mask) { commitHookMask_ = mask; }
+
     /**
      * @name Steppable per-cycle API
      * A lockstep multi-core driver calls begin() once, then step()
@@ -173,14 +203,21 @@ class OooCore
      * Earliest core-local future event (an issued instruction
      * completing or the post-mispredict fetch restart); a huge
      * sentinel when none is pending. Combined with the hierarchy's
-     * nextEventCycle() to bound idle fast-forwards.
+     * nextEventCycle() to bound idle fast-forwards. May
+     * conservatively report an already-dead event (the driver then
+     * finds nothing to do there and asks again); it never skips over
+     * a live one.
      */
     Cycle nextLocalEvent(Cycle now) const;
 
     /**
      * Account @p skipped idle cycles jumped over by the driver's
-     * fast-forward (extends the annotated-block cycle attribution of
-     * the last stepped cycle).
+     * fast-forward: extends the annotated-block cycle attribution of
+     * the last stepped cycle, and replays the per-cycle stall
+     * counters (robFullStalls/lsqFullStalls) the skipped repeats of
+     * that frozen cycle would have accumulated — a skip-eligible
+     * cycle changes no pipeline state, so every skipped cycle
+     * increments exactly what the last stepped cycle incremented.
      */
     void addSkippedCycles(Cycle skipped);
 
@@ -204,32 +241,86 @@ class OooCore
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
   private:
+    /**
+     * One in-flight instruction. Identified by its trace index (==
+     * sequence number); the record itself is read from the trace's
+     * contiguous record array on demand.
+     */
     struct RobEntry
     {
-        TraceRecord rec;
         AccessOutcome mem;
-        Cycle readyAt = 0;
-        /** Sequence numbers of the in-flight producers of the two
-         *  source operands (NoProducer when the value is already
-         *  architectural). Captured at dispatch — this is register
+        /** Sequence numbers (== trace indices, which fit 32 bits by
+         *  construction of FetchEntry::idx) of the in-flight
+         *  producers of the two source operands (NoProducer when the
+         *  value is already architectural). Precomputed by the SoA
+         *  decode or captured at dispatch — this is register
          *  renaming, so WAR/WAW reuse of an architectural register
          *  never stalls. */
-        std::uint64_t src1Seq = ~std::uint64_t(0);
-        std::uint64_t src2Seq = ~std::uint64_t(0);
-        bool issued = false;
-        bool done = false;
+        std::uint32_t src1Seq = ~std::uint32_t(0);
+        std::uint32_t src2Seq = ~std::uint32_t(0);
+        std::uint32_t idx = 0; ///< trace index == sequence number
         bool mispredicted = false;
         bool inBlock = false; ///< fetched inside an annotated block
     };
 
-    static constexpr Cycle Never = ~Cycle(0);
-    static constexpr std::uint64_t NoProducer = ~std::uint64_t(0);
+    /** Fetched-but-not-dispatched instruction (ring fetch queue). */
+    struct FetchEntry
+    {
+        std::uint32_t idx = 0;
+        bool mispredicted = false;
+        bool inBlock = false;
+    };
 
-    RobEntry &robAt(std::size_t offset);
-    const RobEntry &robAt(std::size_t offset) const;
-    bool producerReady(std::uint64_t seq, Cycle now) const;
+    static constexpr Cycle Never = ~Cycle(0);
+    static constexpr std::uint32_t NoProducer = ~std::uint32_t(0);
+
+    /** Physical ROB slot of the entry at logical @p offset from the
+     *  head. Valid for offset <= robSize (single conditional wrap,
+     *  no division). */
+    std::size_t
+    physIndex(std::size_t offset) const
+    {
+        std::size_t p = robHead_ + offset;
+        if (p >= params_.robSize)
+            p -= params_.robSize;
+        return p;
+    }
+
+    const TraceRecord &recOf(const RobEntry &e) const
+    {
+        return records_[e.idx];
+    }
+
     void noteStore(LineAddr line);
     void retireStore(LineAddr line);
+    void pushEvent(Cycle at);
+
+    /**
+     * @name Unissued-slot bitmask
+     * One bit per physical ROB slot, set from dispatch until issue
+     * (markers never set it; unoccupied slots are clear). The issue
+     * scan walks set bits instead of touching every RobEntry, and a
+     * producer's "already issued?" test is one bit probe.
+     */
+    ///@{
+    void setUnissued(std::size_t p)
+    {
+        unissued_[p >> 6] |= std::uint64_t(1) << (p & 63);
+    }
+    void clearUnissued(std::size_t p)
+    {
+        unissued_[p >> 6] &= ~(std::uint64_t(1) << (p & 63));
+    }
+    bool isUnissued(std::size_t p) const
+    {
+        return (unissued_[p >> 6] >> (p & 63)) & 1;
+    }
+    /** Write the physical indices of set bits in [begin, begin+len)
+     *  (no wrap) to scanBuf_ starting at @p n; returns the new
+     *  count. */
+    std::size_t appendUnissued(std::size_t begin, std::size_t len,
+                               std::size_t n);
+    ///@}
 
     unsigned commitStage(Cycle now);
     unsigned issueStage(Cycle now);
@@ -247,11 +338,17 @@ class OooCore
     std::string robLabel_;
 
     // ---- Per-run pipeline state (valid between begin/finish) ----
-    const Trace *runTrace_ = nullptr;
+    /** Contiguous record array of the running trace. */
+    const TraceRecord *records_ = nullptr;
+    std::size_t traceSize_ = 0;
+    /** SoA pre-decode of the running trace; nullptr in fallback
+     *  (per-record) mode. */
+    const DecodedTrace *decoded_ = nullptr;
     std::uint64_t maxInsts_ = 0;
     std::uint64_t warmupInsts_ = 0;
     CommitHook onCommit_;
     AccessHook onAccess_;
+    std::uint32_t commitHookMask_ = ~std::uint32_t(0);
     std::function<void(Cycle)> onWarmup_;
     CoreStats stats_;
     CoreStats warmSnapshot_;
@@ -262,30 +359,71 @@ class OooCore
     std::vector<RobEntry> rob_;
     std::size_t robHead_ = 0;
     std::size_t robCount_ = 0;
-    std::deque<RobEntry> fetchQueue_;
-    /** Register renaming: the sequence number of the latest
-     *  dispatched producer of each architectural register. */
-    std::uint64_t regProducer_[NumArchRegs];
-    std::uint64_t headSeq_ = 0; ///< sequence number of robAt(0)
+    /** Per-slot completion cycle (valid once the slot issued) and
+     *  issue lower bound, split out of RobEntry so the per-cycle
+     *  issue scan touches dense arrays instead of scattered structs.
+     *  earliestIssue_ is the max readyAt over the slot's
+     *  already-issued producers, captured the last time the scan
+     *  found it blocked; an issued producer's readyAt never changes,
+     *  so skipping the full dependence check until that cycle cannot
+     *  delay an issue. 0 = no bound. */
+    std::vector<Cycle> readyAt_;
+    std::vector<Cycle> earliestIssue_;
+    /** One bit per slot: dispatched but not yet issued. */
+    std::vector<std::uint64_t> unissued_;
+    /** Scratch list of candidate slots for the current issue scan. */
+    std::vector<std::uint32_t> scanBuf_;
+    /** Fetch queue as a fixed ring (fetchQueueSize entries). */
+    std::vector<FetchEntry> fetchQueue_;
+    std::size_t fqHead_ = 0;
+    std::size_t fqCount_ = 0;
+    /** Register renaming (fallback mode only): the sequence number of
+     *  the latest dispatched producer of each architectural
+     *  register. The batch path reads the same information from the
+     *  pre-decode. */
+    std::uint32_t regProducer_[NumArchRegs];
+    std::uint64_t headSeq_ = 0; ///< sequence number of the ROB head
     std::size_t traceIdx_ = 0;
     Cycle fetchAllowedAt_ = 0;
     LineAddr lastFetchLine_ = ~LineAddr(0);
     unsigned ldqCount_ = 0;
     unsigned stqCount_ = 0;
-    /** Count of in-flight (dispatched, uncommitted) stores per line:
-     *  lets the store-to-load forwarding check skip its O(ROB)
-     *  backward scan for the common load with no matching store —
-     *  without changing which loads forward (the scan still
-     *  decides). */
-    std::unordered_map<LineAddr, unsigned> pendingStoreLines_;
+    /** Counting filter over the lines of in-flight (dispatched,
+     *  uncommitted) stores: lets the store-to-load forwarding check
+     *  skip its O(ROB) backward scan for the common load with no
+     *  matching store — without changing which loads forward (the
+     *  scan still decides; a bucket collision merely runs a walk
+     *  that finds nothing). Counts cannot saturate: at most stqSize
+     *  (32) stores are in flight. */
+    static constexpr std::size_t StoreFilterBuckets = 128;
+    std::uint8_t storeLineFilter_[StoreFilterBuckets];
+    static std::size_t
+    storeFilterBucket(LineAddr line)
+    {
+        return (line * 0x9E3779B97F4A7C15ull) >> 57;
+    }
     bool fetchInBlock_ = false;
     bool lastCommittedInBlock_ = false;
     /** First offset in the ROB that may hold an unissued entry; issue
      *  never needs to look before it. */
     std::size_t firstUnissued_ = 0;
+    /**
+     * Min-heap of known future wake-up cycles (issued completions,
+     * fetch restarts). Completions due in <= 1 cycle are not pushed:
+     * they are only ever queried from a strictly later cycle, by
+     * which point they are already in the past. Entries are popped
+     * lazily, so the heap may hold cycles where nothing happens —
+     * nextLocalEvent() is conservative, never late. Mutable: lazy
+     * cleanup happens inside the const query.
+     */
+    mutable std::vector<Cycle> events_;
     /** Whether the last stepped cycle was attributed to an annotated
      *  block (extends to skipped idle cycles). */
     bool lastCycleInBlock_ = false;
+    /** Stall-counter increments of the last stepped cycle, replayed
+     *  by addSkippedCycles() for each skipped idle repeat. */
+    std::uint64_t cycleRobFullStalls_ = 0;
+    std::uint64_t cycleLsqFullStalls_ = 0;
     Cycle cycleLimit_ = 0;
 };
 

@@ -13,20 +13,22 @@ Cache::Cache(const CacheParams &params, std::uint64_t repl_seed)
              "%s: number of sets (%llu) must be a non-zero power of 2",
              params_.name.c_str(),
              static_cast<unsigned long long>(num_sets));
-    sets_.assign(num_sets, Set(params_.assoc));
+    numSets_ = static_cast<std::size_t>(num_sets);
+    assoc_ = params_.assoc;
+    ways_.assign(numSets_ * assoc_, Way());
     setMask_ = num_sets - 1;
 }
 
-Cache::Set &
+Cache::Way *
 Cache::setFor(LineAddr line)
 {
-    return sets_[line & setMask_];
+    return &ways_[(line & setMask_) * assoc_];
 }
 
-const Cache::Set &
+const Cache::Way *
 Cache::setFor(LineAddr line) const
 {
-    return sets_[line & setMask_];
+    return &ways_[(line & setMask_) * assoc_];
 }
 
 Cache::Way *
@@ -34,18 +36,20 @@ Cache::findWay(LineAddr line)
 {
     // Invalid ways hold the NoLine sentinel, so the tag compare alone
     // decides — one branch per way on the simulator's hottest path.
-    for (auto &way : setFor(line))
-        if (way.line == line)
-            return &way;
+    Way *set = setFor(line);
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].line == line)
+            return &set[w];
     return nullptr;
 }
 
 const Cache::Way *
 Cache::findWay(LineAddr line) const
 {
-    for (const auto &way : setFor(line))
-        if (way.line == line)
-            return &way;
+    const Way *set = setFor(line);
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].line == line)
+            return &set[w];
     return nullptr;
 }
 
@@ -60,6 +64,25 @@ Cache::access(LineAddr line, Cycle now, bool is_write)
     if (is_write)
         way->dirty = true;
     return true;
+}
+
+Cache::Probe
+Cache::accessClassify(LineAddr line, Cycle now, bool is_write)
+{
+    Probe probe;
+    Way *way = findWay(line);
+    if (!way)
+        return probe;
+    probe.hit = true;
+    probe.wasUnusedPrefetch =
+        way->prefetched && !way->usedAfterPrefetch;
+    if (probe.wasUnusedPrefetch)
+        probe.pfSource = way->pfSource;
+    way->lastTouch = now;
+    way->usedAfterPrefetch = true;
+    if (is_write)
+        way->dirty = true;
+    return probe;
 }
 
 bool
@@ -86,7 +109,7 @@ Cache::Victim
 Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src,
               std::uint8_t owner)
 {
-    Set &set = setFor(line);
+    Way *set = setFor(line);
 
     // Refill of a line that is somehow already present: refresh it.
     if (Way *way = findWay(line)) {
@@ -96,9 +119,9 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src,
 
     // Prefer an invalid way.
     Way *victim_way = nullptr;
-    for (auto &way : set) {
-        if (!way.valid) {
-            victim_way = &way;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid) {
+            victim_way = &set[w];
             break;
         }
     }
@@ -106,12 +129,12 @@ Cache::insert(LineAddr line, Cycle now, bool prefetched, PfSource src,
     Victim victim;
     if (!victim_way) {
         if (params_.repl == ReplPolicy::RandomRepl) {
-            victim_way = &set[replRng_.below(set.size())];
+            victim_way = &set[replRng_.below(assoc_)];
         } else {
             victim_way = &set[0];
-            for (auto &way : set)
-                if (way.lastTouch < victim_way->lastTouch)
-                    victim_way = &way;
+            for (unsigned w = 0; w < assoc_; ++w)
+                if (set[w].lastTouch < victim_way->lastTouch)
+                    victim_way = &set[w];
         }
         victim.valid = true;
         victim.line = victim_way->line;
@@ -163,34 +186,31 @@ std::uint64_t
 Cache::countUnusedPrefetched() const
 {
     std::uint64_t count = 0;
-    for (const auto &set : sets_)
-        for (const auto &way : set)
-            if (way.valid && way.prefetched && !way.usedAfterPrefetch)
-                ++count;
+    for (const auto &way : ways_)
+        if (way.valid && way.prefetched && !way.usedAfterPrefetch)
+            ++count;
     return count;
 }
 
 void
 Cache::countUnusedPrefetchedBySource(std::uint64_t *counts) const
 {
-    for (const auto &set : sets_)
-        for (const auto &way : set)
-            if (way.valid && way.prefetched && !way.usedAfterPrefetch)
-                ++counts[static_cast<unsigned>(way.pfSource)];
+    for (const auto &way : ways_)
+        if (way.valid && way.prefetched && !way.usedAfterPrefetch)
+            ++counts[static_cast<unsigned>(way.pfSource)];
 }
 
 void
 Cache::countResidentByOwner(std::uint64_t *counts,
                             unsigned num_cores) const
 {
-    for (const auto &set : sets_)
-        for (const auto &way : set)
-            if (way.valid) {
-                unsigned owner = way.ownerCore;
-                if (owner >= num_cores)
-                    owner = num_cores - 1;
-                ++counts[owner];
-            }
+    for (const auto &way : ways_)
+        if (way.valid) {
+            unsigned owner = way.ownerCore;
+            if (owner >= num_cores)
+                owner = num_cores - 1;
+            ++counts[owner];
+        }
 }
 
 } // namespace cbws

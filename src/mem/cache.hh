@@ -56,6 +56,26 @@ class Cache
      */
     bool access(LineAddr line, Cycle now, bool is_write);
 
+    /** Everything a demand access needs to know about the line it
+     *  (possibly) hit, gathered in one tag walk. */
+    struct Probe
+    {
+        bool hit = false;
+        /** Line was prefetched and not yet demanded before this
+         *  access (classifies the hit as a timely prefetch). */
+        bool wasUnusedPrefetch = false;
+        /** Source of the prefetch that filled the line (valid only
+         *  when wasUnusedPrefetch). */
+        PfSource pfSource = PfSource::Unknown;
+    };
+
+    /**
+     * Flattened demand path: exactly isUnusedPrefetch() +
+     * prefetchSource() + access() with a single set walk instead of
+     * three. Replacement/use/dirty state updates match access().
+     */
+    Probe accessClassify(LineAddr line, Cycle now, bool is_write);
+
     /** Tag probe without touching replacement or use state. */
     bool contains(LineAddr line) const;
 
@@ -114,7 +134,7 @@ class Cache
     void countResidentByOwner(std::uint64_t *counts,
                               unsigned num_cores) const;
 
-    std::uint64_t numSets() const { return sets_.size(); }
+    std::uint64_t numSets() const { return numSets_; }
 
   private:
     /**
@@ -139,15 +159,21 @@ class Cache
         std::uint8_t ownerCore = 0;
     };
 
-    using Set = std::vector<Way>;
-
-    Set &setFor(LineAddr line);
-    const Set &setFor(LineAddr line) const;
+    /** First way of the set holding @p line. Ways live in one flat
+     *  array (sets_ x assoc_), so a whole cache is two allocations
+     *  instead of one per set — cheaper to construct per simulation
+     *  cell and friendlier to the allocator when cells run in
+     *  parallel — and a set probe walks `assoc_` contiguous
+     *  entries. */
+    Way *setFor(LineAddr line);
+    const Way *setFor(LineAddr line) const;
     Way *findWay(LineAddr line);
     const Way *findWay(LineAddr line) const;
 
     CacheParams params_;
-    std::vector<Set> sets_;
+    std::vector<Way> ways_; ///< flat: set-major, assoc_ per set
+    std::size_t numSets_ = 0;
+    unsigned assoc_ = 0;
     std::uint64_t setMask_;
     Random replRng_;
 };

@@ -302,6 +302,15 @@ Hierarchy::tick(Cycle now)
 {
     if (__builtin_expect(debug::state.anyEnabled, 0))
         debug::setCycle(now);
+    if (lastDrainCycle_ == now) {
+        // Drains already ran this cycle (the common repeat is the
+        // tick() inside each demand access); only the prefetch issue
+        // budget renews per invocation.
+        if (!prefetchQueue_.empty())
+            issuePrefetches(now);
+        return;
+    }
+    lastDrainCycle_ = now;
     if (__builtin_expect(prof::enabled(), 0)) {
         // Profiled path only: tick() runs every simulated cycle, so
         // the scope cost stays off the default path entirely. Only
@@ -379,12 +388,13 @@ Hierarchy::l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
             ++stats_.perCore[core].demandL2Accesses;
     }
 
-    // Hit in the L2 arrays?
-    const bool was_unused_prefetch = l2_.isUnusedPrefetch(line);
-    if (l2_.access(line, t_l2, is_write)) {
-        if (was_unused_prefetch) {
+    // Hit in the L2 arrays? One walk answers presence, timeliness
+    // classification and prefetch-source attribution together.
+    const Cache::Probe probe = l2_.accessClassify(line, t_l2, is_write);
+    if (probe.hit) {
+        if (probe.wasUnusedPrefetch) {
             cls = DemandClass::Timely;
-            const PfSource src = l2_.prefetchSource(line);
+            const PfSource src = probe.pfSource;
             ++stats_.pfLife[static_cast<unsigned>(src)]
                   .demandHitTimely;
             recordLateness(src, 0);
@@ -451,6 +461,41 @@ Hierarchy::demandAccess(LineAddr line, Cycle now, bool is_write,
     const CacheParams &l1p = is_data ? params_.l1d : params_.l1i;
     CoreMemStats *cstats =
         stats_.perCore.empty() ? nullptr : &stats_.perCore[core];
+
+    // Back-pressured retry fast path. A stalling requester whose line
+    // neither hits the L1 (access() is side-effect-free on a miss)
+    // nor merges into an in-flight fill, while the L1 MSHR file is
+    // full, fails with exactly one observable effect: the mshrStalls
+    // count. The core retries such a load every cycle during a stall
+    // epoch, so skipping the count-then-undo bookkeeping of the slow
+    // path below matters; the outcome is bit-identical.
+    if (can_stall && l1m.full() && !l1.contains(line)) {
+        if (MshrFile::Entry *e = l1m.find(line)) {
+            e->isWrite |= is_write;
+            if (is_data) {
+                ++stats_.l1dAccesses;
+                ++stats_.l1dMisses;
+                if (cstats) {
+                    ++cstats->l1dAccesses;
+                    ++cstats->l1dMisses;
+                }
+            } else {
+                ++stats_.l1iAccesses;
+                ++stats_.l1iMisses;
+                if (cstats) {
+                    ++cstats->l1iAccesses;
+                    ++cstats->l1iMisses;
+                }
+            }
+            AccessOutcome out;
+            out.readyAt = std::max(e->readyAt, now + l1p.latency);
+            return out;
+        }
+        ++stats_.mshrStalls;
+        AccessOutcome out;
+        out.ok = false;
+        return out;
+    }
 
     if (is_data) {
         ++stats_.l1dAccesses;

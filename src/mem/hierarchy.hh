@@ -398,6 +398,18 @@ class Hierarchy
      */
     bool prefetchWorkPending() const;
 
+    /**
+     * Idle skip-ahead support: each skipped cycle would have repeated
+     * the last stepped cycle's failed MSHR retries exactly (no fill
+     * drains inside the window, so every retry fails the same way);
+     * the driver folds those counts back in to keep mshrStalls
+     * bit-identical with the unskipped replay.
+     */
+    void addSkippedMshrStalls(std::uint64_t n)
+    {
+        stats_.mshrStalls += n;
+    }
+
   private:
     /** Access the L2 on behalf of a data-side L1 miss. */
     Cycle l2DemandAccess(LineAddr line, Cycle t_l2, bool is_write,
@@ -493,6 +505,15 @@ class Hierarchy
     std::unique_ptr<DramBackend> dram_;
     /** Id assigned to the next tracked prefetch request. */
     std::uint64_t nextPfId_ = 1;
+    /**
+     * Cycle whose MSHR drains have already run. tick() is invoked
+     * once per cycle by the driver and again by every demand access,
+     * but the drains are idempotent within a cycle (nothing allocated
+     * at cycle N can complete at cycle N), so repeats skip straight
+     * to prefetch issue. Prefetch issue itself is NOT memoized: its
+     * per-invocation issue budget is visible behaviour.
+     */
+    Cycle lastDrainCycle_ = ~Cycle(0);
     /** Guards against double-counting in repeated finalize() calls. */
     bool finalized_ = false;
     TraceSink *trace_ = nullptr;

@@ -51,27 +51,6 @@ MshrFile::allocate(LineAddr line, Cycle ready_at, bool is_prefetch,
 }
 
 void
-MshrFile::drain(Cycle now, const std::function<void(const Entry &)>
-                &on_fill)
-{
-    if (now < nextReady_)
-        return;
-    Cycle next = NoEvent;
-    for (auto &e : entries_) {
-        if (!e.valid)
-            continue;
-        if (e.readyAt <= now) {
-            on_fill(e);
-            e.valid = false;
-            --numValid_;
-        } else if (e.readyAt < next) {
-            next = e.readyAt;
-        }
-    }
-    nextReady_ = next;
-}
-
-void
 MshrFile::clear()
 {
     for (auto &e : entries_)

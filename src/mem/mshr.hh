@@ -14,7 +14,6 @@
 #define CBWS_MEM_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "base/types.hh"
@@ -74,10 +73,36 @@ class MshrFile
     /**
      * Retire every entry whose fill completed at or before @p now,
      * invoking @p on_fill for each (used by the hierarchy to install
-     * lines into the tag arrays at fill time).
+     * lines into the tag arrays at fill time). Entries retire in
+     * entry-array order (allocation-slot order), which callers'
+     * replacement state depends on — do not reorder.
+     *
+     * Templated so the idle early-out (by far the most frequent
+     * outcome: the hierarchy probes every MSHR file every simulated
+     * cycle) inlines to a single compare at the call site, and so the
+     * callback lambdas are invoked directly instead of being wrapped
+     * in a std::function per call.
      */
-    void drain(Cycle now, const std::function<void(const Entry &)>
-               &on_fill);
+    template <typename OnFill>
+    void
+    drain(Cycle now, OnFill &&on_fill)
+    {
+        if (now < nextReady_)
+            return;
+        Cycle next = NoEvent;
+        for (auto &e : entries_) {
+            if (!e.valid)
+                continue;
+            if (e.readyAt <= now) {
+                on_fill(static_cast<const Entry &>(e));
+                e.valid = false;
+                --numValid_;
+            } else if (e.readyAt < next) {
+                next = e.readyAt;
+            }
+        }
+        nextReady_ = next;
+    }
 
     /** Drop all entries (end of simulation). */
     void clear();

@@ -49,11 +49,13 @@ GhbPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
 
     // Link the new miss into its stream and update the index table.
     std::uint64_t prev_seq = InvalidSeq;
-    if (auto it = indexTable_.find(key); it != indexTable_.end())
-        prev_seq = it->second;
     const std::uint64_t seq = nextSeq_++;
+    if (auto [it, inserted] = indexTable_.try_emplace(key, seq);
+        !inserted) {
+        prev_seq = it->second;
+        it->second = seq;
+    }
     buffer_[seq % buffer_.size()] = Entry{ctx.line, prev_seq};
-    indexTable_[key] = seq;
 
     // Bound the index table: entries whose head has been overwritten
     // are useless; prune opportunistically to keep memory bounded.
@@ -66,21 +68,55 @@ GhbPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
         }
     }
 
-    // Delta correlation over this stream's recent history.
-    std::vector<LineAddr> recent = collect(seq, params_.maxChainWalk);
-    if (recent.size() < params_.historyLength + 1)
+    // Delta correlation over this stream's recent history. The walk
+    // is bounded by maxChainWalk, so for the default configuration it
+    // fits a fixed stack buffer and the training path allocates
+    // nothing; oversized configurations fall back to collect().
+    constexpr unsigned WalkCap = 64;
+    LineAddr recent_buf[WalkCap];
+    std::size_t m = 0;
+    if (params_.maxChainWalk <= WalkCap) {
+        std::uint64_t s = seq;
+        while (m < params_.maxChainWalk) {
+            const Entry *e = entryFor(s);
+            if (!e)
+                break;
+            recent_buf[m++] = e->line;
+            s = e->prevSeq;
+        }
+    } else {
+        const std::vector<LineAddr> heap =
+            collect(seq, params_.maxChainWalk);
+        if (heap.size() < params_.historyLength + 1)
+            return;
+        std::vector<LineAddr> rev(heap.rbegin(), heap.rend());
+        std::vector<std::int64_t> hdeltas(rev.size() - 1);
+        for (std::size_t i = 0; i + 1 < rev.size(); ++i) {
+            hdeltas[i] = static_cast<std::int64_t>(rev[i + 1]) -
+                         static_cast<std::int64_t>(rev[i]);
+        }
+        correlateAndIssue(hdeltas.data(), hdeltas.size(), ctx.line,
+                          sink);
         return;
-    std::reverse(recent.begin(), recent.end()); // oldest -> newest
-
-    const std::size_t m = recent.size();
-    std::vector<std::int64_t> deltas(m - 1);
-    for (std::size_t i = 0; i + 1 < m; ++i) {
-        deltas[i] = static_cast<std::int64_t>(recent[i + 1]) -
-                    static_cast<std::int64_t>(recent[i]);
     }
+    if (m < params_.historyLength + 1)
+        return;
+    std::reverse(recent_buf, recent_buf + m); // oldest -> newest
 
+    std::int64_t deltas_buf[WalkCap];
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+        deltas_buf[i] = static_cast<std::int64_t>(recent_buf[i + 1]) -
+                        static_cast<std::int64_t>(recent_buf[i]);
+    }
+    correlateAndIssue(deltas_buf, m - 1, ctx.line, sink);
+}
+
+void
+GhbPrefetcher::correlateAndIssue(const std::int64_t *deltas,
+                                 std::size_t n, LineAddr trigger,
+                                 PrefetchSink &sink) const
+{
     // Correlate on the last two deltas (history length 3 addresses).
-    const std::size_t n = deltas.size();
     if (n < 2)
         return;
     const std::int64_t d1 = deltas[n - 2];
@@ -89,7 +125,7 @@ GhbPrefetcher::observeAccess(const PrefetchContext &ctx, PrefetchSink &sink)
     for (std::size_t k = n - 2; k >= 2; --k) {
         if (deltas[k - 2] == d1 && deltas[k - 1] == d2) {
             // Replay the deltas that followed the earlier occurrence.
-            LineAddr target = ctx.line;
+            LineAddr target = trigger;
             for (unsigned d = 0; d < params_.degree && k + d < n;
                  ++d) {
                 target = static_cast<LineAddr>(

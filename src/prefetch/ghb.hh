@@ -83,6 +83,14 @@ class GhbPrefetcher : public Prefetcher
     std::vector<LineAddr> collect(std::uint64_t head_seq,
                                   unsigned max) const;
 
+    /**
+     * Scan @p deltas (oldest -> newest, @p n entries) for the most
+     * recent earlier occurrence of the trailing delta pair and issue
+     * up to degree prefetches from @p trigger.
+     */
+    void correlateAndIssue(const std::int64_t *deltas, std::size_t n,
+                           LineAddr trigger, PrefetchSink &sink) const;
+
     Mode mode_;
     GhbParams params_;
     std::vector<Entry> buffer_;

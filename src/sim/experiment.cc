@@ -8,6 +8,7 @@
 #include "base/profiler.hh"
 #include "base/progress.hh"
 #include "base/threadpool.hh"
+#include "base/tuning.hh"
 #include "sim/checkpoint.hh"
 
 namespace cbws
@@ -146,7 +147,12 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     // Phase 1: synthesise (or load from the trace cache) every
     // workload's trace, one cell per workload. Each trace is written
     // exactly once and only read afterwards, so the simulation phase
-    // shares them without copies or locks.
+    // shares them without copies or locks. The SoA pre-decode is
+    // built here too — by the single worker that owns the trace —
+    // because Trace::ensureDecoded() is not safe to race from the
+    // simulation phase's concurrent cells; afterwards all kinds of a
+    // row replay the same read-only buffers.
+    const bool batch_decode = Tuning::get().batchDecode;
     std::vector<Trace> traces(num_workloads);
     std::vector<char> trace_done(num_workloads, 0);
     {
@@ -159,6 +165,8 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
                                       seed};
             if (options.traceCache &&
                 options.traceCache->load(key, trace).ok()) {
+                if (batch_decode)
+                    trace.ensureDecoded();
                 trace_done[w] = 1;
                 meter.advance(true);
                 return;
@@ -170,6 +178,8 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
             }
             if (options.traceCache)
                 options.traceCache->store(key, trace);
+            if (batch_decode)
+                trace.ensureDecoded();
             trace_done[w] = 1;
             meter.advance(false);
         });
@@ -231,6 +241,7 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
                      res.workload.c_str(), res.prefetcher.c_str(),
                      appended.error().str().c_str());
         }
+        meter.addInstructions(res.core.instructions);
         matrix.rows[w].byPrefetcher[k] = std::move(res);
         cell_done[i] = 1;
         meter.advance(false);

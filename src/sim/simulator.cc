@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/profiler.hh"
+#include "base/tuning.hh"
 #include "cpu/inorder.hh"
 #include "prefetch/composite.hh"
 #include "sim/snapshot.hh"
@@ -49,6 +50,23 @@ cbwsComponent(Prefetcher *prefetcher)
     if (auto *c = dynamic_cast<CbwsSmsPrefetcher *>(prefetcher))
         return &c->cbws();
     return nullptr;
+}
+
+/**
+ * Commit-hook class mask for the standard prefetcher-training hook:
+ * it only acts on memory retires and block markers, so everything
+ * else can skip the std::function dispatch. A snapshot probe samples
+ * *every* commit, so its presence forces the full mask.
+ */
+std::uint32_t
+commitMaskFor(bool has_snapshot)
+{
+    if (has_snapshot)
+        return ~std::uint32_t(0);
+    return OooCore::classBit(InstClass::Load) |
+           OooCore::classBit(InstClass::Store) |
+           OooCore::classBit(InstClass::BlockBegin) |
+           OooCore::classBit(InstClass::BlockEnd);
 }
 
 } // anonymous namespace
@@ -164,6 +182,7 @@ simulate(const Trace &trace, const SystemConfig &config,
                         warmup_insts, on_warmup);
     } else {
         core.setTraceSink(probes.trace);
+        core.setCommitHookMask(commitMaskFor(probes.snapshot != nullptr));
         result.core =
             core.run(trace, max_insts, on_commit, on_access,
                      warmup_insts, on_warmup);
@@ -284,6 +303,8 @@ simulateMulti(const std::vector<const Trace *> &traces,
         cores.push_back(
             std::make_unique<OooCore>(cfg.core, mem, c));
         cores[c]->setTraceSink(probes.trace);
+        cores[c]->setCommitHookMask(
+            commitMaskFor(c == 0 && probes.snapshot != nullptr));
         Prefetcher *pf = prefetchers[c].get();
         PrefetchSink *sink = sinks[c].get();
         auto on_commit = [&, c, pf, sink](const TraceRecord &rec,
@@ -338,6 +359,7 @@ simulateMulti(const std::vector<const Trace *> &traces,
     // deterministic. Idle cycles fast-forward only when *every* core
     // is stalled and no prefetch work is pending.
     constexpr Cycle Never = ~Cycle(0);
+    const bool skip_ahead = Tuning::get().skipAhead;
     Cycle now = 0;
     const Cycle cycle_limit = cores[0]->cycleLimit();
     std::vector<Cycle> end_cycle(n, 0);
@@ -345,6 +367,7 @@ simulateMulti(const std::vector<const Trace *> &traces,
     unsigned running = n;
     while (running > 0) {
         mem.tick(now);
+        const std::uint64_t mshr_stalls0 = mem.stats().mshrStalls;
         bool worked = false;
         for (unsigned c = 0; c < n; ++c) {
             if (finished[c])
@@ -361,7 +384,7 @@ simulateMulti(const std::vector<const Trace *> &traces,
         }
         if (running == 0)
             break;
-        if (!worked && !mem.prefetchWorkPending()) {
+        if (skip_ahead && !worked && !mem.prefetchWorkPending()) {
             Cycle next_event = mem.nextEventCycle();
             for (unsigned c = 0; c < n; ++c) {
                 if (finished[c])
@@ -375,6 +398,11 @@ simulateMulti(const std::vector<const Trace *> &traces,
                 for (unsigned c = 0; c < n; ++c)
                     if (!finished[c])
                         cores[c]->addSkippedCycles(skipped);
+                // Replay the failed-retry stall counts the skipped
+                // repeats of this frozen cycle would have added.
+                mem.addSkippedMshrStalls(
+                    (mem.stats().mshrStalls - mshr_stalls0) *
+                    skipped);
                 now += skipped;
             }
         }

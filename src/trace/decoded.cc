@@ -1,0 +1,52 @@
+#include "trace/decoded.hh"
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+
+DecodedTrace
+DecodedTrace::build(const std::vector<TraceRecord> &records)
+{
+    const std::size_t n = records.size();
+    fatal_if(n >= NoProd,
+             "DecodedTrace: trace of %zu records overflows the 32-bit "
+             "producer index space",
+             n);
+
+    DecodedTrace d;
+    d.pcLine.resize(n);
+    d.effLine.resize(n);
+    d.src1Prod.resize(n);
+    d.src2Prod.resize(n);
+    d.flags.resize(n);
+
+    std::uint32_t last_writer[NumArchRegs];
+    for (auto &w : last_writer)
+        w = NoProd;
+    bool in_block = false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = records[i];
+        d.pcLine[i] = lineOf(rec.pc);
+        d.effLine[i] = lineOf(rec.effAddr);
+        // Sources resolve before the destination is claimed — the
+        // same order dispatch renames in, so a self-referencing
+        // record (dest == src) reads its *older* producer.
+        d.src1Prod[i] = rec.src1 != InvalidReg ? last_writer[rec.src1]
+                                               : NoProd;
+        d.src2Prod[i] = rec.src2 != InvalidReg ? last_writer[rec.src2]
+                                               : NoProd;
+        if (rec.dest != InvalidReg)
+            last_writer[rec.dest] = static_cast<std::uint32_t>(i);
+        if (rec.cls == InstClass::BlockBegin)
+            in_block = true;
+        d.flags[i] =
+            (in_block || rec.cls == InstClass::BlockEnd) ? InBlock : 0;
+        if (rec.cls == InstClass::BlockEnd)
+            in_block = false;
+    }
+    return d;
+}
+
+} // namespace cbws

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
+#include "trace/decoded.hh"
 
 namespace cbws
 {
@@ -248,9 +250,22 @@ Trace::saveCompressed(const std::string &path) const
     return Result<void>();
 }
 
+const DecodedTrace &
+Trace::ensureDecoded() const
+{
+    if (!decoded_) {
+        PROF_SCOPE(prof::Phase::DecodeBatch);
+        decoded_ =
+            std::make_shared<const DecodedTrace>(
+                DecodedTrace::build(records_));
+    }
+    return *decoded_;
+}
+
 Result<void>
 Trace::loadFrom(const std::string &path)
 {
+    decoded_.reset();
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return Error(Errc::IoError,

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 
 namespace cbws
 {
+
+struct DecodedTrace;
 
 /**
  * The CBT2 record codec (per-field delta + varint encoding), shared
@@ -49,6 +52,7 @@ class Trace
     void
     append(const TraceRecord &rec)
     {
+        decoded_.reset();
         records_.push_back(rec);
     }
 
@@ -59,14 +63,45 @@ class Trace
 
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
-    void clear() { records_.clear(); }
+
+    void
+    clear()
+    {
+        decoded_.reset();
+        records_.clear();
+    }
+
     void reserve(std::size_t n) { records_.reserve(n); }
 
     auto begin() const { return records_.begin(); }
     auto end() const { return records_.end(); }
 
-    std::vector<TraceRecord> &records() { return records_; }
+    /** Mutable record access conservatively drops any cached decode
+     *  (the caller may rewrite records). */
+    std::vector<TraceRecord> &
+    records()
+    {
+        decoded_.reset();
+        return records_;
+    }
+
     const std::vector<TraceRecord> &records() const { return records_; }
+
+    /**
+     * Cached SoA pre-decode of the records (trace/decoded.hh), or
+     * nullptr when none has been built. Invalidated by any mutating
+     * access.
+     */
+    const DecodedTrace *decoded() const { return decoded_.get(); }
+
+    /**
+     * Build (and cache) the SoA pre-decode. NOT thread-safe on the
+     * first call for a given trace: when several simulation cells
+     * share one Trace across worker threads, the matrix runner
+     * pre-decodes in its serial-per-workload synthesis phase; after
+     * that, concurrent readers only ever see the built pointer.
+     */
+    const DecodedTrace &ensureDecoded() const;
 
     /** Count of records of a given class. */
     std::size_t countClass(InstClass cls) const;
@@ -102,6 +137,9 @@ class Trace
 
   private:
     std::vector<TraceRecord> records_;
+    /** Cached SoA decode; shared so Trace copies stay cheap (a copy
+     *  that later mutates only drops its own pointer). */
+    mutable std::shared_ptr<const DecodedTrace> decoded_;
 };
 
 } // namespace cbws
