@@ -29,7 +29,7 @@ runCbws(const std::string &workload, const CbwsParams &params,
 {
     auto w = findWorkload(workload);
     SystemConfig config;
-    config.prefetcher = PrefetcherKind::Cbws;
+    config.scheme = "CBWS";
     config.cbws = params;
     WorkloadParams wp;
     wp.maxInstructions = insts;
@@ -136,8 +136,8 @@ sweepL2Size(std::uint64_t insts)
     w->generate(trace, wp);
     for (std::uint64_t kb : {512u, 1024u, 2048u, 4096u, 8192u}) {
         SystemConfig sms_cfg, hybrid_cfg;
-        sms_cfg.prefetcher = PrefetcherKind::Sms;
-        hybrid_cfg.prefetcher = PrefetcherKind::CbwsSms;
+        sms_cfg.scheme = "SMS";
+        hybrid_cfg.scheme = "CBWS+SMS";
         sms_cfg.mem.l2.sizeBytes = kb * 1024;
         hybrid_cfg.mem.l2.sizeBytes = kb * 1024;
         auto sms = simulate(trace, sms_cfg, insts, SimProbes(),
@@ -166,8 +166,8 @@ sweepPrefetchTarget(std::uint64_t insts)
         Trace trace;
         w->generate(trace, wp);
         SystemConfig l2_cfg, l1_cfg;
-        l2_cfg.prefetcher = PrefetcherKind::CbwsSms;
-        l1_cfg.prefetcher = PrefetcherKind::CbwsSms;
+        l2_cfg.scheme = "CBWS+SMS";
+        l1_cfg.scheme = "CBWS+SMS";
         l1_cfg.mem.prefetchToL1 = true;
         auto l2r = simulate(trace, l2_cfg, insts, SimProbes(),
                             insts / 4);
@@ -217,8 +217,8 @@ sweepDramBandwidth(std::uint64_t insts)
     for (Cycle interval : {Cycle(0), Cycle(4), Cycle(8), Cycle(16),
                            Cycle(32)}) {
         SystemConfig sms_cfg, hybrid_cfg;
-        sms_cfg.prefetcher = PrefetcherKind::Sms;
-        hybrid_cfg.prefetcher = PrefetcherKind::CbwsSms;
+        sms_cfg.scheme = "SMS";
+        hybrid_cfg.scheme = "CBWS+SMS";
         sms_cfg.mem.dramMinInterval = interval;
         hybrid_cfg.mem.dramMinInterval = interval;
         auto sms = simulate(trace, sms_cfg, insts, SimProbes(),

@@ -24,6 +24,7 @@ unsigned g_jobs = 0; // 0 = let runMatrix resolve CBWS_JOBS
 TraceCache g_trace_cache = TraceCache::fromEnv();
 std::string g_checkpoint;      // empty = checkpointing off
 std::string g_dram = "fixed";  // DRAM timing backend
+std::vector<std::string> g_pf_opts; // --pf-opt key=value overrides
 bool g_progress = false;       // live stderr progress line
 std::string g_profile_json = "BENCH_profile.json";
 
@@ -71,6 +72,11 @@ init(int argc, char **argv)
                      "DRAM timing backend: 'fixed' (paper's flat "
                      "latency, default) or 'ddr' (cycle-level banked "
                      "model)");
+    parser.addRepeatable("pf-opt",
+                         "scheme parameter override as key=value "
+                         "(e.g. degree=4, cbws.table-entries=32); "
+                         "validated against the bench's scheme "
+                         "selection");
     parser.addFlag("profile",
                    "host-side self-profiler: phase/worker breakdown "
                    "on stderr at exit + BENCH_profile.json (also "
@@ -122,6 +128,7 @@ init(int argc, char **argv)
             std::exit(1);
         }
     }
+    g_pf_opts = parser.getAll("pf-opt");
     g_progress = parser.getFlag("progress");
     if (parser.provided("profile-json"))
         g_profile_json = parser.get("profile-json");
@@ -166,13 +173,20 @@ systemConfig()
 {
     SystemConfig config; // Table II defaults
     config.mem.dramBackend = g_dram;
+    config.pfOpts = g_pf_opts;
     return config;
+}
+
+const std::vector<std::string> &
+pfOpts()
+{
+    return g_pf_opts;
 }
 
 ExperimentMatrix
 fullMatrix(std::uint64_t insts)
 {
-    return runMatrix(allWorkloads(), allPrefetcherKinds(),
+    return runMatrix(allWorkloads(), allSchemeNames(),
                      systemConfig(), insts, 42, matrixOptions());
 }
 

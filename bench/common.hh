@@ -25,6 +25,9 @@ namespace bench
  *   --checkpoint=FILE crash-safe checkpoint: finished cells are
  *                     appended; a restarted run resumes from them
  *   --dram=NAME       DRAM timing backend (fixed | ddr)
+ *   --pf-opt k=v      scheme parameter override, repeatable; keys are
+ *                     validated against the bench's scheme selection
+ *                     (see `cbws-sim --scheme help` for the keys)
  *   --profile         host-side self-profiler: phase/worker breakdown
  *                     on stderr at exit plus a BENCH_profile.json
  *                     artifact (also honours CBWS_PROFILE=1)
@@ -45,8 +48,12 @@ void init(int argc, char **argv);
 /** The runMatrix options resolved by init() (or the env defaults). */
 MatrixOptions matrixOptions();
 
-/** Table II system config with the --dram selection applied. */
+/** Table II system config with the --dram and --pf-opt selections
+ *  applied. */
 SystemConfig systemConfig();
+
+/** The `--pf-opt key=value` strings collected by init(). */
+const std::vector<std::string> &pfOpts();
 
 /** Print the standard bench banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref,

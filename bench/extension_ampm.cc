@@ -30,12 +30,10 @@ main(int argc, char **argv)
                   "design of Section I",
                   insts);
 
-    const std::vector<PrefetcherKind> kinds = {
-        PrefetcherKind::Sms,  PrefetcherKind::CbwsSms,
-        PrefetcherKind::Ampm, PrefetcherKind::CbwsAmpm,
-    };
-    SystemConfig config;
-    auto matrix = runMatrix(memoryIntensiveWorkloads(), kinds,
+    const std::vector<std::string> schemes = {
+        "SMS", "CBWS+SMS", "AMPM", "CBWS+AMPM"};
+    SystemConfig config = bench::systemConfig();
+    auto matrix = runMatrix(memoryIntensiveWorkloads(), schemes,
                             config, insts, 42,
                             bench::matrixOptions());
 

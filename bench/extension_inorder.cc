@@ -33,8 +33,7 @@ main()
     const char *names[] = {"stencil-default", "sgemm-medium",
                            "462.libquantum-ref", "nw",
                            "lu-ncb-simlarge", "histo-large"};
-    const PrefetcherKind kinds[] = {PrefetcherKind::Sms,
-                                    PrefetcherKind::CbwsSms};
+    const char *schemes[] = {"SMS", "CBWS+SMS"};
 
     TextTable table;
     table.header({"benchmark", "core", "no-pf IPC", "SMS speedup",
@@ -56,10 +55,10 @@ main()
                 name,
                 model == CoreModel::InOrder ? "in-order" : "OoO",
                 TextTable::num(base.ipc(), 3)};
-            for (PrefetcherKind kind : kinds) {
+            for (const char *scheme : schemes) {
                 SystemConfig cfg;
                 cfg.coreModel = model;
-                cfg.prefetcher = kind;
+                cfg.scheme = scheme;
                 SimResult r = simulate(trace, cfg, insts,
                                        SimProbes(), insts / 4);
                 cells.push_back(

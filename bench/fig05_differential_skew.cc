@@ -41,7 +41,7 @@ main()
         if (!w)
             continue;
         SystemConfig config;
-        config.prefetcher = PrefetcherKind::Cbws;
+        config.scheme = "CBWS";
         WorkloadParams params;
         params.maxInstructions = insts;
         FrequencyCounter probe;

@@ -25,13 +25,13 @@ main(int argc, char **argv)
 
     TextTable table;
     std::vector<std::string> header = {"benchmark"};
-    for (auto kind : matrix.kinds)
-        header.push_back(toString(kind));
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
     table.header(header);
 
     auto emit_avg = [&](const char *label, bool mi_only) {
         std::vector<std::string> row = {label};
-        for (std::size_t k = 0; k < matrix.kinds.size(); ++k) {
+        for (std::size_t k = 0; k < matrix.schemes.size(); ++k) {
             const double avg = matrix.average(
                 [&](const WorkloadRow &r) {
                     return r.byPrefetcher[k].mpki();

@@ -51,7 +51,7 @@ main(int argc, char **argv)
 
     // Averages over the MI group and all benchmarks.
     for (bool mi_only : {true, false}) {
-        for (std::size_t k = 1; k < matrix.kinds.size(); ++k) {
+        for (std::size_t k = 1; k < matrix.schemes.size(); ++k) {
             auto avg = [&](auto metric) {
                 return matrix.average(
                     [&](const WorkloadRow &r) {
@@ -61,7 +61,7 @@ main(int argc, char **argv)
             };
             table.row(
                 {mi_only ? "average-MI" : "average-ALL",
-                 toString(matrix.kinds[k]),
+                 matrix.schemes[k],
                  bench::pct(avg([](const SimResult &r) {
                      return r.classFraction(DemandClass::Timely);
                  })),

@@ -23,16 +23,15 @@ emitGroup(const ExperimentMatrix &matrix, bool mi_group)
 {
     TextTable table;
     std::vector<std::string> header = {"benchmark"};
-    for (auto kind : matrix.kinds)
-        header.push_back(toString(kind));
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
     table.header(header);
 
     for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
         const auto &row = matrix.rows[r];
         if (row.memoryIntensive != mi_group)
             continue;
-        const double sms =
-            matrix.result(r, PrefetcherKind::Sms).ipc();
+        const double sms = matrix.result(r, "SMS").ipc();
         std::vector<std::string> cells = {row.workload};
         for (const auto &res : row.byPrefetcher)
             cells.push_back(TextTable::num(res.ipc() / sms, 2));
@@ -61,19 +60,18 @@ main(int argc, char **argv)
 
     TextTable summary;
     std::vector<std::string> header = {"geomean"};
-    for (auto kind : matrix.kinds)
-        header.push_back(toString(kind));
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
     summary.header(header);
     for (bool mi_only : {true, false}) {
         std::vector<std::string> cells = {
             mi_only ? "MI group" : "all benchmarks"};
-        for (std::size_t k = 0; k < matrix.kinds.size(); ++k) {
+        for (std::size_t k = 0; k < matrix.schemes.size(); ++k) {
             const double g = bench::geomean(
                 matrix,
                 [&](std::size_t r) {
                     return matrix.rows[r].byPrefetcher[k].ipc() /
-                           matrix.result(r, PrefetcherKind::Sms)
-                               .ipc();
+                           matrix.result(r, "SMS").ipc();
                 },
                 mi_only);
             cells.push_back(TextTable::num(g, 2));
@@ -85,15 +83,15 @@ main(int argc, char **argv)
     const double mi = bench::geomean(
         matrix,
         [&](std::size_t r) {
-            return matrix.result(r, PrefetcherKind::CbwsSms).ipc() /
-                   matrix.result(r, PrefetcherKind::Sms).ipc();
+            return matrix.result(r, "CBWS+SMS").ipc() /
+                   matrix.result(r, "SMS").ipc();
         },
         true);
     const double all = bench::geomean(
         matrix,
         [&](std::size_t r) {
-            return matrix.result(r, PrefetcherKind::CbwsSms).ipc() /
-                   matrix.result(r, PrefetcherKind::Sms).ipc();
+            return matrix.result(r, "CBWS+SMS").ipc() /
+                   matrix.result(r, "SMS").ipc();
         },
         false);
     std::printf("Headline: CBWS+SMS over SMS = %.2fx (MI; paper "

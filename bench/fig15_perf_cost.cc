@@ -25,8 +25,8 @@ main(int argc, char **argv)
 
     TextTable table;
     std::vector<std::string> header = {"benchmark"};
-    for (auto kind : matrix.kinds)
-        header.push_back(toString(kind));
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
     table.header(header);
 
     for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
@@ -34,7 +34,7 @@ main(int argc, char **argv)
         if (!row.memoryIntensive)
             continue;
         const double base =
-            matrix.result(r, PrefetcherKind::None).perfPerByte();
+            matrix.result(r, "No-Prefetch").perfPerByte();
         std::vector<std::string> cells = {row.workload};
         for (const auto &res : row.byPrefetcher) {
             cells.push_back(
@@ -47,12 +47,12 @@ main(int argc, char **argv)
     for (bool mi_only : {true, false}) {
         std::vector<std::string> cells = {
             mi_only ? "geomean-MI" : "geomean-ALL"};
-        for (std::size_t k = 0; k < matrix.kinds.size(); ++k) {
+        for (std::size_t k = 0; k < matrix.schemes.size(); ++k) {
             const double g = bench::geomean(
                 matrix,
                 [&](std::size_t r) {
                     const double base =
-                        matrix.result(r, PrefetcherKind::None)
+                        matrix.result(r, "No-Prefetch")
                             .perfPerByte();
                     return base > 0
                                ? matrix.rows[r]

@@ -176,7 +176,7 @@ BM_SimulatorThroughput(benchmark::State &state)
     Trace trace;
     w->generate(trace, params);
     SystemConfig config;
-    config.prefetcher = PrefetcherKind::CbwsSms;
+    config.scheme = "CBWS+SMS";
     for (auto _ : state) {
         SimResult r = simulate(trace, config,
                                params.maxInstructions);
@@ -197,7 +197,7 @@ BM_InOrderThroughput(benchmark::State &state)
     w->generate(trace, params);
     SystemConfig config;
     config.coreModel = CoreModel::InOrder;
-    config.prefetcher = PrefetcherKind::CbwsSms;
+    config.scheme = "CBWS+SMS";
     for (auto _ : state) {
         SimResult r = simulate(trace, config,
                                params.maxInstructions);

@@ -57,7 +57,7 @@ main(int argc, char **argv)
     const std::vector<std::string> mix = {"radix-simlarge",
                                           "lbm-long"};
     SystemConfig config = bench::systemConfig();
-    config.prefetcher = PrefetcherKind::CbwsSms;
+    config.scheme = "CBWS+SMS";
     config.mem.l2.sizeBytes = 64 * 1024;
 
     // Synthesise each mix member once; every core replays a shared
@@ -93,7 +93,7 @@ main(int argc, char **argv)
     json.beginObject();
     json.field("bench", "multicore_interference");
     json.field("instructions_per_core", insts);
-    json.field("prefetcher", toString(config.prefetcher));
+    json.field("prefetcher", schemeName(config));
     json.field("l2_kb", config.mem.l2.sizeBytes / 1024);
     json.key("mix");
     json.beginArray();

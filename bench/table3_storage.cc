@@ -21,20 +21,20 @@ main()
     t.header({"prefetcher", "bits", "KB", "paper"});
     struct Row
     {
-        PrefetcherKind kind;
+        const char *scheme;
         const char *paper;
     };
     const Row rows[] = {
-        {PrefetcherKind::Stride, "2.25 KB"},
-        {PrefetcherKind::GhbGDc, "2.25 KB"},
-        {PrefetcherKind::GhbPcDc, "3.75 KB"},
-        {PrefetcherKind::Sms, "~5 KB"},
-        {PrefetcherKind::Cbws, "<1 KB (Fig. 8)"},
-        {PrefetcherKind::CbwsSms, "~6 KB (sum)"},
+        {"Stride", "2.25 KB"},
+        {"GHB-G/DC", "2.25 KB"},
+        {"GHB-PC/DC", "3.75 KB"},
+        {"SMS", "~5 KB"},
+        {"CBWS", "<1 KB (Fig. 8)"},
+        {"CBWS+SMS", "~6 KB (sum)"},
     };
     for (const auto &row : rows) {
         SystemConfig cfg;
-        cfg.prefetcher = row.kind;
+        cfg.scheme = row.scheme;
         auto pf = makePrefetcher(cfg);
         const double kb = pf->storageBits() / 8.0 / 1024.0;
         t.row({pf->name(), std::to_string(pf->storageBits()),

@@ -92,8 +92,8 @@ main(int argc, char **argv)
         opts.jobs ? opts.jobs : ThreadPool::jobsFromEnv(0);
 
     const auto workloads = allWorkloads();
-    const auto kinds = allPrefetcherKinds();
-    const std::size_t cells = workloads.size() * kinds.size();
+    const auto schemes = allSchemeNames();
+    const std::size_t cells = workloads.size() * schemes.size();
     SystemConfig config; // Table II defaults
 
     // Prime the trace cache so both timed legs read identical inputs
@@ -117,13 +117,13 @@ main(int argc, char **argv)
 
     std::printf("Matrix: %zu workloads x %zu prefetchers = %zu "
                 "cells\n\n",
-                workloads.size(), kinds.size(), cells);
+                workloads.size(), schemes.size(), cells);
 
     MatrixOptions serial_opts = opts;
     serial_opts.jobs = 1;
     auto t0 = std::chrono::steady_clock::now();
     const ExperimentMatrix serial =
-        runMatrix(workloads, kinds, config, insts, 42, serial_opts);
+        runMatrix(workloads, schemes, config, insts, 42, serial_opts);
     auto t1 = std::chrono::steady_clock::now();
     const double serial_s = seconds(t0, t1);
     const std::uint64_t sim_insts = simulatedInstructions(serial);
@@ -147,7 +147,7 @@ main(int argc, char **argv)
         jobs2_opts.jobs = 2;
         t0 = std::chrono::steady_clock::now();
         const ExperimentMatrix jobs2 = runMatrix(
-            workloads, kinds, config, insts, 42, jobs2_opts);
+            workloads, schemes, config, insts, 42, jobs2_opts);
         t1 = std::chrono::steady_clock::now();
         jobs2_s = seconds(t0, t1);
         jobs2_ips = jobs2_s > 0
@@ -162,7 +162,7 @@ main(int argc, char **argv)
     parallel_opts.jobs = parallel_jobs;
     t0 = std::chrono::steady_clock::now();
     const ExperimentMatrix parallel = runMatrix(
-        workloads, kinds, config, insts, 42, parallel_opts);
+        workloads, schemes, config, insts, 42, parallel_opts);
     t1 = std::chrono::steady_clock::now();
     const double parallel_s = seconds(t0, t1);
     const double parallel_ips =

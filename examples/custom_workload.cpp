@@ -120,7 +120,7 @@ main()
     }
 
     SystemConfig config;
-    config.prefetcher = PrefetcherKind::Cbws;
+    config.scheme = "CBWS";
     SimResult a = simulate(annotated, config, 50000);
     SimResult b = simulate(auto_annotated, config, 50000);
     SystemConfig nopf;

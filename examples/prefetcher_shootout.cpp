@@ -59,13 +59,13 @@ main(int argc, char **argv)
 
     SystemConfig config;
     config.mem.dramBackend = dram;
-    auto matrix = runMatrix(workloads, allPrefetcherKinds(), config,
+    auto matrix = runMatrix(workloads, allSchemeNames(), config,
                             insts);
 
     TextTable ipc_table;
     std::vector<std::string> header = {"benchmark (IPC)"};
-    for (auto kind : matrix.kinds)
-        header.push_back(toString(kind));
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
     ipc_table.header(header);
     for (const auto &row : matrix.rows) {
         std::vector<std::string> cells = {row.workload};

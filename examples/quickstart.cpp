@@ -50,11 +50,9 @@ main(int argc, char **argv)
                 trace.countClass(InstClass::BlockBegin));
 
     // 2. Simulate under no-prefetch and under CBWS+SMS.
-    for (PrefetcherKind kind :
-         {PrefetcherKind::None, PrefetcherKind::Sms,
-          PrefetcherKind::CbwsSms}) {
+    for (const char *scheme : {"No-Prefetch", "SMS", "CBWS+SMS"}) {
         SystemConfig config; // Table II defaults
-        config.prefetcher = kind;
+        config.scheme = scheme;
         SimResult r = simulate(trace, config,
                                params.maxInstructions);
 

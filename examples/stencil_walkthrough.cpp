@@ -68,7 +68,7 @@ main()
 
     // ---- 2. Differential skew (Fig. 5) ----
     SystemConfig cbws_cfg;
-    cbws_cfg.prefetcher = PrefetcherKind::Cbws;
+    cbws_cfg.scheme = "CBWS";
     FrequencyCounter probe;
     SimProbes probes;
     probes.differentials = &probe;
@@ -86,17 +86,15 @@ main()
     // ---- 3 & 4. Prefetcher comparison ----
     std::printf("== end-to-end comparison ==\n");
     SimResult base;
-    for (PrefetcherKind kind :
-         {PrefetcherKind::None, PrefetcherKind::GhbPcDc,
-          PrefetcherKind::Sms, PrefetcherKind::Cbws,
-          PrefetcherKind::CbwsSms}) {
+    for (const char *scheme :
+         {"No-Prefetch", "GHB-PC/DC", "SMS", "CBWS", "CBWS+SMS"}) {
         SystemConfig config;
-        config.prefetcher = kind;
-        SimResult r = kind == PrefetcherKind::Cbws
+        config.scheme = scheme;
+        SimResult r = std::string(scheme) == "CBWS"
                           ? cbws_run
                           : simulate(trace, config,
                                      params.maxInstructions);
-        if (kind == PrefetcherKind::None)
+        if (std::string(scheme) == "No-Prefetch")
             base = r;
         std::printf("  %-12s ipc=%.3f (%.2fx)  mpki=%6.2f  "
                     "timely=%4.1f%%  wrong=%4.1f%%\n",

@@ -82,7 +82,7 @@ main()
     // 5. Simulate the re-annotated trace under CBWS+SMS and print the
     //    full statistics dump.
     SystemConfig config;
-    config.prefetcher = PrefetcherKind::CbwsSms;
+    config.scheme = "CBWS+SMS";
     SimResult result = simulate(reannotated, config, 50000);
     result.workload = workload->name() + " (reannotated)";
     dumpStats(std::cout, result);

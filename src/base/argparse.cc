@@ -29,6 +29,17 @@ ArgParser::addFlag(const std::string &name, const std::string &help)
 }
 
 void
+ArgParser::addRepeatable(const std::string &name,
+                         const std::string &help)
+{
+    Option opt;
+    opt.name = name;
+    opt.help = help;
+    opt.repeatable = true;
+    options_.push_back(std::move(opt));
+}
+
+void
 ArgParser::addPositional(const std::string &name,
                          const std::string &help)
 {
@@ -101,6 +112,8 @@ ArgParser::parse(int argc, char **argv)
             }
             value = argv[++i];
         }
+        if (opt->repeatable)
+            opt->values.push_back(value);
         opt->value = std::move(value);
         opt->set = true;
     }
@@ -127,6 +140,13 @@ ArgParser::getUint(const std::string &name,
     if (end == opt->value.c_str() || *end != '\0')
         return fallback;
     return v;
+}
+
+std::vector<std::string>
+ArgParser::getAll(const std::string &name) const
+{
+    const Option *opt = find(name);
+    return opt ? opt->values : std::vector<std::string>();
 }
 
 bool
@@ -159,6 +179,8 @@ ArgParser::usage() const
         out << "\n      " << opt.help;
         if (!opt.isFlag && !opt.value.empty())
             out << " (default: " << opt.value << ")";
+        if (opt.repeatable)
+            out << " (repeatable)";
         out << "\n";
     }
     for (const auto &[name, help] : positionals_)

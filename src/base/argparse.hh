@@ -34,6 +34,11 @@ class ArgParser
     /** Declare a boolean flag (false unless present). */
     void addFlag(const std::string &name, const std::string &help);
 
+    /** Declare a string option that may be given multiple times
+     *  (`--pf-opt a=1 --pf-opt b=2`); collect with getAll(). */
+    void addRepeatable(const std::string &name,
+                       const std::string &help);
+
     /** Declare a named positional argument (for help text only). */
     void addPositional(const std::string &name,
                        const std::string &help);
@@ -57,6 +62,9 @@ class ArgParser
     /** Was the flag present? */
     bool getFlag(const std::string &name) const;
 
+    /** Every value given for a repeatable option, in argv order. */
+    std::vector<std::string> getAll(const std::string &name) const;
+
     /** Was the option explicitly provided on the command line? */
     bool provided(const std::string &name) const;
 
@@ -74,7 +82,9 @@ class ArgParser
         std::string name;
         std::string help;
         std::string value;
+        std::vector<std::string> values; ///< repeatable occurrences
         bool isFlag = false;
+        bool repeatable = false;
         bool set = false;
     };
 

@@ -78,6 +78,9 @@ enum class PfSource : std::uint8_t
     Sms,
     Ampm,
     Cbws,
+    Multistride, ///< IP-indexed multi-stride hybrid (Blom et al.)
+    Markov,      ///< per-page Markov delta chain (Pangloss)
+    Rl,          ///< online-RL action issue (Pythia)
     NumSources,
 };
 
@@ -100,6 +103,12 @@ toString(PfSource src)
         return "ampm";
       case PfSource::Cbws:
         return "cbws";
+      case PfSource::Multistride:
+        return "multistride";
+      case PfSource::Markov:
+        return "markov";
+      case PfSource::Rl:
+        return "rl";
       default:
         return "unknown";
     }

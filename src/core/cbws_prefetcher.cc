@@ -225,9 +225,36 @@ CbwsPrefetcher::exportMetrics(MetricsRegistry &reg,
                   "differential-table entry capacity");
 }
 
+ParamSchema
+cbwsParamSchema()
+{
+    return ParamSchema()
+        .field("max-vector-members", &CbwsParams::maxVectorMembers,
+               "distinct lines traced per code block (FIFO depth)")
+        .field("num-steps", &CbwsParams::numSteps,
+               "stored working sets / deepest prediction step")
+        .field("history-depth", &CbwsParams::historyDepth,
+               "differential hashes per history shift register")
+        .field("hash-bits", &CbwsParams::hashBits,
+               "bits per hashed differential")
+        .field("table-entries", &CbwsParams::tableEntries,
+               "differential history table entries")
+        .field("tag-bits", &CbwsParams::tagBits,
+               "xor-folded history tag width")
+        .field("train-on-hits", &CbwsParams::trainOnHits,
+               "track all L1 accesses inside blocks")
+        .field("member-bits", &CbwsParams::memberBits,
+               "line-address bits kept per member (storage)")
+        .field("stride-bits", &CbwsParams::strideBits,
+               "stride bits per differential element (storage)")
+        .field("table-seed", &CbwsParams::tableSeed,
+               "random-eviction seed for the differential table");
+}
+
 CBWS_REGISTER_PREFETCHER(cbws, "CBWS",
                          "code block working set prefetcher (the "
                          "paper's scheme)",
+                         cbwsParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<CbwsPrefetcher>(
                                  p.getOr<CbwsParams>());

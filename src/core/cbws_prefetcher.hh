@@ -29,6 +29,7 @@
 #include "base/stats.hh"
 #include "core/cbws_types.hh"
 #include "core/diff_table.hh"
+#include "prefetch/paramschema.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace cbws
@@ -60,6 +61,9 @@ struct CbwsParams
     /** Random-eviction seed for the differential table. */
     std::uint64_t tableSeed = 0xCB;
 };
+
+/** `--pf-opt` keys for CbwsParams (also mounted by composites). */
+ParamSchema cbwsParamSchema();
 
 /** Counters specific to the CBWS scheme. */
 struct CbwsSchemeStats

@@ -101,6 +101,9 @@ CbwsAddOnPrefetcher::name() const
 
 CBWS_REGISTER_PREFETCHER(cbws_ampm, "CBWS+AMPM",
                          "CBWS gating an AMPM base prefetcher",
+                         ParamSchema()
+                             .scoped("cbws", cbwsParamSchema())
+                             .scoped("ampm", ampmParamSchema()),
                          [](const ParamSet &p) {
                              return std::make_unique<
                                  CbwsAddOnPrefetcher>(

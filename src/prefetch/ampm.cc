@@ -87,8 +87,27 @@ AmpmPrefetcher::storageBits() const
            (params_.tagBits + linesPerZone_);
 }
 
+ParamSchema
+ampmParamSchema()
+{
+    return ParamSchema()
+        .field("zone-bytes", &AmpmParams::zoneBytes,
+               "access-map zone size in bytes")
+        .field("map-entries", &AmpmParams::mapEntries,
+               "tracked zones (LRU)")
+        .field("max-stride", &AmpmParams::maxStride,
+               "largest candidate stride pattern-matched")
+        .field("degree", &AmpmParams::degree,
+               "prefetches per trained access")
+        .field("train-on-hits", &AmpmParams::trainOnHits,
+               "train on L1 hits as well as misses")
+        .field("tag-bits", &AmpmParams::tagBits,
+               "zone tag width (storage accounting)");
+}
+
 CBWS_REGISTER_PREFETCHER(ampm, "AMPM",
                          "access map pattern matching prefetcher",
+                         ampmParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<AmpmPrefetcher>(
                                  p.getOr<AmpmParams>());

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "prefetch/paramschema.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace cbws
@@ -37,6 +38,9 @@ struct AmpmParams
     bool trainOnHits = false;       ///< misses-only, like GHB
     unsigned tagBits = 36;          ///< for storage accounting
 };
+
+/** `--pf-opt` keys for AmpmParams (also mounted by CBWS+AMPM). */
+ParamSchema ampmParamSchema();
 
 /**
  * The AMPM prefetcher.

@@ -150,9 +150,30 @@ GhbPrefetcher::storageBits() const
     return bits_per_entry * params_.bufferEntries;
 }
 
+ParamSchema
+ghbParamSchema()
+{
+    return ParamSchema()
+        .field("buffer-entries", &GhbParams::bufferEntries,
+               "circular global history buffer entries")
+        .field("history-length", &GhbParams::historyLength,
+               "addresses per delta-correlation window")
+        .field("degree", &GhbParams::degree,
+               "deltas prefetched on a correlation match")
+        .field("max-chain-walk", &GhbParams::maxChainWalk,
+               "buffer entries examined per lookup")
+        .field("train-on-hits", &GhbParams::trainOnHits,
+               "train on L1 hits as well as misses")
+        .field("pc-bits", &GhbParams::pcBits,
+               "PC tag width (storage accounting)")
+        .field("stride-bits", &GhbParams::strideBits,
+               "delta field width (storage accounting)");
+}
+
 CBWS_REGISTER_PREFETCHER(ghb_pc_dc, "GHB-PC/DC",
                          "global history buffer, per-PC delta "
                          "correlation",
+                         ghbParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<GhbPrefetcher>(
                                  GhbPrefetcher::Mode::PcDC,
@@ -162,6 +183,7 @@ CBWS_REGISTER_PREFETCHER(ghb_pc_dc, "GHB-PC/DC",
 CBWS_REGISTER_PREFETCHER(ghb_g_dc, "GHB-G/DC",
                          "global history buffer, global delta "
                          "correlation",
+                         ghbParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<GhbPrefetcher>(
                                  GhbPrefetcher::Mode::GlobalDC,

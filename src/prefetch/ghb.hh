@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "prefetch/paramschema.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace cbws
@@ -35,6 +36,9 @@ struct GhbParams
     unsigned pcBits = 48;       ///< for storage accounting
     unsigned strideBits = 12;
 };
+
+/** `--pf-opt` keys for GhbParams (shared by both GHB flavours). */
+ParamSchema ghbParamSchema();
 
 /**
  * Shared implementation of both GHB delta-correlation prefetchers.

@@ -200,8 +200,36 @@ SmsPrefetcher::exportMetrics(MetricsRegistry &reg,
                   "pattern-history-table entry capacity");
 }
 
+ParamSchema
+smsParamSchema()
+{
+    return ParamSchema()
+        .field("region-bytes", &SmsParams::regionBytes,
+               "spatial region size in bytes")
+        .field("agt-entries", &SmsParams::agtEntries,
+               "active generation (accumulation) table entries")
+        .field("filter-entries", &SmsParams::filterEntries,
+               "filter table entries")
+        .field("pht-entries", &SmsParams::phtEntries,
+               "pattern history table entries")
+        .field("pht-assoc", &SmsParams::phtAssoc,
+               "pattern history table associativity")
+        .field("train-on-hits", &SmsParams::trainOnHits,
+               "observe L1 hits as well as misses")
+        .field("pc-bits", &SmsParams::pcBits,
+               "PC tag width (storage accounting)")
+        .field("offset-bits", &SmsParams::offsetBits,
+               "region-offset width (storage accounting)")
+        .field("tag-bits", &SmsParams::tagBits,
+               "region tag width (storage accounting)")
+        .field("storage-pattern-bits",
+               &SmsParams::storagePatternBits,
+               "pattern width in Table III's budget");
+}
+
 CBWS_REGISTER_PREFETCHER(sms, "SMS",
                          "spatial memory streaming prefetcher",
+                         smsParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<SmsPrefetcher>(
                                  p.getOr<SmsParams>());

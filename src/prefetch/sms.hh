@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "prefetch/paramschema.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace cbws
@@ -52,6 +53,9 @@ struct SmsParams
      *  arithmetic so the storage comparison reproduces exactly. */
     unsigned storagePatternBits = 16;
 };
+
+/** `--pf-opt` keys for SmsParams (also mounted by CBWS+SMS). */
+ParamSchema smsParamSchema();
 
 /**
  * The SMS prefetcher.

@@ -73,8 +73,28 @@ StridePrefetcher::storageBits() const
            params_.tableEntries;
 }
 
+ParamSchema
+strideParamSchema()
+{
+    return ParamSchema()
+        .field("table-entries", &StrideParams::tableEntries,
+               "reference prediction table entries (LRU)")
+        .field("degree", &StrideParams::degree,
+               "lines prefetched per trigger")
+        .field("confidence-threshold",
+               &StrideParams::confidenceThreshold,
+               "stride repeats required before issuing")
+        .field("train-on-hits", &StrideParams::trainOnHits,
+               "train on L1 hits as well as misses")
+        .field("pc-bits", &StrideParams::pcBits,
+               "PC tag width (storage accounting)")
+        .field("stride-bits", &StrideParams::strideBits,
+               "stride field width (storage accounting)");
+}
+
 CBWS_REGISTER_PREFETCHER(stride, "Stride",
                          "reference-prediction-table stride prefetcher",
+                         strideParamSchema(),
                          [](const ParamSet &p) {
                              return std::make_unique<StridePrefetcher>(
                                  p.getOr<StrideParams>());

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "prefetch/paramschema.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace cbws
@@ -28,6 +29,9 @@ struct StrideParams
     unsigned pcBits = 48;        ///< for storage accounting
     unsigned strideBits = 12;
 };
+
+/** `--pf-opt` keys for StrideParams (also mounted by composites). */
+ParamSchema strideParamSchema();
 
 /**
  * Reference prediction table stride prefetcher.

@@ -44,8 +44,11 @@ namespace cbws
  *  v3: the mem array grew the cross-core interference counters
  *  (cross_core_pollution_misses, l2_bank_conflicts) and multi-core
  *  cells carry "cores" + a "per_core" array. v2 files are rejected on
- *  open (their cells are simply re-simulated from a fresh path). */
-constexpr unsigned CheckpointSchemaVersion = 3;
+ *  open (their cells are simply re-simulated from a fresh path).
+ *  v4: the per-source pf_life array grew the zoo sources
+ *  (multistride/markov/rl), changing its length; older files are
+ *  rejected on open for the same reason. */
+constexpr unsigned CheckpointSchemaVersion = 4;
 
 /** Serialise one cell result as a checksummed JSONL line (no '\n'). */
 std::string checkpointCellLine(const SimResult &result);

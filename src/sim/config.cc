@@ -19,6 +19,9 @@ CBWS_FORCE_LINK_PREFETCHER(ampm)
 CBWS_FORCE_LINK_PREFETCHER(cbws)
 CBWS_FORCE_LINK_PREFETCHER(cbws_sms)
 CBWS_FORCE_LINK_PREFETCHER(cbws_ampm)
+CBWS_FORCE_LINK_PREFETCHER(multistride)
+CBWS_FORCE_LINK_PREFETCHER(pangloss)
+CBWS_FORCE_LINK_PREFETCHER(pythia)
 
 const char *
 toString(PrefetcherKind kind)
@@ -64,6 +67,37 @@ extendedPrefetcherKinds()
     return kinds;
 }
 
+std::vector<std::string>
+allSchemeNames()
+{
+    std::vector<std::string> names;
+    for (PrefetcherKind kind : allPrefetcherKinds())
+        names.push_back(toString(kind));
+    return names;
+}
+
+std::vector<std::string>
+extendedSchemeNames()
+{
+    std::vector<std::string> names;
+    for (PrefetcherKind kind : extendedPrefetcherKinds())
+        names.push_back(toString(kind));
+    return names;
+}
+
+std::vector<std::string>
+zooSchemeNames()
+{
+    return prefetcherRegistry().names();
+}
+
+std::string
+schemeName(const SystemConfig &config)
+{
+    return config.scheme.empty() ? toString(config.prefetcher)
+                                 : config.scheme;
+}
+
 ParamSet
 paramSetFrom(const SystemConfig &config)
 {
@@ -73,17 +107,29 @@ paramSetFrom(const SystemConfig &config)
     params.set(config.sms);
     params.set(config.cbws);
     params.set(config.ampm);
+    params.set(config.multistride);
+    params.set(config.pangloss);
+    params.set(config.pythia);
     return params;
 }
 
 std::unique_ptr<Prefetcher>
 makePrefetcher(const SystemConfig &config)
 {
-    // Thin compat shim: the enum maps onto the registry's canonical
-    // scheme names, so enum-based callers and string-based callers
-    // construct identical prefetchers.
-    auto result = prefetcherRegistry().create(
-        toString(config.prefetcher), paramSetFrom(config));
+    const std::string name = schemeName(config);
+    ParamSet params = paramSetFrom(config);
+    if (!config.pfOpts.empty()) {
+        // Keys this scheme does not accept are skipped: multi-scheme
+        // drivers validated every key against the whole selection up
+        // front, and a single option may target only some columns
+        // ("degree=4" tunes Stride and GHB but not No-Prefetch).
+        Result<void> applied = prefetcherRegistry().applyOptions(
+            name, params, config.pfOpts, /*ignore_unknown=*/true);
+        if (!applied.ok())
+            panic("makePrefetcher: %s",
+                  applied.error().str().c_str());
+    }
+    auto result = prefetcherRegistry().create(name, params);
     if (!result.ok())
         panic("makePrefetcher: %s", result.error().str().c_str());
     return std::move(result).value();

@@ -15,6 +15,9 @@
 #include "mem/params.hh"
 #include "prefetch/ampm.hh"
 #include "prefetch/ghb.hh"
+#include "prefetch/multistride.hh"
+#include "prefetch/pangloss.hh"
+#include "prefetch/pythia.hh"
 #include "prefetch/registry.hh"
 #include "prefetch/sms.hh"
 #include "prefetch/stride.hh"
@@ -22,7 +25,17 @@
 namespace cbws
 {
 
-/** The prefetching schemes evaluated by the paper. */
+/**
+ * The prefetching schemes evaluated by the paper.
+ *
+ * @deprecated Compat shim over the string-keyed PrefetcherRegistry
+ * (PR 3): the enum cannot name registry-only schemes (Pangloss,
+ * Pythia, Multistride, ...). New call sites should select schemes by
+ * registry name — SystemConfig::scheme, runMatrix with a vector of
+ * names — and use allSchemeNames()/extendedSchemeNames() instead of
+ * the enum lists. The enum survives only for existing users of
+ * SystemConfig::prefetcher and is not extended for new schemes.
+ */
 enum class PrefetcherKind
 {
     None,
@@ -40,11 +53,23 @@ enum class PrefetcherKind
 /** Name as used in the paper's figures. */
 const char *toString(PrefetcherKind kind);
 
-/** All seven evaluated configurations, in Fig. 12 legend order. */
+/** All seven evaluated configurations, in Fig. 12 legend order.
+ *  @deprecated Use allSchemeNames(). */
 std::vector<PrefetcherKind> allPrefetcherKinds();
 
-/** The paper's seven plus the extension schemes (AMPM, CBWS+AMPM). */
+/** The paper's seven plus the extension schemes (AMPM, CBWS+AMPM).
+ *  @deprecated Use extendedSchemeNames(). */
 std::vector<PrefetcherKind> extendedPrefetcherKinds();
+
+/** Registry names of the paper's seven evaluated configurations, in
+ *  Fig. 12 legend order. */
+std::vector<std::string> allSchemeNames();
+
+/** The paper's seven plus the extension schemes (AMPM, CBWS+AMPM). */
+std::vector<std::string> extendedSchemeNames();
+
+/** Every scheme in the registry (the tournament roster), sorted. */
+std::vector<std::string> zooSchemeNames();
 
 /** Which core timing model drives the simulation. */
 enum class CoreModel
@@ -61,13 +86,39 @@ struct SystemConfig
     CoreModel coreModel = CoreModel::OutOfOrder;
     CoreParams core;
     HierarchyParams mem;
+
+    /**
+     * Prefetching scheme as a registry name ("CBWS+SMS", "pangloss",
+     * case-insensitive). When non-empty this wins over the deprecated
+     * `prefetcher` enum below, and is the only way to select schemes
+     * the enum does not know about.
+     */
+    std::string scheme;
+
+    /**
+     * `key=value` parameter overrides applied through the scheme's
+     * ParamSchema on top of the struct defaults below (the `--pf-opt`
+     * surface). Keys the selected scheme does not accept are skipped
+     * by makePrefetcher — multi-scheme drivers validate the full
+     * selection up front via PrefetcherRegistry::validateOptions().
+     */
+    std::vector<std::string> pfOpts;
+
+    /** @deprecated Enum-based selection; prefer `scheme`. */
     PrefetcherKind prefetcher = PrefetcherKind::None;
+
     StrideParams stride;
     GhbParams ghb;
     SmsParams sms;
     CbwsParams cbws;
     AmpmParams ampm;
+    MultistrideParams multistride;
+    PanglossParams pangloss;
+    PythiaParams pythia;
 };
+
+/** The scheme name a config selects (`scheme`, or the enum's name). */
+std::string schemeName(const SystemConfig &config);
 
 /** Bundle the config's per-scheme parameter structs for the registry. */
 ParamSet paramSetFrom(const SystemConfig &config);

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "base/debug.hh"
@@ -44,34 +45,50 @@ runCells(unsigned jobs, std::size_t count, std::vector<char> &done,
 
 } // anonymous namespace
 
-void
-ExperimentMatrix::indexKinds()
+namespace
 {
-    std::size_t max_kind = 0;
-    for (PrefetcherKind kind : kinds)
-        max_kind = std::max(max_kind,
-                            static_cast<std::size_t>(kind));
-    kindIndex.assign(max_kind + 1, -1);
-    for (std::size_t k = 0; k < kinds.size(); ++k)
-        kindIndex[static_cast<std::size_t>(kinds[k])] =
-            static_cast<std::int16_t>(k);
+
+/** Case-insensitive scheme-name comparison (registry canon rule). */
+bool
+sameScheme(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const char ca = a[i] >= 'A' && a[i] <= 'Z'
+                            ? static_cast<char>(a[i] - 'A' + 'a')
+                            : a[i];
+        const char cb = b[i] >= 'A' && b[i] <= 'Z'
+                            ? static_cast<char>(b[i] - 'A' + 'a')
+                            : b[i];
+        if (ca != cb)
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::size_t
+ExperimentMatrix::column(const std::string &scheme) const
+{
+    for (std::size_t k = 0; k < schemes.size(); ++k)
+        if (sameScheme(schemes[k], scheme))
+            return k;
+    panic("scheme '%s' not in matrix", scheme.c_str());
+}
+
+const SimResult &
+ExperimentMatrix::result(std::size_t row,
+                         const std::string &scheme) const
+{
+    return rows.at(row).byPrefetcher.at(column(scheme));
 }
 
 const SimResult &
 ExperimentMatrix::result(std::size_t row, PrefetcherKind kind) const
 {
-    if (!kindIndex.empty()) {
-        const auto i = static_cast<std::size_t>(kind);
-        if (i < kindIndex.size() && kindIndex[i] >= 0)
-            return rows.at(row).byPrefetcher.at(
-                static_cast<std::size_t>(kindIndex[i]));
-        panic("prefetcher kind not in matrix");
-    }
-    // Unindexed (hand-assembled) matrix: scan.
-    for (std::size_t k = 0; k < kinds.size(); ++k)
-        if (kinds[k] == kind)
-            return rows.at(row).byPrefetcher.at(k);
-    panic("prefetcher kind not in matrix");
+    return result(row, std::string(toString(kind)));
 }
 
 ExperimentMatrix
@@ -80,9 +97,38 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
           const SystemConfig &base_config, std::uint64_t max_insts,
           std::uint64_t seed, const MatrixOptions &options)
 {
+    std::vector<std::string> schemes;
+    schemes.reserve(kinds.size());
+    for (PrefetcherKind kind : kinds)
+        schemes.emplace_back(toString(kind));
+    return runMatrix(workloads, schemes, base_config, max_insts,
+                     seed, options);
+}
+
+ExperimentMatrix
+runMatrix(const std::vector<WorkloadPtr> &workloads,
+          const std::vector<std::string> &scheme_args,
+          const SystemConfig &base_config, std::uint64_t max_insts,
+          std::uint64_t seed, const MatrixOptions &options)
+{
+    // Fail fast, before any trace is synthesised: unknown schemes or
+    // bad --pf-opt strings are user errors, not per-cell surprises.
+    {
+        Result<void> valid = prefetcherRegistry().validateOptions(
+            scheme_args, base_config.pfOpts);
+        if (!valid.ok())
+            fatal("runMatrix: %s", valid.error().str().c_str());
+    }
+    // Canonicalise to the registry's display names ("cbws+sms" ->
+    // "CBWS+SMS"): result() lookups, checkpoint cell keys and report
+    // columns all use the canonical spelling.
+    std::vector<std::string> schemes;
+    schemes.reserve(scheme_args.size());
+    for (const auto &name : scheme_args)
+        schemes.push_back(prefetcherRegistry().canonicalName(name));
+
     ExperimentMatrix matrix;
-    matrix.kinds = kinds;
-    matrix.indexKinds();
+    matrix.schemes = schemes;
 
     unsigned jobs =
         options.jobs ? options.jobs : ThreadPool::jobsFromEnv(1);
@@ -104,29 +150,35 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
     params.seed = seed;
 
     const std::size_t num_workloads = workloads.size();
-    const std::size_t num_kinds = kinds.size();
+    const std::size_t num_kinds = schemes.size();
 
     // Crash-safe resume: cells already recorded in the checkpoint are
     // loaded instead of re-simulated.
     Checkpoint checkpoint;
     if (!options.checkpointPath.empty()) {
-        std::vector<std::string> workload_names, kind_names;
+        std::vector<std::string> workload_names;
         for (const auto &w : workloads)
             workload_names.push_back(w->name());
-        for (PrefetcherKind k : kinds)
-            kind_names.push_back(toString(k));
         Checkpoint::Header header;
         header.insts = max_insts;
         header.seed = seed;
-        // The DRAM backend changes every completion cycle, and the
-        // core count changes every counter, so checkpoints from
-        // different backends or core counts must never cross-resume.
+        // The DRAM backend changes every completion cycle, the core
+        // count changes every counter, and pf-opts change the
+        // prefetchers themselves, so checkpoints from differently
+        // configured runs must never cross-resume.
         std::string config_tag = base_config.mem.dramBackend;
         if (base_config.mem.numCores > 1)
             config_tag += "+cores" +
                           std::to_string(base_config.mem.numCores);
+        if (!base_config.pfOpts.empty()) {
+            std::vector<std::string> opts = base_config.pfOpts;
+            std::sort(opts.begin(), opts.end());
+            config_tag += "+opt:";
+            for (const auto &opt : opts)
+                config_tag += opt + ",";
+        }
         header.fingerprint = checkpointFingerprint(
-            workload_names, kind_names, config_tag);
+            workload_names, schemes, config_tag);
         Result<void> opened =
             checkpoint.open(options.checkpointPath, header);
         // A bad checkpoint is a user error (wrong path or stale
@@ -208,7 +260,7 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         const std::size_t k = i % num_kinds;
         if (checkpoint.isOpen()) {
             const SimResult *restored = checkpoint.find(
-                matrix.rows[w].workload, toString(kinds[k]));
+                matrix.rows[w].workload, schemes[k]);
             if (restored) {
                 matrix.rows[w].byPrefetcher[k] = *restored;
                 cell_done[i] = 1;
@@ -217,7 +269,7 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
             }
         }
         SystemConfig config = base_config;
-        config.prefetcher = kinds[k];
+        config.scheme = schemes[k];
         SimResult res;
         if (config.mem.numCores > 1) {
             // Rate mode: every core replays its own copy of the same

@@ -30,26 +30,23 @@ struct WorkloadRow
 {
     std::string workload;
     bool memoryIntensive = false;
-    std::vector<SimResult> byPrefetcher; ///< parallel to kinds
+    std::vector<SimResult> byPrefetcher; ///< parallel to schemes
 };
 
 /** The full workloads x prefetchers matrix. */
 struct ExperimentMatrix
 {
-    std::vector<PrefetcherKind> kinds;
+    /** Registry scheme names, in column order. */
+    std::vector<std::string> schemes;
     std::vector<WorkloadRow> rows;
 
-    /**
-     * Dense kind -> column map (index: the PrefetcherKind's integer
-     * value; -1 when absent). Built by indexKinds(); result() falls
-     * back to a linear scan over `kinds` while it is empty, so
-     * hand-assembled matrices (tests) keep working unindexed.
-     */
-    std::vector<std::int16_t> kindIndex;
+    /** Column of @p scheme (case-insensitive); panics when absent. */
+    std::size_t column(const std::string &scheme) const;
 
-    /** (Re)build kindIndex from `kinds`. */
-    void indexKinds();
+    const SimResult &
+    result(std::size_t row, const std::string &scheme) const;
 
+    /** @deprecated Enum shim; prefer the registry-name overload. */
     const SimResult &
     result(std::size_t row, PrefetcherKind kind) const;
 
@@ -103,15 +100,27 @@ struct MatrixOptions
 };
 
 /**
- * Run the matrix: @p workloads x the seven prefetcher kinds.
+ * Run the matrix: @p workloads x @p schemes (registry names).
  * @param max_insts per-run committed-instruction budget.
+ *
+ * Scheme names and base_config.pfOpts are validated against the
+ * registry before any simulation starts (fatal on unknown schemes,
+ * unknown `--pf-opt` keys, or malformed values).
  *
  * When base_config.mem.numCores > 1 each cell becomes a rate-mode
  * multi-core run (every core replays its own copy of the workload's
  * trace through the shared L2/DRAM via simulateMulti); checkpoints
- * carry the core count in their fingerprint so single- and multi-core
- * matrices can never cross-resume.
+ * carry the core count — and any pf-opts — in their fingerprint so
+ * differently-configured matrices can never cross-resume.
  */
+ExperimentMatrix
+runMatrix(const std::vector<WorkloadPtr> &workloads,
+          const std::vector<std::string> &schemes,
+          const SystemConfig &base_config, std::uint64_t max_insts,
+          std::uint64_t seed = 42,
+          const MatrixOptions &options = MatrixOptions());
+
+/** @deprecated Enum shim over the registry-name overload above. */
 ExperimentMatrix
 runMatrix(const std::vector<WorkloadPtr> &workloads,
           const std::vector<PrefetcherKind> &kinds,

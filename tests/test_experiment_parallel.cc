@@ -114,27 +114,31 @@ TEST(ParallelMatrix, ResultLookupAgreesWithRowLayout)
     std::vector<WorkloadPtr> ws;
     ws.push_back(findWorkload("fft-simlarge"));
     ASSERT_NE(ws[0], nullptr);
-    const auto kinds = allPrefetcherKinds();
+    const auto schemes = allSchemeNames();
     SystemConfig cfg;
-    const auto m = runMatrix(ws, kinds, cfg, 8000);
+    const auto m = runMatrix(ws, schemes, cfg, 8000);
 
-    EXPECT_FALSE(m.kindIndex.empty()) << "runMatrix must index kinds";
-    for (std::size_t k = 0; k < kinds.size(); ++k)
-        EXPECT_EQ(&m.result(0, kinds[k]), &m.rows[0].byPrefetcher[k]);
+    ASSERT_EQ(m.schemes, schemes);
+    for (std::size_t k = 0; k < schemes.size(); ++k)
+        EXPECT_EQ(&m.result(0, schemes[k]),
+                  &m.rows[0].byPrefetcher[k]);
+    // The deprecated enum overload resolves to the same columns.
+    EXPECT_EQ(&m.result(0, PrefetcherKind::Sms),
+              &m.result(0, std::string("SMS")));
 }
 
-TEST(ParallelMatrix, ResultFallsBackToScanWhenUnindexed)
+TEST(ParallelMatrix, ResultLookupIsCaseInsensitive)
 {
-    // Hand-assembled matrices (as some tests build) never call
-    // indexKinds(); result() must still resolve by scanning.
+    // Hand-assembled matrices (as some tests build) resolve by
+    // scanning `schemes` with the registry's canon rule.
     ExperimentMatrix m;
-    m.kinds = {PrefetcherKind::Sms, PrefetcherKind::Cbws};
+    m.schemes = {"SMS", "CBWS"};
     m.rows.resize(1);
     m.rows[0].byPrefetcher.resize(2);
     m.rows[0].byPrefetcher[1].prefetcherStorageBits = 77;
-    EXPECT_TRUE(m.kindIndex.empty());
-    EXPECT_EQ(m.result(0, PrefetcherKind::Cbws).prefetcherStorageBits,
+    EXPECT_EQ(m.result(0, std::string("cbws")).prefetcherStorageBits,
               77u);
+    EXPECT_EQ(m.column("sms"), 0u);
 }
 
 } // anonymous namespace

@@ -45,33 +45,11 @@ using namespace cbws;
 namespace
 {
 
-std::string
-lowercase(const std::string &s)
-{
-    std::string out = s;
-    for (char &c : out)
-        if (c >= 'A' && c <= 'Z')
-            c = static_cast<char>(c - 'A' + 'a');
-    return out;
-}
-
 /**
- * Resolve a scheme name to its PrefetcherKind, case-insensitively
- * (the registry's convention), across every registered scheme
- * including the extensions.
+ * `--scheme help`: the registry's schemes with descriptions, then
+ * every scheme's tunable parameters (the describe() seam) with their
+ * types and Table II defaults, ready for `--pf-opt key=value`.
  */
-PrefetcherKind
-kindFromName(const std::string &name, bool &ok)
-{
-    ok = true;
-    for (PrefetcherKind kind : extendedPrefetcherKinds())
-        if (lowercase(name) == lowercase(toString(kind)))
-            return kind;
-    ok = false;
-    return PrefetcherKind::None;
-}
-
-/** `--scheme help`: the registry's schemes with descriptions. */
 void
 listSchemes()
 {
@@ -82,6 +60,22 @@ listSchemes()
     std::printf("%s", t.render().c_str());
     std::printf("\nnames are case-insensitive; 'all' runs the "
                 "paper's seven schemes\n");
+    std::printf("\nparameters (override with --pf-opt key=value, "
+                "repeatable):\n");
+    for (const auto &name : prefetcherRegistry().names()) {
+        const auto keys = prefetcherRegistry().describeParams(name);
+        if (keys.empty()) {
+            std::printf("\n%s: no tunable parameters\n",
+                        name.c_str());
+            continue;
+        }
+        std::printf("\n%s:\n", name.c_str());
+        TextTable params;
+        params.header({"key", "type", "default", "meaning"});
+        for (const auto &k : keys)
+            params.row({k.key, k.type, k.defaultValue, k.help});
+        std::printf("%s", params.render().c_str());
+    }
 }
 
 /** `--dram help`: the registered DRAM timing backends. */
@@ -290,6 +284,10 @@ main(int argc, char **argv)
                    "alias of --prefetcher (registry name, 'all', or "
                    "'help')",
                    "");
+    args.addRepeatable("pf-opt",
+                       "scheme parameter override as key=value (e.g. "
+                       "degree=4, cbws.table-entries=32); see "
+                       "--scheme help for the accepted keys");
     args.addOption("insts", "committed-instruction budget", "120000");
     args.addOption("warmup",
                    "instructions whose statistics are discarded "
@@ -596,20 +594,33 @@ main(int argc, char **argv)
         }
     }
 
-    // Select the schemes.
-    std::vector<PrefetcherKind> kinds;
+    // Select the schemes (string registry keys, case-insensitive).
+    std::vector<std::string> schemes;
     if (scheme == "all") {
-        kinds = allPrefetcherKinds();
+        schemes = allSchemeNames();
     } else {
-        bool ok = false;
-        kinds.push_back(kindFromName(scheme, ok));
-        if (!ok) {
+        if (!prefetcherRegistry().contains(scheme)) {
             std::fprintf(stderr, "unknown prefetcher '%s'; one of:",
                          scheme.c_str());
             for (const auto &name : prefetcherRegistry().names())
                 std::fprintf(stderr, " '%s'", name.c_str());
             std::fprintf(stderr,
                          " or 'all' ('help' lists details)\n");
+            return 1;
+        }
+        schemes.push_back(
+            prefetcherRegistry().canonicalName(scheme));
+    }
+
+    // Fail fast on bad --pf-opt strings: every key must be accepted
+    // by at least one selected scheme and every value must parse.
+    const std::vector<std::string> pf_opts = args.getAll("pf-opt");
+    {
+        Result<void> valid =
+            prefetcherRegistry().validateOptions(schemes, pf_opts);
+        if (!valid.ok()) {
+            std::fprintf(stderr, "--pf-opt: %s\n",
+                         valid.error().str().c_str());
             return 1;
         }
     }
@@ -646,7 +657,7 @@ main(int argc, char **argv)
 
     std::unique_ptr<ChromeTraceWriter> chrome;
     if (args.provided("chrome-trace")) {
-        if (kinds.size() > 1) {
+        if (schemes.size() > 1) {
             std::fprintf(stderr,
                          "--chrome-trace needs a single prefetcher "
                          "(not 'all'); skipping timeline export\n");
@@ -678,9 +689,10 @@ main(int argc, char **argv)
     report_options.metrics = args.getFlag("metrics");
 
     std::vector<SimResult> results;
-    for (PrefetcherKind kind : kinds) {
+    for (const std::string &scheme_name : schemes) {
         SystemConfig config;
-        config.prefetcher = kind;
+        config.scheme = scheme_name;
+        config.pfOpts = pf_opts;
         applyOverrides(args, config);
         applyCoreModel(args, config);
         MetricsRegistry scheme_metrics;
