@@ -116,8 +116,14 @@ init(int argc, char **argv)
                             ? TraceCache()
                             : TraceCache(dir);
     }
-    if (parser.provided("checkpoint"))
+    if (parser.provided("checkpoint")) {
         g_checkpoint = parser.get("checkpoint");
+        // Checkpointed benches drain gracefully on SIGINT/SIGTERM:
+        // in-flight cells finish, the checkpoint is sealed, and the
+        // process exits 130 — so an interrupted sweep never loses
+        // completed cells (SIGKILL-resume is the tested hard case).
+        installMatrixSignalHandlers();
+    }
     if (parser.provided("dram")) {
         g_dram = parser.get("dram");
         if (!dramBackendRegistry().contains(g_dram)) {

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Chaos acceptance check for cbws-served: start the daemon with the
+# serve-worker-kill fault armed so every worker SIGKILLs itself after
+# checkpointing one new cell, submit an experiment matrix, and require
+#
+#   1. the daemon survives the kills (workers respawn off the shard
+#      checkpoints and the job completes),
+#   2. the sealed report is byte-identical to a serial in-process run
+#      of the same spec (cbws-ctl submit --local),
+#   3. a resubmission of the same spec is served from the sealed
+#      result (deduped ack, no re-simulation),
+#   4. a scheduling-throughput record lands in BENCH_served.json.
+#
+# Usage: scripts/serve_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+SERVED=$BUILD/tools/cbws-served
+CTL=$BUILD/tools/cbws-ctl
+[ -x "$SERVED" ] && [ -x "$CTL" ] || {
+    echo "error: build $SERVED and $CTL first" >&2
+    exit 1
+}
+
+WORK=$(mktemp -d /tmp/cbws-serve-chaos.XXXXXX)
+SOCK=$WORK/served.sock
+DAEMON_PID=
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2> /dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SPEC=(--workload nw --workload fft-simlarge
+      --scheme no-prefetch --scheme cbws --scheme stride
+      --insts 40000 --seed 42)
+
+# Serial in-process reference — the bytes the daemon must reproduce.
+"$CTL" submit --local "${SPEC[@]}" --output "$WORK/ref.json"
+
+# Daemon under chaos: every worker kills itself (SIGKILL, not a
+# catchable signal) right after its first new cell lands in the shard
+# checkpoint. CBWS_FAULT_SEED pins the respawn backoff jitter so the
+# run is reproducible.
+CBWS_FAULT='serve-worker-kill@1' CBWS_FAULT_SEED=7 \
+    "$SERVED" --socket "$SOCK" --data-dir "$WORK/data" \
+    --workers 2 --max-respawns 20 --verbose \
+    > "$WORK/served.out" 2> "$WORK/served.err" &
+DAEMON_PID=$!
+
+for i in $(seq 1 200); do
+    grep -q '^READY' "$WORK/served.out" 2> /dev/null && break
+    kill -0 "$DAEMON_PID" 2> /dev/null || {
+        echo "error: daemon exited before READY" >&2
+        cat "$WORK/served.err" >&2
+        exit 1
+    }
+    sleep 0.05
+done
+grep -q '^READY' "$WORK/served.out" || {
+    echo "error: daemon never printed READY" >&2
+    exit 1
+}
+
+# Submit through the chaos daemon; stream to the sealed result and
+# drop the scheduling-throughput trend record.
+"$CTL" submit --socket "$SOCK" "${SPEC[@]}" \
+    --output "$WORK/daemon.json" --bench BENCH_served.json --verbose \
+    2> "$WORK/submit.err"
+
+# 1. The kills really happened and were survived.
+RESPAWNS=$(grep -c 'respawning' "$WORK/served.err" || true)
+echo "worker respawns observed: $RESPAWNS"
+[ "$RESPAWNS" -ge 1 ] || {
+    echo "error: chaos fault never fired (no respawns logged)" >&2
+    cat "$WORK/served.err" >&2
+    exit 1
+}
+
+# 2. Byte identity against the serial reference.
+cmp "$WORK/ref.json" "$WORK/daemon.json" || {
+    echo "error: daemon report differs from the serial reference" >&2
+    exit 1
+}
+echo "sealed report is byte-identical to the serial reference"
+
+# 3. Resubmission: served from the sealed result, no simulation.
+"$CTL" submit --socket "$SOCK" "${SPEC[@]}" --no-wait \
+    > "$WORK/resubmit.ack"
+grep -q '"deduped":true' "$WORK/resubmit.ack" || {
+    echo "error: resubmission was not deduped" >&2
+    cat "$WORK/resubmit.ack" >&2
+    exit 1
+}
+"$CTL" result --socket "$SOCK" \
+    --job "$(sed -n 's/.*"job":"\([0-9a-f]*\)".*/\1/p' \
+        "$WORK/resubmit.ack")" --output "$WORK/dedup.json"
+cmp "$WORK/ref.json" "$WORK/dedup.json"
+echo "resubmission deduped and served from the sealed result"
+
+# 4. The trend artifact is present and sane.
+[ -s BENCH_served.json ] || {
+    echo "error: BENCH_served.json missing" >&2
+    exit 1
+}
+grep -q '"bench":"served_scheduling"' BENCH_served.json
+grep -q '"respawns":' BENCH_served.json
+cat BENCH_served.json
+
+"$CTL" shutdown --socket "$SOCK" > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=
+echo "serve chaos check passed"

@@ -13,11 +13,21 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    Parser(const std::string &text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {
+    }
 
     Result<JsonValue>
     parse()
     {
+        if (limits_.maxDocumentBytes &&
+            text_.size() > limits_.maxDocumentBytes) {
+            return Error(Errc::Corrupt,
+                         "document exceeds " +
+                             std::to_string(limits_.maxDocumentBytes) +
+                             " byte limit");
+        }
         JsonValue value;
         Result<void> r = parseValue(value);
         if (!r.ok())
@@ -68,9 +78,9 @@ class Parser
         const char c = text_[pos_];
         switch (c) {
           case '{':
-            return parseObject(out);
+            return parseNested(out, true);
           case '[':
-            return parseArray(out);
+            return parseNested(out, false);
           case '"':
             out.type = JsonValue::Type::String;
             return parseString(out.str);
@@ -82,6 +92,25 @@ class Parser
           default:
             return parseNumber(out);
         }
+    }
+
+    /**
+     * Depth-checked wrapper around the two recursive productions: a
+     * document nested past maxDepth is rejected with a clean error at
+     * the offending bracket instead of recursing towards a stack
+     * overflow (protocol input can open a million brackets in a
+     * million bytes).
+     */
+    Result<void>
+    parseNested(JsonValue &out, bool object)
+    {
+        if (limits_.maxDepth && depth_ >= limits_.maxDepth)
+            return fail("nesting exceeds depth limit of " +
+                        std::to_string(limits_.maxDepth));
+        ++depth_;
+        Result<void> r = object ? parseObject(out) : parseArray(out);
+        --depth_;
+        return r;
     }
 
     Result<void>
@@ -148,6 +177,12 @@ class Parser
             const char c = text_[pos_++];
             if (c == '"')
                 return Result<void>();
+            // Checked only once c is known to be content, so a string
+            // of exactly maxStringBytes still closes cleanly.
+            if (limits_.maxStringBytes &&
+                out.size() >= limits_.maxStringBytes)
+                return fail("string exceeds length limit of " +
+                            std::to_string(limits_.maxStringBytes));
             if (c != '\\') {
                 out.push_back(c);
                 continue;
@@ -258,6 +293,10 @@ class Parser
         }
         if (pos_ == start)
             return fail("expected a value");
+        if (limits_.maxNumberChars &&
+            pos_ - start > limits_.maxNumberChars)
+            return fail("number token exceeds length limit of " +
+                        std::to_string(limits_.maxNumberChars));
         const std::string token = text_.substr(start, pos_ - start);
         char *end = nullptr;
         if (integral) {
@@ -274,7 +313,9 @@ class Parser
     }
 
     const std::string &text_;
+    const JsonLimits &limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // anonymous namespace
@@ -308,7 +349,13 @@ JsonValue::strOr(const std::string &key,
 Result<JsonValue>
 parseJson(const std::string &text)
 {
-    return Parser(text).parse();
+    return parseJson(text, JsonLimits());
+}
+
+Result<JsonValue>
+parseJson(const std::string &text, const JsonLimits &limits)
+{
+    return Parser(text, limits).parse();
 }
 
 } // namespace cbws

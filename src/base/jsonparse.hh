@@ -7,6 +7,12 @@
  * (objects, arrays, strings with the writer's escapes, integers,
  * doubles, booleans, null); unsigned integers are preserved exactly
  * so 64-bit counters round-trip bit-for-bit.
+ *
+ * Since the serving layer (src/serve) started feeding it bytes read
+ * straight off a socket, the parser is bounded: nesting depth, string
+ * length, number-token length and whole-document size are all capped
+ * (JsonLimits), and exceeding a cap is a clean Errc::Corrupt — never
+ * deep recursion or unbounded allocation on adversarial input.
  */
 
 #ifndef CBWS_BASE_JSONPARSE_HH
@@ -62,10 +68,33 @@ struct JsonValue
 };
 
 /**
+ * Resource bounds enforced while parsing. The defaults are generous
+ * enough for every format the project writes itself (checkpoints,
+ * snapshots, reports); surfaces that parse *untrusted* bytes — the
+ * cbws-served wire protocol — pass deliberately tighter caps.
+ * A cap of 0 means unlimited.
+ */
+struct JsonLimits
+{
+    /** Maximum object/array nesting (recursion) depth. */
+    std::size_t maxDepth = 128;
+    /** Maximum decoded bytes in a single string value or key. */
+    std::size_t maxStringBytes = 1u << 22;
+    /** Maximum characters in one number token. */
+    std::size_t maxNumberChars = 64;
+    /** Maximum size of the whole document, in bytes. */
+    std::size_t maxDocumentBytes = 0;
+};
+
+/**
  * Parse @p text as one JSON document. Corrupt on any syntax error
- * (with position context) or trailing garbage.
+ * (with position context), trailing garbage, or an exceeded limit.
  */
 Result<JsonValue> parseJson(const std::string &text);
+
+/** parseJson with explicit resource bounds. */
+Result<JsonValue> parseJson(const std::string &text,
+                            const JsonLimits &limits);
 
 } // namespace cbws
 

@@ -1,0 +1,302 @@
+#include "base/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cbws
+{
+
+namespace
+{
+
+Error
+errnoError(const std::string &what)
+{
+    return Error(Errc::IoError, what + ": " + std::strerror(errno));
+}
+
+Result<void>
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags < 0 || ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0)
+        return errnoError("fcntl(FD_CLOEXEC)");
+    return Result<void>();
+}
+
+Result<OwnedFd>
+newSocket(int domain)
+{
+    OwnedFd fd(::socket(domain, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return errnoError("socket");
+    Result<void> cloexec = setCloexec(fd.fd());
+    if (!cloexec.ok())
+        return cloexec.error();
+    return fd;
+}
+
+/** Fill @p sa from @p addr.path; unix paths have a hard length cap. */
+Result<void>
+unixSockaddr(const SocketAddr &addr, sockaddr_un &sa)
+{
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    if (addr.path.size() >= sizeof(sa.sun_path))
+        return Error(Errc::InvalidArgument,
+                     "unix socket path too long: " + addr.path);
+    std::memcpy(sa.sun_path, addr.path.c_str(), addr.path.size() + 1);
+    return Result<void>();
+}
+
+/** Resolve a TCP host:port into @p out (first usable result). */
+Result<void>
+resolveTcp(const SocketAddr &addr, sockaddr_storage &out,
+           socklen_t &out_len)
+{
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *info = nullptr;
+    const std::string port = std::to_string(addr.port);
+    const int rc =
+        ::getaddrinfo(addr.host.c_str(), port.c_str(), &hints, &info);
+    if (rc != 0)
+        return Error(Errc::IoError, "getaddrinfo(" + addr.host +
+                                        "): " + gai_strerror(rc));
+    std::memcpy(&out, info->ai_addr, info->ai_addrlen);
+    out_len = static_cast<socklen_t>(info->ai_addrlen);
+    ::freeaddrinfo(info);
+    return Result<void>();
+}
+
+} // anonymous namespace
+
+std::string
+SocketAddr::str() const
+{
+    return tcp ? "tcp:" + host + ":" + std::to_string(port)
+               : "unix:" + path;
+}
+
+Result<SocketAddr>
+parseSocketAddr(const std::string &text)
+{
+    SocketAddr addr;
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string rest = text.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size())
+            return Error(Errc::InvalidArgument,
+                         "expected tcp:host:port, got '" + text + "'");
+        addr.tcp = true;
+        addr.host = rest.substr(0, colon);
+        const std::string port = rest.substr(colon + 1);
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(port.c_str(), &end, 10);
+        if (!end || *end || v == 0 || v > 65535)
+            return Error(Errc::InvalidArgument,
+                         "bad TCP port '" + port + "'");
+        addr.port = static_cast<std::uint16_t>(v);
+        return addr;
+    }
+    addr.path = text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+    if (addr.path.empty())
+        return Error(Errc::InvalidArgument,
+                     "empty unix socket path in '" + text + "'");
+    return addr;
+}
+
+void
+OwnedFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<OwnedFd>
+listenSocket(const SocketAddr &addr, int backlog)
+{
+    Result<OwnedFd> sock = newSocket(addr.tcp ? AF_INET : AF_UNIX);
+    if (!sock.ok())
+        return sock;
+    OwnedFd fd = std::move(sock).value();
+
+    if (addr.tcp) {
+        const int one = 1;
+        ::setsockopt(fd.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_storage sa;
+        socklen_t len = 0;
+        Result<void> resolved = resolveTcp(addr, sa, len);
+        if (!resolved.ok())
+            return resolved.error();
+        if (::bind(fd.fd(), reinterpret_cast<sockaddr *>(&sa), len) < 0)
+            return errnoError("bind(" + addr.str() + ")");
+    } else {
+        sockaddr_un sa;
+        Result<void> filled = unixSockaddr(addr, sa);
+        if (!filled.ok())
+            return filled.error();
+        // A stale socket file from a dead daemon would fail the bind
+        // with EADDRINUSE forever; a *live* daemon still fails (it
+        // holds the listening socket, unlink only removes the name —
+        // callers serialise daemons per data dir, not per path).
+        ::unlink(addr.path.c_str());
+        if (::bind(fd.fd(), reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) < 0)
+            return errnoError("bind(" + addr.str() + ")");
+    }
+    if (::listen(fd.fd(), backlog) < 0)
+        return errnoError("listen(" + addr.str() + ")");
+    return fd;
+}
+
+Result<OwnedFd>
+connectSocket(const SocketAddr &addr)
+{
+    Result<OwnedFd> sock = newSocket(addr.tcp ? AF_INET : AF_UNIX);
+    if (!sock.ok())
+        return sock;
+    OwnedFd fd = std::move(sock).value();
+
+    if (addr.tcp) {
+        sockaddr_storage sa;
+        socklen_t len = 0;
+        Result<void> resolved = resolveTcp(addr, sa, len);
+        if (!resolved.ok())
+            return resolved.error();
+        if (::connect(fd.fd(), reinterpret_cast<sockaddr *>(&sa),
+                      len) < 0)
+            return errnoError("connect(" + addr.str() + ")");
+    } else {
+        sockaddr_un sa;
+        Result<void> filled = unixSockaddr(addr, sa);
+        if (!filled.ok())
+            return filled.error();
+        if (::connect(fd.fd(), reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) < 0)
+            return errnoError("connect(" + addr.str() + ")");
+    }
+    return fd;
+}
+
+Result<OwnedFd>
+connectWithRetry(const SocketAddr &addr, unsigned attempts,
+                 const BackoffSchedule &schedule)
+{
+    Result<OwnedFd> connected = connectSocket(addr);
+    for (unsigned attempt = 1;
+         !connected.ok() && attempt < attempts; ++attempt) {
+        const std::uint64_t ms = schedule.delayMs(attempt - 1);
+        if (ms > 0) {
+            struct timespec ts;
+            ts.tv_sec = static_cast<time_t>(ms / 1000);
+            ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000;
+            ::nanosleep(&ts, nullptr);
+        }
+        connected = connectSocket(addr);
+    }
+    return connected;
+}
+
+Result<void>
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        return errnoError("fcntl(O_NONBLOCK)");
+    return Result<void>();
+}
+
+Result<void>
+LineChannel::readLines(std::vector<std::string> &lines,
+                       std::size_t max_line_bytes)
+{
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            if (static_cast<std::size_t>(n) < sizeof(chunk))
+                break; // drained what was available
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        return errnoError("read");
+    }
+
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t nl = buffer_.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = buffer_.substr(start, nl - start);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(std::move(line));
+        start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    if (max_line_bytes && buffer_.size() > max_line_bytes)
+        return Error(Errc::Corrupt,
+                     "line exceeds " +
+                         std::to_string(max_line_bytes) +
+                         " byte limit without a newline");
+    // EOF with a dangling partial line: surface it as corrupt rather
+    // than silently dropping a truncated request.
+    if (eof_ && !buffer_.empty()) {
+        buffer_.clear();
+        return Error(Errc::Corrupt,
+                     "connection closed mid-line (truncated message)");
+    }
+    return Result<void>();
+}
+
+Result<void>
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd_, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Writable-again soon: spin via a tiny poll-free
+                // yield; protocol messages are small and receivers
+                // drain promptly, so this cannot livelock in
+                // practice.
+                struct timespec ts{0, 1000000}; // 1 ms
+                ::nanosleep(&ts, nullptr);
+                continue;
+            }
+            return errnoError("write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Result<void>();
+}
+
+} // namespace cbws

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Thin Result<T>-based socket layer for the serving subsystem
+ * (src/serve): unix-domain and TCP listeners/connectors plus a
+ * line-delimited channel matching the JSONL wire protocol.
+ *
+ * Everything returns structured errors instead of throwing or
+ * printing: the daemon degrades per-connection (drop the client, keep
+ * serving) and the client retries with deterministic backoff
+ * (base/retry.hh), so both sides need to know *why* an operation
+ * failed, not just that it did.
+ */
+
+#ifndef CBWS_BASE_SOCKET_HH
+#define CBWS_BASE_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.hh"
+#include "base/retry.hh"
+
+namespace cbws
+{
+
+/**
+ * A parsed socket address. The textual forms are
+ *   unix:/path/to.sock   (or a bare path containing '/')
+ *   tcp:host:port
+ * matching the --socket flag of cbws-served / cbws-ctl.
+ */
+struct SocketAddr
+{
+    bool tcp = false;
+    std::string path;      ///< unix-domain socket path
+    std::string host;      ///< TCP host
+    std::uint16_t port = 0; ///< TCP port
+
+    /** Human-readable form ("unix:/run/cbws.sock", "tcp:host:99"). */
+    std::string str() const;
+};
+
+/** Parse a --socket argument. InvalidArgument on malformed input. */
+Result<SocketAddr> parseSocketAddr(const std::string &text);
+
+/**
+ * An owned file descriptor: closes on destruction, moves but never
+ * copies. fd() is -1 when empty.
+ */
+class OwnedFd
+{
+  public:
+    OwnedFd() = default;
+    explicit OwnedFd(int fd) : fd_(fd) {}
+    ~OwnedFd() { reset(); }
+
+    OwnedFd(OwnedFd &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+
+    OwnedFd &
+    operator=(OwnedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    OwnedFd(const OwnedFd &) = delete;
+    OwnedFd &operator=(const OwnedFd &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create a listening socket at @p addr (backlog @p backlog). For unix
+ * sockets a stale socket file left by a dead daemon is unlinked
+ * first; for TCP, SO_REUSEADDR is set. The fd is close-on-exec.
+ */
+Result<OwnedFd> listenSocket(const SocketAddr &addr, int backlog = 16);
+
+/** Connect to @p addr (blocking, close-on-exec). */
+Result<OwnedFd> connectSocket(const SocketAddr &addr);
+
+/**
+ * Connect with up to @p attempts tries and deterministic jittered
+ * backoff between them — the client-reconnect policy. The schedule's
+ * seed defaults from CBWS_FAULT_SEED so chaos runs replay exactly.
+ */
+Result<OwnedFd> connectWithRetry(const SocketAddr &addr,
+                                 unsigned attempts,
+                                 const BackoffSchedule &schedule);
+
+/** Make @p fd non-blocking (daemon-side client/worker fds). */
+Result<void> setNonBlocking(int fd);
+
+/**
+ * Newline-delimited message framing over an fd, the unit of the wire
+ * protocol. Reading buffers partial lines across reads; writing
+ * appends the '\n' and loops until the whole line is on the wire.
+ */
+class LineChannel
+{
+  public:
+    LineChannel() = default;
+    explicit LineChannel(int fd) : fd_(fd) {}
+
+    void attach(int fd) { fd_ = fd; }
+    int fd() const { return fd_; }
+
+    /**
+     * Drain whatever is readable right now into @p lines (complete
+     * lines only; a trailing partial line stays buffered). Returns
+     *  - ok with eof() false: connection still open,
+     *  - ok with eof() true: orderly close (lines may still be
+     *    non-empty),
+     *  - IoError: the connection broke.
+     * On a non-blocking fd, EAGAIN is simply "zero new lines".
+     * A buffered line longer than @p max_line_bytes (0 = unlimited)
+     * is a protocol violation reported as Corrupt.
+     */
+    Result<void> readLines(std::vector<std::string> &lines,
+                           std::size_t max_line_bytes = 0);
+
+    /** Write @p line plus '\n', retrying short writes and EINTR. */
+    Result<void> writeLine(const std::string &line);
+
+    bool eof() const { return eof_; }
+
+  private:
+    int fd_ = -1;
+    bool eof_ = false;
+    std::string buffer_;
+};
+
+} // namespace cbws
+
+#endif // CBWS_BASE_SOCKET_HH

@@ -1,0 +1,234 @@
+#include "serve/jobqueue.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+namespace
+{
+
+Result<void>
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0775) == 0 || errno == EEXIST)
+        return Result<void>();
+    return Error(Errc::IoError,
+                 "mkdir " + path + ": " + std::strerror(errno));
+}
+
+} // anonymous namespace
+
+Result<void>
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return Error(Errc::IoError,
+                     tmp + ": " + std::strerror(errno));
+    const bool wrote =
+        std::fwrite(contents.data(), 1, contents.size(), file) ==
+            contents.size() &&
+        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+    std::fclose(file);
+    if (!wrote) {
+        ::unlink(tmp.c_str());
+        return Error(Errc::IoError,
+                     tmp + ": write failed: " + std::strerror(errno));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return Error(Errc::IoError, path + ": rename failed: " +
+                                        std::strerror(errno));
+    }
+    return Result<void>();
+}
+
+Result<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Error(errno == ENOENT ? Errc::NotFound : Errc::IoError,
+                     path + ": " + std::strerror(errno));
+    std::ostringstream out;
+    out << in.rdbuf();
+    if (in.bad())
+        return Error(Errc::IoError, path + ": read failed");
+    return out.str();
+}
+
+std::string
+JobQueue::spoolPath(const std::string &key) const
+{
+    return dir_ + "/queue/" + key + ".json";
+}
+
+std::string
+JobQueue::sealedPath(const std::string &key) const
+{
+    return dir_ + "/jobs/" + key + "/result.json";
+}
+
+Result<std::string>
+JobQueue::jobDir(const std::string &key) const
+{
+    const std::string path = dir_ + "/jobs/" + key;
+    Result<void> made = ensureDir(path);
+    if (!made.ok())
+        return made.error();
+    return path;
+}
+
+Result<void>
+JobQueue::open(const std::string &data_dir)
+{
+    dir_ = data_dir;
+    for (const std::string &sub :
+         {dir_, dir_ + "/queue", dir_ + "/jobs"}) {
+        Result<void> made = ensureDir(sub);
+        if (!made.ok())
+            return made;
+    }
+
+    // Crash recovery: requeue every spool file, oldest first so the
+    // original submission order is roughly preserved (spool names
+    // sort by key, which is arbitrary but stable — what matters is
+    // that nothing accepted is lost).
+    std::vector<std::string> names;
+    DIR *dir = ::opendir((dir_ + "/queue").c_str());
+    if (!dir)
+        return Error(Errc::IoError, dir_ + "/queue: " +
+                                        std::strerror(errno));
+    while (dirent *entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+
+    for (const auto &name : names) {
+        const std::string path = dir_ + "/queue/" + name;
+        Result<std::string> text = readFile(path);
+        if (!text.ok()) {
+            warn("jobqueue: dropping unreadable spool %s (%s)",
+                 path.c_str(), text.error().str().c_str());
+            ::unlink(path.c_str());
+            continue;
+        }
+        Result<JsonValue> parsed =
+            parseJson(text.value(), protocolJsonLimits());
+        if (!parsed.ok()) {
+            warn("jobqueue: dropping corrupt spool %s (%s)",
+                 path.c_str(), parsed.error().str().c_str());
+            ::unlink(path.c_str());
+            continue;
+        }
+        Result<JobSpec> spec = parseJobSpec(parsed.value());
+        if (!spec.ok()) {
+            // E.g. a scheme that no longer exists in this build.
+            warn("jobqueue: dropping stale spool %s (%s)",
+                 path.c_str(), spec.error().str().c_str());
+            ::unlink(path.c_str());
+            continue;
+        }
+        Job job;
+        job.spec = std::move(spec).value();
+        job.key = jobKey(job.spec);
+        if (hasSealed(job.key)) {
+            // Sealed between the spool write and the crash: done.
+            ::unlink(path.c_str());
+            continue;
+        }
+        queue_.push_back(std::move(job));
+    }
+    if (!queue_.empty())
+        warn("jobqueue: recovered %zu queued job(s) from %s",
+             queue_.size(), (dir_ + "/queue").c_str());
+    return Result<void>();
+}
+
+Result<SubmitOutcome>
+JobQueue::submit(const JobSpec &spec)
+{
+    SubmitOutcome outcome;
+    outcome.key = jobKey(spec);
+    if (hasSealed(outcome.key)) {
+        outcome.deduped = true;
+        return outcome;
+    }
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].key == outcome.key) {
+            outcome.alreadyQueued = true;
+            outcome.queuePosition = i;
+            return outcome;
+        }
+    }
+    Result<void> spooled =
+        writeFileAtomic(spoolPath(outcome.key), jobSpecJson(spec));
+    if (!spooled.ok())
+        return spooled.error();
+    Job job;
+    job.key = outcome.key;
+    job.spec = spec;
+    queue_.push_back(std::move(job));
+    outcome.queuePosition = queue_.size() - 1;
+    return outcome;
+}
+
+Result<void>
+JobQueue::sealFront(const std::string &result_json)
+{
+    panic_if(queue_.empty(), "sealFront on an empty queue");
+    const Job &job = queue_.front();
+    Result<std::string> dir = jobDir(job.key);
+    if (!dir.ok())
+        return dir.error();
+    Result<void> wrote =
+        writeFileAtomic(sealedPath(job.key), result_json);
+    if (!wrote.ok())
+        return wrote;
+    ::unlink(spoolPath(job.key).c_str());
+    queue_.pop_front();
+    return Result<void>();
+}
+
+void
+JobQueue::failFront()
+{
+    panic_if(queue_.empty(), "failFront on an empty queue");
+    ::unlink(spoolPath(queue_.front().key).c_str());
+    queue_.pop_front();
+}
+
+bool
+JobQueue::hasSealed(const std::string &key) const
+{
+    struct stat st;
+    return ::stat(sealedPath(key).c_str(), &st) == 0 &&
+           S_ISREG(st.st_mode);
+}
+
+Result<std::string>
+JobQueue::loadSealed(const std::string &key) const
+{
+    return readFile(sealedPath(key));
+}
+
+} // namespace serve
+} // namespace cbws

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Persistent job queue and sealed-result index of cbws-served.
+ *
+ * Layout under the daemon's data directory:
+ *
+ *   queue/<key>.json          accepted-but-unsealed job specs. One
+ *                             file per job, written atomically
+ *                             (tmp + rename); a daemon restart
+ *                             re-scans the directory and requeues
+ *                             every spec it finds, so accepted work
+ *                             survives a daemon crash.
+ *   jobs/<key>/shard-<i>.ckpt per-shard experiment checkpoints
+ *                             (sim/checkpoint.hh format), appended by
+ *                             the forked workers and resumed across
+ *                             worker SIGKILL.
+ *   jobs/<key>/result.json    the sealed merged report — byte-equal
+ *                             to a serial in-process run of the spec.
+ *                             Its existence IS the dedup test: a
+ *                             submission whose key has a sealed
+ *                             result is served from this file without
+ *                             simulating anything.
+ *
+ * <key> is the 16-hex-digit job fingerprint (serve/protocol.hh), so
+ * the queue dedupes structurally: equal experiments collide on the
+ * same paths no matter who submits them or when.
+ */
+
+#ifndef CBWS_SERVE_JOBQUEUE_HH
+#define CBWS_SERVE_JOBQUEUE_HH
+
+#include <deque>
+#include <string>
+
+#include "base/result.hh"
+#include "serve/protocol.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+/** One queued (or running) job. */
+struct Job
+{
+    std::string key;
+    JobSpec spec;
+};
+
+/** What submit() decided about a new spec. */
+struct SubmitOutcome
+{
+    std::string key;
+    /** Sealed result already on disk: nothing was queued. */
+    bool deduped = false;
+    /** Spec equal to an already queued/running job: not re-queued. */
+    bool alreadyQueued = false;
+    /** Position in the queue (0 = running/next; dedup: meaningless). */
+    std::size_t queuePosition = 0;
+};
+
+class JobQueue
+{
+  public:
+    /**
+     * Bind to @p data_dir, creating the layout if missing and
+     * requeuing every spec found under queue/ (crash recovery).
+     * Specs that fail validation against this build's registries are
+     * dropped with a warning rather than wedging the daemon.
+     */
+    Result<void> open(const std::string &data_dir);
+
+    /** Accept @p spec: dedup against sealed results and the live
+     *  queue, else persist a spool file and enqueue. */
+    Result<SubmitOutcome> submit(const JobSpec &spec);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+    /** Front of the queue (the job the scheduler runs next). */
+    const Job &front() const { return queue_.front(); }
+
+    /** All queued jobs, front first (status reporting). */
+    const std::deque<Job> &jobs() const { return queue_; }
+
+    /**
+     * Seal the front job: write jobs/<key>/result.json atomically,
+     * then drop the spool file and pop the queue. The sealed file is
+     * the dedup source for every later submission of the same key.
+     */
+    Result<void> sealFront(const std::string &result_json);
+
+    /** Drop the front job without a result (permanent failure). */
+    void failFront();
+
+    /** True when @p key has a sealed result on disk. */
+    bool hasSealed(const std::string &key) const;
+
+    /** Load a sealed result's bytes. */
+    Result<std::string> loadSealed(const std::string &key) const;
+
+    /** jobs/<key> (shard checkpoints live here); created on demand. */
+    Result<std::string> jobDir(const std::string &key) const;
+
+    const std::string &dataDir() const { return dir_; }
+
+  private:
+    std::string spoolPath(const std::string &key) const;
+    std::string sealedPath(const std::string &key) const;
+
+    std::string dir_;
+    std::deque<Job> queue_;
+};
+
+/** Atomic small-file write: tmp in the same dir, fsync, rename. */
+Result<void> writeFileAtomic(const std::string &path,
+                             const std::string &contents);
+
+/** Read a whole small file. NotFound/IoError on failure. */
+Result<std::string> readFile(const std::string &path);
+
+} // namespace serve
+} // namespace cbws
+
+#endif // CBWS_SERVE_JOBQUEUE_HH

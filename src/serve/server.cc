@@ -1,0 +1,601 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "serve/worker.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Self-pipe write end; -1 until the server arms it (and again in
+ *  forked workers, which must not write into the daemon's pipe). */
+std::atomic<int> g_self_pipe{-1};
+
+extern "C" void
+serveSignalHandler(int sig)
+{
+    const int fd = g_self_pipe.load(std::memory_order_relaxed);
+    if (fd < 0)
+        return;
+    const char byte = sig == SIGCHLD ? 'c' : 't';
+    // A full pipe just coalesces wakeups; nothing to do on failure
+    // (and nothing async-signal-safe to do anyway).
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+}
+
+} // anonymous namespace
+
+std::uint64_t
+Server::nowMs()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+Result<void>
+Server::init(const Options &options)
+{
+    options_ = options;
+    if (options_.listen.empty())
+        return Error(Errc::InvalidArgument,
+                     "server: no listen address");
+
+    Result<void> opened = queue_.open(options_.dataDir);
+    if (!opened.ok())
+        return opened;
+
+    for (const auto &addr : options_.listen) {
+        Result<OwnedFd> fd = listenSocket(addr);
+        if (!fd.ok())
+            return fd.error();
+        setNonBlocking(fd.value().fd());
+        listeners_.push_back(std::move(fd).value());
+    }
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return Error(Errc::IoError,
+                     std::string("self-pipe: ") +
+                         std::strerror(errno));
+    selfPipeRead_ = OwnedFd(fds[0]);
+    selfPipeWrite_ = OwnedFd(fds[1]);
+    setNonBlocking(fds[0]);
+    setNonBlocking(fds[1]);
+    g_self_pipe.store(selfPipeWrite_.fd(), std::memory_order_relaxed);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = serveSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGCHLD, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN); // client death surfaces as EPIPE
+    return Result<void>();
+}
+
+std::vector<std::string>
+Server::boundAddresses() const
+{
+    std::vector<std::string> out;
+    for (const auto &addr : options_.listen)
+        out.push_back(addr.str());
+    return out;
+}
+
+void
+Server::closeInheritedFdsInChild()
+{
+    // Runs in a freshly forked worker: sever every daemon fd so the
+    // child cannot hold the listen socket (or a client) open past the
+    // daemon's death, and disarm the self-pipe handler target.
+    g_self_pipe.store(-1, std::memory_order_relaxed);
+    for (auto &fd : listeners_)
+        fd.reset();
+    for (auto &client : clients_)
+        client.fd.reset();
+    selfPipeRead_.reset();
+    selfPipeWrite_.reset();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGCHLD, &sa, nullptr);
+}
+
+void
+Server::acceptClients(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN: drained
+        }
+        setNonBlocking(fd);
+        clients_.emplace_back();
+        Client &client = clients_.back();
+        client.fd = OwnedFd(fd);
+        client.channel = LineChannel(fd);
+        sendEvent(client, helloEvent());
+        if (options_.verbose)
+            inform("served: client connected (fd %d)", fd);
+    }
+}
+
+void
+Server::sendEvent(Client &client, const std::string &event)
+{
+    if (client.dead)
+        return;
+    Result<void> wrote = client.channel.writeLine(event);
+    if (!wrote.ok())
+        client.dead = true;
+}
+
+void
+Server::broadcast(const std::string &key, const std::string &event)
+{
+    for (auto &client : clients_)
+        if (client.subscriptions.count(key))
+            sendEvent(client, event);
+}
+
+void
+Server::reapDeadClients()
+{
+    for (auto it = clients_.begin(); it != clients_.end();) {
+        if (it->dead || !it->fd.valid()) {
+            if (options_.verbose)
+                inform("served: client disconnected (fd %d)",
+                       it->fd.fd());
+            it = clients_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::string
+Server::statusEventJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("event", "status");
+    w.field("protocol",
+            static_cast<std::uint64_t>(ServeProtocolVersion));
+    w.field("queued", static_cast<std::uint64_t>(queue_.size()));
+    w.field("running",
+            supervisor_.active() ? progress_.key : std::string());
+    w.field("done", static_cast<std::uint64_t>(progress_.done));
+    w.field("total", static_cast<std::uint64_t>(progress_.total));
+    w.field("workers",
+            static_cast<std::uint64_t>(supervisor_.liveWorkers()));
+    w.field("respawns",
+            static_cast<std::uint64_t>(supervisor_.totalRespawns()));
+    w.key("jobs");
+    w.beginArray();
+    for (const auto &job : queue_.jobs()) {
+        w.beginObject();
+        w.field("job", job.key);
+        w.field("cells",
+                static_cast<std::uint64_t>(job.spec.cellCount()));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+Server::handleRequest(Client &client, const std::string &line)
+{
+    Result<Request> parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        sendEvent(client, errorEvent(parsed.error().str()));
+        return;
+    }
+    const Request &request = parsed.value();
+    switch (request.op) {
+      case Request::Op::Ping:
+        sendEvent(client, pongEvent());
+        return;
+      case Request::Op::Status:
+        sendEvent(client, statusEventJson());
+        return;
+      case Request::Op::Subscribe:
+        client.subscriptions.insert(request.job);
+        if (queue_.hasSealed(request.job)) {
+            // Already sealed: the subscriber gets the terminal event
+            // immediately instead of waiting forever.
+            Result<std::string> sealed =
+                queue_.loadSealed(request.job);
+            if (sealed.ok())
+                sendEvent(client,
+                          sealedEvent(request.job, true, 0, 0, 0, 0,
+                                      sealed.value()));
+        }
+        return;
+      case Request::Op::Result: {
+        Result<std::string> sealed = queue_.loadSealed(request.job);
+        if (!sealed.ok()) {
+            sendEvent(client,
+                      errorEvent("job " + request.job +
+                                 " has no sealed result (" +
+                                 sealed.error().str() + ")"));
+            return;
+        }
+        sendEvent(client, sealedEvent(request.job, true, 0, 0, 0, 0,
+                                      sealed.value()));
+        return;
+      }
+      case Request::Op::Shutdown:
+        inform("served: shutdown requested by client");
+        sendEvent(client, byeEvent());
+        shuttingDown_ = true;
+        supervisor_.stop();
+        return;
+      case Request::Op::Submit:
+        break;
+    }
+
+    // Submit.
+    if (shuttingDown_) {
+        sendEvent(client, errorEvent("daemon is shutting down"));
+        return;
+    }
+    Result<SubmitOutcome> outcome = queue_.submit(request.spec);
+    if (!outcome.ok()) {
+        sendEvent(client, errorEvent(outcome.error().str()));
+        return;
+    }
+    const SubmitOutcome &o = outcome.value();
+    client.subscriptions.insert(o.key);
+    sendEvent(client, ackEvent(o.key, request.spec.cellCount(),
+                               o.deduped, o.queuePosition));
+    if (o.deduped) {
+        // The dedup contract: an identical fingerprint with a sealed
+        // result is answered from disk, no simulation, no queueing.
+        Result<std::string> sealed = queue_.loadSealed(o.key);
+        if (sealed.ok())
+            sendEvent(client,
+                      sealedEvent(o.key, true,
+                                  request.spec.cellCount(), 0, 0, 0,
+                                  sealed.value()));
+        else
+            sendEvent(client, errorEvent(sealed.error().str()));
+        return;
+    }
+    if (options_.verbose && !o.alreadyQueued)
+        inform("served: job %s queued (%zu cells)", o.key.c_str(),
+               request.spec.cellCount());
+}
+
+void
+Server::serviceClient(Client &client)
+{
+    std::vector<std::string> lines;
+    Result<void> read =
+        client.channel.readLines(lines, MaxRequestBytes);
+    if (!read.ok()) {
+        if (read.error().code == Errc::Corrupt)
+            sendEvent(client, errorEvent(read.error().str()));
+        client.dead = true;
+        return;
+    }
+    for (const auto &line : lines)
+        handleRequest(client, line);
+    if (client.channel.eof())
+        client.dead = true;
+}
+
+void
+Server::maybeStartJob()
+{
+    if (shuttingDown_ || supervisor_.active() || queue_.empty())
+        return;
+    const Job &job = queue_.front();
+    if (queue_.hasSealed(job.key)) {
+        // Sealed by an earlier life of the daemon while this spool
+        // sat in the queue: nothing to run.
+        Result<std::string> sealed = queue_.loadSealed(job.key);
+        broadcast(job.key,
+                  sealedEvent(job.key, true, job.spec.cellCount(), 0,
+                              0, 0,
+                              sealed.ok() ? sealed.value() : "[]"));
+        queue_.failFront(); // drops the spool; result already sealed
+        return;
+    }
+    Result<std::string> dir = queue_.jobDir(job.key);
+    if (!dir.ok()) {
+        failJob(dir.error().str());
+        return;
+    }
+    Supervisor::Options opts;
+    opts.numWorkers = options_.workers;
+    opts.maxRespawns = options_.maxRespawns;
+    opts.backoff.baseMs = 50;
+    opts.backoff.maxMs = 2000;
+    opts.backoff.seed = faultSeedFromEnv();
+    opts.inChild = [this]() { closeInheritedFdsInChild(); };
+
+    progress_ = JobProgress();
+    progress_.key = job.key;
+    progress_.total = job.spec.cellCount();
+    progress_.cellDone.assign(progress_.total, 0);
+    progress_.startMs = nowMs();
+    progress_.lastStatsMs = progress_.startMs;
+
+    Result<void> started =
+        supervisor_.start(job.spec, dir.value(), opts, nowMs());
+    if (!started.ok()) {
+        failJob(started.error().str());
+        return;
+    }
+    inform("served: job %s running (%zu cells, %u workers)",
+           job.key.c_str(), progress_.total,
+           supervisor_.numShards());
+}
+
+void
+Server::handleSupervisorEvents(
+    const std::vector<Supervisor::Event> &events)
+{
+    using Kind = Supervisor::Event::Kind;
+    for (const auto &ev : events) {
+        switch (ev.kind) {
+          case Kind::Spawned:
+            broadcast(progress_.key,
+                      workerEvent(progress_.key, ev.shard, "spawned",
+                                  ev.pid, ev.respawns));
+            break;
+          case Kind::Exited:
+            broadcast(progress_.key,
+                      workerEvent(progress_.key, ev.shard, "exited",
+                                  ev.pid, ev.respawns));
+            break;
+          case Kind::Drained:
+            broadcast(progress_.key,
+                      workerEvent(progress_.key, ev.shard, "drained",
+                                  ev.pid, ev.respawns));
+            break;
+          case Kind::Crashed:
+            warn("served: worker shard %u died (%s); respawning "
+                 "(attempt %u)",
+                 ev.shard, ev.detail.c_str(), ev.respawns);
+            broadcast(progress_.key,
+                      workerEvent(progress_.key, ev.shard, "crashed",
+                                  ev.pid, ev.respawns));
+            break;
+          case Kind::Failed:
+            failJob(ev.detail);
+            break;
+          case Kind::Cell: {
+            Result<JsonValue> parsed =
+                parseJson(ev.detail, protocolJsonLimits());
+            if (!parsed.ok()) {
+                warn("served: bad progress line from shard %u (%s)",
+                     ev.shard, parsed.error().str().c_str());
+                break;
+            }
+            const JsonValue &v = parsed.value();
+            const std::uint64_t cell = v.uintOr("cell");
+            if (cell >= progress_.total ||
+                progress_.cellDone[cell])
+                break; // replay after a respawn: already counted
+            progress_.cellDone[cell] = 1;
+            progress_.done++;
+            progress_.insts += v.uintOr("insts");
+            const JsonValue *ipc = v.find("ipc");
+            const JsonValue *mpki = v.find("mpki");
+            broadcast(progress_.key,
+                      cellEvent(progress_.key, v.strOr("workload"),
+                                v.strOr("scheme"),
+                                ipc ? ipc->number : 0.0,
+                                mpki ? mpki->number : 0.0,
+                                progress_.done, progress_.total));
+            maybeEmitStats(false);
+            break;
+          }
+        }
+    }
+}
+
+void
+Server::maybeEmitStats(bool force)
+{
+    if (!supervisor_.active())
+        return;
+    const std::uint64_t now = nowMs();
+    if (!force &&
+        now - progress_.lastStatsMs < options_.statsIntervalMs)
+        return;
+    broadcast(progress_.key,
+              statsEvent(progress_.key, progress_.done,
+                         progress_.total,
+                         progress_.done - progress_.lastStatsDone,
+                         progress_.insts,
+                         progress_.insts - progress_.lastStatsInsts,
+                         now - progress_.startMs,
+                         supervisor_.liveWorkers(),
+                         supervisor_.totalRespawns()));
+    progress_.lastStatsMs = now;
+    progress_.lastStatsDone = progress_.done;
+    progress_.lastStatsInsts = progress_.insts;
+}
+
+void
+Server::finishJob()
+{
+    const JobSpec spec = supervisor_.spec();
+    const unsigned shards = supervisor_.numShards();
+    const unsigned respawns = supervisor_.totalRespawns();
+    Result<std::string> dir = queue_.jobDir(progress_.key);
+    if (!dir.ok()) {
+        failJob(dir.error().str());
+        return;
+    }
+    Result<std::vector<SimResult>> merged =
+        mergeShards(spec, dir.value(), shards);
+    if (!merged.ok()) {
+        failJob("merge: " + merged.error().str());
+        return;
+    }
+    maybeEmitStats(true);
+    const std::string json = resultJson(merged.value());
+    Result<void> sealed = queue_.sealFront(json);
+    if (!sealed.ok()) {
+        failJob("seal: " + sealed.error().str());
+        return;
+    }
+    const std::uint64_t wall = nowMs() - progress_.startMs;
+    inform("served: job %s sealed (%zu cells, %u respawns, %llu ms)",
+           progress_.key.c_str(), progress_.total, respawns,
+           static_cast<unsigned long long>(wall));
+    broadcast(progress_.key,
+              sealedEvent(progress_.key, false, progress_.total,
+                          wall, progress_.insts, respawns, json));
+    supervisor_.clear();
+}
+
+void
+Server::failJob(const std::string &reason)
+{
+    warn("served: job %s failed: %s", progress_.key.c_str(),
+         reason.c_str());
+    broadcast(progress_.key, failedEvent(progress_.key, reason));
+    supervisor_.killAll();
+    supervisor_.clear();
+    if (!queue_.empty())
+        queue_.failFront();
+}
+
+int
+Server::run()
+{
+    inform("served: listening, data dir %s, %u workers",
+           options_.dataDir.c_str(), options_.workers);
+    while (true) {
+        maybeStartJob();
+
+        std::vector<struct pollfd> fds;
+        fds.push_back({selfPipeRead_.fd(), POLLIN, 0});
+        for (const auto &listener : listeners_)
+            fds.push_back({listener.fd(), POLLIN, 0});
+        const std::size_t client_base = fds.size();
+        for (auto &client : clients_)
+            fds.push_back({client.fd.fd(), POLLIN, 0});
+        for (int fd : supervisor_.pollFds())
+            fds.push_back({fd, POLLIN, 0});
+
+        int timeout = -1;
+        if (supervisor_.active()) {
+            timeout = static_cast<int>(options_.statsIntervalMs);
+            const std::uint64_t deadline =
+                supervisor_.nextDeadlineMs();
+            if (deadline) {
+                const std::uint64_t now = nowMs();
+                const std::uint64_t wait =
+                    deadline > now ? deadline - now : 1;
+                timeout = std::min<int>(timeout,
+                                        static_cast<int>(wait));
+            }
+        } else if (shuttingDown_) {
+            timeout = 50;
+        }
+
+        const int ready =
+            ::poll(fds.data(), fds.size(), timeout);
+        if (ready < 0 && errno != EINTR) {
+            warn("served: poll: %s", std::strerror(errno));
+            return 1;
+        }
+
+        bool reap = false;
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            ssize_t n;
+            while ((n = ::read(selfPipeRead_.fd(), buf,
+                               sizeof(buf))) > 0) {
+                for (ssize_t i = 0; i < n; ++i) {
+                    if (buf[i] == 'c') {
+                        reap = true;
+                    } else {
+                        if (!shuttingDown_)
+                            inform("served: signal received; "
+                                   "draining workers and exiting");
+                        shuttingDown_ = true;
+                        supervisor_.stop();
+                    }
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < listeners_.size(); ++i)
+            if (fds[1 + i].revents & (POLLIN | POLLERR))
+                acceptClients(listeners_[i].fd());
+
+        std::size_t idx = client_base;
+        for (auto &client : clients_) {
+            if (fds[idx].revents & (POLLIN | POLLERR | POLLHUP))
+                serviceClient(client);
+            ++idx;
+        }
+        reapDeadClients();
+
+        if (supervisor_.active()) {
+            handleSupervisorEvents(supervisor_.pump(nowMs(), reap));
+            maybeEmitStats(false);
+            if (supervisor_.active() && supervisor_.finished())
+                finishJob();
+            else if (supervisor_.active() && supervisor_.failed())
+                failJob("worker respawn budget exhausted");
+        } else if (reap) {
+            // Stray SIGCHLD with no active job (e.g. after killAll):
+            // reap so nothing zombifies.
+            int status = 0;
+            while (::waitpid(-1, &status, WNOHANG) > 0) {
+            }
+        }
+
+        if (shuttingDown_) {
+            // Drain: once every worker has exited (their shard
+            // checkpoints sealed), say goodbye and stop. Queued jobs
+            // stay spooled on disk for the next daemon life.
+            if (!supervisor_.active() ||
+                supervisor_.liveWorkers() == 0) {
+                for (auto &client : clients_)
+                    sendEvent(client, byeEvent());
+                if (supervisor_.active())
+                    inform("served: job %s interrupted; %zu of %zu "
+                           "cells sealed, resume on next start",
+                           progress_.key.c_str(), progress_.done,
+                           progress_.total);
+                return 0;
+            }
+        }
+    }
+}
+
+} // namespace serve
+} // namespace cbws

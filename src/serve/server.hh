@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The cbws-served daemon core: a single-threaded poll() loop serving
+ * the JSONL wire protocol (serve/protocol.hh) over unix-domain and/or
+ * TCP listeners, feeding accepted jobs through the persistent
+ * JobQueue one at a time, and sharding the running job's cells across
+ * a Supervisor-managed pool of forked workers.
+ *
+ * Single-threadedness is load-bearing: the daemon forks workers, and
+ * forking a multi-threaded process is where the bodies are buried.
+ * Everything — accepts, request parsing, worker progress, reaping,
+ * respawn timers, stats ticks — multiplexes over one poll() set, with
+ * a self-pipe turning SIGCHLD/SIGTERM/SIGINT into pollable bytes.
+ */
+
+#ifndef CBWS_SERVE_SERVER_HH
+#define CBWS_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <list>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/socket.hh"
+#include "serve/jobqueue.hh"
+#include "serve/supervisor.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+class Server
+{
+  public:
+    struct Options
+    {
+        /** Listen addresses (at least one). */
+        std::vector<SocketAddr> listen;
+        /** Queue spools, shard checkpoints and sealed results. */
+        std::string dataDir = "served-data";
+        /** Worker processes per job. */
+        unsigned workers = 2;
+        /** Respawn budget per shard. */
+        unsigned maxRespawns = 8;
+        /** Minimum interval between stats events, ms. */
+        std::uint64_t statsIntervalMs = 500;
+        bool verbose = false;
+    };
+
+    /** Open the data dir (requeueing spooled jobs), bind listeners,
+     *  arm the self-pipe signal handlers. */
+    Result<void> init(const Options &options);
+
+    /** Serve until a shutdown request or SIGTERM/SIGINT. Returns the
+     *  process exit code. */
+    int run();
+
+    /** Addresses actually bound (for the ready line). */
+    std::vector<std::string> boundAddresses() const;
+
+  private:
+    struct Client
+    {
+        OwnedFd fd;
+        LineChannel channel;
+        /** Job keys this client receives events for. */
+        std::set<std::string> subscriptions;
+        bool dead = false;
+    };
+
+    /** Per-running-job progress accounting (cell dedup across worker
+     *  respawns: a resumed cell must not double-count). */
+    struct JobProgress
+    {
+        std::string key;
+        std::size_t total = 0;
+        std::vector<char> cellDone;
+        std::size_t done = 0;
+        std::uint64_t insts = 0;
+        std::uint64_t startMs = 0;
+        std::uint64_t lastStatsMs = 0;
+        std::size_t lastStatsDone = 0;
+        std::uint64_t lastStatsInsts = 0;
+    };
+
+    static std::uint64_t nowMs();
+
+    void acceptClients(int listen_fd);
+    void serviceClient(Client &client);
+    void handleRequest(Client &client, const std::string &line);
+    void broadcast(const std::string &key, const std::string &event);
+    void sendEvent(Client &client, const std::string &event);
+    void reapDeadClients();
+
+    void maybeStartJob();
+    void handleSupervisorEvents(
+        const std::vector<Supervisor::Event> &events);
+    void maybeEmitStats(bool force);
+    void finishJob();
+    void failJob(const std::string &reason);
+    std::string statusEventJson() const;
+    void closeInheritedFdsInChild();
+
+    Options options_;
+    std::vector<OwnedFd> listeners_;
+    std::list<Client> clients_;
+    JobQueue queue_;
+    Supervisor supervisor_;
+    JobProgress progress_;
+    OwnedFd selfPipeRead_, selfPipeWrite_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace serve
+} // namespace cbws
+
+#endif // CBWS_SERVE_SERVER_HH

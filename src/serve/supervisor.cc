@@ -1,0 +1,306 @@
+#include "serve/supervisor.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "serve/worker.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+Result<void>
+Supervisor::start(const JobSpec &spec, const std::string &job_dir,
+                  const Options &options, std::uint64_t now_ms)
+{
+    panic_if(active_, "Supervisor::start while a job is active");
+    spec_ = spec;
+    jobDir_ = job_dir;
+    options_ = options;
+    stopping_ = false;
+    failed_ = false;
+
+    // Never more shards than cells: an idle worker that exits
+    // immediately is fine, but pointless.
+    unsigned shards = options_.numWorkers ? options_.numWorkers : 1;
+    if (spec_.cellCount() &&
+        shards > spec_.cellCount())
+        shards = static_cast<unsigned>(spec_.cellCount());
+    options_.numWorkers = shards;
+
+    slots_.clear();
+    slots_.resize(shards);
+    active_ = true;
+    std::vector<Event> events;
+    for (unsigned s = 0; s < shards; ++s) {
+        slots_[s].shard = s;
+        Result<void> spawned = spawn(slots_[s], events);
+        if (!spawned.ok()) {
+            killAll();
+            clear();
+            return spawned;
+        }
+    }
+    (void)now_ms;
+    return Result<void>();
+}
+
+Result<void>
+Supervisor::spawn(Slot &slot, std::vector<Event> &events)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return Error(Errc::IoError,
+                     std::string("pipe: ") + std::strerror(errno));
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return Error(Errc::IoError,
+                     std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Worker child: detach from the daemon's fds, run the shard,
+        // _exit without unwinding daemon state (atexit, streams).
+        ::close(fds[0]);
+        if (options_.inChild)
+            options_.inChild();
+        const int code = runWorkerShard(
+            spec_, jobDir_, slot.shard, options_.numWorkers, fds[1]);
+        ::close(fds[1]);
+        ::_exit(code);
+    }
+
+    ::close(fds[1]);
+    setNonBlocking(fds[0]);
+    slot.pid = pid;
+    slot.pipe = OwnedFd(fds[0]);
+    slot.channel = LineChannel(fds[0]);
+    slot.running = true;
+    slot.respawnAtMs = 0;
+
+    Event ev;
+    ev.kind = Event::Kind::Spawned;
+    ev.shard = slot.shard;
+    ev.pid = pid;
+    ev.respawns = slot.respawns;
+    events.push_back(ev);
+    return Result<void>();
+}
+
+void
+Supervisor::drainPipe(Slot &slot, std::vector<Event> &events)
+{
+    if (!slot.pipe.valid())
+        return;
+    std::vector<std::string> lines;
+    Result<void> read =
+        slot.channel.readLines(lines, MaxRequestBytes);
+    for (auto &line : lines) {
+        Event ev;
+        ev.kind = Event::Kind::Cell;
+        ev.shard = slot.shard;
+        ev.pid = slot.pid;
+        ev.detail = std::move(line);
+        events.push_back(std::move(ev));
+    }
+    if (!read.ok() || slot.channel.eof())
+        slot.pipe.reset(); // worker side gone; exit handled by reap
+}
+
+std::vector<int>
+Supervisor::pollFds() const
+{
+    std::vector<int> fds;
+    for (const auto &slot : slots_)
+        if (slot.pipe.valid())
+            fds.push_back(slot.pipe.fd());
+    return fds;
+}
+
+std::vector<Supervisor::Event>
+Supervisor::pump(std::uint64_t now_ms, bool reap)
+{
+    std::vector<Event> events;
+    if (!active_)
+        return events;
+
+    for (auto &slot : slots_)
+        drainPipe(slot, events);
+
+    if (reap) {
+        for (;;) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                break;
+            Slot *slot = nullptr;
+            for (auto &s : slots_)
+                if (s.running && s.pid == pid)
+                    slot = &s;
+            if (!slot)
+                continue; // not ours (can't happen today)
+
+            // The pipe write end died with the worker: drain the
+            // last buffered progress lines before judging the exit.
+            drainPipe(*slot, events);
+            slot->running = false;
+            slot->pipe.reset();
+
+            const bool clean =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            const bool drained =
+                WIFEXITED(status) && WEXITSTATUS(status) == 130;
+            Event ev;
+            ev.shard = slot->shard;
+            ev.pid = pid;
+            ev.respawns = slot->respawns;
+            if (clean) {
+                slot->done = true;
+                ev.kind = Event::Kind::Exited;
+                events.push_back(ev);
+                continue;
+            }
+            if (drained || stopping_) {
+                // Graceful drain (our SIGTERM): the shard checkpoint
+                // is sealed; nothing to respawn while stopping.
+                ev.kind = Event::Kind::Drained;
+                events.push_back(ev);
+                continue;
+            }
+            // Crash (SIGKILL, abort, nonzero exit): schedule the
+            // respawn after a deterministic backoff so a crash-looping
+            // shard cannot busy-spin the daemon.
+            slot->respawns++;
+            ev.respawns = slot->respawns;
+            if (slot->respawns > options_.maxRespawns) {
+                failed_ = true;
+                ev.kind = Event::Kind::Failed;
+                ev.detail = "shard " + std::to_string(slot->shard) +
+                            " exceeded " +
+                            std::to_string(options_.maxRespawns) +
+                            " respawns";
+                events.push_back(ev);
+                continue;
+            }
+            slot->respawnAtMs =
+                now_ms +
+                options_.backoff.delayMs(slot->respawns - 1);
+            ev.kind = Event::Kind::Crashed;
+            ev.detail = WIFSIGNALED(status)
+                            ? std::string("signal ") +
+                                  std::to_string(WTERMSIG(status))
+                            : std::string("exit ") +
+                                  std::to_string(
+                                      WEXITSTATUS(status));
+            events.push_back(ev);
+        }
+    }
+
+    if (!stopping_ && !failed_) {
+        for (auto &slot : slots_) {
+            if (slot.running || slot.done || slot.respawnAtMs == 0)
+                continue;
+            if (now_ms < slot.respawnAtMs)
+                continue;
+            Result<void> spawned = spawn(slot, events);
+            if (!spawned.ok()) {
+                // Transient fork/pipe failure: retry after another
+                // backoff step rather than failing the job.
+                warn("supervisor: respawn of shard %u failed (%s)",
+                     slot.shard, spawned.error().str().c_str());
+                slot.respawnAtMs =
+                    now_ms + options_.backoff.delayMs(slot.respawns);
+            }
+        }
+    }
+    return events;
+}
+
+std::uint64_t
+Supervisor::nextDeadlineMs() const
+{
+    std::uint64_t next = 0;
+    for (const auto &slot : slots_) {
+        if (slot.running || slot.done || slot.respawnAtMs == 0)
+            continue;
+        if (next == 0 || slot.respawnAtMs < next)
+            next = slot.respawnAtMs;
+    }
+    return next;
+}
+
+bool
+Supervisor::finished() const
+{
+    if (!active_)
+        return false;
+    for (const auto &slot : slots_)
+        if (!slot.done)
+            return false;
+    return true;
+}
+
+unsigned
+Supervisor::liveWorkers() const
+{
+    unsigned live = 0;
+    for (const auto &slot : slots_)
+        if (slot.running)
+            ++live;
+    return live;
+}
+
+unsigned
+Supervisor::totalRespawns() const
+{
+    unsigned total = 0;
+    for (const auto &slot : slots_)
+        total += slot.respawns;
+    return total;
+}
+
+void
+Supervisor::stop()
+{
+    stopping_ = true;
+    for (auto &slot : slots_)
+        if (slot.running && slot.pid > 0)
+            ::kill(slot.pid, SIGTERM);
+}
+
+void
+Supervisor::killAll()
+{
+    stopping_ = true;
+    for (auto &slot : slots_) {
+        if (slot.running && slot.pid > 0) {
+            ::kill(slot.pid, SIGKILL);
+            // Synchronous reap: killAll is the shutdown path, no
+            // zombies left for init to inherit from a still-live
+            // daemon.
+            int status = 0;
+            ::waitpid(slot.pid, &status, 0);
+            slot.running = false;
+        }
+        slot.pipe.reset();
+    }
+}
+
+void
+Supervisor::clear()
+{
+    slots_.clear();
+    active_ = false;
+    stopping_ = false;
+}
+
+} // namespace serve
+} // namespace cbws

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Worker-pool supervisor of cbws-served: forks one worker process per
+ * shard of the running job, reads their per-cell progress pipes,
+ * reaps exits, and respawns crashed workers (backoff-delayed, budget-
+ * capped) so an operator `kill -9` of a worker mid-matrix costs the
+ * job nothing but the in-flight cell — the respawned worker resumes
+ * its shard checkpoint and re-simulates only what was never sealed.
+ *
+ * The supervisor owns no event loop: the daemon's poll loop hands it
+ * monotonic time and reap opportunities via pump() and receives a
+ * flat list of Events back. That keeps the whole daemon single-
+ * threaded, which is what makes fork() safe here.
+ */
+
+#ifndef CBWS_SERVE_SUPERVISOR_HH
+#define CBWS_SERVE_SUPERVISOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/retry.hh"
+#include "base/socket.hh"
+#include "serve/protocol.hh"
+
+namespace cbws
+{
+namespace serve
+{
+
+class Supervisor
+{
+  public:
+    struct Options
+    {
+        /** Worker processes == shards of the job. */
+        unsigned numWorkers = 2;
+        /** Respawns allowed per shard before the job fails. */
+        unsigned maxRespawns = 8;
+        /** Delay schedule between a crash and its respawn. */
+        BackoffSchedule backoff;
+        /** Run in the forked child before the shard loop (the daemon
+         *  closes its listening/client fds here). */
+        std::function<void()> inChild;
+    };
+
+    /** What pump() observed, in order. */
+    struct Event
+    {
+        enum class Kind
+        {
+            Spawned,   ///< worker forked (shard, pid, respawns)
+            Exited,    ///< worker exited cleanly (shard done)
+            Crashed,   ///< worker killed/failed; respawn scheduled
+            Drained,   ///< worker stopped at the graceful-drain seam
+            Cell,      ///< one progress line (detail = the JSON line)
+            Failed,    ///< respawn budget exhausted (detail = reason)
+        };
+
+        Kind kind;
+        unsigned shard = 0;
+        int pid = -1;
+        unsigned respawns = 0;
+        std::string detail;
+    };
+
+    /** Fork the initial pool for @p spec. */
+    Result<void> start(const JobSpec &spec, const std::string &job_dir,
+                       const Options &options, std::uint64_t now_ms);
+
+    bool active() const { return active_; }
+    const JobSpec &spec() const { return spec_; }
+
+    /** All shards exited cleanly: the job's cells are all sealed. */
+    bool finished() const;
+
+    /** A shard exhausted its respawn budget. */
+    bool failed() const { return failed_; }
+
+    /** Live workers right now (stats events). */
+    unsigned liveWorkers() const;
+
+    /** Shards the running job was split into (numWorkers clamped to
+     *  the cell count) — the merge needs this exact value. */
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /** Total respawns across all shards so far. */
+    unsigned totalRespawns() const;
+
+    /** Readable fds the daemon should poll (progress pipe per live
+     *  worker). */
+    std::vector<int> pollFds() const;
+
+    /**
+     * Advance the machine: drain readable progress pipes, reap dead
+     * children when @p reap (set after a SIGCHLD tick), and fork
+     * respawns whose backoff deadline passed. Returns the events.
+     */
+    std::vector<Event> pump(std::uint64_t now_ms, bool reap);
+
+    /** Earliest pending respawn deadline in ms (0 = none): bounds the
+     *  daemon's poll timeout. */
+    std::uint64_t nextDeadlineMs() const;
+
+    /** Graceful stop: SIGTERM every worker, stop respawning. */
+    void stop();
+
+    /** Hard stop: SIGKILL every worker (daemon shutdown). */
+    void killAll();
+
+    /** Drop job state after the daemon sealed or failed the job. */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        unsigned shard = 0;
+        int pid = -1;
+        OwnedFd pipe; ///< read end of the worker's progress pipe
+        LineChannel channel;
+        unsigned respawns = 0;
+        bool running = false;
+        bool done = false;
+        /** Respawn not before this instant; 0 = no respawn pending. */
+        std::uint64_t respawnAtMs = 0;
+    };
+
+    Result<void> spawn(Slot &slot, std::vector<Event> &events);
+    void drainPipe(Slot &slot, std::vector<Event> &events);
+
+    JobSpec spec_;
+    std::string jobDir_;
+    Options options_;
+    std::vector<Slot> slots_;
+    bool active_ = false;
+    bool stopping_ = false;
+    bool failed_ = false;
+};
+
+} // namespace serve
+} // namespace cbws
+
+#endif // CBWS_SERVE_SUPERVISOR_HH

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <unistd.h>
 
 #include "base/faultinject.hh"
 #include "base/json.hh"
@@ -558,6 +559,31 @@ Checkpoint::open(const std::string &path, const Header &header)
                              std::strerror(errno));
         }
     }
+    return Result<void>();
+}
+
+std::size_t
+Checkpoint::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
+Result<void>
+Checkpoint::sync()
+{
+    PROF_SCOPE(prof::Phase::CheckpointIO);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return Result<void>();
+    if (std::fflush(file_) != 0)
+        return Error(Errc::IoError,
+                     std::string("checkpoint flush failed: ") +
+                         std::strerror(errno));
+    if (::fsync(fileno(file_)) != 0)
+        return Error(Errc::IoError,
+                     std::string("checkpoint fsync failed: ") +
+                         std::strerror(errno));
     return Result<void>();
 }
 

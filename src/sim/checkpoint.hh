@@ -102,6 +102,17 @@ class Checkpoint
     /** Cells loaded from a previous run at open() time. */
     std::size_t resumedCells() const { return resumed_; }
 
+    /** Cells currently recorded (resumed + appended this run). */
+    std::size_t cellCount() const;
+
+    /**
+     * Seal the file against the process dying next instruction:
+     * flush libc buffers and fsync the fd, so every appended cell is
+     * durable on disk. Called on graceful interrupt (SIGINT/SIGTERM)
+     * before exit, and at the end of a completed matrix.
+     */
+    Result<void> sync();
+
     bool isOpen() const { return file_ != nullptr; }
 
   private:

@@ -1,7 +1,10 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 
 #include "base/debug.hh"
 #include "base/faultinject.hh"
@@ -44,6 +47,54 @@ runCells(unsigned jobs, std::size_t count, std::vector<char> &done,
 }
 
 } // anonymous namespace
+
+namespace
+{
+
+/** Set from the SIGINT/SIGTERM handler; checked at cell boundaries.
+ *  Lock-free atomic, so the handler write is async-signal-safe. */
+std::atomic<bool> g_matrix_interrupt{false};
+
+extern "C" void
+matrixSignalHandler(int)
+{
+    g_matrix_interrupt.store(true, std::memory_order_relaxed);
+}
+
+} // anonymous namespace
+
+void
+installMatrixSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = matrixSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    // One-shot: the first signal requests the graceful drain, a
+    // second one gets the default disposition and kills the process
+    // outright — an escape hatch from a wedged cell.
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+requestMatrixInterrupt()
+{
+    g_matrix_interrupt.store(true, std::memory_order_relaxed);
+}
+
+bool
+matrixInterruptRequested()
+{
+    return g_matrix_interrupt.load(std::memory_order_relaxed);
+}
+
+void
+clearMatrixInterrupt()
+{
+    g_matrix_interrupt.store(false, std::memory_order_relaxed);
+}
 
 namespace
 {
@@ -212,6 +263,8 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
                             progress);
         runCells(jobs, num_workloads, trace_done, "trace synthesis",
                  [&](std::size_t w) {
+            if (matrixInterruptRequested())
+                return; // draining: skip, phase 2 is skipped too
             Trace &trace = traces[w];
             const TraceCache::Key key{workloads[w]->name(), max_insts,
                                       seed};
@@ -256,6 +309,11 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
                         progress);
     runCells(jobs, num_workloads * num_kinds, cell_done,
              "simulation", [&](std::size_t i) {
+        // Graceful interrupt: launch nothing new; in-flight cells
+        // finish (and checkpoint) normally, then the drain below
+        // seals the file.
+        if (matrixInterruptRequested())
+            return;
         const std::size_t w = i / num_kinds;
         const std::size_t k = i % num_kinds;
         if (checkpoint.isOpen()) {
@@ -299,6 +357,30 @@ runMatrix(const std::vector<WorkloadPtr> &workloads,
         meter.advance(false);
     });
     meter.finish();
+    // Seal: every appended cell is already flushed line-by-line, the
+    // final fsync makes the tail durable against power loss too. On
+    // interrupt this is what guarantees a resumed run never loses a
+    // completed cell.
+    if (checkpoint.isOpen()) {
+        Result<void> sealed = checkpoint.sync();
+        if (!sealed.ok())
+            warn("runMatrix: checkpoint seal failed (%s)",
+                 sealed.error().str().c_str());
+    }
+    if (matrixInterruptRequested()) {
+        matrix.interrupted = true;
+        if (checkpoint.isOpen())
+            warn("runMatrix: interrupted; %zu of %zu cells sealed in "
+                 "%s; rerun with the same checkpoint to resume",
+                 checkpoint.cellCount(), num_workloads * num_kinds,
+                 options.checkpointPath.c_str());
+        else
+            warn("runMatrix: interrupted with no checkpoint; "
+                 "completed cells are lost");
+        if (options.onInterrupt ==
+            MatrixOptions::OnInterrupt::ExitProcess)
+            std::exit(130);
+    }
     return matrix;
 }
 

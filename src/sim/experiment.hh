@@ -40,6 +40,14 @@ struct ExperimentMatrix
     std::vector<std::string> schemes;
     std::vector<WorkloadRow> rows;
 
+    /**
+     * True when runMatrix stopped early on a graceful interrupt
+     * (MatrixOptions::onInterrupt == ReturnPartial): the completed
+     * cells are sealed in the checkpoint, the rest of the rows hold
+     * default-constructed results and must not be consumed.
+     */
+    bool interrupted = false;
+
     /** Column of @p scheme (case-insensitive); panics when absent. */
     std::size_t column(const std::string &scheme) const;
 
@@ -97,7 +105,49 @@ struct MatrixOptions
      * phase. Never touches stdout, so reports stay byte-identical.
      */
     bool progress = false;
+
+    /** What runMatrix does after sealing the checkpoint on a
+     *  graceful interrupt (see installMatrixSignalHandlers). */
+    enum class OnInterrupt
+    {
+        /**
+         * Exit the process with status 130 once the in-flight cells
+         * have finished and the checkpoint is sealed. The right
+         * behaviour for CLI surfaces: an interrupted bench must not
+         * print a half-empty figure and exit 0.
+         */
+        ExitProcess,
+        /**
+         * Return the partial matrix with `interrupted` set; the
+         * caller owns the consequences. Used by the serve worker
+         * (which reports its own exit status) and by tests.
+         */
+        ReturnPartial,
+    };
+    OnInterrupt onInterrupt = OnInterrupt::ExitProcess;
 };
+
+/**
+ * Install SIGINT/SIGTERM handlers that request a graceful matrix
+ * interrupt: the running runMatrix stops launching new cells,
+ * finishes (and checkpoints) the in-flight ones, seals the checkpoint
+ * file, and then exits per MatrixOptions::onInterrupt. Without a
+ * checkpoint the signals still stop the matrix early — there is just
+ * nothing to seal. Idempotent; a second signal falls back to the
+ * default disposition (immediate kill) so a wedged run can always be
+ * terminated.
+ */
+void installMatrixSignalHandlers();
+
+/** Request a graceful interrupt programmatically (what the signal
+ *  handler does); visible to the next cell-boundary check. */
+void requestMatrixInterrupt();
+
+/** True once an interrupt has been requested and not cleared. */
+bool matrixInterruptRequested();
+
+/** Re-arm for another matrix (tests, the serve worker respawn path). */
+void clearMatrixInterrupt();
 
 /**
  * Run the matrix: @p workloads x @p schemes (registry names).

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * The serving layer minus the sockets: protocol round-trips and job
+ * keys, the persistent JobQueue (spool recovery, dedup, sealing), and
+ * the sharded worker loop — including the load-bearing property that
+ * shard-split execution merged back together is byte-identical to the
+ * serial in-process reference, and that re-running a finished shard
+ * restores every cell instead of re-simulating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/jobqueue.hh"
+#include "serve/protocol.hh"
+#include "serve/worker.hh"
+#include "sim/checkpoint.hh"
+
+namespace cbws
+{
+namespace serve
+{
+namespace
+{
+
+JobSpec
+smallSpec()
+{
+    JobSpec spec;
+    spec.workloads = {"nw", "fft-simlarge"};
+    spec.schemes = {"No-Prefetch", "Stride"};
+    spec.insts = 20000;
+    spec.seed = 42;
+    return spec;
+}
+
+std::string
+makeTempDir()
+{
+    std::string tmpl = testing::TempDir() + "cbws_serve_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = ::mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr);
+    return dir ? std::string(dir) : std::string();
+}
+
+// --- protocol ---------------------------------------------------------
+
+TEST(ServeProtocol, SubmitRequestRoundTrips)
+{
+    Request request;
+    request.op = Request::Op::Submit;
+    request.spec = smallSpec();
+    request.spec.cores = 2;
+    request.spec.dramBackend = "fixed";
+    request.spec.pfOpts = {"degree=4"};
+
+    Result<Request> back = parseRequest(requestLine(request));
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    EXPECT_EQ(back.value().op, Request::Op::Submit);
+    EXPECT_EQ(back.value().spec.workloads, request.spec.workloads);
+    EXPECT_EQ(back.value().spec.schemes, request.spec.schemes);
+    EXPECT_EQ(back.value().spec.insts, request.spec.insts);
+    EXPECT_EQ(back.value().spec.seed, request.spec.seed);
+    EXPECT_EQ(back.value().spec.cores, request.spec.cores);
+    EXPECT_EQ(back.value().spec.dramBackend,
+              request.spec.dramBackend);
+    EXPECT_EQ(back.value().spec.pfOpts, request.spec.pfOpts);
+}
+
+TEST(ServeProtocol, SimpleOpsRoundTrip)
+{
+    for (Request::Op op :
+         {Request::Op::Status, Request::Op::Ping,
+          Request::Op::Shutdown}) {
+        Request request;
+        request.op = op;
+        Result<Request> back = parseRequest(requestLine(request));
+        ASSERT_TRUE(back.ok()) << back.error().str();
+        EXPECT_EQ(back.value().op, op);
+    }
+    Request request;
+    request.op = Request::Op::Result;
+    request.job = "deadbeefdeadbeef";
+    Result<Request> back = parseRequest(requestLine(request));
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    EXPECT_EQ(back.value().op, Request::Op::Result);
+    EXPECT_EQ(back.value().job, "deadbeefdeadbeef");
+}
+
+TEST(ServeProtocol, MalformedRequestsRejected)
+{
+    for (const char *line :
+         {"", "not json", "[1,2,3]", "{\"op\":\"fandango\"}",
+          "{\"job\":\"x\"}",
+          "{\"op\":\"submit\",\"job\":{\"workloads\":[],"
+          "\"schemes\":[\"CBWS\"]}}",
+          "{\"op\":\"submit\",\"job\":{\"workloads\":[\"no-such\"],"
+          "\"schemes\":[\"CBWS\"]}}",
+          "{\"op\":\"submit\",\"job\":{\"workloads\":[\"nw\"],"
+          "\"schemes\":[\"no-such-scheme\"]}}"}) {
+        EXPECT_FALSE(parseRequest(line).ok()) << line;
+    }
+}
+
+TEST(ServeProtocol, SchemeNamesCanonicalised)
+{
+    // The registry gate is case-insensitive but canonicalises, so a
+    // sloppy client and a pedantic one agree on the job key.
+    JobSpec sloppy = smallSpec();
+    sloppy.schemes = {"no-prefetch", "STRIDE"};
+    Result<JsonValue> parsed =
+        parseJson(jobSpecJson(sloppy), protocolJsonLimits());
+    ASSERT_TRUE(parsed.ok());
+    Result<JobSpec> validated = parseJobSpec(parsed.value());
+    ASSERT_TRUE(validated.ok()) << validated.error().str();
+    EXPECT_EQ(validated.value().schemes,
+              (std::vector<std::string>{"No-Prefetch", "Stride"}));
+    EXPECT_EQ(jobKey(validated.value()), jobKey(smallSpec()));
+}
+
+TEST(ServeProtocol, JobKeyIdentifiesTheExperiment)
+{
+    const JobSpec spec = smallSpec();
+    EXPECT_EQ(jobKey(spec), jobKey(spec));
+    EXPECT_EQ(jobKey(spec).size(), 16u);
+
+    JobSpec insts = spec;
+    insts.insts = spec.insts + 1;
+    EXPECT_NE(jobKey(insts), jobKey(spec));
+
+    JobSpec seed = spec;
+    seed.seed = spec.seed + 1;
+    EXPECT_NE(jobKey(seed), jobKey(spec));
+
+    JobSpec schemes = spec;
+    schemes.schemes = {"No-Prefetch"};
+    EXPECT_NE(jobKey(schemes), jobKey(spec));
+
+    JobSpec cores = spec;
+    cores.cores = 2;
+    EXPECT_NE(jobKey(cores), jobKey(spec));
+}
+
+TEST(ServeProtocol, EventBuildersEmitParseableJson)
+{
+    const std::string key = "00000000deadbeef";
+    const struct
+    {
+        std::string line;
+        const char *kind;
+    } events[] = {
+        {helloEvent(), "hello"},
+        {errorEvent("broken \"quote\""), "error"},
+        {pongEvent(), "pong"},
+        {byeEvent(), "bye"},
+        {ackEvent(key, 4, false, 1), "ack"},
+        {workerEvent(key, 0, "spawned", 123, 0), "worker"},
+        {cellEvent(key, "nw", "CBWS", 1.25, 3.5, 1, 4), "cell"},
+        {statsEvent(key, 2, 4, 2, 40000, 40000, 150, 2, 1), "stats"},
+        {sealedEvent(key, false, 4, 1000, 80000, 0, "[{\"x\":1}]"),
+         "sealed"},
+        {failedEvent(key, "respawn budget exhausted"), "failed"},
+    };
+    for (const auto &e : events) {
+        Result<JsonValue> parsed = parseJson(e.line, JsonLimits());
+        ASSERT_TRUE(parsed.ok()) << e.line;
+        ASSERT_TRUE(parsed.value().isObject()) << e.line;
+        EXPECT_EQ(parsed.value().strOr("event"), e.kind) << e.line;
+    }
+}
+
+TEST(ServeProtocol, SealedResultExtractedByteExact)
+{
+    // The embedded report must come back out untouched — the daemon's
+    // byte-identity promise would not survive a reserialisation.
+    const std::string result =
+        "[{\"workload\":\"nw\",\"ipc\":0.5217391304347826}]";
+    const std::string line =
+        sealedEvent("00000000deadbeef", true, 1, 7, 20000, 0, result);
+    Result<std::string> back = extractSealedResult(line);
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    EXPECT_EQ(back.value(), result);
+
+    EXPECT_FALSE(extractSealedResult(pongEvent()).ok());
+    EXPECT_FALSE(extractSealedResult("{\"event\":\"sealed\"").ok());
+}
+
+// --- job queue --------------------------------------------------------
+
+TEST(JobQueueTest, SubmitQueuesOncePersistsAcrossReopen)
+{
+    const std::string dir = makeTempDir();
+    const JobSpec spec = smallSpec();
+
+    {
+        JobQueue queue;
+        ASSERT_TRUE(queue.open(dir).ok());
+        EXPECT_TRUE(queue.empty());
+
+        Result<SubmitOutcome> first = queue.submit(spec);
+        ASSERT_TRUE(first.ok()) << first.error().str();
+        EXPECT_FALSE(first.value().deduped);
+        EXPECT_FALSE(first.value().alreadyQueued);
+        EXPECT_EQ(first.value().key, jobKey(spec));
+        EXPECT_EQ(queue.size(), 1u);
+
+        // Equal spec: acknowledged but not double-queued.
+        Result<SubmitOutcome> again = queue.submit(spec);
+        ASSERT_TRUE(again.ok());
+        EXPECT_TRUE(again.value().alreadyQueued);
+        EXPECT_EQ(queue.size(), 1u);
+
+        JobSpec other = spec;
+        other.seed = 7;
+        Result<SubmitOutcome> second = queue.submit(other);
+        ASSERT_TRUE(second.ok());
+        EXPECT_EQ(second.value().queuePosition, 1u);
+        EXPECT_EQ(queue.size(), 2u);
+    }
+
+    // Daemon restart: the spool files bring both jobs back, in order.
+    JobQueue reopened;
+    ASSERT_TRUE(reopened.open(dir).ok());
+    EXPECT_EQ(reopened.size(), 2u);
+    for (const Job &job : reopened.jobs())
+        EXPECT_EQ(job.key, jobKey(job.spec));
+}
+
+TEST(JobQueueTest, SealFrontEnablesDedup)
+{
+    const std::string dir = makeTempDir();
+    const JobSpec spec = smallSpec();
+    const std::string result = "[{\"workload\":\"nw\"}]";
+
+    JobQueue queue;
+    ASSERT_TRUE(queue.open(dir).ok());
+    ASSERT_TRUE(queue.submit(spec).ok());
+    EXPECT_FALSE(queue.hasSealed(jobKey(spec)));
+
+    ASSERT_TRUE(queue.sealFront(result).ok());
+    EXPECT_TRUE(queue.empty());
+    EXPECT_TRUE(queue.hasSealed(jobKey(spec)));
+
+    Result<std::string> loaded = queue.loadSealed(jobKey(spec));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value(), result);
+
+    // The same experiment again: served from the sealed file, never
+    // queued — and a reopened queue must not resurrect its spool.
+    Result<SubmitOutcome> again = queue.submit(spec);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again.value().deduped);
+    EXPECT_TRUE(queue.empty());
+
+    JobQueue reopened;
+    ASSERT_TRUE(reopened.open(dir).ok());
+    EXPECT_TRUE(reopened.empty());
+    EXPECT_TRUE(reopened.hasSealed(jobKey(spec)));
+}
+
+TEST(JobQueueTest, CorruptSpoolDroppedNotFatal)
+{
+    const std::string dir = makeTempDir();
+    {
+        JobQueue queue;
+        ASSERT_TRUE(queue.open(dir).ok());
+        ASSERT_TRUE(queue.submit(smallSpec()).ok());
+    }
+    // Scribble over a second "spool": recovery must warn and drop it
+    // while still requeuing the healthy one.
+    ASSERT_TRUE(writeFileAtomic(dir + "/queue/0123456789abcdef.json",
+                                "{definitely not a spec")
+                    .ok());
+    JobQueue reopened;
+    ASSERT_TRUE(reopened.open(dir).ok());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.front().key, jobKey(smallSpec()));
+}
+
+TEST(JobQueueTest, AtomicWriteAndReadBack)
+{
+    const std::string dir = makeTempDir();
+    const std::string path = dir + "/file.txt";
+    ASSERT_TRUE(writeFileAtomic(path, "hello\n").ok());
+    ASSERT_TRUE(writeFileAtomic(path, "replaced\n").ok());
+    Result<std::string> back = readFile(path);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), "replaced\n");
+    Result<std::string> missing = readFile(dir + "/absent");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, Errc::NotFound);
+}
+
+// --- sharded worker ---------------------------------------------------
+
+TEST(ServeWorker, ShardedRunMergesByteIdenticalToSerial)
+{
+    const JobSpec spec = smallSpec();
+    Result<std::vector<SimResult>> serial = runJobSerial(spec);
+    ASSERT_TRUE(serial.ok()) << serial.error().str();
+    const std::string reference = resultJson(serial.value());
+
+    const std::string job_dir = makeTempDir();
+    const unsigned shards = 2;
+    for (unsigned s = 0; s < shards; ++s)
+        ASSERT_EQ(runWorkerShard(spec, job_dir, s, shards, -1), 0)
+            << "shard " << s;
+
+    Result<std::vector<SimResult>> merged =
+        mergeShards(spec, job_dir, shards);
+    ASSERT_TRUE(merged.ok()) << merged.error().str();
+    EXPECT_EQ(resultJson(merged.value()), reference);
+
+    // Re-running a finished shard restores every cell from its
+    // checkpoint instead of re-simulating; the merge is unchanged.
+    ASSERT_EQ(runWorkerShard(spec, job_dir, 0, shards, -1), 0);
+    {
+        Checkpoint ckpt;
+        ASSERT_TRUE(ckpt.open(shardCheckpointPath(job_dir, 0),
+                              shardHeader(spec))
+                        .ok());
+        EXPECT_EQ(ckpt.resumedCells(), spec.cellCount() / shards);
+    }
+    Result<std::vector<SimResult>> remerged =
+        mergeShards(spec, job_dir, shards);
+    ASSERT_TRUE(remerged.ok());
+    EXPECT_EQ(resultJson(remerged.value()), reference);
+}
+
+TEST(ServeWorker, MergeReportsMissingShard)
+{
+    const JobSpec spec = smallSpec();
+    const std::string job_dir = makeTempDir();
+    ASSERT_EQ(runWorkerShard(spec, job_dir, 0, 2, -1), 0);
+    // Shard 1 never ran: its cells are absent and the merge must say
+    // so rather than seal a partial report.
+    Result<std::vector<SimResult>> merged =
+        mergeShards(spec, job_dir, 2);
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error().code, Errc::Corrupt);
+}
+
+TEST(ServeWorker, SingleShardEqualsSerial)
+{
+    JobSpec spec = smallSpec();
+    spec.workloads = {"nw"};
+    Result<std::vector<SimResult>> serial = runJobSerial(spec);
+    ASSERT_TRUE(serial.ok());
+
+    const std::string job_dir = makeTempDir();
+    ASSERT_EQ(runWorkerShard(spec, job_dir, 0, 1, -1), 0);
+    Result<std::vector<SimResult>> merged =
+        mergeShards(spec, job_dir, 1);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(resultJson(merged.value()),
+              resultJson(serial.value()));
+}
+
+} // namespace
+} // namespace serve
+} // namespace cbws

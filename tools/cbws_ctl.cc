@@ -1,0 +1,345 @@
+/**
+ * @file
+ * cbws-ctl — client for the cbws-served daemon.
+ *
+ * Subcommands (first positional):
+ *   submit    send an experiment-matrix job, stream progress, print
+ *             the sealed report (byte-identical to a serial run)
+ *   status    one-line queue/worker summary
+ *   result    fetch the sealed report of a job key
+ *   ping      liveness check
+ *   shutdown  ask the daemon to drain and exit
+ *
+ * Examples:
+ *   cbws-ctl submit --socket /tmp/cbws.sock \
+ *       --workload stencil-default --workload nw \
+ *       --scheme none --scheme CBWS --insts 120000 --output out.json
+ *   cbws-ctl submit --local --workload nw --scheme CBWS   # no daemon:
+ *       run the same job serially in-process (the byte-identity
+ *       reference the chaos CI check diffs the daemon against)
+ *   cbws-ctl status --socket /tmp/cbws.sock
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/argparse.hh"
+#include "base/json.hh"
+#include "base/socket.hh"
+#include "serve/jobqueue.hh"
+#include "serve/protocol.hh"
+#include "serve/worker.hh"
+#include "sim/report.hh"
+
+using namespace cbws;
+using namespace cbws::serve;
+
+namespace
+{
+
+int
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "cbws-ctl: %s\n", message.c_str());
+    return 1;
+}
+
+/** Write @p text to @p path, or stdout when the path is empty. */
+int
+emit(const std::string &path, const std::string &text)
+{
+    if (path.empty()) {
+        std::printf("%s\n", text.c_str());
+        return 0;
+    }
+    Result<void> wrote = writeFileAtomic(path, text + "\n");
+    if (!wrote.ok())
+        return fail(wrote.error().str());
+    return 0;
+}
+
+JobSpec
+specFromArgs(const ArgParser &args)
+{
+    JobSpec spec;
+    spec.workloads = args.getAll("workload");
+    spec.schemes = args.getAll("scheme");
+    spec.insts = args.getUint("insts", spec.insts);
+    spec.seed = args.getUint("seed", spec.seed);
+    spec.cores = static_cast<unsigned>(args.getUint("cores", 1));
+    spec.dramBackend = args.get("dram");
+    spec.pfOpts = args.getAll("pf-opt");
+    return spec;
+}
+
+/**
+ * Round-trip the spec through the same parse/validate gate the daemon
+ * applies, canonicalising scheme names in the process — --local and
+ * remote submissions of one command line must agree on the job key.
+ */
+Result<JobSpec>
+validateSpec(const JobSpec &raw)
+{
+    Result<JsonValue> parsed =
+        parseJson(jobSpecJson(raw), protocolJsonLimits());
+    if (!parsed.ok())
+        return parsed.error();
+    return parseJobSpec(parsed.value());
+}
+
+struct Connection
+{
+    OwnedFd fd;
+    LineChannel channel;
+    std::vector<std::string> pending;
+
+    /** Block until the next event line. */
+    Result<std::string>
+    nextEvent()
+    {
+        while (pending.empty()) {
+            Result<void> read = channel.readLines(pending);
+            if (!read.ok())
+                return read.error();
+            if (channel.eof() && pending.empty())
+                return Error(Errc::IoError,
+                             "daemon closed the connection");
+        }
+        std::string line = pending.front();
+        pending.erase(pending.begin());
+        return line;
+    }
+};
+
+Result<Connection>
+connect(const std::string &socket_arg)
+{
+    Result<SocketAddr> addr = parseSocketAddr(socket_arg);
+    if (!addr.ok())
+        return addr.error();
+    BackoffSchedule backoff;
+    backoff.baseMs = 25;
+    backoff.maxMs = 1000;
+    backoff.seed = faultSeedFromEnv();
+    Result<OwnedFd> fd = connectWithRetry(addr.value(), 20, backoff);
+    if (!fd.ok())
+        return fd.error();
+    Connection conn;
+    conn.fd = std::move(fd).value();
+    conn.channel.attach(conn.fd.fd());
+    // The daemon greets every connection; swallow the hello.
+    Result<std::string> hello = conn.nextEvent();
+    if (!hello.ok())
+        return hello.error();
+    return conn;
+}
+
+Result<void>
+sendRequest(Connection &conn, const Request &request)
+{
+    return conn.channel.writeLine(requestLine(request));
+}
+
+/** "event" member of a protocol line ("" when unparseable). */
+std::string
+eventKind(const std::string &line)
+{
+    Result<JsonValue> parsed = parseJson(line, JsonLimits());
+    if (!parsed.ok() || !parsed.value().isObject())
+        return "";
+    return parsed.value().strOr("event");
+}
+
+/** Scheduling-throughput record for the BENCH trend artifact. */
+void
+writeBenchRecord(const std::string &path, const std::string &job,
+                 const JsonValue &sealed)
+{
+    const std::uint64_t wall_ms = sealed.uintOr("wall_ms");
+    const std::uint64_t cells = sealed.uintOr("cells");
+    const std::uint64_t insts = sealed.uintOr("insts");
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", "served_scheduling");
+    w.field("job", job);
+    w.field("cells", cells);
+    w.field("wall_ms", wall_ms);
+    w.field("insts", insts);
+    w.field("respawns", sealed.uintOr("respawns"));
+    w.field("cells_per_sec",
+            wall_ms ? 1000.0 * static_cast<double>(cells) /
+                          static_cast<double>(wall_ms)
+                    : 0.0);
+    w.field("minsts_per_sec",
+            wall_ms ? static_cast<double>(insts) / 1000.0 /
+                          static_cast<double>(wall_ms)
+                    : 0.0);
+    w.endObject();
+    Result<void> wrote = writeFileAtomic(path, w.str() + "\n");
+    if (!wrote.ok())
+        std::fprintf(stderr, "cbws-ctl: --bench: %s\n",
+                     wrote.error().str().c_str());
+}
+
+int
+runSubmit(const ArgParser &args)
+{
+    Result<JobSpec> validated = validateSpec(specFromArgs(args));
+    if (!validated.ok())
+        return fail(validated.error().str());
+    const JobSpec spec = validated.value();
+
+    if (args.getFlag("local")) {
+        // The serial in-process reference: same cells, same
+        // serialisation path, no daemon. What the daemon seals must
+        // be byte-identical to this output.
+        Result<std::vector<SimResult>> cells = runJobSerial(spec);
+        if (!cells.ok())
+            return fail(cells.error().str());
+        return emit(args.get("output"), resultJson(cells.value()));
+    }
+
+    Result<Connection> connected = connect(args.get("socket"));
+    if (!connected.ok())
+        return fail(connected.error().str());
+    Connection conn = std::move(connected).value();
+
+    Request request;
+    request.op = Request::Op::Submit;
+    request.spec = spec;
+    Result<void> sent = sendRequest(conn, request);
+    if (!sent.ok())
+        return fail(sent.error().str());
+
+    const bool verbose = args.getFlag("verbose");
+    const bool no_wait = args.getFlag("no-wait");
+    for (;;) {
+        Result<std::string> line = conn.nextEvent();
+        if (!line.ok())
+            return fail(line.error().str());
+        const std::string kind = eventKind(line.value());
+        if (kind == "error")
+            return fail(line.value());
+        if (kind == "ack") {
+            if (verbose)
+                std::fprintf(stderr, "%s\n", line.value().c_str());
+            if (no_wait) {
+                std::printf("%s\n", line.value().c_str());
+                return 0;
+            }
+            continue;
+        }
+        if (kind == "cell" || kind == "worker" || kind == "stats") {
+            if (verbose)
+                std::fprintf(stderr, "%s\n", line.value().c_str());
+            continue;
+        }
+        if (kind == "failed")
+            return fail(line.value());
+        if (kind == "sealed") {
+            Result<std::string> result =
+                extractSealedResult(line.value());
+            if (!result.ok())
+                return fail(result.error().str());
+            if (!args.get("bench").empty()) {
+                Result<JsonValue> sealed =
+                    parseJson(line.value(), JsonLimits());
+                if (sealed.ok())
+                    writeBenchRecord(args.get("bench"),
+                                     jobKey(spec), sealed.value());
+            }
+            return emit(args.get("output"), result.value());
+        }
+        // hello/bye/unknown: ignore.
+    }
+}
+
+int
+runSimple(const ArgParser &args, Request::Op op)
+{
+    Result<Connection> connected = connect(args.get("socket"));
+    if (!connected.ok())
+        return fail(connected.error().str());
+    Connection conn = std::move(connected).value();
+    Request request;
+    request.op = op;
+    request.job = args.get("job");
+    Result<void> sent = sendRequest(conn, request);
+    if (!sent.ok())
+        return fail(sent.error().str());
+    Result<std::string> line = conn.nextEvent();
+    if (!line.ok())
+        return fail(line.error().str());
+    if (eventKind(line.value()) == "error")
+        return fail(line.value());
+    if (op == Request::Op::Result) {
+        Result<std::string> result =
+            extractSealedResult(line.value());
+        if (!result.ok())
+            return fail(result.error().str());
+        return emit(args.get("output"), result.value());
+    }
+    std::printf("%s\n", line.value().c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("cbws-ctl",
+                   "Client for cbws-served: submit experiment "
+                   "matrices, stream progress, fetch sealed "
+                   "results.");
+    args.addPositional("command",
+                       "submit | status | result | ping | shutdown");
+    args.addOption("socket", "daemon address (unix:/path or "
+                             "tcp:host:port)",
+                   "cbws-served.sock");
+    args.addRepeatable("workload", "workload to include (repeat)");
+    args.addRepeatable("scheme", "scheme to include (repeat)");
+    args.addOption("insts", "instruction budget per cell", "120000");
+    args.addOption("seed", "workload synthesis seed", "42");
+    args.addOption("cores", "cores per cell (rate mode)", "1");
+    args.addOption("dram", "DRAM backend registry name", "fixed");
+    args.addRepeatable("pf-opt", "key=value prefetcher override "
+                                 "(repeat)");
+    args.addOption("job", "job key (result)");
+    args.addOption("output", "write the report here instead of "
+                             "stdout");
+    args.addOption("bench", "append a scheduling-throughput record "
+                            "(BENCH_served.json)");
+    args.addFlag("local", "run the job serially in-process instead "
+                          "of submitting (byte-identity reference)");
+    args.addFlag("no-wait", "print the ack and exit instead of "
+                            "streaming to the sealed result");
+    args.addFlag("verbose", "stream progress events to stderr");
+    if (!args.parse(argc, argv))
+        return 2;
+    if (args.helpRequested()) {
+        std::printf("%s", args.usage().c_str());
+        return 0;
+    }
+    if (args.positionals().empty())
+        return fail("missing command (submit | status | result | "
+                    "ping | shutdown)");
+    const std::string command = args.positionals().front();
+
+    if (command == "submit")
+        return runSubmit(args);
+    if (command == "status")
+        return runSimple(args, Request::Op::Status);
+    if (command == "ping")
+        return runSimple(args, Request::Op::Ping);
+    if (command == "shutdown")
+        return runSimple(args, Request::Op::Shutdown);
+    if (command == "result") {
+        if (args.get("job").empty())
+            return fail("result needs --job <key>");
+        return runSimple(args, Request::Op::Result);
+    }
+    return fail("unknown command '" + command + "'");
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * cbws-served — the simulation-as-a-service daemon.
+ *
+ * Listens on a unix-domain (and optionally TCP) socket for
+ * line-delimited JSON requests (docs/SERVING.md), maintains a
+ * persistent experiment-matrix job queue under --data-dir, shards the
+ * running job's cells across a pool of forked worker processes, and
+ * streams per-cell results, worker lifecycle and scheduling stats to
+ * subscribed clients. Sealed results dedup identical resubmissions
+ * without re-simulating, and a SIGKILLed worker is respawned to
+ * resume its shard checkpoint — the merged report stays byte-
+ * identical to a serial in-process run.
+ *
+ * Examples:
+ *   cbws-served --socket /tmp/cbws.sock --data-dir /tmp/cbws-data
+ *   cbws-served --socket unix:/run/cbws.sock --tcp 127.0.0.1:7420 \
+ *               --workers 4 --verbose
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/argparse.hh"
+#include "base/faultinject.hh"
+#include "serve/server.hh"
+
+using namespace cbws;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("cbws-served",
+                   "Experiment-matrix serving daemon: queue, shard "
+                   "and stream simulation jobs over a socket.");
+    args.addOption("socket",
+                   "unix socket to listen on (unix:/path or bare "
+                   "path)",
+                   "cbws-served.sock");
+    args.addOption("tcp",
+                   "additionally listen on tcp:host:port (e.g. "
+                   "127.0.0.1:7420)");
+    args.addOption("data-dir",
+                   "queue spools, shard checkpoints and sealed "
+                   "results",
+                   "served-data");
+    args.addOption("workers", "worker processes per job", "2");
+    args.addOption("max-respawns",
+                   "respawns allowed per shard before a job fails",
+                   "8");
+    args.addFlag("verbose", "log client connects and job detail");
+    if (!args.parse(argc, argv))
+        return 2;
+    if (args.helpRequested()) {
+        std::printf("%s", args.usage().c_str());
+        return 0;
+    }
+
+    // CBWS_FAULT chaos scenarios (serve-worker-kill@n, ...) are
+    // inherited by the forked workers: configure early so a typo is a
+    // startup error, not a silent no-op mid-job.
+    {
+        Result<void> faults =
+            FaultInjector::instance().configureFromEnv();
+        if (!faults.ok()) {
+            std::fprintf(stderr, "cbws-served: %s\n",
+                         faults.error().str().c_str());
+            return 2;
+        }
+    }
+
+    serve::Server::Options options;
+    options.dataDir = args.get("data-dir");
+    options.workers =
+        static_cast<unsigned>(args.getUint("workers", 2));
+    options.maxRespawns =
+        static_cast<unsigned>(args.getUint("max-respawns", 8));
+    options.verbose = args.getFlag("verbose");
+
+    Result<SocketAddr> addr = parseSocketAddr(args.get("socket"));
+    if (!addr.ok()) {
+        std::fprintf(stderr, "cbws-served: --socket: %s\n",
+                     addr.error().str().c_str());
+        return 2;
+    }
+    options.listen.push_back(addr.value());
+    if (!args.get("tcp").empty()) {
+        std::string spec = args.get("tcp");
+        if (spec.rfind("tcp:", 0) != 0)
+            spec = "tcp:" + spec;
+        Result<SocketAddr> tcp = parseSocketAddr(spec);
+        if (!tcp.ok() || !tcp.value().tcp) {
+            std::fprintf(stderr,
+                         "cbws-served: --tcp: expected host:port\n");
+            return 2;
+        }
+        options.listen.push_back(tcp.value());
+    }
+
+    serve::Server server;
+    Result<void> ready = server.init(options);
+    if (!ready.ok()) {
+        std::fprintf(stderr, "cbws-served: %s\n",
+                     ready.error().str().c_str());
+        return 1;
+    }
+    // Machine-readable ready line on stdout: scripts (and the chaos
+    // CI job) wait for this before connecting.
+    for (const auto &bound : server.boundAddresses())
+        std::printf("READY %s\n", bound.c_str());
+    std::fflush(stdout);
+    return server.run();
+}
