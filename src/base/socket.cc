@@ -231,6 +231,16 @@ LineChannel::readLines(std::vector<std::string> &lines,
             buffer_.append(chunk, static_cast<std::size_t>(n));
             if (static_cast<std::size_t>(n) < sizeof(chunk))
                 break; // drained what was available
+            // A full chunk usually means more is pending, but on a
+            // blocking fd the next read() would hang if the payload
+            // happened to end exactly on the chunk boundary. Deliver
+            // any complete lines already buffered first; the caller
+            // comes back for the rest. (Scanning just the fresh
+            // chunk suffices: everything retained from earlier reads
+            // is a partial line with no newline in it.)
+            if (std::memchr(chunk, '\n',
+                            static_cast<std::size_t>(n)))
+                break;
             continue;
         }
         if (n == 0) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <dirent.h>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
@@ -27,6 +28,34 @@ ensureDir(const std::string &path)
         return Result<void>();
     return Error(Errc::IoError,
                  "mkdir " + path + ": " + std::strerror(errno));
+}
+
+/**
+ * Durably record a rename in @p path's parent directory. rename()
+ * alone only changes in-memory directory state; without this a crash
+ * shortly after sealing could roll the rename back even though the
+ * caller was told the write succeeded (and may already have unlinked
+ * the spool it was replacing).
+ */
+Result<void>
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : slash == 0 ? std::string("/")
+                                             : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return Error(Errc::IoError, dir + ": open for fsync: " +
+                                        std::strerror(errno));
+    const int rc = ::fsync(fd);
+    const int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        return Error(Errc::IoError,
+                     dir + ": fsync: " + std::strerror(saved));
+    return Result<void>();
 }
 
 } // anonymous namespace
@@ -54,7 +83,7 @@ writeFileAtomic(const std::string &path, const std::string &contents)
         return Error(Errc::IoError, path + ": rename failed: " +
                                         std::strerror(errno));
     }
-    return Result<void>();
+    return fsyncParentDir(path);
 }
 
 Result<std::string>
@@ -219,6 +248,10 @@ JobQueue::failFront()
 bool
 JobQueue::hasSealed(const std::string &key) const
 {
+    // Keys reach here from untrusted request lines; never splice
+    // anything but the canonical 16-hex form into a path.
+    if (!validJobKey(key))
+        return false;
     struct stat st;
     return ::stat(sealedPath(key).c_str(), &st) == 0 &&
            S_ISREG(st.st_mode);
@@ -227,6 +260,9 @@ JobQueue::hasSealed(const std::string &key) const
 Result<std::string>
 JobQueue::loadSealed(const std::string &key) const
 {
+    if (!validJobKey(key))
+        return Error(Errc::InvalidArgument,
+                     "malformed job key '" + key + "'");
     return readFile(sealedPath(key));
 }
 

@@ -198,6 +198,17 @@ jobKey(const JobSpec &spec)
     return hex16(jobFingerprint(spec));
 }
 
+bool
+validJobKey(const std::string &key)
+{
+    if (key.size() != 16)
+        return false;
+    for (const char c : key)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
 Result<Request>
 parseRequest(const std::string &line)
 {
@@ -226,15 +237,15 @@ parseRequest(const std::string &line)
     } else if (op == "subscribe") {
         request.op = Request::Op::Subscribe;
         request.job = v.strOr("job", "");
-        if (request.job.empty())
+        if (!validJobKey(request.job))
             return Error(Errc::InvalidArgument,
-                         "subscribe needs a job key");
+                         "subscribe needs a 16-hex-digit job key");
     } else if (op == "result") {
         request.op = Request::Op::Result;
         request.job = v.strOr("job", "");
-        if (request.job.empty())
+        if (!validJobKey(request.job))
             return Error(Errc::InvalidArgument,
-                         "result needs a job key");
+                         "result needs a 16-hex-digit job key");
     } else if (op == "ping") {
         request.op = Request::Op::Ping;
     } else if (op == "shutdown") {

@@ -102,6 +102,15 @@ std::uint64_t jobFingerprint(const JobSpec &spec);
 /** jobFingerprint as the 16-hex-digit job key used on the wire. */
 std::string jobKey(const JobSpec &spec);
 
+/**
+ * True iff @p key has the exact canonical jobKey() shape (16
+ * lowercase hex digits). Job keys arrive from untrusted peers and are
+ * spliced into filesystem paths (jobs/<key>/result.json), so anything
+ * else — traversal sequences, embedded NULs, empty strings — must be
+ * rejected before it reaches the queue.
+ */
+bool validJobKey(const std::string &key);
+
 /** A parsed client request. */
 struct Request
 {

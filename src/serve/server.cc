@@ -503,6 +503,7 @@ Server::run()
         for (const auto &listener : listeners_)
             fds.push_back({listener.fd(), POLLIN, 0});
         const std::size_t client_base = fds.size();
+        const std::size_t client_count = clients_.size();
         for (auto &client : clients_)
             fds.push_back({client.fd.fd(), POLLIN, 0});
         for (int fd : supervisor_.pollFds())
@@ -555,11 +556,17 @@ Server::run()
             if (fds[1 + i].revents & (POLLIN | POLLERR))
                 acceptClients(listeners_[i].fd());
 
-        std::size_t idx = client_base;
-        for (auto &client : clients_) {
-            if (fds[idx].revents & (POLLIN | POLLERR | POLLHUP))
-                serviceClient(client);
-            ++idx;
+        // Only the clients that existed when the pollfd set was
+        // built have an entry in fds; anything acceptClients() just
+        // appended has no revents yet and is polled next iteration.
+        {
+            std::size_t idx = client_base;
+            auto it = clients_.begin();
+            for (std::size_t i = 0; i < client_count;
+                 ++i, ++it, ++idx)
+                if (fds[idx].revents &
+                    (POLLIN | POLLERR | POLLHUP))
+                    serviceClient(*it);
         }
         reapDeadClients();
 

@@ -156,8 +156,6 @@ Supervisor::pump(std::uint64_t now_ms, bool reap)
 
             const bool clean =
                 WIFEXITED(status) && WEXITSTATUS(status) == 0;
-            const bool drained =
-                WIFEXITED(status) && WEXITSTATUS(status) == 130;
             Event ev;
             ev.shard = slot->shard;
             ev.pid = pid;
@@ -168,9 +166,13 @@ Supervisor::pump(std::uint64_t now_ms, bool reap)
                 events.push_back(ev);
                 continue;
             }
-            if (drained || stopping_) {
+            if (stopping_) {
                 // Graceful drain (our SIGTERM): the shard checkpoint
-                // is sealed; nothing to respawn while stopping.
+                // is sealed; nothing to respawn while stopping. An
+                // exit 130 while NOT stopping (a stray signal sent
+                // straight at the worker) must fall through to the
+                // crash path instead — treating it as drained would
+                // leave the shard unfinished forever.
                 ev.kind = Event::Kind::Drained;
                 events.push_back(ev);
                 continue;

@@ -10,13 +10,20 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
 #include <vector>
 
+#include "base/socket.hh"
 #include "serve/jobqueue.hh"
 #include "serve/protocol.hh"
+#include "serve/supervisor.hh"
 #include "serve/worker.hh"
 #include "sim/checkpoint.hh"
 
@@ -344,6 +351,157 @@ TEST(ServeWorker, MergeReportsMissingShard)
         mergeShards(spec, job_dir, 2);
     ASSERT_FALSE(merged.ok());
     EXPECT_EQ(merged.error().code, Errc::Corrupt);
+}
+
+TEST(ServeProtocol, JobKeysValidatedAgainstTraversal)
+{
+    EXPECT_TRUE(validJobKey("deadbeefdeadbeef"));
+    EXPECT_TRUE(validJobKey(jobKey(smallSpec())));
+    EXPECT_FALSE(validJobKey(""));
+    EXPECT_FALSE(validJobKey("DEADBEEFDEADBEEF")); // not canonical
+    EXPECT_FALSE(validJobKey("deadbeefdeadbee"));  // 15 chars
+    EXPECT_FALSE(validJobKey("deadbeefdeadbeef0")); // 17 chars
+    EXPECT_FALSE(validJobKey("../../etc/passwd"));
+    EXPECT_FALSE(validJobKey(std::string("deadbeef\0deadbee", 16)));
+
+    // The same gate applied at request parse time: a key is spliced
+    // into filesystem paths, so traversal shapes (including
+    // JSON-escaped NULs that would truncate the appended
+    // /result.json) must be rejected before they reach the queue.
+    for (const char *line :
+         {"{\"op\":\"result\",\"job\":\"../../../etc/passwd\"}",
+          "{\"op\":\"subscribe\",\"job\":\"../../../etc/passwd\"}",
+          "{\"op\":\"result\",\"job\":"
+          "\"..\\u0000..aaaaaaaaaaaa\"}",
+          "{\"op\":\"result\",\"job\":\"DEADBEEFDEADBEEF\"}"}) {
+        EXPECT_FALSE(parseRequest(line).ok()) << line;
+    }
+}
+
+TEST(JobQueueTest, MalformedKeysNeverReachTheFilesystem)
+{
+    const std::string dir = makeTempDir();
+    JobQueue queue;
+    ASSERT_TRUE(queue.open(dir).ok());
+
+    // Plant a result file where a traversal key would land if it were
+    // spliced into sealedPath (dir/jobs/../planted/result.json); the
+    // queue must refuse the key rather than find the file.
+    ASSERT_EQ(::mkdir((dir + "/planted").c_str(), 0775), 0);
+    ASSERT_TRUE(
+        writeFileAtomic(dir + "/planted/result.json", "[]").ok());
+    EXPECT_FALSE(queue.hasSealed("../planted"));
+    Result<std::string> loaded = queue.loadSealed("../planted");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, Errc::InvalidArgument);
+}
+
+// --- line channel -----------------------------------------------------
+
+TEST(LineChannelTest, BlockingFdChunkBoundaryDoesNotHang)
+{
+    // readLines reads in 4096-byte chunks and uses "short read" as
+    // its drained heuristic. A payload that is an exact multiple of
+    // the chunk size used to trigger one read too many — fatal on a
+    // blocking fd (the cbws-ctl Connection shape), where that extra
+    // read blocks forever despite complete lines being buffered.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::string payload(4095, 'x');
+    payload.push_back('\n');
+    ASSERT_EQ(::write(sv[1], payload.data(), payload.size()),
+              static_cast<ssize_t>(payload.size()));
+
+    ::alarm(30); // a regression hangs; die loudly instead
+    LineChannel channel(sv[0]);
+    std::vector<std::string> lines;
+    Result<void> read = channel.readLines(lines);
+    ASSERT_TRUE(read.ok()) << read.error().str();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], std::string(4095, 'x'));
+
+    // Two exact chunks: the second line must still be retrievable on
+    // the next call, nothing stranded in the buffer.
+    ASSERT_EQ(::write(sv[1], payload.data(), payload.size()),
+              static_cast<ssize_t>(payload.size()));
+    ASSERT_EQ(::write(sv[1], payload.data(), payload.size()),
+              static_cast<ssize_t>(payload.size()));
+    lines.clear();
+    while (lines.size() < 2) {
+        Result<void> more = channel.readLines(lines);
+        ASSERT_TRUE(more.ok()) << more.error().str();
+    }
+    EXPECT_EQ(lines.size(), 2u);
+    ::alarm(0);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// --- supervisor -------------------------------------------------------
+
+std::uint64_t
+monoMs()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+TEST(ServeSupervisor, StrayWorkerTermRespawnsInsteadOfHanging)
+{
+    // A SIGTERM delivered straight to a worker (not via stop()) makes
+    // it seal its shard and exit 130. The supervisor is NOT stopping,
+    // so it must classify that as a crash and respawn the shard;
+    // treating it as a graceful drain would leave the job unfinished
+    // forever.
+    JobSpec spec = smallSpec();
+    spec.insts = 60000;
+    const std::string job_dir = makeTempDir();
+
+    Supervisor supervisor;
+    Supervisor::Options options;
+    options.numWorkers = 1;
+    options.backoff.baseMs = 1;
+    options.backoff.maxMs = 2;
+    Result<void> started =
+        supervisor.start(spec, job_dir, options, monoMs());
+    ASSERT_TRUE(started.ok()) << started.error().str();
+
+    bool termed = false;
+    bool sawCrash = false;
+    bool sawDrain = false;
+    const std::uint64_t deadline = monoMs() + 60000;
+    while (supervisor.active() && !supervisor.finished() &&
+           !supervisor.failed()) {
+        ASSERT_LT(monoMs(), deadline) << "job never finished: the "
+                                         "interrupted shard was not "
+                                         "respawned";
+        for (const auto &ev : supervisor.pump(monoMs(), true)) {
+            if (ev.kind == Supervisor::Event::Kind::Cell && !termed) {
+                // First progress line: the worker is mid-matrix with
+                // its SIGTERM handler long installed. Interrupt it.
+                ::kill(ev.pid, SIGTERM);
+                termed = true;
+            }
+            if (ev.kind == Supervisor::Event::Kind::Crashed)
+                sawCrash = true;
+            if (ev.kind == Supervisor::Event::Kind::Drained)
+                sawDrain = true;
+        }
+        ::usleep(2000);
+    }
+    EXPECT_TRUE(termed);
+    EXPECT_TRUE(supervisor.finished());
+    EXPECT_FALSE(supervisor.failed());
+    EXPECT_FALSE(sawDrain) << "exit while not stopping was "
+                              "misclassified as a graceful drain";
+    // SIGTERMed right after its first cell with three still to go,
+    // the worker exits 130 mid-matrix — which must surface as a
+    // Crashed event (and hence a respawn), never silence.
+    EXPECT_TRUE(sawCrash);
+    supervisor.killAll();
+    supervisor.clear();
 }
 
 TEST(ServeWorker, SingleShardEqualsSerial)
