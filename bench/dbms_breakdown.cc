@@ -1,0 +1,293 @@
+/**
+ * @file
+ * DBMS family breakdown: the full registry zoo raced over the six
+ * irregular server kernels (hash-join ... column-materialize), with
+ * per-kernel speedup/accuracy/coverage/pollution per scheme.
+ *
+ * This is the "where CBWS breaks" report: unlike the paper figures,
+ * the expected result is CBWS *losing* on most of these kernels, and
+ * the output says so explicitly (per-kernel winner vs CBWS verdicts).
+ * stdout is golden-diffed by CI (tests/golden/dbms.txt); the full
+ * cell matrix lands in the schema-versioned, provenance-stamped
+ * BENCH_dbms.json for trend tracking.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "base/json.hh"
+#include "base/table.hh"
+#include "base/version.hh"
+#include "prefetch/registry.hh"
+#include "sim/config.hh"
+#include "workloads/registry.hh"
+
+using namespace cbws;
+
+namespace
+{
+
+/** Version of the BENCH_dbms.json schema (docs/FORMATS.md). */
+constexpr unsigned DbmsSchemaVersion = 1;
+
+/** Everything the report needs from one (kernel, scheme) run. */
+struct Cell
+{
+    std::string kernel;
+    std::string scheme;
+    double ipc = 0.0;
+    double speedup = 0.0; ///< IPC over No-Prefetch, same kernel
+    double mpki = 0.0;
+    std::uint64_t l2DemandMisses = 0;
+    std::uint64_t pfIssued = 0;
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    double pollution = 0.0;
+    std::uint64_t storageBits = 0;
+};
+
+Cell
+makeCell(const std::string &kernel, const std::string &scheme,
+         const SimResult &res, const SimResult &baseline)
+{
+    const PrefetchLifecycle life = res.mem.pfLifeTotal();
+    Cell cell;
+    cell.kernel = kernel;
+    cell.scheme = scheme;
+    cell.ipc = res.ipc();
+    cell.speedup = baseline.ipc() > 0 ? res.ipc() / baseline.ipc()
+                                      : 0.0;
+    cell.mpki = res.mpki();
+    cell.l2DemandMisses = res.mem.llcDemandMisses;
+    cell.pfIssued = life.issued;
+    cell.accuracy = life.accuracy();
+    const std::uint64_t cov_base =
+        life.demandHitTimely + res.mem.llcDemandMisses;
+    cell.coverage = cov_base ? static_cast<double>(
+                                   life.demandHitTimely) /
+                                   static_cast<double>(cov_base)
+                             : 0.0;
+    cell.pollution = life.pollutionRate();
+    cell.storageBits = res.prefetcherStorageBits;
+    return cell;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init(argc, argv);
+    const std::uint64_t insts = benchInstructionBudget(60000);
+    bench::banner("DBMS breakdown - irregular server kernels vs the "
+                  "full zoo (where CBWS breaks)",
+                  "no single figure - the ROADMAP item 2 stress test "
+                  "beyond the paper's loop nests",
+                  insts);
+
+    // The whole registry, with the speedup baseline guaranteed in.
+    std::vector<std::string> schemes = zooSchemeNames();
+    const std::string baseline =
+        prefetcherRegistry().canonicalName("No-Prefetch");
+    if (std::find(schemes.begin(), schemes.end(), baseline) ==
+        schemes.end()) {
+        schemes.insert(schemes.begin(), baseline);
+    }
+    const std::string cbws =
+        prefetcherRegistry().canonicalName("CBWS");
+
+    const auto workloads = dbmsWorkloads();
+    const ExperimentMatrix matrix =
+        runMatrix(workloads, schemes, bench::systemConfig(), insts,
+                  42, bench::matrixOptions());
+
+    const std::size_t base_col = matrix.column(baseline);
+    std::vector<Cell> cells;
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+        const WorkloadRow &row = matrix.rows[r];
+        for (std::size_t k = 0; k < matrix.schemes.size(); ++k) {
+            cells.push_back(makeCell(row.workload,
+                                     matrix.schemes[k],
+                                     row.byPrefetcher[k],
+                                     row.byPrefetcher[base_col]));
+        }
+    }
+
+    // Per-kernel speedup table, one scheme per column.
+    std::printf("-- speedup over No-Prefetch (per kernel) --\n");
+    TextTable speedups;
+    std::vector<std::string> header = {"kernel"};
+    for (const auto &scheme : matrix.schemes)
+        header.push_back(scheme);
+    speedups.header(header);
+    for (const auto &row : matrix.rows) {
+        std::vector<std::string> out = {row.workload};
+        for (const Cell &cell : cells) {
+            if (cell.kernel != row.workload)
+                continue;
+            out.push_back(TextTable::num(cell.speedup, 2) + "x");
+        }
+        speedups.row(out);
+    }
+    std::printf("%s\n", speedups.render().c_str());
+
+    // Per-kernel winner vs CBWS: the honesty table. "CBWS beaten"
+    // means some scheme outside the CBWS family is strictly faster
+    // than standalone CBWS on that kernel.
+    std::printf("-- per-kernel winner vs CBWS --\n");
+    TextTable verdicts;
+    verdicts.header({"kernel", "best scheme", "best", "CBWS",
+                     "verdict"});
+    std::vector<std::string> beaten_on;
+    for (const auto &row : matrix.rows) {
+        const Cell *best = nullptr;
+        const Cell *cbws_cell = nullptr;
+        for (const Cell &cell : cells) {
+            if (cell.kernel != row.workload)
+                continue;
+            if (cell.scheme == cbws)
+                cbws_cell = &cell;
+            // The winner is the best *non-CBWS-family* scheme: the
+            // point is what takes over where CBWS cannot predict.
+            if (cell.scheme == baseline ||
+                cell.scheme.rfind("CBWS", 0) == 0)
+                continue;
+            if (!best || cell.speedup > best->speedup ||
+                (cell.speedup == best->speedup &&
+                 cell.scheme < best->scheme))
+                best = &cell;
+        }
+        if (!best || !cbws_cell)
+            continue;
+        const bool beaten = best->speedup > cbws_cell->speedup;
+        if (beaten)
+            beaten_on.push_back(row.workload);
+        verdicts.row({row.workload, best->scheme,
+                      TextTable::num(best->speedup, 2) + "x",
+                      TextTable::num(cbws_cell->speedup, 2) + "x",
+                      beaten ? "CBWS beaten" : "CBWS competitive"});
+    }
+    std::printf("%s\n", verdicts.render().c_str());
+
+    // Family-level mini leaderboard: geomean speedup plus rolled-up
+    // lifecycle rates, sorted best first (name tie-break).
+    std::printf("-- scheme aggregates over the DBMS family --\n");
+    struct Standing
+    {
+        std::string scheme;
+        double score = 0.0;
+        double accuracy = 0.0;
+        double coverage = 0.0;
+        double pollution = 0.0;
+    };
+    std::vector<Standing> standings;
+    for (const auto &scheme : matrix.schemes) {
+        Standing s;
+        s.scheme = scheme;
+        double log_sum = 0.0, acc = 0.0, cov = 0.0, pol = 0.0;
+        std::size_t n = 0;
+        for (const Cell &cell : cells) {
+            if (cell.scheme != scheme || cell.speedup <= 0)
+                continue;
+            log_sum += std::log(cell.speedup);
+            acc += cell.accuracy;
+            cov += cell.coverage;
+            pol += cell.pollution;
+            ++n;
+        }
+        if (n) {
+            s.score = std::exp(log_sum / static_cast<double>(n));
+            s.accuracy = acc / static_cast<double>(n);
+            s.coverage = cov / static_cast<double>(n);
+            s.pollution = pol / static_cast<double>(n);
+        }
+        standings.push_back(s);
+    }
+    std::sort(standings.begin(), standings.end(),
+              [](const Standing &a, const Standing &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.scheme < b.scheme;
+              });
+    TextTable aggregates;
+    aggregates.header({"scheme", "geomean", "accuracy", "coverage",
+                       "pollution"});
+    for (const Standing &s : standings) {
+        aggregates.row({s.scheme, TextTable::num(s.score, 3),
+                        TextTable::num(100.0 * s.accuracy, 1) + "%",
+                        TextTable::num(100.0 * s.coverage, 1) + "%",
+                        TextTable::num(100.0 * s.pollution, 1) +
+                            "%"});
+    }
+    std::printf("%s\n", aggregates.render().c_str());
+
+    if (beaten_on.empty()) {
+        std::printf("CBWS beaten on: (none - the family is not "
+                    "doing its job)\n");
+    } else {
+        std::printf("CBWS beaten on:");
+        for (const auto &kernel : beaten_on)
+            std::printf(" %s", kernel.c_str());
+        std::printf(" (%zu of %zu kernels)\n", beaten_on.size(),
+                    matrix.rows.size());
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::uint64_t>(DbmsSchemaVersion));
+    w.field("bench", "dbms_breakdown");
+    w.key("provenance");
+    writeProvenance(w);
+    w.field("instructions_per_run", insts);
+    w.field("seed", static_cast<std::uint64_t>(42));
+    w.key("schemes");
+    w.beginArray();
+    for (const auto &scheme : matrix.schemes)
+        w.value(scheme);
+    w.endArray();
+    w.key("kernels");
+    w.beginArray();
+    for (const auto &row : matrix.rows)
+        w.value(row.workload);
+    w.endArray();
+    w.key("cells");
+    w.beginArray();
+    for (const Cell &cell : cells) {
+        w.beginObject();
+        w.field("kernel", cell.kernel);
+        w.field("scheme", cell.scheme);
+        w.field("ipc", cell.ipc);
+        w.field("speedup", cell.speedup);
+        w.field("mpki", cell.mpki);
+        w.field("l2_demand_misses", cell.l2DemandMisses);
+        w.field("pf_issued", cell.pfIssued);
+        w.field("accuracy", cell.accuracy);
+        w.field("coverage", cell.coverage);
+        w.field("pollution", cell.pollution);
+        w.field("storage_bits", cell.storageBits);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("cbws_beaten_on");
+    w.beginArray();
+    for (const auto &kernel : beaten_on)
+        w.value(kernel);
+    w.endArray();
+    w.endObject();
+
+    const char *json_path = "BENCH_dbms.json";
+    std::FILE *f = std::fopen(json_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+    }
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "dbms breakdown written to %s\n", json_path);
+    return 0;
+}

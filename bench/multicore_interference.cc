@@ -64,12 +64,13 @@ main(int argc, char **argv)
     // read-only copy.
     std::vector<Trace> traces(mix.size());
     for (std::size_t i = 0; i < mix.size(); ++i) {
-        auto w = findWorkload(mix[i]);
-        if (!w) {
-            std::fprintf(stderr, "unknown benchmark '%s'\n",
-                         mix[i].c_str());
+        auto found = findWorkloadChecked(mix[i]);
+        if (!found.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         found.error().str().c_str());
             return 1;
         }
+        auto w = std::move(found).value();
         WorkloadParams params;
         params.maxInstructions = insts;
         traces[i].reserve(insts + 512);

@@ -123,9 +123,9 @@ parseJobSpec(const JsonValue &v)
     // Fail fast at the submission boundary, exactly like runMatrix
     // does at its entry: unknown names never reach the queue.
     for (const auto &name : spec.workloads) {
-        if (!findWorkload(name))
-            return Error(Errc::InvalidArgument,
-                         "unknown workload '" + name + "'");
+        Result<WorkloadPtr> found = findWorkloadChecked(name);
+        if (!found.ok())
+            return found.error();
     }
     for (auto &name : spec.schemes) {
         if (!prefetcherRegistry().contains(name))

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Synthetic DBMS/server workload family: irregular, pointer-heavy,
+ * data-dependent kernels modelled on the hpides prefetching-benchmark
+ * catalog (hash_join, btree_benchmark, binary_search, pointer_chasing,
+ * hashmap_benchmark, materialization).
+ *
+ * Where the 30 paper kernels are HPC-style loop nests — the easy case
+ * for CBWS's loop-aware working sets — these six reproduce the
+ * "millions of users" traffic shape of database engines: hash probes,
+ * tree descents and dependent pointer walks whose iteration working
+ * sets evolve by *data-dependent* differentials. Every structure is
+ * sized well past the 2 MB L2, so the misses are real capacity misses,
+ * not cold-start noise. This is the family where CBWS is expected to
+ * lose on some kernels and the zoo's Markov/RL schemes take over.
+ */
+
+#include "workloads/emitter.hh"
+#include "workloads/kernels/kernels.hh"
+
+namespace cbws
+{
+namespace kernels
+{
+
+namespace
+{
+
+// Register conventions shared by the kernels in this file.
+constexpr RegIndex RIdx = 1;   ///< primary induction variable
+constexpr RegIndex RVal = 3;   ///< loaded data value
+constexpr RegIndex RPtr = 4;   ///< pointer loaded from memory
+constexpr RegIndex RAcc = 5;   ///< accumulator
+constexpr RegIndex RCmp = 6;   ///< comparison result feeding branches
+
+/**
+ * Deterministic 64-bit mix (splitmix64 finaliser): used wherever a
+ * kernel needs a *fixed* data structure (a pointer graph, a hash
+ * function) rather than a fresh random draw — revisiting the same
+ * node must follow the same edges, or the address stream would be
+ * noise even to a Markov predictor.
+ */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * hash-join — open-addressing hash-join build + probe.
+ *
+ * Build fills an 8 MB open-addressing table from a streamed build
+ * column; probe streams the probe column (unit stride, the easy part)
+ * and for each tuple walks the table from a hashed slot until the
+ * match or an empty slot (1-3 dependent random-table loads, the hard
+ * part). The per-iteration working set mixes one predictable column
+ * line with hash-scattered table lines, so the CBWS differentials
+ * are data dependent almost everywhere.
+ */
+class HashJoinWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "hash-join"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_slots = 1ull << 17; // x64B = 8 MB
+        const std::uint64_t build_rows = 60000;
+        const std::uint64_t probe_rows = 1ull << 20;
+        const Addr table = e.alloc(num_slots * 64);
+        const Addr build_col = e.alloc(build_rows * 16);
+        const Addr probe_col = e.alloc(probe_rows * 16);
+        const Addr out = e.alloc(probe_rows * 16);
+
+        while (!e.full()) {
+            // Build phase: stream the build column, scatter into the
+            // table (annotated tight loop).
+            for (std::uint64_t i = 0; i < build_rows && !e.full();
+                 ++i) {
+                const std::uint64_t slot =
+                    mix64(i * 2654435761ull) % num_slots;
+                e.blockBegin(0, /*id=*/10);
+                e.load(1, build_col + i * 16, RVal, RIdx);
+                e.alu(2, RPtr, RVal);                 // hash(key)
+                e.load(3, table + slot * 64, RCmp, RPtr);
+                e.store(4, table + slot * 64, RVal, RPtr);
+                e.alu(5, RIdx, RIdx);                 // i++
+                e.branch(6, i + 1 < build_rows, 1, RIdx);
+                e.blockEnd(7, /*id=*/10);
+            }
+
+            // Probe phase: the dominant loop of every hash join.
+            std::uint64_t matched = 0;
+            for (std::uint64_t i = 0; i < probe_rows && !e.full();
+                 ++i) {
+                const std::uint64_t slot =
+                    e.rng().below(num_slots);
+                // Open addressing: geometric probe-run length.
+                unsigned probes = 1;
+                if (e.rng().chance(0.35))
+                    ++probes;
+                if (e.rng().chance(0.15))
+                    ++probes;
+                e.blockBegin(0, /*id=*/11);
+                e.load(1, probe_col + i * 16, RVal, RIdx);
+                e.alu(2, RPtr, RVal);                 // hash(key)
+                for (unsigned p = 0; p < probes; ++p) {
+                    e.load(3 + p * 2,
+                           table + ((slot + p) % num_slots) * 64,
+                           RCmp, RPtr);
+                    e.alu(4 + p * 2, RCmp, RCmp, RVal); // key compare
+                }
+                const bool hit = e.rng().chance(0.45);
+                e.branch(9, !hit, 12, RCmp);
+                if (hit) {
+                    // Materialise the joined tuple (sequential out).
+                    e.store(10, out + matched * 16, RCmp, RPtr);
+                    e.alu(11, RAcc, RAcc, RCmp);
+                    ++matched;
+                }
+                e.alu(12, RIdx, RIdx);
+                e.branch(13, i + 1 < probe_rows, 1, RIdx);
+                e.blockEnd(14, /*id=*/11);
+
+                // Operator glue between probe batches (non-loop
+                // runtime): tuple-at-a-time bookkeeping.
+                if (i % 64 == 63) {
+                    for (unsigned s = 0; s < 8; ++s)
+                        e.alu(100 + s % 4, RAcc, RAcc);
+                }
+            }
+        }
+    }
+};
+
+/**
+ * btree-descent — B-tree point lookups with configurable fan-out.
+ *
+ * A four-level tree of 256-byte nodes (fan-out 16 by default) over a
+ * 4 MB leaf array. Each level's key scan is the annotated tight loop:
+ * the scan itself walks the node's lines sequentially (spatially
+ * local — SMS territory), but consecutive blocks sit at unrelated
+ * node addresses chosen by the descent, so block-to-block
+ * differentials carry no recurring stride for CBWS to learn.
+ */
+class BtreeWorkload : public Workload
+{
+  public:
+    explicit BtreeWorkload(unsigned fanout) : fanout_(fanout) {}
+
+    std::string name() const override { return "btree-descent"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t fanout = fanout_;
+        const std::uint64_t node_bytes = fanout * 16; // keys+children
+        const unsigned levels = 4;
+        // Nodes per level: 1, F, F^2, F^3.
+        std::uint64_t level_nodes[levels];
+        std::uint64_t total_nodes = 0;
+        {
+            std::uint64_t n = 1;
+            for (unsigned l = 0; l < levels; ++l) {
+                level_nodes[l] = n;
+                total_nodes += n;
+                n *= fanout;
+            }
+        }
+        const std::uint64_t leaves = level_nodes[levels - 1] * fanout;
+        const Addr nodes = e.alloc(total_nodes * node_bytes);
+        const Addr leaf_arr = e.alloc(leaves * 64); // 4 MB at F=16
+
+        std::uint64_t level_base[levels];
+        {
+            std::uint64_t off = 0;
+            for (unsigned l = 0; l < levels; ++l) {
+                level_base[l] = off;
+                off += level_nodes[l];
+            }
+        }
+
+        while (!e.full()) {
+            // One point lookup: descend the inner levels, then touch
+            // the leaf.
+            std::uint64_t node = 0; // root
+            for (unsigned l = 0; l < levels && !e.full(); ++l) {
+                const Addr base = nodes + (level_base[l] + node) *
+                                              node_bytes;
+                // Key scan: one load per node line, early-exit
+                // branch per line (the branchy separator search).
+                const unsigned lines =
+                    static_cast<unsigned>((node_bytes + 63) / 64);
+                const unsigned stop =
+                    1 + static_cast<unsigned>(e.rng().below(lines));
+                e.blockBegin(0, /*id=*/12);
+                for (unsigned k = 0; k < stop; ++k) {
+                    e.load(1 + k * 2, base + k * 64, RVal, RPtr);
+                    e.alu(2 + k * 2, RCmp, RVal, RAcc);
+                }
+                e.branch(11, stop < lines, 1, RCmp);
+                e.alu(12, RPtr, RCmp);    // child pointer
+                e.blockEnd(13, /*id=*/12);
+                // The chosen child: data dependent (uniform key).
+                node = node * fanout + e.rng().below(fanout);
+            }
+            // Leaf access + result bookkeeping (non-loop runtime).
+            e.load(120, leaf_arr + (node % leaves) * 64, RVal, RPtr);
+            for (unsigned s = 0; s < 6; ++s)
+                e.alu(130 + s % 3, RAcc, RAcc, RVal);
+        }
+    }
+
+  private:
+    unsigned fanout_;
+};
+
+/**
+ * binary-search — branchy binary search over a sorted column.
+ *
+ * Lookups over a 16 MB sorted column: every halving step is one
+ * annotated block holding a single data-dependent load plus the
+ * taken/not-taken compare. The first few steps of every search hit
+ * the same central lines (cache-resident), the tail scatters over
+ * the whole column — the classic pattern where stride, stream and
+ * working-set prefetchers all collapse.
+ */
+class BinarySearchWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "binary-search"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t n = 2ull * 1024 * 1024; // x8B = 16 MB
+        const Addr column = e.alloc(n * 8);
+        const Addr results = e.alloc(1ull << 20);
+
+        std::uint64_t searches = 0;
+        while (!e.full()) {
+            const std::uint64_t key = e.rng().below(n);
+            std::uint64_t lo = 0, hi = n;
+            while (lo + 1 < hi && !e.full()) {
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                const bool go_right = key >= mid;
+                e.blockBegin(0, /*id=*/13);
+                e.load(1, column + mid * 8, RVal, RPtr);
+                e.alu(2, RCmp, RVal, RAcc);       // key compare
+                e.branch(3, go_right, 1, RCmp);
+                e.blockEnd(4, /*id=*/13);
+                if (go_right)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            // Row fetch + result append (non-loop runtime).
+            e.load(110, column + lo * 8, RVal, RPtr);
+            e.store(111, results + (searches % 131072) * 8, RVal,
+                    RIdx);
+            for (unsigned s = 0; s < 4; ++s)
+                e.alu(120 + s % 2, RAcc, RAcc);
+            ++searches;
+        }
+    }
+};
+
+/**
+ * pointer-chase — dependent pointer chasing with configurable
+ * out-degree.
+ *
+ * A fixed random graph of 256 K nodes (16 MB): every visit loads one
+ * of the node's out-pointers and follows it, so each block's single
+ * data line is the *loaded value* of the previous block — the
+ * fully-dependent case where no working-set or stride scheme can
+ * help. The graph's edges are frozen at synthesis, so a node's
+ * successors repeat across visits: per-page Markov chains (Pangloss)
+ * are the only registry schemes with anything to learn here.
+ */
+class PointerChaseWorkload : public Workload
+{
+  public:
+    explicit PointerChaseWorkload(unsigned out_degree)
+        : outDegree_(out_degree)
+    {}
+
+    std::string name() const override { return "pointer-chase"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_nodes = 1ull << 18; // x64B = 16 MB
+        const Addr nodes = e.alloc(num_nodes * 64);
+
+        std::uint64_t cur = e.rng().below(num_nodes);
+        while (!e.full()) {
+            // One chain: 64 dependent hops, then re-seed (a new
+            // "request" arriving at the server).
+            for (unsigned hop = 0; hop < 64 && !e.full(); ++hop) {
+                const std::uint64_t pick =
+                    e.rng().below(outDegree_);
+                e.blockBegin(0, /*id=*/14);
+                // The pointer slot: node header + pick*8.
+                e.load(1, nodes + cur * 64 + pick * 8, RPtr, RPtr);
+                // The payload the server actually wanted.
+                e.load(2, nodes + cur * 64 + 32, RVal, RPtr);
+                e.alu(3, RAcc, RAcc, RVal);
+                e.branch(4, hop + 1 < 64, 1, RCmp);
+                e.blockEnd(5, /*id=*/14);
+                // Follow the frozen edge: successor j of node i is
+                // a pure function of (i, j), not a fresh draw.
+                cur = mix64(cur * (outDegree_ + 1) + pick) %
+                      num_nodes;
+            }
+            // Request bookkeeping between chains (non-loop runtime).
+            cur = e.rng().below(num_nodes);
+            for (unsigned s = 0; s < 10; ++s)
+                e.alu(100 + s % 5, RAcc, RAcc);
+        }
+    }
+
+  private:
+    unsigned outDegree_;
+};
+
+/**
+ * hashmap-storm — open-addressing hashmap probe storms.
+ *
+ * Bursts of 256 get/put operations against an 8 MB open-addressing
+ * table: every operation starts at a hashed (random) slot and walks a
+ * short linear probe run — spatially local within the run, unrelated
+ * across operations. Puts rewrite the probed slot, mixing stores into
+ * the miss stream. Between storms the server formats responses into a
+ * sequential buffer (the predictable non-loop runtime).
+ */
+class HashmapStormWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "hashmap-storm"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_slots = 1ull << 17; // x64B = 8 MB
+        const Addr table = e.alloc(num_slots * 64);
+        const Addr response = e.alloc(1ull << 20);
+
+        std::uint64_t resp_pos = 0;
+        while (!e.full()) {
+            // One storm: a burst of operations back to back.
+            for (unsigned op = 0; op < 256 && !e.full(); ++op) {
+                const std::uint64_t slot =
+                    e.rng().below(num_slots);
+                const unsigned run =
+                    1 + static_cast<unsigned>(e.rng().below(4));
+                const bool put = e.rng().chance(0.25);
+                e.blockBegin(0, /*id=*/15);
+                for (unsigned p = 0; p < run; ++p) {
+                    e.load(1 + p * 2,
+                           table + ((slot + p) % num_slots) * 64,
+                           RVal, RPtr);
+                    e.alu(2 + p * 2, RCmp, RVal, RAcc);
+                }
+                e.branch(9, !put, 11, RCmp);
+                if (put) {
+                    e.store(10,
+                            table +
+                                ((slot + run - 1) % num_slots) * 64,
+                            RVal, RPtr);
+                }
+                e.alu(11, RIdx, RIdx);
+                e.branch(12, op + 1 < 256, 1, RIdx);
+                e.blockEnd(13, /*id=*/15);
+            }
+            // Response serialisation between storms (non-loop
+            // runtime): sequential stores, pure streaming.
+            for (unsigned s = 0; s < 8 && !e.full(); ++s) {
+                e.store(100 + s % 4,
+                        response + (resp_pos % 131072) * 8, RAcc,
+                        RIdx);
+                ++resp_pos;
+                e.alu(110 + s % 4, RAcc, RAcc);
+            }
+        }
+    }
+};
+
+/**
+ * column-materialize — late materialisation gather.
+ *
+ * The classic column-store gather: stream a row-id list (unit
+ * stride), fetch three columns at each selected row id (scattered
+ * over 16 MB+ arrays), append the stitched tuple to a sequential
+ * output. Two of six memory streams are perfectly predictable, four
+ * are data-dependent gathers — partial coverage for everyone, full
+ * coverage for no one.
+ */
+class MaterializeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "column-materialize"; }
+    std::string suite() const override { return "DBMS"; }
+    bool memoryIntensive() const override { return true; }
+
+    void
+    generate(Trace &trace, const WorkloadParams &params) const override
+    {
+        Emitter e(trace, params);
+        const std::uint64_t num_rows = 2ull * 1024 * 1024;
+        const std::uint64_t num_ids = 1ull << 18;
+        const Addr row_ids = e.alloc(num_ids * 4);
+        const Addr col_a = e.alloc(num_rows * 8);   // 16 MB
+        const Addr col_b = e.alloc(num_rows * 16);  // 32 MB
+        const Addr col_c = e.alloc(num_rows * 8);   // 16 MB
+        const Addr out = e.alloc(num_ids * 24);
+
+        while (!e.full()) {
+            for (std::uint64_t i = 0; i < num_ids && !e.full();
+                 ++i) {
+                // The selection vector is unsorted: gather targets
+                // scatter over the full column extent.
+                const std::uint64_t rid = e.rng().below(num_rows);
+                e.blockBegin(0, /*id=*/16);
+                e.load(1, row_ids + i * 4, RIdx, RIdx, 4);
+                e.load(2, col_a + rid * 8, RVal, RIdx);
+                e.load(3, col_b + rid * 16, RPtr, RIdx);
+                e.load(4, col_c + rid * 8, RCmp, RIdx);
+                e.alu(5, RAcc, RVal, RPtr);
+                e.store(6, out + i * 24, RAcc, RIdx);
+                e.branch(7, i + 1 < num_ids, 1, RIdx);
+                e.blockEnd(8, /*id=*/16);
+
+                // Vector-at-a-time operator boundary (non-loop).
+                if (i % 128 == 127) {
+                    for (unsigned s = 0; s < 10; ++s)
+                        e.alu(100 + s % 5, RAcc, RAcc);
+                }
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+WorkloadPtr
+makeHashJoin()
+{
+    return std::make_unique<HashJoinWorkload>();
+}
+
+WorkloadPtr
+makeBtreeDescent()
+{
+    return std::make_unique<BtreeWorkload>(16);
+}
+
+WorkloadPtr
+makeBtreeDescent(unsigned fanout)
+{
+    return std::make_unique<BtreeWorkload>(fanout);
+}
+
+WorkloadPtr
+makeBinarySearch()
+{
+    return std::make_unique<BinarySearchWorkload>();
+}
+
+WorkloadPtr
+makePointerChase()
+{
+    return std::make_unique<PointerChaseWorkload>(4);
+}
+
+WorkloadPtr
+makePointerChase(unsigned out_degree)
+{
+    return std::make_unique<PointerChaseWorkload>(out_degree);
+}
+
+WorkloadPtr
+makeHashmapStorm()
+{
+    return std::make_unique<HashmapStormWorkload>();
+}
+
+WorkloadPtr
+makeColumnMaterialize()
+{
+    return std::make_unique<MaterializeWorkload>();
+}
+
+} // namespace kernels
+} // namespace cbws

@@ -49,6 +49,17 @@ WorkloadPtr makeWaterSpatial(); // SPLASH water-spatial-native
 WorkloadPtr makeBackprop();     // Rodinia backprop
 WorkloadPtr makeSradV1();       // Rodinia srad-v1
 
+// ---- DBMS/server family (irregular, pointer-heavy; beyond the
+// ---- paper, modelled on the hpides prefetching-benchmark catalog) ----
+WorkloadPtr makeHashJoin();          // open-addressing build + probe
+WorkloadPtr makeBtreeDescent();      // B-tree point lookups (fan-out 16)
+WorkloadPtr makeBtreeDescent(unsigned fanout);
+WorkloadPtr makeBinarySearch();      // branchy search, sorted column
+WorkloadPtr makePointerChase();      // dependent walk (out-degree 4)
+WorkloadPtr makePointerChase(unsigned out_degree);
+WorkloadPtr makeHashmapStorm();      // open-addressing probe storms
+WorkloadPtr makeColumnMaterialize(); // late-materialisation gather
+
 } // namespace kernels
 } // namespace cbws
 

@@ -48,6 +48,16 @@ constexpr Factory LowFactories[] = {
     kernels::makeSradV1,
 };
 
+/** The DBMS/server family, build-side to output-side order. */
+constexpr Factory DbmsFactories[] = {
+    kernels::makeHashJoin,
+    kernels::makeBtreeDescent,
+    kernels::makeBinarySearch,
+    kernels::makePointerChase,
+    kernels::makeHashmapStorm,
+    kernels::makeColumnMaterialize,
+};
+
 } // anonymous namespace
 
 std::vector<WorkloadPtr>
@@ -69,12 +79,32 @@ lowMpkiWorkloads()
 }
 
 std::vector<WorkloadPtr>
+dbmsWorkloads()
+{
+    std::vector<WorkloadPtr> out;
+    for (Factory f : DbmsFactories)
+        out.push_back(f());
+    return out;
+}
+
+std::vector<WorkloadPtr>
 allWorkloads()
 {
     std::vector<WorkloadPtr> out = memoryIntensiveWorkloads();
     for (auto &w : lowMpkiWorkloads())
         out.push_back(std::move(w));
+    for (auto &w : dbmsWorkloads())
+        out.push_back(std::move(w));
     return out;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        names.push_back(w->name());
+    return names;
 }
 
 WorkloadPtr
@@ -84,6 +114,23 @@ findWorkload(const std::string &name)
         if (w->name() == name)
             return std::move(w);
     return nullptr;
+}
+
+Result<WorkloadPtr>
+findWorkloadChecked(const std::string &name)
+{
+    WorkloadPtr w = findWorkload(name);
+    if (w)
+        return w;
+    std::string valid;
+    for (const auto &n : workloadNames()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += n;
+    }
+    return Result<WorkloadPtr>(
+        Errc::InvalidArgument,
+        "unknown workload '" + name + "' (valid: " + valid + ")");
 }
 
 } // namespace cbws

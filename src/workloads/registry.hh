@@ -1,7 +1,8 @@
 /**
  * @file
- * Registry of the 30 synthetic benchmark kernels (Table IV MI group +
- * the 15 low-MPKI kernels of Fig. 14).
+ * Registry of the 36 synthetic benchmark kernels: the paper's 30
+ * (Table IV MI group + the 15 low-MPKI kernels of Fig. 14) plus the
+ * six-kernel DBMS/server family of irregular pointer-heavy kernels.
  */
 
 #ifndef CBWS_WORKLOADS_REGISTRY_HH
@@ -10,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "base/result.hh"
 #include "workloads/workload.hh"
 
 namespace cbws
@@ -24,8 +26,22 @@ std::vector<WorkloadPtr> memoryIntensiveWorkloads();
 /** The 15 low-MPKI workloads (Fig. 14, bottom panel order). */
 std::vector<WorkloadPtr> lowMpkiWorkloads();
 
+/** The DBMS/server family (hash-join ... column-materialize). */
+std::vector<WorkloadPtr> dbmsWorkloads();
+
+/** Names of every registered workload, registry order. */
+std::vector<std::string> workloadNames();
+
 /** Look up one workload by its figure name; nullptr when unknown. */
 WorkloadPtr findWorkload(const std::string &name);
+
+/**
+ * findWorkload with fail-fast error reporting: an unknown name
+ * produces an InvalidArgument error listing every valid workload
+ * name, so CLI surfaces (`--core-workloads` lists, the serve
+ * protocol) can reject typos before anything is simulated.
+ */
+Result<WorkloadPtr> findWorkloadChecked(const std::string &name);
 
 } // namespace cbws
 

@@ -17,11 +17,12 @@ namespace cbws
 namespace
 {
 
-TEST(Registry, ThirtyBenchmarks)
+TEST(Registry, ThirtySixBenchmarks)
 {
-    EXPECT_EQ(allWorkloads().size(), 30u);
+    EXPECT_EQ(allWorkloads().size(), 36u);
     EXPECT_EQ(memoryIntensiveWorkloads().size(), 15u);
     EXPECT_EQ(lowMpkiWorkloads().size(), 15u);
+    EXPECT_EQ(dbmsWorkloads().size(), 6u);
 }
 
 TEST(Registry, NamesUniqueAndGroupsConsistent)

@@ -523,13 +523,13 @@ main(int argc, char **argv)
         }
         core_storage.resize(uniq.size());
         for (std::size_t u = 0; u < uniq.size(); ++u) {
-            auto workload = findWorkload(uniq[u]);
-            if (!workload) {
-                std::fprintf(stderr,
-                             "unknown benchmark '%s' (use --list)\n",
-                             uniq[u].c_str());
+            auto found = findWorkloadChecked(uniq[u]);
+            if (!found.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             found.error().str().c_str());
                 return 1;
             }
+            auto workload = std::move(found).value();
             WorkloadParams params;
             params.maxInstructions = insts;
             params.seed = args.getUint("seed", 42);
